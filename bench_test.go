@@ -1,0 +1,268 @@
+package tas_test
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation. Each iteration regenerates the artifact via the bench
+// registry in quick mode and reports a headline metric so `go test
+// -bench=.` doubles as a reproduction run. For the full-size versions
+// use cmd/tasbench without -quick.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	tas "repro"
+	"repro/internal/bench"
+)
+
+// runExperiment executes the driver once per b.N iteration (each run is
+// seconds long, so b.N stays 1 under the default benchtime).
+func runExperiment(b *testing.B, id string) *bench.Result {
+	b.Helper()
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = e.Run(bench.RunConfig{Seed: 1, Quick: true})
+	}
+	if res == nil || len(res.Rows) == 0 {
+		b.Fatalf("experiment %q produced no rows", id)
+	}
+	b.Logf("\n%s", res)
+	return res
+}
+
+// cell parses a numeric table cell.
+func cell(b *testing.B, res *bench.Result, row, col int) float64 {
+	b.Helper()
+	s := res.Rows[row][col]
+	s = strings.TrimSuffix(strings.Fields(s)[0], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d)=%q not numeric: %v", row, col, res.Rows[row][col], err)
+	}
+	return v
+}
+
+func BenchmarkTable1CyclesPerRequest(b *testing.B) {
+	res := runExperiment(b, "table1")
+	last := len(res.Rows) - 1
+	b.ReportMetric(cell(b, res, last, 1), "Linux-kc/req")
+	b.ReportMetric(cell(b, res, last, 5), "TAS-kc/req")
+}
+
+func BenchmarkTable2TopDown(b *testing.B) {
+	res := runExperiment(b, "table2")
+	b.ReportMetric(cell(b, res, 2, 3), "TAS-CPI")
+}
+
+func BenchmarkTable3FlowState(b *testing.B) {
+	res := runExperiment(b, "table3")
+	b.ReportMetric(cell(b, res, len(res.Rows)-1, 1), "state-bits")
+}
+
+func BenchmarkTable4Compatibility(b *testing.B) {
+	res := runExperiment(b, "table4")
+	b.ReportMetric(cell(b, res, 0, 1), "LinuxLinux-Gbps")
+	b.ReportMetric(cell(b, res, 1, 2), "TASTAS-Gbps")
+}
+
+func BenchmarkFig4ConnScalability(b *testing.B) {
+	res := runExperiment(b, "fig4")
+	last := len(res.Rows) - 1
+	b.ReportMetric(cell(b, res, last, 1), "TAS-mOps@96K")
+	b.ReportMetric(cell(b, res, last, 2), "IX-mOps@96K")
+}
+
+func BenchmarkFig5ShortLived(b *testing.B) {
+	res := runExperiment(b, "fig5")
+	b.ReportMetric(cell(b, res, len(res.Rows)-1, 1), "TAS-mOps@max")
+}
+
+func BenchmarkFig6PipelinedRPC(b *testing.B) {
+	res := runExperiment(b, "fig6")
+	b.ReportMetric(cell(b, res, 0, 3), "TAS-RX32B-Gbps")
+}
+
+func BenchmarkFig7LossPenalty(b *testing.B) {
+	res := runExperiment(b, "fig7")
+	last := len(res.Rows) - 1
+	b.ReportMetric(cell(b, res, last, 2), "TAS-penalty%@5%loss")
+	b.ReportMetric(cell(b, res, last, 3), "GBN-penalty%@5%loss")
+}
+
+func BenchmarkFig8KVScalability(b *testing.B) {
+	res := runExperiment(b, "fig8")
+	last := len(res.Rows) - 1
+	b.ReportMetric(cell(b, res, last, 1), "TASLL-mOps@16c")
+	b.ReportMetric(cell(b, res, last, 4), "Linux-mOps@16c")
+}
+
+func BenchmarkFig9LatencyCDF(b *testing.B) {
+	res := runExperiment(b, "fig9")
+	b.ReportMetric(cell(b, res, 0, 3), "TAS/TAS-p50us")
+}
+
+func BenchmarkTable5LatencyPercentiles(b *testing.B) {
+	res := runExperiment(b, "table5")
+	b.ReportMetric(cell(b, res, 2, 1), "TAS-p50us")
+	b.ReportMetric(cell(b, res, 0, 1), "Linux-p50us")
+}
+
+func BenchmarkTable6CoreSplit(b *testing.B) {
+	runExperiment(b, "table6")
+}
+
+func BenchmarkTable7NonScalable(b *testing.B) {
+	res := runExperiment(b, "table7")
+	b.ReportMetric(cell(b, res, 0, 4), "TASLL-mOps@4c")
+}
+
+func BenchmarkFig10FlexStorm(b *testing.B) {
+	res := runExperiment(b, "fig10")
+	b.ReportMetric(cell(b, res, 2, 1), "TAS-mtuples")
+}
+
+func BenchmarkTable8TupleLatency(b *testing.B) {
+	runExperiment(b, "table8")
+}
+
+func BenchmarkFig11ControlInterval(b *testing.B) {
+	res := runExperiment(b, "fig11")
+	b.ReportMetric(cell(b, res, 2, 3), "TAS-FCTms@tau100us")
+}
+
+func BenchmarkFig12FatTreeFCT(b *testing.B) {
+	runExperiment(b, "fig12")
+}
+
+func BenchmarkFig13Incast(b *testing.B) {
+	res := runExperiment(b, "fig13")
+	b.ReportMetric(cell(b, res, 0, 4), "TAS-p50@50conns")
+}
+
+func BenchmarkFig14Proportionality(b *testing.B) {
+	runExperiment(b, "fig14")
+}
+
+func BenchmarkFig15ScalingLatency(b *testing.B) {
+	runExperiment(b, "fig15")
+}
+
+func BenchmarkAblationBuffers(b *testing.B) {
+	runExperiment(b, "ablation-buffers")
+}
+
+func BenchmarkAblationSteering(b *testing.B) {
+	runExperiment(b, "ablation-steering")
+}
+
+// --- Live-stack micro-benchmarks (real goroutine fast path) -------------
+
+func BenchmarkLiveEchoRPC(b *testing.B) {
+	fab := tas.NewFabric()
+	srv, err := fab.NewService("10.9.0.1", tas.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := fab.NewService("10.9.0.2", tas.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(8080)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		c, err := ln.Accept(0)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		for {
+			got := 0
+			for got < 64 {
+				n, err := c.Read(buf[got:])
+				if err != nil {
+					return
+				}
+				got += n
+			}
+			if _, err := c.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	cctx := cli.NewContext()
+	c, err := cctx.Dial("10.9.0.1", 8080)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := make([]byte, 64)
+	resp := make([]byte, 64)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(req); err != nil {
+			b.Fatal(err)
+		}
+		got := 0
+		for got < 64 {
+			n, err := c.Read(resp[got:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			got += n
+		}
+	}
+}
+
+func BenchmarkLiveBulkThroughput(b *testing.B) {
+	fab := tas.NewFabric()
+	srv, err := fab.NewService("10.9.1.1", tas.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := fab.NewService("10.9.1.2", tas.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(9000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		c, err := ln.Accept(0)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 256<<10)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	cctx := cli.NewContext()
+	c, err := cctx.Dial("10.9.1.1", 9000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([]byte, 64<<10)
+	b.SetBytes(int64(len(chunk)))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

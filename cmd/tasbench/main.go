@@ -1,0 +1,72 @@
+// Command tasbench regenerates the paper's evaluation tables and
+// figures from this repository's simulators. Run one experiment by id,
+// or all of them:
+//
+//	tasbench -list
+//	tasbench -run table1
+//	tasbench -run all -quick
+//
+// Output is the same rows/series the paper reports; EXPERIMENTS.md
+// records paper-vs-measured for each id.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "experiment id (see -list), or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids")
+		quick  = flag.Bool("quick", false, "scaled-down parameters (faster, noisier)")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		csvDir = flag.String("csv", "", "also write <id>.csv files into this directory")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-18s %s\n", e.ID, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nusage: tasbench -run <id>|all [-quick] [-seed N]")
+		}
+		return
+	}
+
+	cfg := bench.RunConfig{Seed: *seed, Quick: *quick}
+	emit := func(res *bench.Result) {
+		fmt.Println(res)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, res.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			}
+		}
+	}
+	if *run == "all" {
+		for _, e := range bench.All() {
+			if e.Heavy {
+				fmt.Printf("(skipping heavy experiment %s; run it explicitly with -run %s)\n\n", e.ID, e.ID)
+				continue
+			}
+			start := time.Now()
+			emit(e.Run(cfg))
+			fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+	e, ok := bench.ByID(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
+		os.Exit(1)
+	}
+	emit(e.Run(cfg))
+}

@@ -1,0 +1,154 @@
+// Command tastrace analyzes pcap captures produced by the trace package
+// (or any classic little-endian Ethernet pcap of IPv4/TCP traffic):
+// per-flow packet/byte counts, retransmissions, handshake/teardown
+// events, ECN marking, and RTT samples from timestamp echoes. It is the
+// debugging companion to the fabric's Tap hook.
+//
+//	tastrace capture.pcap
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/protocol"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// flowStats accumulates one direction of one connection.
+type flowStats struct {
+	key           protocol.FlowKey
+	packets       uint64
+	bytes         uint64
+	retxPkts      uint64
+	maxSeq        uint32
+	seqInit       bool
+	syn, fin, rst bool
+	ceMarks       uint64
+	eceAcks       uint64
+	firstNs       int64
+	lastNs        int64
+	rttSumUs      uint64
+	rttCnt        uint64
+	tsEcho        map[uint32]int64 // TSVal -> send time (bounded)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tastrace <capture.pcap>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tastrace: %s: not a readable pcap: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+
+	flows := make(map[protocol.FlowKey]*flowStats)
+	get := func(k protocol.FlowKey) *flowStats {
+		s := flows[k]
+		if s == nil {
+			s = &flowStats{key: k, tsEcho: make(map[uint32]int64)}
+			flows[k] = s
+		}
+		return s
+	}
+
+	var total uint64
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			break
+		}
+		total++
+		p := rec.Packet
+		// Direction key: sender's perspective.
+		k := protocol.FlowKey{LocalIP: p.SrcIP, LocalPort: p.SrcPort, RemoteIP: p.DstIP, RemotePort: p.DstPort}
+		s := get(k)
+		s.packets++
+		s.bytes += uint64(p.DataLen())
+		if s.firstNs == 0 {
+			s.firstNs = rec.TsNanos
+		}
+		s.lastNs = rec.TsNanos
+		if p.Flags.Has(protocol.FlagSYN) {
+			s.syn = true
+		}
+		if p.Flags.Has(protocol.FlagFIN) {
+			s.fin = true
+		}
+		if p.Flags.Has(protocol.FlagRST) {
+			s.rst = true
+		}
+		if p.ECN == protocol.ECNCE {
+			s.ceMarks++
+		}
+		if p.Flags.Has(protocol.FlagECE) {
+			s.eceAcks++
+		}
+		if n := p.DataLen(); n > 0 {
+			if s.seqInit && tcp.SeqLT(p.Seq, s.maxSeq) {
+				s.retxPkts++
+			}
+			if !s.seqInit || tcp.SeqGT(p.SeqEnd(), s.maxSeq) {
+				s.maxSeq = p.SeqEnd()
+				s.seqInit = true
+			}
+			if p.HasTS && len(s.tsEcho) < 1<<16 {
+				s.tsEcho[p.TSVal] = rec.TsNanos
+			}
+		}
+		// RTT from the reverse direction's echo.
+		if p.HasTS && p.TSEcr != 0 {
+			rev := get(k.Reverse())
+			if sent, ok := rev.tsEcho[p.TSEcr]; ok {
+				if d := rec.TsNanos - sent; d >= 0 {
+					rev.rttSumUs += uint64(d / 1000)
+					rev.rttCnt++
+				}
+				delete(rev.tsEcho, p.TSEcr)
+			}
+		}
+	}
+
+	keys := make([]protocol.FlowKey, 0, len(flows))
+	for k := range flows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return flows[keys[i]].bytes > flows[keys[j]].bytes })
+
+	fmt.Printf("%d packets, %d flow directions\n\n", total, len(keys))
+	fmt.Printf("%-44s %8s %10s %6s %5s %5s %7s %8s %s\n",
+		"flow", "pkts", "bytes", "retx", "CE", "ECE", "rtt-us", "Mbps", "events")
+	for _, k := range keys {
+		s := flows[k]
+		var rtt float64
+		if s.rttCnt > 0 {
+			rtt = float64(s.rttSumUs) / float64(s.rttCnt)
+		}
+		var mbps float64
+		if d := s.lastNs - s.firstNs; d > 0 {
+			mbps = float64(s.bytes) * 8 / (float64(d) / 1e9) / 1e6
+		}
+		ev := ""
+		if s.syn {
+			ev += "SYN "
+		}
+		if s.fin {
+			ev += "FIN "
+		}
+		if s.rst {
+			ev += "RST "
+		}
+		fmt.Printf("%-44s %8d %10d %6d %5d %5d %7.1f %8.2f %s\n",
+			s.key.String(), s.packets, s.bytes, s.retxPkts, s.ceMarks, s.eceAcks, rtt, mbps, ev)
+	}
+}

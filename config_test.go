@@ -1,0 +1,172 @@
+package tas
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestCongestionControlVariants(t *testing.T) {
+	for _, cc := range []string{"dctcp", "timely", "dctcp-window", "none"} {
+		cc := cc
+		t.Run(cc, func(t *testing.T) {
+			_, srv, cli := newPair(t, Config{CongestionControl: cc})
+			sctx := srv.NewContext()
+			ln, err := sctx.Listen(8080)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() {
+				c, err := ln.Accept(5 * time.Second)
+				if err != nil {
+					done <- err
+					return
+				}
+				buf := make([]byte, 256<<10)
+				got := 0
+				for got < 256<<10 {
+					n, err := c.Read(buf)
+					if err != nil {
+						done <- err
+						return
+					}
+					got += n
+				}
+				done <- nil
+			}()
+			cctx := cli.NewContext()
+			c, err := cctx.Dial("10.0.0.1", 8080)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Write(make([]byte, 256<<10)); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(20 * time.Second):
+				t.Fatal("transfer did not complete")
+			}
+		})
+	}
+	// Unknown policy is rejected.
+	fab := NewFabric()
+	if _, err := fab.NewService("10.0.9.9", Config{CongestionControl: "bogus"}); err == nil {
+		t.Fatal("unknown congestion control should fail")
+	}
+}
+
+func TestDisableOooStillRecovers(t *testing.T) {
+	fab, srv, cli := newPair(t, Config{DisableOoo: true})
+	sctx := srv.NewContext()
+	ln, _ := sctx.Listen(8081)
+	const total = 256 << 10
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		buf := make([]byte, 32<<10)
+		got := 0
+		for got < total {
+			n, err := c.Read(buf)
+			if err != nil {
+				done <- err
+				return
+			}
+			got += n
+		}
+		done <- nil
+	}()
+	cctx := cli.NewContext()
+	c, err := cctx.Dial("10.0.0.1", 8081)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab.SetLoss(0.01)
+	defer fab.SetLoss(0)
+	if _, err := c.Write(make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("go-back-N-only transfer with loss did not complete")
+	}
+}
+
+func TestMsgConnFacade(t *testing.T) {
+	_, srv, cli := newPair(t, Config{})
+	sctx := srv.NewContext()
+	ln, _ := sctx.Listen(8082)
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		mc := NewMsgConn(c, 0)
+		m, err := mc.RecvMsg(5 * time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- mc.SendMsg(m, 5*time.Second)
+	}()
+	cctx := cli.NewContext()
+	c, err := cctx.Dial("10.0.0.1", 8082)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMsgConn(c, 0)
+	want := bytes.Repeat([]byte("msg"), 1000)
+	if err := mc.SendMsg(want, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mc.RecvMsg(5 * time.Second)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("framed echo: %d bytes, err %v", len(got), err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnStatsFacade(t *testing.T) {
+	_, srv, cli := newPair(t, Config{})
+	sctx := srv.NewContext()
+	ln, _ := sctx.Listen(8083)
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err == nil {
+			buf := make([]byte, 1024)
+			c.Read(buf)
+		}
+	}()
+	cctx := cli.NewContext()
+	c, err := cctx.Dial("10.0.0.1", 8083)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.RxBufSize == 0 || st.TxBufSize == 0 {
+		t.Fatalf("stats missing buffer sizes: %+v", st)
+	}
+	c.ResizeBuffers(st.RxBufSize*2, st.TxBufSize*2)
+	if got := c.Stats(); got.RxBufSize != st.RxBufSize*2 {
+		t.Fatalf("resize via facade failed: %+v", got)
+	}
+}

@@ -1,0 +1,90 @@
+// Capture example: record every packet of a live TAS exchange into a
+// standard pcap file (Wireshark/tcpdump-readable), then summarize it
+// with the same analyzer cmd/tastrace uses. Shows the handshake, data,
+// acks with ECN/timestamps, and teardown exactly as they crossed the
+// fabric.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	tas "repro"
+)
+
+func main() {
+	out := "tas-capture.pcap"
+	if len(os.Args) > 1 {
+		out = os.Args[1]
+	}
+	fab := tas.NewFabric()
+	srv, err := fab.NewService("10.0.0.1", tas.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := fab.NewService("10.0.0.2", tas.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stop, err := fab.CaptureTo(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(8080)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 8192)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+
+	cctx := cli.NewContext()
+	c, err := cctx.Dial("10.0.0.1", 8080)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := make([]byte, 1000)
+	resp := make([]byte, 8192)
+	for i := 0; i < 25; i++ {
+		if _, err := c.Write(req); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := c.Read(resp); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.Close()
+	time.Sleep(50 * time.Millisecond) // drain FIN/ACK into the capture
+	stop()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	st, _ := os.Stat(out)
+	fmt.Printf("wrote %s (%d bytes)\n", out, st.Size())
+	fmt.Println("analyze with: go run ./cmd/tastrace", out)
+}

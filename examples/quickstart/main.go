@@ -1,0 +1,69 @@
+// Quickstart: bring up two TAS services on an in-process fabric, accept
+// a connection on one, dial from the other, and exchange a message —
+// the smallest end-to-end use of the public API. Everything here runs
+// through the real fast path: SYN handshake via the slow path, payload
+// through per-flow buffers and context queues.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tas "repro"
+)
+
+func main() {
+	// The fabric is the in-process network (the NIC + switch).
+	fab := tas.NewFabric()
+
+	server, err := fab.NewService("10.0.0.1", tas.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+	client, err := fab.NewService("10.0.0.2", tas.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Contexts are per-application-thread attachments (the paper's
+	// context queues); use one per goroutine.
+	go func() {
+		ctx := server.NewContext()
+		ln, err := ctx.Listen(8080)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, 128)
+		n, err := conn.Read(buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("server got: %q\n", buf[:n])
+		if _, err := conn.Write([]byte("hello from the fast path")); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	ctx := client.NewContext()
+	conn, err := ctx.Dial("10.0.0.1", 8080)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping over TAS")); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	n, err := conn.Read(buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client got: %q\n", buf[:n])
+}

@@ -1,0 +1,57 @@
+// Package echo implements the evaluation's RPC echo application (§5.1):
+// fixed-size request/response messages over a byte stream, a server
+// loop, and a closed-loop client. It runs over any io.ReadWriter.
+package echo
+
+import (
+	"errors"
+	"io"
+)
+
+// Serve echoes fixed-size messages from rw until EOF.
+func Serve(rw io.ReadWriter, msgSize int) error {
+	buf := make([]byte, msgSize)
+	for {
+		if _, err := io.ReadFull(rw, buf); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		if _, err := rw.Write(buf); err != nil {
+			return err
+		}
+	}
+}
+
+// Client issues closed-loop echo RPCs.
+type Client struct {
+	rw   io.ReadWriter
+	req  []byte
+	resp []byte
+}
+
+// NewClient builds a client sending msgSize-byte RPCs.
+func NewClient(rw io.ReadWriter, msgSize int) *Client {
+	req := make([]byte, msgSize)
+	for i := range req {
+		req[i] = byte(i)
+	}
+	return &Client{rw: rw, req: req, resp: make([]byte, msgSize)}
+}
+
+// Call performs one echo round trip and verifies the payload.
+func (c *Client) Call() error {
+	if _, err := c.rw.Write(c.req); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(c.rw, c.resp); err != nil {
+		return err
+	}
+	for i := range c.resp {
+		if c.resp[i] != c.req[i] {
+			return errors.New("echo: payload mismatch")
+		}
+	}
+	return nil
+}

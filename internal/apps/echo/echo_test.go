@@ -1,0 +1,55 @@
+package echo
+
+import (
+	"io"
+	"testing"
+)
+
+type pipe struct {
+	r *io.PipeReader
+	w *io.PipeWriter
+}
+
+func (p pipe) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p pipe) Write(b []byte) (int, error) { return p.w.Write(b) }
+
+func duplex() (pipe, pipe) {
+	r1, w1 := io.Pipe()
+	r2, w2 := io.Pipe()
+	return pipe{r1, w2}, pipe{r2, w1}
+}
+
+func TestEchoRPC(t *testing.T) {
+	s, c := duplex()
+	go Serve(s, 64)
+	cl := NewClient(c, 64)
+	for i := 0; i < 100; i++ {
+		if err := cl.Call(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestServeStopsOnEOF(t *testing.T) {
+	s, c := duplex()
+	done := make(chan error, 1)
+	go func() { done <- Serve(s, 16) }()
+	c.w.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("EOF should end serve cleanly: %v", err)
+	}
+}
+
+func TestClientDetectsCorruption(t *testing.T) {
+	s, c := duplex()
+	go func() {
+		buf := make([]byte, 8)
+		io.ReadFull(s, buf)
+		buf[0] ^= 0xff
+		s.Write(buf)
+	}()
+	cl := NewClient(c, 8)
+	if err := cl.Call(); err == nil {
+		t.Fatal("corrupted echo should fail verification")
+	}
+}

@@ -1,0 +1,269 @@
+// Package flexstorm implements the evaluation's real-time analytics
+// workload (§5.4), after the FlexStorm system the paper benchmarks: a
+// data-stream-processing node with a demultiplexer thread that receives
+// tuples from the network and routes them to executor workers by key
+// hash, and a multiplexer thread that batches outgoing tuples before
+// emission (the batching whose latency cost Figure 10/Table 8
+// quantifies). Nodes connect over any io.ReadWriter (TAS connections in
+// the live example), forming a topology.
+package flexstorm
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tuple is one unit of streaming data.
+type Tuple struct {
+	ID    uint64
+	Key   string
+	Value int64
+	// Emitted is the origin timestamp (unix nanos) for end-to-end
+	// latency accounting.
+	Emitted int64
+}
+
+// wire format: [8 id][8 value][8 emitted][2 keylen][key]
+const tupleHdrLen = 26
+
+// WriteTuple encodes one tuple.
+func WriteTuple(w io.Writer, t *Tuple) error {
+	if len(t.Key) > 0xffff {
+		return errors.New("flexstorm: key too long")
+	}
+	buf := make([]byte, tupleHdrLen+len(t.Key))
+	binary.BigEndian.PutUint64(buf[0:], t.ID)
+	binary.BigEndian.PutUint64(buf[8:], uint64(t.Value))
+	binary.BigEndian.PutUint64(buf[16:], uint64(t.Emitted))
+	binary.BigEndian.PutUint16(buf[24:], uint16(len(t.Key)))
+	copy(buf[tupleHdrLen:], t.Key)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadTuple decodes one tuple.
+func ReadTuple(r io.Reader, t *Tuple) error {
+	var hdr [tupleHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	t.ID = binary.BigEndian.Uint64(hdr[0:])
+	t.Value = int64(binary.BigEndian.Uint64(hdr[8:]))
+	t.Emitted = int64(binary.BigEndian.Uint64(hdr[16:]))
+	klen := int(binary.BigEndian.Uint16(hdr[24:]))
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return err
+	}
+	t.Key = string(key)
+	return nil
+}
+
+// Executor processes tuples; it may emit derived tuples downstream by
+// returning them.
+type Executor func(t *Tuple) []Tuple
+
+// WordCount returns the canonical counting executor: it accumulates a
+// per-key count and emits an updated (key, count) tuple.
+func WordCount() Executor {
+	counts := make(map[string]int64)
+	return func(t *Tuple) []Tuple {
+		counts[t.Key] += t.Value
+		return []Tuple{{ID: t.ID, Key: t.Key, Value: counts[t.Key], Emitted: t.Emitted}}
+	}
+}
+
+// NodeConfig sizes one FlexStorm node.
+type NodeConfig struct {
+	Executors int // worker goroutines (default 2)
+	// BatchFlush is the mux flush interval (the paper's Linux deployment
+	// batches up to 10ms of tuples; TAS needs none). Zero = flush
+	// per-tuple.
+	BatchFlush time.Duration
+	// BatchSize flushes earlier when this many tuples accumulate
+	// (default 512).
+	BatchSize int
+	QueueCap  int // per-stage channel capacity (default 4096)
+}
+
+func (c *NodeConfig) fill() {
+	if c.Executors <= 0 {
+		c.Executors = 2
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+}
+
+// Stats aggregates a node's activity.
+type Stats struct {
+	TuplesIn   atomic.Uint64
+	TuplesOut  atomic.Uint64
+	InQueueNs  atomic.Int64 // total time tuples spent before an executor
+	ProcessNs  atomic.Int64 // total executor processing time
+	OutQueueNs atomic.Int64 // total time spent in the mux batch
+}
+
+// Node is a running FlexStorm worker node: demux -> executors -> mux.
+type Node struct {
+	cfg   NodeConfig
+	exec  []chan timedTuple
+	muxCh chan timedTuple
+	out   io.Writer
+	Stats Stats
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+type timedTuple struct {
+	t       Tuple
+	stageAt int64 // when the tuple entered the current stage (unix nanos)
+}
+
+// NewNode starts a node that applies mkExec-produced executors and
+// writes emitted tuples to out.
+func NewNode(cfg NodeConfig, mkExec func() Executor, out io.Writer) *Node {
+	cfg.fill()
+	n := &Node{
+		cfg:    cfg,
+		muxCh:  make(chan timedTuple, cfg.QueueCap),
+		out:    out,
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Executors; i++ {
+		ch := make(chan timedTuple, cfg.QueueCap)
+		n.exec = append(n.exec, ch)
+		ex := mkExec()
+		n.wg.Add(1)
+		go n.runExecutor(ch, ex)
+	}
+	n.wg.Add(1)
+	go n.runMux()
+	return n
+}
+
+// Ingest is the demultiplexer: it reads tuples from r and routes them to
+// executors by key hash, until EOF or error. Run one goroutine per
+// upstream connection.
+func (n *Node) Ingest(r io.Reader) error {
+	var t Tuple
+	for {
+		if err := ReadTuple(r, &t); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		n.Inject(t)
+	}
+}
+
+// Inject routes one tuple to its executor (the demux step).
+func (n *Node) Inject(t Tuple) {
+	n.Stats.TuplesIn.Add(1)
+	h := fnv.New32a()
+	io.WriteString(h, t.Key)
+	select {
+	case n.exec[h.Sum32()%uint32(len(n.exec))] <- timedTuple{t: t, stageAt: time.Now().UnixNano()}:
+	case <-n.closed:
+	}
+}
+
+func (n *Node) runExecutor(ch chan timedTuple, ex Executor) {
+	defer n.wg.Done()
+	for {
+		select {
+		case tt := <-ch:
+			start := time.Now().UnixNano()
+			n.Stats.InQueueNs.Add(start - tt.stageAt)
+			outs := ex(&tt.t)
+			end := time.Now().UnixNano()
+			n.Stats.ProcessNs.Add(end - start)
+			for _, o := range outs {
+				select {
+				case n.muxCh <- timedTuple{t: o, stageAt: end}:
+				case <-n.closed:
+					return
+				}
+			}
+		case <-n.closed:
+			return
+		}
+	}
+}
+
+// runMux batches tuples and writes them out at flush boundaries.
+func (n *Node) runMux() {
+	defer n.wg.Done()
+	var batch []timedTuple
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	flush := func() {
+		now := time.Now().UnixNano()
+		for i := range batch {
+			n.Stats.OutQueueNs.Add(now - batch[i].stageAt)
+			if n.out != nil {
+				if err := WriteTuple(n.out, &batch[i].t); err != nil {
+					break
+				}
+			}
+			n.Stats.TuplesOut.Add(1)
+		}
+		batch = batch[:0]
+		timerC = nil
+	}
+	for {
+		select {
+		case tt := <-n.muxCh:
+			batch = append(batch, tt)
+			if n.cfg.BatchFlush <= 0 || len(batch) >= n.cfg.BatchSize {
+				flush()
+				continue
+			}
+			if timerC == nil {
+				if timer == nil {
+					timer = time.NewTimer(n.cfg.BatchFlush)
+				} else {
+					timer.Reset(n.cfg.BatchFlush)
+				}
+				timerC = timer.C
+			}
+		case <-timerC:
+			flush()
+		case <-n.closed:
+			flush()
+			return
+		}
+	}
+}
+
+// AvgLatencies returns the mean per-tuple time in each stage
+// (input queue, processing, output batch), in nanoseconds.
+func (n *Node) AvgLatencies() (inQ, proc, outQ float64) {
+	in := n.Stats.TuplesIn.Load()
+	out := n.Stats.TuplesOut.Load()
+	if in > 0 {
+		inQ = float64(n.Stats.InQueueNs.Load()) / float64(in)
+		proc = float64(n.Stats.ProcessNs.Load()) / float64(in)
+	}
+	if out > 0 {
+		outQ = float64(n.Stats.OutQueueNs.Load()) / float64(out)
+	}
+	return
+}
+
+// Close stops the node's goroutines.
+func (n *Node) Close() {
+	n.once.Do(func() { close(n.closed) })
+	n.wg.Wait()
+}

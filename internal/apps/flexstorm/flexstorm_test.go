@@ -1,0 +1,178 @@
+package flexstorm
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTupleRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Tuple{ID: 42, Key: "word", Value: -7, Emitted: 123456789}
+	if err := WriteTuple(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out Tuple
+	if err := ReadTuple(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestWordCountExecutor(t *testing.T) {
+	ex := WordCount()
+	for i := 1; i <= 3; i++ {
+		outs := ex(&Tuple{Key: "a", Value: 1})
+		if len(outs) != 1 || outs[0].Value != int64(i) {
+			t.Fatalf("count %d: %+v", i, outs)
+		}
+	}
+	outs := ex(&Tuple{Key: "b", Value: 5})
+	if outs[0].Value != 5 {
+		t.Fatal("independent keys")
+	}
+}
+
+// syncWriter collects emitted tuples.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) tuples(t *testing.T) []Tuple {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []Tuple
+	r := bytes.NewReader(w.buf.Bytes())
+	for {
+		var tp Tuple
+		if err := ReadTuple(r, &tp); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return out
+			}
+			t.Fatal(err)
+		}
+		out = append(out, tp)
+	}
+}
+
+func TestNodePipelineUnbatched(t *testing.T) {
+	out := &syncWriter{}
+	n := NewNode(NodeConfig{Executors: 4}, WordCount, out)
+	words := []string{"a", "b", "a", "c", "a", "b"}
+	for i, w := range words {
+		n.Inject(Tuple{ID: uint64(i), Key: w, Value: 1, Emitted: time.Now().UnixNano()})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Stats.TuplesOut.Load() < uint64(len(words)) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	n.Close()
+	tuples := out.tuples(t)
+	if len(tuples) != len(words) {
+		t.Fatalf("emitted %d tuples, want %d", len(tuples), len(words))
+	}
+	// The final count for "a" must be 3 (per-key ordering holds because
+	// a key always routes to the same executor).
+	maxA := int64(0)
+	for _, tp := range tuples {
+		if tp.Key == "a" && tp.Value > maxA {
+			maxA = tp.Value
+		}
+	}
+	if maxA != 3 {
+		t.Fatalf("count(a) = %d, want 3", maxA)
+	}
+	if n.Stats.TuplesIn.Load() != uint64(len(words)) {
+		t.Fatal("input count")
+	}
+}
+
+func TestNodeBatchingDelaysEmission(t *testing.T) {
+	out := &syncWriter{}
+	n := NewNode(NodeConfig{Executors: 1, BatchFlush: 30 * time.Millisecond, BatchSize: 1000}, WordCount, out)
+	defer n.Close()
+	n.Inject(Tuple{ID: 1, Key: "x", Value: 1})
+	time.Sleep(10 * time.Millisecond)
+	if n.Stats.TuplesOut.Load() != 0 {
+		t.Fatal("tuple emitted before batch flush")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Stats.TuplesOut.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n.Stats.TuplesOut.Load() != 1 {
+		t.Fatal("tuple never flushed")
+	}
+	_, _, outQ := n.AvgLatencies()
+	if outQ < float64(20*time.Millisecond) {
+		t.Fatalf("output-queue latency %.0fns should reflect ~30ms batching", outQ)
+	}
+}
+
+func TestNodeBatchSizeTriggersEarlyFlush(t *testing.T) {
+	out := &syncWriter{}
+	n := NewNode(NodeConfig{Executors: 1, BatchFlush: time.Hour, BatchSize: 10}, WordCount, out)
+	defer n.Close()
+	for i := 0; i < 10; i++ {
+		n.Inject(Tuple{ID: uint64(i), Key: "k", Value: 1})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Stats.TuplesOut.Load() < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n.Stats.TuplesOut.Load() != 10 {
+		t.Fatal("batch-size flush did not trigger")
+	}
+}
+
+func TestIngestFromStream(t *testing.T) {
+	var wire bytes.Buffer
+	for i := 0; i < 20; i++ {
+		WriteTuple(&wire, &Tuple{ID: uint64(i), Key: "w", Value: 1})
+	}
+	out := &syncWriter{}
+	n := NewNode(NodeConfig{Executors: 2}, WordCount, out)
+	defer n.Close()
+	if err := n.Ingest(&wire); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Stats.TuplesOut.Load() < 20 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := n.Stats.TuplesIn.Load(); got != 20 {
+		t.Fatalf("ingested %d", got)
+	}
+}
+
+func TestChainedNodes(t *testing.T) {
+	// Node A's output streams into node B via an in-memory pipe.
+	pr, pw := io.Pipe()
+	outB := &syncWriter{}
+	b := NewNode(NodeConfig{Executors: 1}, WordCount, outB)
+	defer b.Close()
+	go b.Ingest(pr)
+	a := NewNode(NodeConfig{Executors: 2}, WordCount, pw)
+	defer a.Close()
+	for i := 0; i < 10; i++ {
+		a.Inject(Tuple{ID: uint64(i), Key: "k", Value: 1})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats.TuplesOut.Load() < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if b.Stats.TuplesOut.Load() != 10 {
+		t.Fatalf("downstream emitted %d", b.Stats.TuplesOut.Load())
+	}
+}

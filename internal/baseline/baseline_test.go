@@ -1,0 +1,222 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cpumodel"
+	"repro/internal/sim"
+)
+
+func closedLoop(t *testing.T, kind cpumodel.StackKind, appCores, stackCores, conns int, dur sim.Time) LoadResult {
+	t.Helper()
+	eng := sim.New(1)
+	srv := NewServer(eng, ServerConfig{
+		Kind: kind, AppCores: appCores, StackCores: stackCores, Conns: conns,
+	})
+	return RunClosedLoop(eng, srv, ClosedLoopConfig{
+		Conns: conns, NetRTT: 20 * sim.Microsecond,
+		Duration: dur, Warmup: 5 * sim.Millisecond,
+	})
+}
+
+func TestThroughputOrderingAtSaturation(t *testing.T) {
+	// 8 total cores, 1024 conns: TAS ~ IX >> Linux (Fig 4's left side).
+	lin := closedLoop(t, cpumodel.StackLinux, 8, 0, 1024, 50*sim.Millisecond)
+	ix := closedLoop(t, cpumodel.StackIX, 8, 0, 1024, 50*sim.Millisecond)
+	tas := closedLoop(t, cpumodel.StackTASLL, 5, 3, 1024, 50*sim.Millisecond)
+	if !(tas.Throughput > 3*lin.Throughput) {
+		t.Fatalf("TAS %.2f mOps should be >3x Linux %.2f mOps", tas.MOps(), lin.MOps())
+	}
+	ratio := tas.Throughput / ix.Throughput
+	if ratio < 0.6 || ratio > 1.8 {
+		t.Fatalf("TAS/IX ratio %.2f out of plausible band (TAS %.2f, IX %.2f mOps)", ratio, tas.MOps(), ix.MOps())
+	}
+}
+
+func TestConnectionScalabilityShape(t *testing.T) {
+	// Increasing conns 1K -> 96K: TAS degrades a little, IX a lot
+	// (Fig 4's right side).
+	run := func(kind cpumodel.StackKind, app, stk, conns int) float64 {
+		return closedLoop(t, kind, app, stk, conns, 30*sim.Millisecond).Throughput
+	}
+	tasLo := run(cpumodel.StackTASLL, 12, 8, 4096)
+	tasHi := run(cpumodel.StackTASLL, 12, 8, 96<<10)
+	ixLo := run(cpumodel.StackIX, 20, 0, 4096)
+	ixHi := run(cpumodel.StackIX, 20, 0, 96<<10)
+	tasDrop := 1 - tasHi/tasLo
+	ixDrop := 1 - ixHi/ixLo
+	if tasDrop > 0.15 {
+		t.Fatalf("TAS degradation %.2f too large", tasDrop)
+	}
+	if ixDrop < 0.3 {
+		t.Fatalf("IX degradation %.2f too small (TAS %.2f)", ixDrop, tasDrop)
+	}
+	if tasHi < 1.5*ixHi {
+		t.Fatalf("at 96K conns TAS (%.0f) should beat IX (%.0f) by >1.5x", tasHi, ixHi)
+	}
+}
+
+func TestLatencyOrderingLightLoad(t *testing.T) {
+	// At 15% utilization, median latency: TAS < IX < Linux (Table 5).
+	lat := func(kind cpumodel.StackKind, app, stk int) (p50, p99 float64) {
+		eng := sim.New(2)
+		srv := NewServer(eng, ServerConfig{Kind: kind, AppCores: app, StackCores: stk, Conns: 256})
+		// Capacity of 1 app core pipeline ~ totalCycles; run at 15%.
+		cost := srv.Costs().TotalCycles()
+		rate := 0.15 * 2.1e9 / cost
+		res := RunOpenLoop(eng, srv, OpenLoopConfig{
+			RatePerSec: rate, Conns: 256, NetRTT: 10 * sim.Microsecond,
+			Duration: 200 * sim.Millisecond, Warmup: 20 * sim.Millisecond,
+		})
+		return res.Latency.Quantile(0.5), res.Latency.Quantile(0.99)
+	}
+	l50, l99 := lat(cpumodel.StackLinux, 1, 0)
+	i50, i99 := lat(cpumodel.StackIX, 1, 0)
+	t50, t99 := lat(cpumodel.StackTAS, 1, 1)
+	if !(t50 < i50 && i50 < l50) {
+		t.Fatalf("median ordering: TAS %.0f IX %.0f Linux %.0f", t50, i50, l50)
+	}
+	if !(t99 < l99 && i99 < l99) {
+		t.Fatalf("tail ordering: TAS %.0f IX %.0f Linux %.0f", t99, i99, l99)
+	}
+	// Linux should be several times slower at the median (paper: 5.6x).
+	if l50/t50 < 3 {
+		t.Fatalf("Linux/TAS median ratio %.1f too small", l50/t50)
+	}
+}
+
+func TestMTCPBatchingAddsLatencyNotThroughputLoss(t *testing.T) {
+	eng := sim.New(3)
+	srv := NewServer(eng, ServerConfig{Kind: cpumodel.StackMTCP, AppCores: 4, StackCores: 2, Conns: 1024})
+	res := RunClosedLoop(eng, srv, ClosedLoopConfig{
+		Conns: 1024, NetRTT: 20 * sim.Microsecond,
+		Duration: 50 * sim.Millisecond, Warmup: 10 * sim.Millisecond,
+	})
+	// Latency dominated by the 2x batch delay (~2ms quantization each way).
+	if res.Latency.Quantile(0.5) < 1e6 {
+		t.Fatalf("mTCP median latency %.0fns should reflect batching", res.Latency.Quantile(0.5))
+	}
+	if res.Throughput == 0 {
+		t.Fatal("no throughput")
+	}
+	// Closed loop with batching: throughput limited by latency, not CPU.
+	lin := closedLoop(t, cpumodel.StackLinux, 6, 0, 1024, 50*sim.Millisecond)
+	_ = lin
+}
+
+func TestSerialResourceLimitsThroughput(t *testing.T) {
+	// A hot-key critical section caps throughput regardless of cores
+	// (Table 7's non-scalable workload).
+	run := func(serialCycles float64) float64 {
+		eng := sim.New(4)
+		srv := NewServer(eng, ServerConfig{Kind: cpumodel.StackTASLL, AppCores: 4, StackCores: 4, Conns: 256})
+		lock := cpumodel.NewCore(eng, 2.1)
+		res := RunClosedLoop(eng, srv, ClosedLoopConfig{
+			Conns: 256, NetRTT: 20 * sim.Microsecond,
+			Work: func(uint32) AppWork {
+				return AppWork{Serial: lock, SerialCycles: serialCycles}
+			},
+			Duration: 30 * sim.Millisecond, Warmup: 5 * sim.Millisecond,
+		})
+		return res.Throughput
+	}
+	free := run(0)
+	locked := run(800) // 800-cycle critical section -> ~2.6 mOps cap
+	if locked >= free {
+		t.Fatalf("critical section should reduce throughput: %.0f vs %.0f", locked, free)
+	}
+	cap800 := 2.1e9 / 800
+	if locked > cap800*1.05 {
+		t.Fatalf("throughput %.0f exceeds serial cap %.0f", locked, cap800)
+	}
+	if locked < cap800*0.5 {
+		t.Fatalf("throughput %.0f far below serial cap %.0f — lock model broken", locked, cap800)
+	}
+}
+
+func TestWorkloadProportionalScaling(t *testing.T) {
+	// Load steps up: monitor must add cores; load steps down: remove.
+	eng := sim.New(5)
+	srv := NewServer(eng, ServerConfig{Kind: cpumodel.StackTAS, AppCores: 4, StackCores: 8, Conns: 512})
+	srv.SetActiveFP(1)
+	var coreHist []int
+	srv.Monitor(sim.Millisecond, 0.2, 1.25, func(n int) { coreHist = append(coreHist, n) })
+
+	// Heavy closed loop for 100ms.
+	stop := false
+	var issue func(conn uint32)
+	issue = func(conn uint32) {
+		srv.Request(conn, AppWork{}, func(sim.Time) {
+			if !stop {
+				eng.After(5*sim.Microsecond, func() { issue(conn) })
+			}
+		})
+	}
+	for c := 0; c < 256; c++ {
+		issue(uint32(c))
+	}
+	eng.RunUntil(100 * sim.Millisecond)
+	grown := srv.ActiveFP()
+	if grown < 2 {
+		t.Fatalf("under load, FP cores should grow: %d", grown)
+	}
+	// Stop load: cores must shrink back.
+	stop = true
+	eng.RunUntil(300 * sim.Millisecond)
+	if srv.ActiveFP() != 1 {
+		t.Fatalf("after load stops, FP cores should shrink to 1, got %d", srv.ActiveFP())
+	}
+	if len(coreHist) < 2 {
+		t.Fatal("monitor never adjusted cores")
+	}
+}
+
+func TestSetActiveFPBounds(t *testing.T) {
+	eng := sim.New(6)
+	srv := NewServer(eng, ServerConfig{Kind: cpumodel.StackTAS, AppCores: 1, StackCores: 4, Conns: 16})
+	srv.SetActiveFP(0)
+	if srv.ActiveFP() != 1 {
+		t.Fatal("clamped to 1")
+	}
+	srv.SetActiveFP(100)
+	if srv.ActiveFP() != 4 {
+		t.Fatal("clamped to max")
+	}
+	// Linux server: no FP cores; SetActiveFP is a no-op.
+	lin := NewServer(eng, ServerConfig{Kind: cpumodel.StackLinux, AppCores: 2, Conns: 16})
+	lin.SetActiveFP(3)
+	if lin.ActiveFP() != 0 {
+		t.Fatal("Linux has no FP cores")
+	}
+}
+
+func TestColdCoreLatencyBlip(t *testing.T) {
+	// Right after a scale-up, requests on the new core are slower.
+	eng := sim.New(7)
+	srv := NewServer(eng, ServerConfig{Kind: cpumodel.StackTAS, AppCores: 2, StackCores: 2, Conns: 16})
+	srv.SetActiveFP(1)
+	var warm, cold sim.Time
+	srv.Request(1, AppWork{}, func(l sim.Time) { warm = l })
+	eng.Run()
+	srv.SetActiveFP(2)
+	srv.Request(1, AppWork{}, func(l sim.Time) { cold = l }) // conn 1 now maps to core 1 (new, cold+blocked)
+	eng.Run()
+	if cold <= warm {
+		t.Fatalf("request on cold new core should be slower: warm=%d cold=%d", warm, cold)
+	}
+}
+
+func TestClosedLoopLatencyIncludesRTT(t *testing.T) {
+	eng := sim.New(8)
+	srv := NewServer(eng, ServerConfig{Kind: cpumodel.StackIX, AppCores: 1, Conns: 1})
+	res := RunClosedLoop(eng, srv, ClosedLoopConfig{
+		Conns: 1, NetRTT: 100 * sim.Microsecond,
+		Duration: 20 * sim.Millisecond, Warmup: sim.Millisecond,
+	})
+	if res.Latency.Min() < 100_000 {
+		t.Fatalf("latency %.0f must include the 100us RTT", res.Latency.Min())
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests measured")
+	}
+}

@@ -1,0 +1,175 @@
+package baseline
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ClientModel adds the client-side contribution to end-to-end latency:
+// the paper measures latency from the client, so the client stack's
+// per-request cycles (on unloaded client cores) appear as fixed delay.
+type ClientModel struct {
+	CyclesPerReq float64
+	CyclesPerNs  float64
+}
+
+// Latency returns the client-side processing delay.
+func (c ClientModel) Latency() sim.Time {
+	if c.CyclesPerNs <= 0 {
+		return sim.Time(c.CyclesPerReq / 2.2) // 2.2 GHz client machines
+	}
+	return sim.Time(c.CyclesPerReq / c.CyclesPerNs)
+}
+
+// ClosedLoopConfig drives a server with a fixed number of connections,
+// each keeping exactly one request in flight (the paper's RPC echo and
+// key-value benchmarks).
+type ClosedLoopConfig struct {
+	Conns    int
+	NetRTT   sim.Time    // network round trip (both directions total)
+	Client   ClientModel // client-side processing
+	Work     func(conn uint32) AppWork
+	Duration sim.Time // measurement window
+	Warmup   sim.Time // excluded from stats
+	// Pipeline is the number of outstanding requests per connection
+	// (default 1; >1 models pipelined RPC, §5.1).
+	Pipeline int
+}
+
+// LoadResult reports a load generation run.
+type LoadResult struct {
+	Requests   uint64
+	Duration   sim.Time
+	Latency    *stats.Histogram // end-to-end latency, ns
+	Throughput float64          // requests/s over the measured window
+
+	// CyclesPerReq is the measured CPU cost: busy cycles accumulated
+	// across all server cores during the window, divided by requests
+	// completed in the window (the hardware-counter methodology of
+	// §2.2). Zero when no requests completed.
+	CyclesPerReq float64
+}
+
+// MOps returns throughput in million operations per second.
+func (r LoadResult) MOps() float64 { return r.Throughput / 1e6 }
+
+// RunClosedLoop drives the server and returns measured throughput and
+// latency over the window after warmup.
+func RunClosedLoop(eng *sim.Engine, srv *Server, cfg ClosedLoopConfig) LoadResult {
+	if cfg.Work == nil {
+		cfg.Work = func(uint32) AppWork { return AppWork{} }
+	}
+	hist := stats.NewLatencyHistogram()
+	var measured uint64
+	measStart := eng.Now() + cfg.Warmup
+	measEnd := measStart + cfg.Duration
+
+	var busyAtStart, servedAtStart float64
+	eng.At(measStart, func() {
+		for _, c := range srv.AllCores() {
+			busyAtStart += c.TotalCycles
+		}
+		servedAtStart = float64(measured)
+	})
+
+	var issue func(conn uint32)
+	issue = func(conn uint32) {
+		sent := eng.Now()
+		// Half RTT to reach the server.
+		eng.After(cfg.NetRTT/2, func() {
+			srv.Request(conn, cfg.Work(conn), func(sim.Time) {
+				// Half RTT back plus client processing.
+				eng.After(cfg.NetRTT/2+cfg.Client.Latency(), func() {
+					now := eng.Now()
+					if now >= measStart && now < measEnd {
+						measured++
+						hist.Add(float64(now - sent))
+					}
+					if now < measEnd {
+						issue(conn)
+					}
+				})
+			})
+		})
+	}
+	pipe := cfg.Pipeline
+	if pipe < 1 {
+		pipe = 1
+	}
+	for c := 0; c < cfg.Conns; c++ {
+		conn := uint32(c)
+		for p := 0; p < pipe; p++ {
+			// Stagger starts across one RTT to avoid a thundering herd.
+			eng.After(sim.Time(int64(cfg.NetRTT)*int64(c*pipe+p)/int64(cfg.Conns*pipe+1)), func() { issue(conn) })
+		}
+	}
+	eng.RunUntil(measEnd)
+	var busyEnd float64
+	for _, c := range srv.AllCores() {
+		busyEnd += c.TotalCycles
+	}
+	res := LoadResult{
+		Requests: measured, Duration: cfg.Duration, Latency: hist,
+		Throughput: float64(measured) / (float64(cfg.Duration) / 1e9),
+	}
+	if served := float64(measured) - servedAtStart; served > 0 {
+		res.CyclesPerReq = (busyEnd - busyAtStart) / served
+	}
+	return res
+}
+
+// OpenLoopConfig drives the server with Poisson arrivals at a fixed
+// rate, for latency-versus-load experiments (Figure 9 runs at 15% of
+// capacity).
+type OpenLoopConfig struct {
+	RatePerSec float64
+	Conns      int
+	NetRTT     sim.Time
+	Client     ClientModel
+	Work       func(conn uint32) AppWork
+	Duration   sim.Time
+	Warmup     sim.Time
+}
+
+// RunOpenLoop generates Poisson load and returns the latency
+// distribution.
+func RunOpenLoop(eng *sim.Engine, srv *Server, cfg OpenLoopConfig) LoadResult {
+	if cfg.Work == nil {
+		cfg.Work = func(uint32) AppWork { return AppWork{} }
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	hist := stats.NewLatencyHistogram()
+	var measured uint64
+	measStart := eng.Now() + cfg.Warmup
+	measEnd := measStart + cfg.Duration
+	gap := stats.NewExp(eng.Rand(), 1e9/cfg.RatePerSec)
+
+	var arrive func()
+	arrive = func() {
+		if eng.Now() >= measEnd {
+			return
+		}
+		conn := uint32(eng.Rand().Intn(cfg.Conns))
+		sent := eng.Now()
+		eng.After(cfg.NetRTT/2, func() {
+			srv.Request(conn, cfg.Work(conn), func(sim.Time) {
+				eng.After(cfg.NetRTT/2+cfg.Client.Latency(), func() {
+					now := eng.Now()
+					if now >= measStart && now < measEnd {
+						measured++
+						hist.Add(float64(now - sent))
+					}
+				})
+			})
+		})
+		eng.After(sim.Time(gap.Draw()), arrive)
+	}
+	eng.After(0, arrive)
+	eng.RunUntil(measEnd + 10*sim.Millisecond) // drain tail
+	return LoadResult{
+		Requests: measured, Duration: cfg.Duration, Latency: hist,
+		Throughput: float64(measured) / (float64(cfg.Duration) / 1e9),
+	}
+}

@@ -1,0 +1,152 @@
+// Package bench contains one driver per table and figure of the paper's
+// evaluation (§2.2, §5). Each driver regenerates the corresponding
+// artifact — the same rows or series the paper reports — from this
+// repository's substrates: the request-level CPU-cost simulation
+// (baseline + cpumodel), the packet-level transport simulation
+// (transport + netsim), and the live fast path where applicable.
+//
+// Absolute numbers come from a simulator, not the authors' testbed; the
+// shapes (who wins, by what factor, where curves bend) are the
+// reproduction targets. EXPERIMENTS.md records paper-vs-measured for
+// every driver.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunConfig parameterizes a driver run.
+type RunConfig struct {
+	Seed int64
+	// Quick shrinks durations/scales so the full suite runs on a laptop
+	// in minutes; the shapes survive, the noise grows.
+	Quick bool
+}
+
+// Result is a regenerated table or figure.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Note appends explanatory text printed under the table.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values (header + rows),
+// for plotting the figures outside Go.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Experiment is one registered driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg RunConfig) *Result
+	// Heavy experiments (paper-scale topologies) are skipped by
+	// "tasbench -run all"; invoke them by id.
+	Heavy bool
+}
+
+var registry []Experiment
+
+// register adds an experiment (called from each driver's init).
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments sorted by id.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fmtF formats a float compactly.
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

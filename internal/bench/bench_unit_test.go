@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpumodel"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must be registered.
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig12-full", "fig13", "fig14", "fig15",
+		"ablation-buffers", "ablation-steering",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d experiments, want >= %d", len(All()), len(want))
+	}
+}
+
+func TestAllSortedAndUnique(t *testing.T) {
+	all := All()
+	seen := map[string]bool{}
+	for i, e := range all {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if i > 0 && all[i-1].ID > e.ID {
+			t.Error("All() not sorted")
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id should not resolve")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Header: []string{"A", "BB"}}
+	r.AddRow("1", "2")
+	r.AddRow("333", "4")
+	r.Note("hello %d", 7)
+	s := r.String()
+	for _, want := range []string{"=== x: t ===", "A", "BB", "333", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Columns aligned: header line and row line have same prefix width.
+	lines := strings.Split(s, "\n")
+	if len(lines) < 5 {
+		t.Fatal("too few lines")
+	}
+}
+
+func TestTable6SplitMatchesPaper(t *testing.T) {
+	cases := map[int][2]int{2: {1, 1}, 4: {2, 2}, 8: {5, 3}, 12: {7, 5}, 16: {9, 7}}
+	for total, want := range cases {
+		app, tas := table6Split(total, false)
+		if app != want[0] || tas != want[1] {
+			t.Errorf("split(%d) = %d/%d, want %d/%d", total, app, tas, want[0], want[1])
+		}
+		if app+tas != total {
+			t.Errorf("split(%d) doesn't sum", total)
+		}
+		la, lt := table6Split(total, true)
+		if la+lt != total || la < 1 || lt < 1 {
+			t.Errorf("lowlevel split(%d) = %d/%d", total, la, lt)
+		}
+	}
+	// Off-table totals still valid.
+	a, s := table6Split(6, false)
+	if a+s != 6 || a < 1 || s < 1 {
+		t.Errorf("split(6) = %d/%d", a, s)
+	}
+}
+
+func TestFig6CostsShape(t *testing.T) {
+	// Per-message cost must grow with size and Linux must exceed TAS.
+	for _, dir := range []string{"RX", "TX"} {
+		tas32 := fig6Costs(cpumodel.StackTAS, dir, 32)
+		tas2k := fig6Costs(cpumodel.StackTAS, dir, 2048)
+		if tas2k.StackCycles() <= tas32.StackCycles() {
+			t.Errorf("%s: larger messages must cost more", dir)
+		}
+	}
+	lin := fig6Costs(cpumodel.StackLinux, "RX", 64)
+	tas := fig6Costs(cpumodel.StackTAS, "RX", 64)
+	if lin.StackCycles() <= tas.StackCycles() {
+		t.Error("Linux per-message cost must exceed TAS")
+	}
+}
+
+func TestCcKindString(t *testing.T) {
+	if ccTCP.String() != "TCP" || ccDCTCP.String() != "DCTCP" || ccTAS.String() != "TAS" {
+		t.Fatal("names")
+	}
+}
+
+func TestResultCSV(t *testing.T) {
+	r := &Result{ID: "x", Header: []string{"A", "B"}}
+	r.AddRow("1", `va"l,ue`)
+	got := r.CSV()
+	want := "A,B\n1,\"va\"\"l,ue\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/congestion"
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+func init() {
+	register(Experiment{ID: "fig11", Title: "Single 10G link: FCT and queue vs control interval", Run: runFig11})
+	register(Experiment{ID: "fig12", Title: "Large-cluster FCT CDFs (FatTree)", Run: runFig12})
+	register(Experiment{ID: "fig13", Title: "Incast fairness: per-connection throughput distribution", Run: runFig13})
+}
+
+// ccKind selects the transport flavor for the congestion experiments.
+type ccKind int
+
+const (
+	ccTCP   ccKind = iota // NewReno window
+	ccDCTCP               // DCTCP window
+	ccTAS                 // rate-based DCTCP with control interval tau
+)
+
+func (k ccKind) String() string {
+	switch k {
+	case ccTCP:
+		return "TCP"
+	case ccDCTCP:
+		return "DCTCP"
+	case ccTAS:
+		return "TAS"
+	}
+	return "?"
+}
+
+func senderConfigFor(k ccKind, tau sim.Time, size uint64, done func(sim.Time)) transport.SenderConfig {
+	cfg := transport.SenderConfig{Size: size, OnComplete: done}
+	switch k {
+	case ccTCP:
+		cfg.Window = congestion.NewNewReno(1448, 1<<20)
+	case ccDCTCP:
+		cfg.Window = congestion.NewWindowDCTCP(1448, 1<<20)
+	case ccTAS:
+		c := congestion.DefaultConfig(10e9)
+		// Start with the rate-equivalent of a 10-segment initial window
+		// over the 100us RTT, for a fair comparison with the window
+		// stacks' IW10, and slow-start per RTT (§4.1).
+		c.InitRate = 145e6
+		c.IntervalNs = int64(tau)
+		cfg.Rate = congestion.NewRateDCTCP(c)
+		cfg.ControlInterval = tau
+		// Rate-based transmission is not ack-clocked: bound the
+		// uncommitted inflight at roughly the 10G x 100us BDP so bursts
+		// cannot exceed switch buffers by orders of magnitude.
+		cfg.MaxInflight = 128 << 10
+	}
+	return cfg
+}
+
+// fig11Run simulates Pareto flows on one 10G link at 75% load and
+// returns (mean FCT ms, avg bottleneck queue pkts).
+func fig11Run(seed int64, kind ccKind, tau sim.Time, dur sim.Time) (fctMs, avgQ float64) {
+	eng := sim.New(seed)
+	a := netsim.NewHost(eng, protocol.MakeIPv4(10, 0, 0, 1))
+	b := netsim.NewHost(eng, protocol.MakeIPv4(10, 0, 0, 2))
+	// RTT 100us: 50us propagation each way.
+	cfgA := netsim.PortConfig{RateBps: 10e9, PropDelay: 50 * sim.Microsecond, QueueCap: 400, ECNThreshold: 65}
+	aPort := netsim.NewPort(eng, cfgA, b)
+	a.AttachUplink(aPort)
+	b.AttachUplink(netsim.NewPort(eng, cfgA, a))
+	ea, eb := transport.NewEndpoint(a), transport.NewEndpoint(b)
+	eb.AcceptAll(transport.ReceiverConfig{Mode: transport.RecoveryOneInterval})
+
+	sizes := stats.NewPareto(eng.Rand(), 1.3, 2000, 2e6)
+	meanSize := sizes.Mean()
+	loadBps := 0.75 * 10e9 / 8
+	arr := stats.NewExp(eng.Rand(), meanSize/loadBps*1e9) // ns between flows
+
+	fcts := stats.NewCDF()
+	port := uint16(10000)
+	var launch func()
+	launch = func() {
+		if eng.Now() >= dur {
+			return
+		}
+		size := uint64(sizes.Draw())
+		p := port
+		port++
+		if port < 10000 {
+			port = 10000
+		}
+		key := protocol.FlowKey{LocalIP: a.IP, LocalPort: p, RemoteIP: b.IP, RemotePort: 9000}
+		s := transport.NewSender(ea, key, senderConfigFor(kind, tau, size, func(fct sim.Time) {
+			fcts.Add(float64(fct) / 1e6)
+		}))
+		s.Start()
+		eng.After(sim.Time(arr.Draw()), launch)
+	}
+	eng.After(0, launch)
+	eng.RunUntil(dur + 20*sim.Millisecond) // drain
+	return fcts.Mean(), aPort.AvgQueueLen()
+}
+
+func runFig11(cfg RunConfig) *Result {
+	dur := 300 * sim.Millisecond
+	if cfg.Quick {
+		dur = 80 * sim.Millisecond
+	}
+	r := &Result{
+		ID: "fig11", Title: "Single 10G link, 75% load, Pareto flows: avg FCT / avg queue vs tau",
+		Header: []string{"tau (us)", "TCP FCT(ms)", "DCTCP FCT(ms)", "TAS FCT(ms)", "TCP Q", "DCTCP Q", "TAS Q"},
+	}
+	// Window baselines don't depend on tau: run once.
+	tcpF, tcpQ := fig11Run(cfg.Seed, ccTCP, 0, dur)
+	dctF, dctQ := fig11Run(cfg.Seed, ccDCTCP, 0, dur)
+	taus := []sim.Time{25, 50, 100, 200, 400, 800, 1000}
+	for _, tu := range taus {
+		tau := tu * sim.Microsecond
+		tasF, tasQ := fig11Run(cfg.Seed, ccTAS, tau, dur)
+		r.AddRow(fmt.Sprint(tu), fmtF(tcpF, 2), fmtF(dctF, 2), fmtF(tasF, 2),
+			fmtF(tcpQ, 1), fmtF(dctQ, 1), fmtF(tasQ, 1))
+	}
+	r.Note("paper: TAS FCT ~ DCTCP for tau >= RTT (100us); too-small tau slows convergence; queue grows slowly with tau")
+	return r
+}
+
+// runFig12: FatTree on-off traffic, FCT CDFs for short and long flows.
+// The default tree is scaled down from the paper's 2560 hosts so the
+// full suite stays laptop-sized; FullFig12 runs the paper-size topology.
+func runFig12(cfg RunConfig) *Result {
+	ftCfg := netsim.FatTreeConfig{
+		Pods: 4, TorsPerPod: 2, ServersPerTor: 8, AggsPerPod: 2, Cores: 4,
+		HostRateBps: 10e9, TorUpBps: 20e9, AggUpBps: 20e9,
+		PropDelay: 5 * sim.Microsecond, QueueCap: 250, ECNThreshold: 65,
+	}
+	dur := 150 * sim.Millisecond
+	if cfg.Quick {
+		dur = 50 * sim.Millisecond
+	}
+	return fig12Sized(cfg, ftCfg, dur)
+}
+
+func fig12Sized(cfg RunConfig, ftCfg netsim.FatTreeConfig, dur sim.Time) *Result {
+	// At 1:4 edge oversubscription (paper config) the small tree still
+	// exercises cross-pod contention.
+	r := &Result{
+		ID: "fig12", Title: fmt.Sprintf("FatTree (%d hosts) on-off traffic: FCT percentiles (ms)", ftCfg.Pods*ftCfg.TorsPerPod*ftCfg.ServersPerTor),
+		Header: []string{"Flows", "Stack", "p50", "p90", "p99"},
+	}
+	run := func(kind ccKind) (short, long *stats.CDF) {
+		eng := sim.New(cfg.Seed)
+		ft := netsim.NewFatTree(eng, ftCfg)
+		eps := make([]*transport.Endpoint, len(ft.Hosts))
+		for i, h := range ft.Hosts {
+			eps[i] = transport.NewEndpoint(h)
+			eps[i].AcceptAll(transport.ReceiverConfig{Mode: transport.RecoveryOneInterval})
+		}
+		short, long = stats.NewCDF(), stats.NewCDF()
+		sizes := stats.NewPareto(eng.Rand(), 1.3, 2000, 1e6)
+		// 30% average load on host links via on-off flow launches.
+		meanSize := sizes.Mean()
+		perHostBps := 0.30 * 10e9 / 8
+		gap := stats.NewExp(eng.Rand(), meanSize/perHostBps*1e9)
+		const shortCut = 50 * 1448
+		port := uint16(10000)
+		var launchFrom func(src int)
+		launchFrom = func(src int) {
+			if eng.Now() >= dur {
+				return
+			}
+			dst := src
+			for dst == src {
+				dst = eng.Rand().Intn(len(ft.Hosts))
+			}
+			size := uint64(sizes.Draw())
+			p := port
+			port++
+			if port < 10000 {
+				port = 10000
+			}
+			key := protocol.FlowKey{LocalIP: ft.Hosts[src].IP, LocalPort: p, RemoteIP: ft.Hosts[dst].IP, RemotePort: 9000}
+			s := transport.NewSender(eps[src], key, senderConfigFor(kind, 100*sim.Microsecond, size, func(fct sim.Time) {
+				if size <= shortCut {
+					short.Add(float64(fct) / 1e6)
+				} else {
+					long.Add(float64(fct) / 1e6)
+				}
+			}))
+			s.Start()
+			eng.After(sim.Time(gap.Draw()), func() { launchFrom(src) })
+		}
+		for i := range ft.Hosts {
+			i := i
+			eng.After(sim.Time(gap.Draw()), func() { launchFrom(i) })
+		}
+		eng.RunUntil(dur + 30*sim.Millisecond)
+		return short, long
+	}
+	for _, kind := range []ccKind{ccTCP, ccDCTCP, ccTAS} {
+		short, long := run(kind)
+		r.AddRow("short (<=50 pkt)", kind.String(),
+			fmtF(short.Quantile(0.5), 2), fmtF(short.Quantile(0.9), 2), fmtF(short.Quantile(0.99), 2))
+		r.AddRow("long (>50 pkt)", kind.String(),
+			fmtF(long.Quantile(0.5), 2), fmtF(long.Quantile(0.9), 2), fmtF(long.Quantile(0.99), 2))
+	}
+	r.Note("paper (2560-host tree, tau=100us): TAS ~ DCTCP for both classes")
+	r.Note("run the paper-size 2560-host tree via tasbench -run fig12-full (minutes of CPU)")
+	return r
+}
+
+// runFig13: incast fairness.
+func runFig13(cfg RunConfig) *Result {
+	dur := 900 * sim.Millisecond
+	warm := 300 * sim.Millisecond
+	if cfg.Quick {
+		dur = 600 * sim.Millisecond
+		warm = 200 * sim.Millisecond
+	}
+	binW := 100 * sim.Millisecond
+	r := &Result{
+		ID: "fig13", Title: "Incast: per-connection 100ms throughput (MB per 100ms)",
+		Header: []string{"Conns", "Fair share", "Linux p50", "Linux p1", "TAS p50", "TAS p99/p50", "Linux starved%"},
+	}
+	run := func(kind ccKind, conns int) *stats.CDF {
+		eng := sim.New(cfg.Seed)
+		hosts := []*netsim.Host{}
+		for i := 0; i < 5; i++ {
+			hosts = append(hosts, netsim.NewHost(eng, protocol.MakeIPv4(10, 0, 1, byte(i+1))))
+		}
+		pc := netsim.PortConfig{RateBps: 10e9, PropDelay: 10 * sim.Microsecond, QueueCap: 2000, ECNThreshold: 65}
+		netsim.NewStar(eng, hosts, pc, pc)
+		sink := transport.NewEndpoint(hosts[4])
+		mode := transport.RecoveryOneInterval
+		if kind != ccTAS {
+			mode = transport.RecoverySelective
+		}
+		sink.AcceptAll(transport.ReceiverConfig{Mode: mode})
+		eps := []*transport.Endpoint{
+			transport.NewEndpoint(hosts[0]), transport.NewEndpoint(hosts[1]),
+			transport.NewEndpoint(hosts[2]), transport.NewEndpoint(hosts[3]),
+		}
+		var senders []*transport.Sender
+		for i := 0; i < conns; i++ {
+			src := i % 4
+			key := protocol.FlowKey{LocalIP: hosts[src].IP, LocalPort: uint16(10000 + i/4), RemoteIP: hosts[4].IP, RemotePort: 9000}
+			scfg := senderConfigFor(kind, 200*sim.Microsecond, 0, nil)
+			scfg.MaxInflight = 256 << 10
+			scfg.AdaptiveInterval = true // tau = 2x measured RTT (paper default)
+			if kind == ccTAS {
+				// TAS retransmission timeouts come from the slow path's
+				// control loop: milliseconds, not Linux's 200ms floor.
+				scfg.MaxRTO = 20 * sim.Millisecond
+			} else {
+				// Linux RTO: 200ms minimum, 1s initial — the reason
+				// RTO-hit incast flows starve whole 100ms bins.
+				scfg.MinRTO = 200 * sim.Millisecond
+				scfg.MaxRTO = sim.Second
+			}
+			if kind == ccTAS {
+				// Long-running incast flows: start near the eventual
+				// fair share instead of the fresh-flow burst rate.
+				c := congestion.DefaultConfig(10e9)
+				c.InitRate = 2e6
+				c.IntervalNs = int64(200 * sim.Microsecond)
+				scfg.Rate = congestion.NewRateDCTCP(c)
+			}
+			s := transport.NewSender(eps[src], key, scfg)
+			// Stagger connection establishment over 100ms.
+			eng.At(sim.Time(i)*100*sim.Millisecond/sim.Time(conns), s.Start)
+			senders = append(senders, s)
+		}
+		// Sample per-conn bytes every 100ms after warmup.
+		bins := stats.NewCDF()
+		last := make([]uint64, len(senders))
+		for t := warm; t <= dur; t += binW {
+			eng.RunUntil(t)
+			for i, s := range senders {
+				cur := s.AckedBytes()
+				if t > warm {
+					bins.Add(float64(cur-last[i]) / 1e6)
+				}
+				last[i] = cur
+			}
+		}
+		return bins
+	}
+	for _, conns := range []int{50, 100, 200, 500, 1000} {
+		fair := 10e9 / 8 * 0.1 / float64(conns) / 1e6 // MB per 100ms per conn
+		lin := run(ccDCTCP, conns)                    // Linux with DCTCP (paper's baseline)
+		tas := run(ccTAS, conns)
+		starved := 0
+		for _, p := range lin.Points(0) {
+			if p[0] < fair/10 {
+				starved++
+			}
+		}
+		starvedPct := 100 * float64(starved) / float64(lin.Count())
+		ratio := 0.0
+		if tas.Quantile(0.5) > 0 {
+			ratio = tas.Quantile(0.99) / tas.Quantile(0.5)
+		}
+		r.AddRow(fmt.Sprint(conns), fmtF(fair, 3),
+			fmtF(lin.Quantile(0.5), 3), fmtF(lin.Quantile(0.01), 4),
+			fmtF(tas.Quantile(0.5), 3), fmtF(ratio, 2), fmtF(starvedPct, 1))
+	}
+	r.Note("paper: TAS tail within 1.6-2.8x of median, median near fair share; Linux fluctuates widely with starved flows")
+	return r
+}
+
+func init() {
+	register(Experiment{ID: "fig12-full", Title: "Large-cluster FCT CDFs, paper-size 2560-host FatTree", Run: runFig12Full, Heavy: true})
+}
+
+// runFig12Full uses the paper's §5.5 topology: 2560 servers, 112
+// switches, 1:4 oversubscription. Minutes of CPU.
+func runFig12Full(cfg RunConfig) *Result {
+	dur := 20 * sim.Millisecond
+	if cfg.Quick {
+		dur = 6 * sim.Millisecond
+	}
+	res := fig12Sized(cfg, netsim.PaperFatTree(), dur)
+	res.ID = "fig12-full"
+	return res
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cpumodel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "fig10", Title: "FlexStorm throughput (raw and per-core)", Run: runFig10})
+	register(Experiment{ID: "table8", Title: "FlexStorm tuple processing time breakdown", Run: runTable8})
+}
+
+// flexConfig models one FlexStorm deployment on a stack: each node has a
+// demultiplexer thread, two executor threads, and a multiplexer thread
+// that batches outgoing tuples (the deployment of §5.4: 3 nodes, workers
+// evenly distributed).
+type flexConfig struct {
+	kind cpumodel.StackKind
+
+	// Per-tuple costs (cycles).
+	demuxCycles float64 // demux thread: stack rx + routing
+	execCycles  float64 // executor processing (paper: ~0.35us = ~750c)
+	muxCycles   float64 // mux thread: batching bookkeeping + stack tx
+
+	// Mux emission batching (application-level for Linux deployment;
+	// stack-level for mTCP).
+	batchFlush sim.Time
+	// Stack-side input batching (mTCP collects packets into large
+	// batches before delivering to the app).
+	inputBatch sim.Time
+}
+
+func flexConfigFor(kind cpumodel.StackKind) flexConfig {
+	costs := cpumodel.CostsFor(kind)
+	// Tuples are small (~100B): ~14 tuples share an MSS, so per-packet
+	// protocol costs amortize; per-tuple socket/queue work does not.
+	const tuplesPerPkt = 14
+	proto := (costs.Driver + costs.IP + costs.TCP + costs.Other) / tuplesPerPkt
+	switch kind {
+	case cpumodel.StackLinux:
+		return flexConfig{
+			kind:        kind,
+			demuxCycles: proto/2 + 1500, // syscall-grade per-tuple receive
+			execCycles:  780,
+			muxCycles:   proto/2 + 900, // batched sends amortize syscalls
+			batchFlush:  10 * sim.Millisecond,
+		}
+	case cpumodel.StackMTCP:
+		return flexConfig{
+			kind:        kind,
+			demuxCycles: proto/2 + 500,
+			execCycles:  700,
+			muxCycles:   proto/2 + 450,
+			batchFlush:  7 * sim.Millisecond, // app batching retained
+			inputBatch:  2 * sim.Millisecond, // mTCP's own large rx batches
+		}
+	default: // TAS
+		return flexConfig{
+			kind:        kind,
+			demuxCycles: proto/2 + 300,
+			execCycles:  760,
+			muxCycles:   proto/2 + 250,
+			batchFlush:  4 * sim.Millisecond, // FlexStorm's own emission queue
+		}
+	}
+}
+
+// flexResult is one deployment's measurement.
+type flexResult struct {
+	rawMTuples float64 // aggregate tuples/s across the deployment, millions
+	perCore    float64
+	inQueueUs  float64
+	processUs  float64
+	outQueueMs float64
+	totalMs    float64
+}
+
+// runFlex simulates one node at its saturation throughput and scales to
+// the 3-node deployment (nodes are symmetric).
+func runFlex(cfg RunConfig, fc flexConfig) flexResult {
+	eng := sim.New(cfg.Seed)
+	demux := cpumodel.NewCore(eng, 2.1)
+	exec1 := cpumodel.NewCore(eng, 2.1)
+	exec2 := cpumodel.NewCore(eng, 2.1)
+	mux := cpumodel.NewCore(eng, 2.1)
+
+	// Offered load: slightly above the per-node bottleneck capacity so
+	// the node saturates; measured throughput is the service rate.
+	bottleneck := fc.demuxCycles
+	if fc.execCycles/2 > bottleneck {
+		bottleneck = fc.execCycles / 2
+	}
+	if fc.muxCycles > bottleneck {
+		bottleneck = fc.muxCycles
+	}
+	capacity := 2.1e9 / bottleneck
+	offered := capacity * 0.98 // just below saturation: finite queues
+
+	dur := 400 * sim.Millisecond
+	warm := 100 * sim.Millisecond
+	if cfg.Quick {
+		dur, warm = 150*sim.Millisecond, 50*sim.Millisecond
+	}
+	gap := stats.NewExp(eng.Rand(), 1e9/offered)
+
+	var served uint64
+	inQ := &stats.Running{}
+	outQ := &stats.Running{}
+	measStart := warm
+	measEnd := warm + dur
+
+	// mux batching: tuples emitted at flush boundaries.
+	nextFlush := func(now sim.Time, d sim.Time) sim.Time {
+		if d <= 0 {
+			return now
+		}
+		return (now/d + 1) * d
+	}
+
+	var arrive func()
+	i := 0
+	arrive = func() {
+		if eng.Now() >= measEnd {
+			return
+		}
+		i++
+		ex := exec1
+		if i%2 == 0 {
+			ex = exec2
+		}
+		// Input batching (mTCP): delivery quantized before demux.
+		deliverAt := nextFlush(eng.Now(), fc.inputBatch)
+		arrivalTime := eng.Now()
+		eng.At(deliverAt, func() {
+			demux.Exec(fc.demuxCycles, func() {
+				execStart := eng.Now()
+				inQ.Add(float64(execStart - arrivalTime))
+				ex.Exec(fc.execCycles, func() {
+					// Tuple waits in the mux batch, then pays mux cycles.
+					flushAt := nextFlush(eng.Now(), fc.batchFlush)
+					enq := eng.Now()
+					eng.At(flushAt, func() {
+						mux.Exec(fc.muxCycles, func() {
+							outQ.Add(float64(eng.Now() - enq))
+							if eng.Now() >= measStart && eng.Now() < measEnd {
+								served++
+							}
+						})
+					})
+				})
+			})
+		})
+		eng.After(sim.Time(gap.Draw()), arrive)
+	}
+	eng.After(0, arrive)
+	eng.RunUntil(measEnd + 50*sim.Millisecond)
+
+	perNode := float64(served) / (float64(dur) / 1e9)
+	const nodes = 3
+	const coresPerNode = 4 // demux + 2 executors + mux
+	return flexResult{
+		rawMTuples: perNode * nodes / 1e6,
+		perCore:    perNode * nodes / (nodes * coresPerNode) / 1e6,
+		inQueueUs:  inQ.Mean() / 1e3,
+		processUs:  fc.execCycles / 2.1 / 1e3,
+		outQueueMs: outQ.Mean() / 1e6,
+		totalMs:    (inQ.Mean() + fc.execCycles/2.1 + outQ.Mean()) / 1e6,
+	}
+}
+
+func flexAll(cfg RunConfig) map[cpumodel.StackKind]flexResult {
+	out := make(map[cpumodel.StackKind]flexResult)
+	for _, k := range []cpumodel.StackKind{cpumodel.StackLinux, cpumodel.StackMTCP, cpumodel.StackTAS} {
+		out[k] = runFlex(cfg, flexConfigFor(k))
+	}
+	return out
+}
+
+func runFig10(cfg RunConfig) *Result {
+	res := flexAll(cfg)
+	r := &Result{
+		ID: "fig10", Title: "FlexStorm average throughput (3 nodes)",
+		Header: []string{"Stack", "Raw (mtuples/s)", "Per core (mtuples/s)"},
+	}
+	for _, k := range []cpumodel.StackKind{cpumodel.StackLinux, cpumodel.StackMTCP, cpumodel.StackTAS} {
+		v := res[k]
+		r.AddRow(k.String(), fmtF(v.rawMTuples, 2), fmtF(v.perCore, 3))
+	}
+	r.Note("paper: mTCP 2.1x Linux raw (1.8x per-core, extra stack core); TAS +8%% raw / +26%% per-core vs mTCP (bottleneck: mux thread)")
+	return r
+}
+
+func runTable8(cfg RunConfig) *Result {
+	res := flexAll(cfg)
+	r := &Result{
+		ID: "table8", Title: "Average FlexStorm tuple processing time",
+		Header: []string{"Stack", "Input", "Processing", "Output", "Total"},
+	}
+	for _, k := range []cpumodel.StackKind{cpumodel.StackLinux, cpumodel.StackMTCP, cpumodel.StackTAS} {
+		v := res[k]
+		input := fmt.Sprintf("%.2f us", v.inQueueUs)
+		if v.inQueueUs > 500 {
+			input = fmt.Sprintf("%.1f ms", v.inQueueUs/1000)
+		}
+		r.AddRow(k.String(), input, fmt.Sprintf("%.2f us", v.processUs),
+			fmt.Sprintf("%.1f ms", v.outQueueMs), fmt.Sprintf("%.1f ms", v.totalMs))
+	}
+	r.Note("paper Table 8: Linux 6.96us/0.37us/20ms/20ms; mTCP 4ms/0.33us/14ms/18ms; TAS 7.47us/0.36us/8ms/8ms")
+	return r
+}

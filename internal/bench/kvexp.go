@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cpumodel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "fig8", Title: "Key-value store throughput scalability", Run: runFig8})
+	register(Experiment{ID: "table6", Title: "Core split for TAS in the KV throughput experiment", Run: runTable6})
+	register(Experiment{ID: "fig9", Title: "Key-value store latency CDF", Run: runFig9})
+	register(Experiment{ID: "table5", Title: "Key-value store latency percentiles", Run: runTable5})
+	register(Experiment{ID: "table7", Title: "Non-scalable KV workload throughput", Run: runTable7})
+}
+
+// table6Split returns the paper's Table 6 app/TAS core split for a total
+// core count, per API flavor.
+func table6Split(total int, lowlevel bool) (app, tas int) {
+	if lowlevel {
+		app = total / 2
+		tas = total - app
+		if app < 1 {
+			app = 1
+		}
+		return app, tas
+	}
+	switch total {
+	case 2:
+		return 1, 1
+	case 4:
+		return 2, 2
+	case 8:
+		return 5, 3
+	case 12:
+		return 7, 5
+	case 16:
+		return 9, 7
+	}
+	app = total * 3 / 5
+	if app < 1 {
+		app = 1
+	}
+	return app, total - app
+}
+
+// kvAppCycles is the key-value store's per-request application work
+// (hashing + lookup/update + response formatting, §5.3's 32B key / 64B
+// value workload).
+const kvAppCycles = 800
+
+func kvThroughput(cfg RunConfig, kind cpumodel.StackKind, totalCores int, dur, warm sim.Time) float64 {
+	app, stk := totalCores, 0
+	switch kind {
+	case cpumodel.StackTAS:
+		app, stk = table6Split(totalCores, false)
+	case cpumodel.StackTASLL:
+		app, stk = table6Split(totalCores, true)
+	}
+	eng := sim.New(cfg.Seed)
+	srv := baseline.NewServer(eng, baseline.ServerConfig{
+		Kind: kind, AppCores: app, StackCores: stk, Conns: 32 << 10, AppCycles: kvAppCycles,
+	})
+	res := baseline.RunClosedLoop(eng, srv, baseline.ClosedLoopConfig{
+		Conns: 32 << 10, NetRTT: 20 * sim.Microsecond,
+		Duration: dur, Warmup: warm,
+	})
+	return res.MOps()
+}
+
+func runFig8(cfg RunConfig) *Result {
+	dur, warm := 40*sim.Millisecond, 50*sim.Millisecond
+	cores := []int{2, 4, 8, 12, 16}
+	if cfg.Quick {
+		dur, warm = 15*sim.Millisecond, 30*sim.Millisecond
+		cores = []int{2, 8, 16}
+	}
+	r := &Result{
+		ID: "fig8", Title: "KV store throughput (mOps) vs total server cores (32K conns, zipf 0.9, 90/10)",
+		Header: []string{"Cores", "TAS LL", "TAS SO", "IX", "Linux"},
+	}
+	for _, c := range cores {
+		r.AddRow(fmt.Sprint(c),
+			fmtF(kvThroughput(cfg, cpumodel.StackTASLL, c, dur, warm), 2),
+			fmtF(kvThroughput(cfg, cpumodel.StackTAS, c, dur, warm), 2),
+			fmtF(kvThroughput(cfg, cpumodel.StackIX, c, dur, warm), 2),
+			fmtF(kvThroughput(cfg, cpumodel.StackLinux, c, dur, warm), 2))
+	}
+	r.Note("paper: TAS LL up to 9.6x Linux and 1.9x IX; TAS SO 7.0x Linux and 1.3x IX")
+	return r
+}
+
+func runTable6(cfg RunConfig) *Result {
+	r := &Result{
+		ID: "table6", Title: "Core split for TAS in the KV throughput experiment",
+		Header: []string{"Total Cores", "Sockets App", "Sockets TAS", "Lowlevel App", "Lowlevel TAS"},
+	}
+	for _, total := range []int{2, 4, 8, 12, 16} {
+		sa, st := table6Split(total, false)
+		la, lt := table6Split(total, true)
+		r.AddRow(fmt.Sprint(total), fmt.Sprint(sa), fmt.Sprint(st), fmt.Sprint(la), fmt.Sprint(lt))
+	}
+	r.Note("paper Table 6: sockets app/TAS = 1/1 2/2 5/3 7/5 9/7; lowlevel = even split")
+	return r
+}
+
+// fig9Combo runs the latency experiment for one server/client stack
+// pair: single app core, 15% utilization, open loop.
+func fig9Combo(cfg RunConfig, server, client cpumodel.StackKind, dur, warm sim.Time) *stats.Histogram {
+	eng := sim.New(cfg.Seed)
+	app, stk := 1, 0
+	if server == cpumodel.StackTAS || server == cpumodel.StackTASLL {
+		stk = 1
+	}
+	srv := baseline.NewServer(eng, baseline.ServerConfig{
+		Kind: server, AppCores: app, StackCores: stk, Conns: 256, AppCycles: kvAppCycles,
+	})
+	// Client-side stack contribution: its per-request cycles on an
+	// unloaded core plus its own notification delay characteristics are
+	// approximated as fixed latency.
+	var clientCycles float64
+	switch client {
+	case cpumodel.StackLinux:
+		clientCycles = 60000 // includes the wakeup path
+	default:
+		clientCycles = 9000 // TAS client: fast path + app hops + wakeup
+	}
+	cost := srv.Costs().TotalCycles()
+	rate := 0.15 * 2.1e9 / cost
+	res := baseline.RunOpenLoop(eng, srv, baseline.OpenLoopConfig{
+		RatePerSec: rate, Conns: 256, NetRTT: 10 * sim.Microsecond,
+		Client:   baseline.ClientModel{CyclesPerReq: clientCycles},
+		Duration: dur, Warmup: warm,
+	})
+	return res.Latency
+}
+
+var fig9Combos = []struct {
+	name           string
+	server, client cpumodel.StackKind
+}{
+	{"TAS/TAS", cpumodel.StackTAS, cpumodel.StackTAS},
+	{"IX/TAS", cpumodel.StackIX, cpumodel.StackTAS},
+	{"TAS/Linux", cpumodel.StackTAS, cpumodel.StackLinux},
+	{"IX/Linux", cpumodel.StackIX, cpumodel.StackLinux},
+	{"Linux/TAS", cpumodel.StackLinux, cpumodel.StackTAS},
+	{"Linux/Linux", cpumodel.StackLinux, cpumodel.StackLinux},
+}
+
+func runFig9(cfg RunConfig) *Result {
+	dur, warm := 300*sim.Millisecond, 30*sim.Millisecond
+	if cfg.Quick {
+		dur = 100 * sim.Millisecond
+	}
+	r := &Result{
+		ID: "fig9", Title: "KV latency CDF points (us) at 15% load (server/client)",
+		Header: []string{"Combo", "p10", "p25", "p50", "p75", "p90", "p99"},
+	}
+	for _, c := range fig9Combos {
+		h := fig9Combo(cfg, c.server, c.client, dur, warm)
+		r.AddRow(c.name,
+			fmtF(h.Quantile(0.10)/1000, 1), fmtF(h.Quantile(0.25)/1000, 1),
+			fmtF(h.Quantile(0.50)/1000, 1), fmtF(h.Quantile(0.75)/1000, 1),
+			fmtF(h.Quantile(0.90)/1000, 1), fmtF(h.Quantile(0.99)/1000, 1))
+	}
+	r.Note("paper Figure 9: TAS/TAS fastest; IX close but longer tail; Linux server shifts the whole CDF right")
+	return r
+}
+
+func runTable5(cfg RunConfig) *Result {
+	dur, warm := 400*sim.Millisecond, 30*sim.Millisecond
+	if cfg.Quick {
+		dur = 150 * sim.Millisecond
+	}
+	r := &Result{
+		ID: "table5", Title: "KV request latency (us) with TAS clients",
+		Header: []string{"Server", "Median", "90th", "99th", "Max"},
+	}
+	for _, k := range []cpumodel.StackKind{cpumodel.StackLinux, cpumodel.StackIX, cpumodel.StackTAS} {
+		h := fig9Combo(cfg, k, cpumodel.StackTAS, dur, warm)
+		r.AddRow(k.String(),
+			fmtF(h.Quantile(0.5)/1000, 0), fmtF(h.Quantile(0.9)/1000, 0),
+			fmtF(h.Quantile(0.99)/1000, 0), fmtF(h.Max()/1000, 0))
+	}
+	r.Note("paper Table 5: Linux 97/129/177/1319; IX 20/27/30/280; TAS 17/20/30/122")
+	return r
+}
+
+// runTable7: maximum-contention workload (single 4-byte key), 256 conns.
+func runTable7(cfg RunConfig) *Result {
+	dur, warm := 30*sim.Millisecond, 15*sim.Millisecond
+	if cfg.Quick {
+		dur = 15 * sim.Millisecond
+	}
+	r := &Result{
+		ID: "table7", Title: "Non-scalable KV workload (single hot key, mOps)",
+		Header: []string{"Stack", "1 Core", "2 C", "3 C", "4 C"},
+	}
+	// The hot key's lock: every request serializes on a short critical
+	// section (update or locked read), ~350 cycles. The tiny 4B
+	// key/value makes app work cheap (~300 cycles).
+	const serialCycles = 350
+	const appCycles = 300
+	run := func(kind cpumodel.StackKind, total int) float64 {
+		app, stk := total, 0
+		switch kind {
+		case cpumodel.StackTAS, cpumodel.StackTASLL:
+			// 1 app core, rest fast path (paper: "1 application core
+			// with 1-3 fast path cores").
+			app, stk = 1, total-1
+			if stk < 1 {
+				return 0 // TAS needs at least one fast-path core
+			}
+		}
+		eng := sim.New(cfg.Seed)
+		srv := baseline.NewServer(eng, baseline.ServerConfig{
+			Kind: kind, AppCores: app, StackCores: stk, Conns: 256, AppCycles: appCycles,
+		})
+		lock := cpumodel.NewCore(eng, 2.1)
+		res := baseline.RunClosedLoop(eng, srv, baseline.ClosedLoopConfig{
+			Conns: 256, NetRTT: 20 * sim.Microsecond,
+			Work: func(uint32) baseline.AppWork {
+				return baseline.AppWork{Serial: lock, SerialCycles: serialCycles}
+			},
+			Duration: dur, Warmup: warm,
+		})
+		return res.MOps()
+	}
+	for _, k := range []cpumodel.StackKind{cpumodel.StackTASLL, cpumodel.StackTAS, cpumodel.StackIX, cpumodel.StackLinux} {
+		cells := []string{k.String()}
+		for total := 1; total <= 4; total++ {
+			v := run(k, total)
+			if v == 0 {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, fmtF(v, 1))
+			}
+		}
+		r.AddRow(cells...)
+	}
+	r.Note("paper Table 7: TAS LL 2.4/3.8/4.6; TAS SO 2.4/3.1/3.1; IX 1.5/2.5/2.8/2.8; Linux 0.3/0.4/0.6/0.8")
+	r.Note("TAS scales the stack independently of the lock-bound app; IX/Linux burn app cores on TCP")
+	return r
+}

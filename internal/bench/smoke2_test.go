@@ -1,0 +1,15 @@
+package bench
+
+import "testing"
+
+func TestSmokeRPC(t *testing.T) {
+	cfg := RunConfig{Seed: 1, Quick: true}
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig8", "table6", "table5", "table7"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		r := e.Run(cfg)
+		t.Logf("\n%s", r)
+	}
+}

@@ -1,0 +1,15 @@
+package bench
+
+import "testing"
+
+func TestSmokeRemaining(t *testing.T) {
+	cfg := RunConfig{Seed: 1, Quick: true}
+	for _, id := range []string{"fig10", "table8", "fig14", "fig15", "ablation-buffers", "ablation-steering", "fig11", "fig13"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		r := e.Run(cfg)
+		t.Logf("\n%s", r)
+	}
+}

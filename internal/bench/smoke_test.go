@@ -1,0 +1,15 @@
+package bench
+
+import "testing"
+
+func TestSmokeTables(t *testing.T) {
+	cfg := RunConfig{Seed: 1, Quick: true}
+	for _, id := range []string{"table1", "table2", "table3", "table4", "fig7"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		r := e.Run(cfg)
+		t.Logf("\n%s", r)
+	}
+}

@@ -1,0 +1,54 @@
+package congestion
+
+// RateFromWindow adapts a window-based controller to the slow path's
+// rate interface: the enforced rate is window/RTT. The paper's §3.2
+// notes TAS supports both rate- and window-based congestion control;
+// this adapter is how a window policy (e.g. classic DCTCP or NewReno)
+// plugs into the rate-bucket enforcement without fast-path changes.
+type RateFromWindow struct {
+	wc      WindowController
+	cfg     Config
+	lastRTT int64
+}
+
+// NewRateFromWindow wraps wc. cfg bounds the resulting rate.
+func NewRateFromWindow(wc WindowController, cfg Config) *RateFromWindow {
+	cfg.fill()
+	return &RateFromWindow{wc: wc, cfg: cfg, lastRTT: 100_000}
+}
+
+// Name implements RateController.
+func (r *RateFromWindow) Name() string { return r.wc.Name() + "-as-rate" }
+
+// Window exposes the wrapped controller's congestion window.
+func (r *RateFromWindow) Window() int { return r.wc.Window() }
+
+// Rate implements RateController.
+func (r *RateFromWindow) Rate() float64 {
+	rtt := r.lastRTT
+	if rtt <= 0 {
+		rtt = 100_000
+	}
+	rate := float64(r.wc.Window()) / (float64(rtt) / 1e9)
+	return clamp(rate, r.cfg.MinRate, r.cfg.MaxRate)
+}
+
+// Update implements RateController: feed the interval's feedback into
+// the window controller's event API, then derive the rate.
+func (r *RateFromWindow) Update(fb Feedback) float64 {
+	if fb.RTT > 0 {
+		r.lastRTT = fb.RTT
+	}
+	switch {
+	case fb.Timeouts > 0:
+		r.wc.OnRetransmitTimeout()
+	case fb.Frexmits > 0:
+		// A fast retransmit corresponds to the third duplicate ACK.
+		for i := 0; i < 3; i++ {
+			r.wc.OnDupAck()
+		}
+	case fb.AckedBytes > 0:
+		r.wc.OnAck(int(fb.AckedBytes), fb.EcnBytes > 0)
+	}
+	return r.Rate()
+}

@@ -1,0 +1,60 @@
+package congestion
+
+import "testing"
+
+func TestRateFromWindowBasics(t *testing.T) {
+	r := NewRateFromWindow(NewNewReno(1000, 1<<20), cfg())
+	if r.Name() != "newreno-as-rate" {
+		t.Fatalf("name %q", r.Name())
+	}
+	// IW 10 segments over the default 100us RTT = 100 MB/s.
+	if got := r.Rate(); got < 9e7 || got > 1.1e8 {
+		t.Fatalf("initial rate %v", got)
+	}
+	// Acks grow the window and hence the rate.
+	before := r.Rate()
+	r.Update(Feedback{AckedBytes: 10000, RTT: 100_000})
+	if r.Rate() <= before {
+		t.Fatal("ack should raise the derived rate")
+	}
+}
+
+func TestRateFromWindowLossEvents(t *testing.T) {
+	r := NewRateFromWindow(NewNewReno(1000, 1<<20), cfg())
+	for i := 0; i < 20; i++ {
+		r.Update(Feedback{AckedBytes: 50_000, RTT: 100_000})
+	}
+	grown := r.Window()
+	r.Update(Feedback{Frexmits: 1, RTT: 100_000})
+	if r.Window() >= grown {
+		t.Fatalf("fast retransmit should shrink the window: %d -> %d", grown, r.Window())
+	}
+	halved := r.Window()
+	r.Update(Feedback{Timeouts: 1, RTT: 100_000})
+	if r.Window() >= halved {
+		t.Fatalf("timeout should collapse the window: %d -> %d", halved, r.Window())
+	}
+	if r.Window() != 1000 {
+		t.Fatalf("window after RTO = %d, want 1 MSS", r.Window())
+	}
+}
+
+func TestRateFromWindowRTTScaling(t *testing.T) {
+	r := NewRateFromWindow(NewNewReno(1000, 1<<20), cfg())
+	r.Update(Feedback{AckedBytes: 1000, RTT: 100_000})
+	atShort := r.Rate()
+	r.Update(Feedback{AckedBytes: 1000, RTT: 1_000_000})
+	if r.Rate() >= atShort {
+		t.Fatal("a 10x RTT must lower the derived rate")
+	}
+}
+
+func TestRateFromWindowBounds(t *testing.T) {
+	c := cfg()
+	r := NewRateFromWindow(NewWindowDCTCP(1000, 1<<30), c)
+	// Tiny RTT would explode the rate: must clamp to MaxRate.
+	r.Update(Feedback{AckedBytes: 1 << 20, RTT: 1})
+	if r.Rate() > c.MaxRate {
+		t.Fatalf("rate %v above MaxRate", r.Rate())
+	}
+}

@@ -1,0 +1,146 @@
+package congestion
+
+// WindowController is a window-based congestion-control policy, used by
+// the baseline stacks (Linux-model NewReno/DCTCP) and the ns-3-style
+// simulations. The window is maintained in bytes.
+type WindowController interface {
+	Name() string
+	// OnAck processes an acknowledgement of acked bytes, with ce marking
+	// state of the newly acked data.
+	OnAck(acked int, ce bool)
+	// OnDupAck processes one duplicate ACK; it reports whether fast
+	// recovery was (newly) triggered.
+	OnDupAck() bool
+	// OnRetransmitTimeout collapses the window.
+	OnRetransmitTimeout()
+	// Window returns the current congestion window in bytes.
+	Window() int
+}
+
+// NewReno is classic TCP NewReno: slow start to ssthresh, additive
+// increase of one MSS per RTT, fast retransmit on 3 duplicate ACKs
+// (window halves), timeout collapses to one MSS.
+type NewReno struct {
+	MSS      int
+	cwnd     float64
+	ssthresh float64
+	dupAcks  int
+	recover  bool
+	maxWin   float64
+}
+
+// NewNewReno returns a NewReno controller with initial window of 10 MSS
+// (RFC 6928) and the given window cap in bytes (0 = 2MB).
+func NewNewReno(mss int, maxWin int) *NewReno {
+	if mss <= 0 {
+		mss = 1448
+	}
+	if maxWin <= 0 {
+		maxWin = 2 << 20
+	}
+	return &NewReno{MSS: mss, cwnd: float64(10 * mss), ssthresh: float64(maxWin), maxWin: float64(maxWin)}
+}
+
+// Name implements WindowController.
+func (n *NewReno) Name() string { return "newreno" }
+
+// Window implements WindowController.
+func (n *NewReno) Window() int { return int(n.cwnd) }
+
+// InSlowStart reports whether cwnd is below ssthresh.
+func (n *NewReno) InSlowStart() bool { return n.cwnd < n.ssthresh }
+
+// OnAck implements WindowController. ce is ignored by NewReno.
+func (n *NewReno) OnAck(acked int, ce bool) {
+	n.dupAcks = 0
+	n.recover = false
+	if n.cwnd < n.ssthresh {
+		n.cwnd += float64(acked) // slow start: grow by acked bytes
+	} else {
+		n.cwnd += float64(n.MSS) * float64(acked) / n.cwnd // CA: ~1 MSS/RTT
+	}
+	if n.cwnd > n.maxWin {
+		n.cwnd = n.maxWin
+	}
+}
+
+// OnDupAck implements WindowController.
+func (n *NewReno) OnDupAck() bool {
+	n.dupAcks++
+	if n.dupAcks == 3 && !n.recover {
+		n.recover = true
+		n.ssthresh = n.cwnd / 2
+		if n.ssthresh < float64(2*n.MSS) {
+			n.ssthresh = float64(2 * n.MSS)
+		}
+		n.cwnd = n.ssthresh
+		return true
+	}
+	return false
+}
+
+// OnRetransmitTimeout implements WindowController.
+func (n *NewReno) OnRetransmitTimeout() {
+	n.ssthresh = n.cwnd / 2
+	if n.ssthresh < float64(2*n.MSS) {
+		n.ssthresh = float64(2 * n.MSS)
+	}
+	n.cwnd = float64(n.MSS)
+	n.dupAcks = 0
+	n.recover = false
+}
+
+// WindowDCTCP is standard DCTCP (Alizadeh et al., SIGCOMM 2010): an ECN
+// fraction EWMA alpha, window reduced by alpha/2 once per window of data
+// when marks were seen, NewReno behaviour otherwise.
+type WindowDCTCP struct {
+	NewReno
+	G          float64
+	alpha      float64
+	ackedTotal int
+	ackedCE    int
+	windowAcc  int
+}
+
+// NewWindowDCTCP returns a DCTCP controller with gain 1/16.
+func NewWindowDCTCP(mss int, maxWin int) *WindowDCTCP {
+	return &WindowDCTCP{NewReno: *NewNewReno(mss, maxWin), G: 1.0 / 16, alpha: 1}
+}
+
+// Name implements WindowController.
+func (d *WindowDCTCP) Name() string { return "dctcp" }
+
+// Alpha returns the smoothed ECN fraction.
+func (d *WindowDCTCP) Alpha() float64 { return d.alpha }
+
+// OnAck implements WindowController, folding CE marks into alpha and
+// applying the DCTCP cut once per window.
+func (d *WindowDCTCP) OnAck(acked int, ce bool) {
+	d.ackedTotal += acked
+	if ce {
+		d.ackedCE += acked
+	}
+	d.windowAcc += acked
+	if d.windowAcc >= d.Window() && d.ackedTotal > 0 {
+		// One window of data acked: fold the mark fraction and cut.
+		frac := float64(d.ackedCE) / float64(d.ackedTotal)
+		d.alpha = (1-d.G)*d.alpha + d.G*frac
+		if d.ackedCE > 0 {
+			d.ssthresh = d.cwnd * (1 - d.alpha/2)
+			if d.ssthresh < float64(2*d.MSS) {
+				d.ssthresh = float64(2 * d.MSS)
+			}
+			d.cwnd = d.ssthresh
+		}
+		d.windowAcc = 0
+		d.ackedTotal = 0
+		d.ackedCE = 0
+	}
+	// Growth as in NewReno (DCTCP keeps slow start and AI).
+	if ce {
+		// Marked ack: no growth this ack.
+		d.dupAcks = 0
+		return
+	}
+	d.NewReno.OnAck(acked, false)
+}

@@ -1,0 +1,122 @@
+// Package fabric is the live-mode network: an in-process Ethernet
+// connecting TAS service instances (and any other packet handler) by IP
+// address. It stands in for the NIC + switch of the paper's testbed when
+// running the real fast path end to end. Delivery is synchronous by
+// default; optional per-fabric latency and random loss support failure
+// testing.
+package fabric
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// Handler consumes packets addressed to an attached host.
+type Handler func(pkt *protocol.Packet)
+
+// Fabric connects attached hosts.
+type Fabric struct {
+	mu    sync.RWMutex
+	hosts map[protocol.IPv4]Handler
+	rng   *rand.Rand
+
+	// latency delays delivery (0 = synchronous hand-off); nanoseconds.
+	latency atomic.Int64
+	// lossRate drops packets at random; stored as math.Float64bits.
+	lossRate atomic.Uint64
+	// Tap, when set, observes every packet accepted onto the fabric
+	// (before loss/latency), e.g. a trace.Recorder.Tap or a pcap
+	// writer. Must be safe for concurrent use.
+	Tap func(tsNanos int64, pkt *protocol.Packet)
+
+	Delivered atomic.Uint64
+	Dropped   atomic.Uint64
+	NoRoute   atomic.Uint64
+}
+
+// New returns an empty fabric.
+func New() *Fabric {
+	return &Fabric{hosts: make(map[protocol.IPv4]Handler), rng: rand.New(rand.NewSource(1))}
+}
+
+// SetLossRate makes the fabric drop packets with probability p in [0,1).
+// Safe to change while traffic flows (failure injection).
+func (f *Fabric) SetLossRate(p float64) { f.lossRate.Store(math.Float64bits(p)) }
+
+// LossRate returns the current loss probability.
+func (f *Fabric) LossRate() float64 { return math.Float64frombits(f.lossRate.Load()) }
+
+// SetLatency sets one-way delivery latency. Safe to change at runtime.
+func (f *Fabric) SetLatency(d time.Duration) { f.latency.Store(int64(d)) }
+
+// GetLatency returns the current one-way latency.
+func (f *Fabric) GetLatency() time.Duration { return time.Duration(f.latency.Load()) }
+
+// Attach registers a handler for an IP and returns a NIC bound to it.
+func (f *Fabric) Attach(ip protocol.IPv4, h Handler) *NIC {
+	f.mu.Lock()
+	f.hosts[ip] = h
+	f.mu.Unlock()
+	return &NIC{fab: f, ip: ip}
+}
+
+// Detach removes a host.
+func (f *Fabric) Detach(ip protocol.IPv4) {
+	f.mu.Lock()
+	delete(f.hosts, ip)
+	f.mu.Unlock()
+}
+
+// send routes one packet to its destination host.
+func (f *Fabric) send(pkt *protocol.Packet) {
+	if tap := f.Tap; tap != nil {
+		tap(time.Now().UnixNano(), pkt)
+	}
+	if p := f.LossRate(); p > 0 {
+		f.mu.Lock()
+		drop := f.rng.Float64() < p
+		f.mu.Unlock()
+		if drop {
+			f.Dropped.Add(1)
+			return
+		}
+	}
+	f.mu.RLock()
+	h := f.hosts[pkt.DstIP]
+	f.mu.RUnlock()
+	if h == nil {
+		f.NoRoute.Add(1)
+		return
+	}
+	f.Delivered.Add(1)
+	if d := f.GetLatency(); d > 0 {
+		time.AfterFunc(d, func() { h(pkt) })
+		return
+	}
+	h(pkt)
+}
+
+// NIC is one host's attachment; it implements fastpath.NIC.
+type NIC struct {
+	fab *Fabric
+	ip  protocol.IPv4
+}
+
+// Output transmits a packet onto the fabric.
+func (n *NIC) Output(pkt *protocol.Packet) {
+	if pkt.SrcIP == 0 {
+		pkt.SrcIP = n.ip
+	}
+	if (pkt.DstMAC == protocol.MAC{}) {
+		pkt.DstMAC = protocol.MACForIPv4(pkt.DstIP)
+	}
+	n.fab.send(pkt)
+}
+
+// IP returns the attachment address.
+func (n *NIC) IP() protocol.IPv4 { return n.ip }

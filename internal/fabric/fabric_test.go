@@ -1,0 +1,92 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func TestAttachDeliver(t *testing.T) {
+	f := New()
+	var mu sync.Mutex
+	var got []*protocol.Packet
+	f.Attach(protocol.MakeIPv4(10, 0, 0, 2), func(p *protocol.Packet) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+	nic := f.Attach(protocol.MakeIPv4(10, 0, 0, 1), func(*protocol.Packet) {})
+	nic.Output(&protocol.Packet{DstIP: protocol.MakeIPv4(10, 0, 0, 2)})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	if got[0].SrcIP != nic.IP() {
+		t.Fatal("source IP not stamped")
+	}
+	if (got[0].DstMAC == protocol.MAC{}) {
+		t.Fatal("destination MAC not resolved")
+	}
+	if f.Delivered.Load() != 1 {
+		t.Fatal("counter")
+	}
+}
+
+func TestNoRouteDrops(t *testing.T) {
+	f := New()
+	nic := f.Attach(protocol.MakeIPv4(10, 0, 0, 1), func(*protocol.Packet) {})
+	nic.Output(&protocol.Packet{DstIP: protocol.MakeIPv4(99, 0, 0, 1)})
+	if f.NoRoute.Load() != 1 {
+		t.Fatal("no-route not counted")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	f := New()
+	ip := protocol.MakeIPv4(10, 0, 0, 2)
+	f.Attach(ip, func(*protocol.Packet) { t.Fatal("detached host received packet") })
+	f.Detach(ip)
+	nic := f.Attach(protocol.MakeIPv4(10, 0, 0, 1), func(*protocol.Packet) {})
+	nic.Output(&protocol.Packet{DstIP: ip})
+	if f.NoRoute.Load() != 1 {
+		t.Fatal("expected no-route after detach")
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	f := New()
+	f.SetLossRate(0.5)
+	var n int
+	f.Attach(protocol.MakeIPv4(10, 0, 0, 2), func(*protocol.Packet) { n++ })
+	nic := f.Attach(protocol.MakeIPv4(10, 0, 0, 1), func(*protocol.Packet) {})
+	for i := 0; i < 2000; i++ {
+		nic.Output(&protocol.Packet{DstIP: protocol.MakeIPv4(10, 0, 0, 2)})
+	}
+	if n < 700 || n > 1300 {
+		t.Fatalf("delivered %d of 2000 at 50%% loss", n)
+	}
+	if f.Dropped.Load() != uint64(2000-n) {
+		t.Fatal("drop counter inconsistent")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	f := New()
+	f.SetLatency(20 * time.Millisecond)
+	done := make(chan time.Time, 1)
+	f.Attach(protocol.MakeIPv4(10, 0, 0, 2), func(*protocol.Packet) { done <- time.Now() })
+	nic := f.Attach(protocol.MakeIPv4(10, 0, 0, 1), func(*protocol.Packet) {})
+	start := time.Now()
+	nic.Output(&protocol.Packet{DstIP: protocol.MakeIPv4(10, 0, 0, 2)})
+	select {
+	case at := <-done:
+		if d := at.Sub(start); d < 15*time.Millisecond {
+			t.Fatalf("delivered after %v, want >= ~20ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("never delivered")
+	}
+}

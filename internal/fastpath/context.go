@@ -1,0 +1,137 @@
+// Package fastpath implements the TAS fast path for the live engine:
+// dedicated goroutine "cores" that poll NIC receive rings and
+// application context queues, execute common-case TCP RX/TX processing
+// against the minimal per-flow state of Table 3, enforce per-flow rate
+// limits set by the slow path, generate acknowledgements, handle one
+// interval of out-of-order data plus duplicate-ACK fast recovery, and
+// forward everything else to the slow path as exceptions (§3.1).
+package fastpath
+
+import (
+	"sync/atomic"
+
+	"repro/internal/flowstate"
+	"repro/internal/shmring"
+)
+
+// EventKind discriminates context-queue events from the fast path (and
+// slow path) to an application context.
+type EventKind uint8
+
+// Context-queue event kinds.
+const (
+	// EvData: Bytes of new in-order payload are available in the flow's
+	// receive buffer.
+	EvData EventKind = iota + 1
+	// EvTxAcked: Bytes of transmit-buffer space were freed by
+	// acknowledgements (reliably delivered).
+	EvTxAcked
+	// EvAccepted: a new connection was established on a listener; the
+	// slow path posts this. Opaque identifies the listener.
+	EvAccepted
+	// EvConnected: an outbound connect completed; Bytes != 0 encodes a
+	// connect error code.
+	EvConnected
+	// EvClosed: the peer closed the connection (all data delivered).
+	EvClosed
+)
+
+// Event is one context-queue entry (fast path -> application).
+type Event struct {
+	Kind   EventKind
+	Opaque uint64          // application-defined flow identifier
+	Bytes  uint32          // payload bytes / freed bytes / error code
+	Flow   *flowstate.Flow // set for EvAccepted and EvConnected
+}
+
+// TxCmd is one application -> fast-path command: Bytes of new payload
+// were appended to the flow's transmit buffer (§3.1 common-case send).
+type TxCmd struct {
+	Flow  *flowstate.Flow
+	Bytes uint32
+}
+
+// Context is the shared-memory attachment point of one application
+// thread: a queue pair per fast-path core (to avoid cross-core
+// synchronization), plus a wakeup channel the application blocks on
+// (the epoll/eventfd analogue).
+type Context struct {
+	ID int
+
+	rxq []*shmring.SPSC[Event] // per-core: fast path produces, app consumes
+	txq []*shmring.SPSC[TxCmd] // per-core: app produces, fast path consumes
+
+	wake     chan struct{}
+	sleeping atomic.Bool
+
+	// DroppedEvents counts events the fast path could not post because
+	// the queue was full (the app will observe the data on its next
+	// poll of the payload buffer).
+	DroppedEvents atomic.Uint64
+}
+
+// NewContext allocates a context spanning `cores` fast-path cores with
+// the given per-core queue capacity.
+func NewContext(id, cores, qcap int) *Context {
+	c := &Context{ID: id, wake: make(chan struct{}, 1)}
+	for i := 0; i < cores; i++ {
+		c.rxq = append(c.rxq, shmring.NewSPSC[Event](qcap))
+		c.txq = append(c.txq, shmring.NewSPSC[TxCmd](qcap))
+	}
+	return c
+}
+
+// Cores returns the number of per-core queue pairs.
+func (c *Context) Cores() int { return len(c.rxq) }
+
+// PostEvent enqueues an event from core onto the context's RX queue and
+// wakes the application if it is blocked. It reports false if the queue
+// is full (the fast path informs the stack on a later packet, §3.1).
+func (c *Context) PostEvent(core int, ev Event) bool {
+	if !c.rxq[core].Enqueue(ev) {
+		c.DroppedEvents.Add(1)
+		return false
+	}
+	c.Wake()
+	return true
+}
+
+// Wake unblocks a waiting application thread.
+func (c *Context) Wake() {
+	if c.sleeping.Load() {
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// PushTx enqueues a TX command toward the given core. It reports false
+// if the queue is full.
+func (c *Context) PushTx(core int, cmd TxCmd) bool {
+	return c.txq[core].Enqueue(cmd)
+}
+
+// PollEvents drains up to len(out) events across the context's per-core
+// queues, returning the count.
+func (c *Context) PollEvents(out []Event) int {
+	n := 0
+	for _, q := range c.rxq {
+		if n == len(out) {
+			break
+		}
+		n += q.DequeueBatch(out[n:])
+	}
+	return n
+}
+
+// Sleep marks the context as blocked and returns the wake channel. The
+// caller must re-poll once after calling Sleep and before blocking, to
+// avoid lost wakeups.
+func (c *Context) Sleep() <-chan struct{} {
+	c.sleeping.Store(true)
+	return c.wake
+}
+
+// Awake clears the sleeping flag after the application resumes polling.
+func (c *Context) Awake() { c.sleeping.Store(false) }

@@ -1,0 +1,427 @@
+package fastpath
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flowstate"
+	"repro/internal/protocol"
+	"repro/internal/shmring"
+)
+
+// NIC is the transmit side of the network attachment; the live fabric
+// implements it.
+type NIC interface {
+	Output(pkt *protocol.Packet)
+}
+
+// WindowUnit is the advertised-window granularity in live mode: both TAS
+// endpoints negotiate a window scale of 10, so the 16-bit window field
+// counts KiB.
+const WindowUnit = 1024
+
+// spinWindow is how long an idle fast-path core busy-polls (yielding)
+// before it starts dozing; covers the inter-packet gaps of an active
+// RPC conversation without monopolizing a shared CPU during real lulls.
+const spinWindow = 200 * time.Microsecond
+
+// Config parameterizes the fast-path engine.
+type Config struct {
+	LocalIP  protocol.IPv4
+	LocalMAC protocol.MAC
+
+	MaxCores     int           // fast-path cores created at init (§3.4)
+	RxRingSize   int           // per-core NIC receive ring entries
+	MSS          int           // payload bytes per segment
+	BurstBytes   float64       // rate-bucket burst capacity
+	BlockTimeout time.Duration // idle time before a core blocks (10ms)
+
+	// DisableOoo turns off the fast path's one-interval out-of-order
+	// buffering ("TAS simple recovery" in Figure 7): all out-of-order
+	// arrivals are dropped, forcing pure go-back-N. Ablation knob.
+	DisableOoo bool
+}
+
+func (c *Config) fill() {
+	if c.MaxCores <= 0 {
+		c.MaxCores = 4
+	}
+	if c.RxRingSize <= 0 {
+		c.RxRingSize = 2048
+	}
+	if c.MSS <= 0 {
+		c.MSS = protocol.DefaultMSS
+	}
+	if c.BurstBytes <= 0 {
+		c.BurstBytes = 64 << 10
+	}
+	if c.BlockTimeout <= 0 {
+		c.BlockTimeout = 10 * time.Millisecond
+	}
+}
+
+// CoreStats counts one fast-path core's activity.
+type CoreStats struct {
+	RxPackets   atomic.Uint64
+	TxPackets   atomic.Uint64
+	TxBytes     atomic.Uint64
+	AcksSent    atomic.Uint64
+	Exceptions  atomic.Uint64
+	RxDrops     atomic.Uint64 // ring overflow
+	BufFullDrop atomic.Uint64 // receive payload buffer full
+	OooAccepted atomic.Uint64
+	OooDropped  atomic.Uint64
+	Frexmits    atomic.Uint64
+	WrongCore   atomic.Uint64 // packets processed on a non-RSS core
+	BusyLoops   atomic.Uint64
+	IdleLoops   atomic.Uint64
+	Blocks      atomic.Uint64
+}
+
+type core struct {
+	idx     int
+	rxRing  *shmring.SPSC[*protocol.Packet]
+	kicks   *shmring.SPSC[*flowstate.Flow] // slow-path retransmit/transmit kicks
+	wake    chan struct{}
+	asleep  atomic.Bool
+	pending []*flowstate.Flow // rate-limited flows awaiting tokens
+	stats   CoreStats
+}
+
+// Engine is the live fast path: MaxCores goroutines, per-core NIC rings,
+// the flow table, RSS steering, rate buckets, and the exception path to
+// the slow path.
+type Engine struct {
+	cfg Config
+	nic NIC
+
+	Table *flowstate.Table
+	RSS   *flowstate.RSS
+
+	cores []*core
+
+	// contexts and buckets are append-only registries: writers take mu
+	// and publish a copy-on-write snapshot; the fast path reads the
+	// snapshots without locks (per-packet lookups must not contend).
+	mu        sync.Mutex
+	contextsV atomic.Value // []*Context
+	bucketsV  atomic.Value // []*Bucket
+
+	// Exception queue toward the slow path.
+	excq     *shmring.SPSC[*protocol.Packet]
+	slowWake chan struct{}
+
+	start   time.Time
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// NewEngine builds the engine (cores are started by Start).
+func NewEngine(nic NIC, cfg Config) *Engine {
+	cfg.fill()
+	e := &Engine{
+		cfg:      cfg,
+		nic:      nic,
+		Table:    flowstate.NewTable(),
+		RSS:      flowstate.NewRSS(),
+		excq:     shmring.NewSPSC[*protocol.Packet](4096),
+		slowWake: make(chan struct{}, 1),
+		start:    time.Now(),
+	}
+	e.contextsV.Store([]*Context(nil))
+	e.bucketsV.Store([]*Bucket(nil))
+	for i := 0; i < cfg.MaxCores; i++ {
+		e.cores = append(e.cores, &core{
+			idx:    i,
+			rxRing: shmring.NewSPSC[*protocol.Packet](cfg.RxRingSize),
+			kicks:  shmring.NewSPSC[*flowstate.Flow](1024),
+			wake:   make(chan struct{}, 1),
+		})
+	}
+	return e
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// NowMicros returns microseconds since engine start (TCP timestamp
+// clock).
+func (e *Engine) NowMicros() uint32 { return uint32(time.Since(e.start).Microseconds()) }
+
+func (e *Engine) nowNanos() int64 { return time.Since(e.start).Nanoseconds() }
+
+// Start launches the fast-path core goroutines.
+func (e *Engine) Start() {
+	for _, c := range e.cores {
+		c := c
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.run(c)
+		}()
+	}
+}
+
+// Stop terminates the cores and waits for them.
+func (e *Engine) Stop() {
+	e.stopped.Store(true)
+	for _, c := range e.cores {
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+	e.wg.Wait()
+}
+
+// MaxCores returns the configured maximum core count.
+func (e *Engine) MaxCores() int { return len(e.cores) }
+
+// ActiveCores returns the number of cores currently receiving RSS
+// traffic.
+func (e *Engine) ActiveCores() int { return e.RSS.Cores() }
+
+// SetActiveCores re-steers RSS to n cores (the slow path's scaling
+// decision, §3.4: eager RSS update, lazy drain).
+func (e *Engine) SetActiveCores(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(e.cores) {
+		n = len(e.cores)
+	}
+	e.RSS.SetCores(n)
+	for i := 0; i < n; i++ {
+		e.wakeCore(i)
+	}
+}
+
+// Stats returns the per-core statistics.
+func (e *Engine) Stats(core int) *CoreStats { return &e.cores[core].stats }
+
+// RegisterContext adds an application context and returns its id.
+func (e *Engine) RegisterContext(ctx *Context) uint16 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.contextsV.Load().([]*Context)
+	ctx.ID = len(old)
+	e.contextsV.Store(append(append([]*Context(nil), old...), ctx))
+	return uint16(ctx.ID)
+}
+
+// ContextByID returns a registered context (nil if out of range).
+func (e *Engine) ContextByID(id uint16) *Context {
+	ctxs := e.contextsV.Load().([]*Context)
+	if int(id) >= len(ctxs) {
+		return nil
+	}
+	return ctxs[id]
+}
+
+// AllocBucket creates a rate bucket and returns its index (the slow
+// path allocates one per established flow).
+func (e *Engine) AllocBucket() uint32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.bucketsV.Load().([]*Bucket)
+	e.bucketsV.Store(append(append([]*Bucket(nil), old...), NewBucket(e.cfg.BurstBytes)))
+	return uint32(len(old))
+}
+
+// Bucket returns the rate bucket at index i (nil if out of range).
+func (e *Engine) Bucket(i uint32) *Bucket {
+	bks := e.bucketsV.Load().([]*Bucket)
+	if int(i) >= len(bks) {
+		return nil
+	}
+	return bks[i]
+}
+
+// CoreForFlow returns the fast-path core a flow's packets steer to.
+func (e *Engine) CoreForFlow(f *flowstate.Flow) int {
+	return e.RSS.CoreFor(protocol.FlowHash(f.LocalIP, f.LocalPort, f.PeerIP, f.PeerPort))
+}
+
+// Output transmits a packet via the NIC (used by the slow path for
+// control packets).
+func (e *Engine) Output(pkt *protocol.Packet) { e.nic.Output(pkt) }
+
+// Input delivers a received packet into the fast path (called by the
+// NIC/fabric). Steering follows the RSS redirection table.
+func (e *Engine) Input(pkt *protocol.Packet) {
+	c := e.cores[e.RSS.CoreForPacket(pkt)]
+	if !c.rxRing.Enqueue(pkt) {
+		c.stats.RxDrops.Add(1)
+		return
+	}
+	e.wakeCoreS(c)
+}
+
+// KickFlow asks the owning core to run transmission for a flow (used by
+// the slow path for retransmission restarts and by libtas after
+// appending payload when the tx queue was full).
+func (e *Engine) KickFlow(f *flowstate.Flow) {
+	c := e.cores[e.CoreForFlow(f)]
+	if c.kicks.Enqueue(f) {
+		e.wakeCoreS(c)
+	}
+}
+
+// PushTxCmd routes a TX command from a context to the owning core and
+// wakes it. It reports false if the queue is full.
+func (e *Engine) PushTxCmd(ctx *Context, cmd TxCmd) bool {
+	ci := e.CoreForFlow(cmd.Flow)
+	if !ctx.PushTx(ci, cmd) {
+		return false
+	}
+	e.wakeCore(ci)
+	return true
+}
+
+// Exceptions returns the exception queue (slow-path side) and the wake
+// channel signalled when it becomes non-empty.
+func (e *Engine) Exceptions() (*shmring.SPSC[*protocol.Packet], <-chan struct{}) {
+	return e.excq, e.slowWake
+}
+
+// toSlowPath forwards an exception packet.
+func (e *Engine) toSlowPath(c *core, pkt *protocol.Packet) {
+	c.stats.Exceptions.Add(1)
+	if e.excq.Enqueue(pkt) {
+		select {
+		case e.slowWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (e *Engine) wakeCore(i int) { e.wakeCoreS(e.cores[i]) }
+
+func (e *Engine) wakeCoreS(c *core) {
+	if c.asleep.Load() {
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run is one fast-path core's main loop: poll NIC ring, slow-path
+// kicks, context TX queues, and rate-limited retries; block after
+// BlockTimeout of idleness (§3.4 adaptive blocking with notifications).
+func (e *Engine) run(c *core) {
+	idleSince := time.Now()
+	var pktBatch [64]*protocol.Packet
+	var cmdBatch [64]TxCmd
+	for !e.stopped.Load() {
+		did := 0
+
+		// NIC receive ring.
+		n := c.rxRing.DequeueBatch(pktBatch[:])
+		for i := 0; i < n; i++ {
+			e.processRx(c, pktBatch[i])
+		}
+		did += n
+
+		// Slow-path kicks.
+		for {
+			f, ok := c.kicks.Dequeue()
+			if !ok {
+				break
+			}
+			f.Lock()
+			e.transmit(c, f)
+			f.Unlock()
+			did++
+		}
+
+		// Context TX queues assigned to this core.
+		ctxs := e.contextsV.Load().([]*Context)
+		for _, ctx := range ctxs {
+			if c.idx >= ctx.Cores() {
+				continue
+			}
+			k := ctx.txq[c.idx].DequeueBatch(cmdBatch[:])
+			for i := 0; i < k; i++ {
+				cmd := cmdBatch[i]
+				cmd.Flow.Lock()
+				e.transmit(c, cmd.Flow)
+				cmd.Flow.Unlock()
+			}
+			did += k
+		}
+
+		// Rate-limited flows waiting for tokens.
+		did += e.retryPending(c)
+
+		if did > 0 {
+			c.stats.BusyLoops.Add(1)
+			idleSince = time.Now()
+			continue
+		}
+		c.stats.IdleLoops.Add(1)
+		idle := time.Since(idleSince)
+		if idle < spinWindow {
+			// Busy-poll (dedicating the CPU, the paper's design) but
+			// yield the scheduler slot so application goroutines run on
+			// shared machines; time.Sleep here would add OS-timer
+			// granularity to every packet's latency.
+			runtime.Gosched()
+			continue
+		}
+		if idle < e.cfg.BlockTimeout || len(c.pending) > 0 {
+			// Doze: the flow of packets has paused; stop burning the
+			// CPU other goroutines need but stay quick to resume.
+			time.Sleep(20 * time.Microsecond)
+			continue
+		}
+		// Block until woken (§3.4: cores that receive no packets
+		// automatically block and are de-scheduled).
+		c.stats.Blocks.Add(1)
+		c.asleep.Store(true)
+		// Re-check queues after publishing the sleep flag to avoid a
+		// lost wakeup.
+		if c.rxRing.Len() > 0 || c.kicks.Len() > 0 {
+			c.asleep.Store(false)
+			continue
+		}
+		select {
+		case <-c.wake:
+		case <-time.After(100 * time.Millisecond):
+		}
+		c.asleep.Store(false)
+		idleSince = time.Now()
+	}
+}
+
+// retryPending re-attempts transmission for rate-limited flows.
+func (e *Engine) retryPending(c *core) int {
+	if len(c.pending) == 0 {
+		return 0
+	}
+	pend := c.pending
+	c.pending = c.pending[:0]
+	did := 0
+	for _, f := range pend {
+		f.Lock()
+		e.transmit(c, f)
+		f.Unlock()
+		did++
+	}
+	return did
+}
+
+// Utilization returns the busy fraction of core loops since the last
+// call, for the slow path's scaling monitor.
+func (e *Engine) Utilization(coreIdx int) float64 {
+	c := e.cores[coreIdx]
+	busy := c.stats.BusyLoops.Swap(0)
+	idle := c.stats.IdleLoops.Swap(0)
+	total := busy + idle
+	if total == 0 {
+		return 0
+	}
+	return float64(busy) / float64(total)
+}

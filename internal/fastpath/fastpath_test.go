@@ -1,0 +1,548 @@
+package fastpath
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flowstate"
+	"repro/internal/protocol"
+	"repro/internal/shmring"
+)
+
+// stubNIC captures transmitted packets.
+type stubNIC struct{ out []*protocol.Packet }
+
+func (n *stubNIC) Output(p *protocol.Packet) { n.out = append(n.out, p) }
+
+func testEngine() (*Engine, *stubNIC) {
+	nic := &stubNIC{}
+	e := NewEngine(nic, Config{
+		LocalIP:  protocol.MakeIPv4(10, 0, 0, 1),
+		LocalMAC: protocol.MACForIPv4(protocol.MakeIPv4(10, 0, 0, 1)),
+		MaxCores: 2,
+	})
+	return e, nic
+}
+
+func testFlow(e *Engine) *flowstate.Flow {
+	f := &flowstate.Flow{
+		Opaque:    7,
+		LocalIP:   e.cfg.LocalIP,
+		LocalPort: 80,
+		PeerIP:    protocol.MakeIPv4(10, 0, 0, 2),
+		PeerPort:  5000,
+		PeerMAC:   protocol.MACForIPv4(protocol.MakeIPv4(10, 0, 0, 2)),
+		SeqNo:     1000,
+		AckNo:     5000,
+		Window:    64, // 64 KiB
+		RxBuf:     shmring.NewPayloadBuffer(64 << 10),
+		TxBuf:     shmring.NewPayloadBuffer(64 << 10),
+	}
+	f.Bucket = e.AllocBucket()
+	e.Table.Insert(f)
+	return f
+}
+
+func dataPkt(f *flowstate.Flow, seq uint32, payload []byte) *protocol.Packet {
+	return &protocol.Packet{
+		SrcIP: f.PeerIP, DstIP: f.LocalIP,
+		SrcPort: f.PeerPort, DstPort: f.LocalPort,
+		Flags: protocol.FlagACK, Seq: seq, Ack: f.SeqNo,
+		Window: 64, Payload: payload, ECN: protocol.ECNECT0,
+		HasTS: true, TSVal: 42,
+	}
+}
+
+func ackPkt(f *flowstate.Flow, ack uint32) *protocol.Packet {
+	return &protocol.Packet{
+		SrcIP: f.PeerIP, DstIP: f.LocalIP,
+		SrcPort: f.PeerPort, DstPort: f.LocalPort,
+		Flags: protocol.FlagACK, Seq: f.AckNo, Ack: ack, Window: 64,
+		ECN: protocol.ECNECT0,
+	}
+}
+
+func TestRxInOrderDeposit(t *testing.T) {
+	e, nic := testEngine()
+	f := testFlow(e)
+	ctx := NewContext(0, 2, 64)
+	e.RegisterContext(ctx)
+	f.Context = 0
+
+	e.processRx(e.cores[0], dataPkt(f, 5000, []byte("hello")))
+	if f.AckNo != 5005 {
+		t.Fatalf("AckNo = %d, want 5005", f.AckNo)
+	}
+	buf := make([]byte, 16)
+	if n := f.RxBuf.Read(buf); n != 5 || string(buf[:5]) != "hello" {
+		t.Fatalf("RxBuf = %q", buf[:n])
+	}
+	// ACK generated with echoed timestamp.
+	if len(nic.out) != 1 {
+		t.Fatalf("packets out = %d", len(nic.out))
+	}
+	ack := nic.out[0]
+	if !ack.Flags.Has(protocol.FlagACK) || ack.Ack != 5005 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if !ack.HasTS || ack.TSEcr != 42 {
+		t.Fatal("timestamp echo missing")
+	}
+	// Data event posted.
+	var evs [8]Event
+	if n := ctx.PollEvents(evs[:]); n != 1 || evs[0].Kind != EvData || evs[0].Bytes != 5 || evs[0].Opaque != 7 {
+		t.Fatalf("events = %v (%d)", evs[:n], n)
+	}
+}
+
+func TestRxDuplicateReAcks(t *testing.T) {
+	e, nic := testEngine()
+	f := testFlow(e)
+	e.processRx(e.cores[0], dataPkt(f, 5000, []byte("abcd")))
+	e.processRx(e.cores[0], dataPkt(f, 5000, []byte("abcd"))) // dup
+	if f.AckNo != 5004 {
+		t.Fatalf("AckNo = %d", f.AckNo)
+	}
+	if len(nic.out) != 2 || nic.out[1].Ack != 5004 {
+		t.Fatal("duplicate should be re-acked")
+	}
+	if f.RxBuf.Used() != 4 {
+		t.Fatal("duplicate must not deposit twice")
+	}
+}
+
+func TestRxPartialOverlapTrims(t *testing.T) {
+	e, _ := testEngine()
+	f := testFlow(e)
+	e.processRx(e.cores[0], dataPkt(f, 5000, []byte("abcd")))
+	// Overlapping retransmission [5002, 5008).
+	e.processRx(e.cores[0], dataPkt(f, 5002, []byte("cdefgh")))
+	if f.AckNo != 5008 {
+		t.Fatalf("AckNo = %d, want 5008", f.AckNo)
+	}
+	buf := make([]byte, 16)
+	n := f.RxBuf.Read(buf)
+	if string(buf[:n]) != "abcdefgh" {
+		t.Fatalf("stream = %q", buf[:n])
+	}
+}
+
+func TestRxOutOfOrderOneInterval(t *testing.T) {
+	e, nic := testEngine()
+	f := testFlow(e)
+	ctx := NewContext(0, 2, 64)
+	e.RegisterContext(ctx)
+
+	// Gap: [5000,5004) missing; deliver [5004,5008).
+	e.processRx(e.cores[0], dataPkt(f, 5004, []byte("BBBB")))
+	if f.AckNo != 5000 || f.OooLen != 4 || f.OooStart != 5004 {
+		t.Fatalf("ooo state: ack=%d start=%d len=%d", f.AckNo, f.OooStart, f.OooLen)
+	}
+	if nic.out[0].Ack != 5000 {
+		t.Fatal("ooo must generate dup ack at gap")
+	}
+	// Extend contiguously [5008,5012).
+	e.processRx(e.cores[0], dataPkt(f, 5008, []byte("CCCC")))
+	if f.OooLen != 8 {
+		t.Fatalf("interval should extend, len=%d", f.OooLen)
+	}
+	// Non-adjacent [5016,5020) dropped.
+	e.processRx(e.cores[0], dataPkt(f, 5016, []byte("EEEE")))
+	if f.OooLen != 8 {
+		t.Fatalf("second interval must not be tracked, len=%d", f.OooLen)
+	}
+	if e.cores[0].stats.OooDropped.Load() != 1 {
+		t.Fatal("non-adjacent OOO should count as dropped")
+	}
+	// Fill the gap: everything through 5012 delivered as one unit.
+	e.processRx(e.cores[0], dataPkt(f, 5000, []byte("AAAA")))
+	if f.AckNo != 5012 {
+		t.Fatalf("after gap fill AckNo = %d, want 5012", f.AckNo)
+	}
+	if f.OooLen != 0 {
+		t.Fatal("interval should reset after merge")
+	}
+	buf := make([]byte, 16)
+	n := f.RxBuf.Read(buf)
+	if string(buf[:n]) != "AAAABBBBCCCC" {
+		t.Fatalf("stream = %q", buf[:n])
+	}
+}
+
+func TestAckFreesTxBufferAndNotifies(t *testing.T) {
+	e, _ := testEngine()
+	f := testFlow(e)
+	ctx := NewContext(0, 2, 64)
+	e.RegisterContext(ctx)
+
+	f.TxBuf.Write(make([]byte, 3000))
+	f.Lock()
+	e.transmit(e.cores[0], f)
+	f.Unlock()
+	if f.TxSent != 3000 {
+		t.Fatalf("TxSent = %d", f.TxSent)
+	}
+	e.processRx(e.cores[0], ackPkt(f, 1000+1448))
+	if f.TxSent != 3000-1448 {
+		t.Fatalf("TxSent after ack = %d", f.TxSent)
+	}
+	if f.TxBuf.Used() != 3000-1448 {
+		t.Fatalf("TxBuf used = %d", f.TxBuf.Used())
+	}
+	if f.CntAckB != 1448 {
+		t.Fatalf("CntAckB = %d", f.CntAckB)
+	}
+	var evs [8]Event
+	n := ctx.PollEvents(evs[:])
+	if n != 1 || evs[n-1].Kind != EvTxAcked || evs[n-1].Bytes != 1448 {
+		t.Fatalf("events = %v", evs[:n])
+	}
+}
+
+func TestEcnEchoCountsMarkedBytes(t *testing.T) {
+	e, _ := testEngine()
+	f := testFlow(e)
+	f.TxBuf.Write(make([]byte, 1448))
+	f.Lock()
+	e.transmit(e.cores[0], f)
+	f.Unlock()
+	ack := ackPkt(f, 1000+1448)
+	ack.Flags |= protocol.FlagECE
+	e.processRx(e.cores[0], ack)
+	if f.CntEcnB != 1448 {
+		t.Fatalf("CntEcnB = %d", f.CntEcnB)
+	}
+}
+
+func TestDupAcksTriggerFastRecovery(t *testing.T) {
+	e, nic := testEngine()
+	f := testFlow(e)
+	f.TxBuf.Write(make([]byte, 5000))
+	f.Lock()
+	e.transmit(e.cores[0], f)
+	f.Unlock()
+	sent := len(nic.out)
+	if f.TxSent != 5000 {
+		t.Fatalf("TxSent = %d", f.TxSent)
+	}
+	for i := 0; i < 3; i++ {
+		e.processRx(e.cores[0], ackPkt(f, 1000)) // ack == una: duplicate
+	}
+	if f.CntFrexmits != 1 {
+		t.Fatalf("frexmits = %d", f.CntFrexmits)
+	}
+	// Go-back-N: everything retransmitted.
+	if len(nic.out) < sent+4 {
+		t.Fatalf("expected retransmissions, out=%d (was %d)", len(nic.out), sent)
+	}
+	if f.TxSent != 5000 {
+		t.Fatalf("after retransmit TxSent = %d", f.TxSent)
+	}
+}
+
+func TestWindowUpdateNotCountedAsDupAck(t *testing.T) {
+	e, _ := testEngine()
+	f := testFlow(e)
+	f.TxBuf.Write(make([]byte, 2000))
+	f.Lock()
+	e.transmit(e.cores[0], f)
+	f.Unlock()
+	for i := 0; i < 5; i++ {
+		upd := ackPkt(f, 1000)
+		upd.Window = uint16(40 + i) // changing window: an update, not a dup
+		e.processRx(e.cores[0], upd)
+	}
+	if f.CntFrexmits != 0 {
+		t.Fatal("window updates must not trigger fast recovery")
+	}
+	if f.Window != 44 {
+		t.Fatalf("window = %d, want 44", f.Window)
+	}
+}
+
+func TestTransmitHonorsPeerWindow(t *testing.T) {
+	e, nic := testEngine()
+	f := testFlow(e)
+	f.Window = 2 // 2 KiB
+	f.TxBuf.Write(make([]byte, 10000))
+	f.Lock()
+	e.transmit(e.cores[0], f)
+	f.Unlock()
+	if f.TxSent > 2048 {
+		t.Fatalf("TxSent = %d exceeds 2KiB window", f.TxSent)
+	}
+	before := len(nic.out)
+	// Window opens via ack.
+	ack := ackPkt(f, 1000)
+	ack.Ack = 1000 + f.TxSent
+	ack.Window = 64
+	e.processRx(e.cores[0], ack)
+	if len(nic.out) <= before {
+		t.Fatal("opened window should resume transmission")
+	}
+}
+
+func TestTransmitHonorsRateBucket(t *testing.T) {
+	e, nic := testEngine()
+	f := testFlow(e)
+	e.Bucket(f.Bucket).SetRate(1) // ~0: effectively no tokens
+	if !f.TxBuf.Write(make([]byte, 30000)) {
+		t.Fatal("tx buffer write failed")
+	}
+	f.Lock()
+	e.transmit(e.cores[0], f)
+	f.Unlock()
+	if len(nic.out) > 1 {
+		t.Fatalf("rate-limited flow sent %d packets", len(nic.out))
+	}
+	if len(e.cores[0].pending) != 1 {
+		t.Fatal("flow should be parked for pacing retry")
+	}
+	// Unlimited rate: retry drains.
+	e.Bucket(f.Bucket).SetRate(0)
+	e.retryPending(e.cores[0])
+	if f.TxPending() != 0 {
+		t.Fatalf("pending after unlimited retry = %d", f.TxPending())
+	}
+}
+
+func TestExceptionsForwarded(t *testing.T) {
+	e, _ := testEngine()
+	f := testFlow(e)
+	syn := dataPkt(f, 5000, nil)
+	syn.Flags = protocol.FlagSYN
+	e.processRx(e.cores[0], syn)
+	unknown := &protocol.Packet{
+		SrcIP: protocol.MakeIPv4(9, 9, 9, 9), DstIP: e.cfg.LocalIP,
+		SrcPort: 1, DstPort: 2, Flags: protocol.FlagACK,
+	}
+	e.processRx(e.cores[0], unknown)
+	q, _ := e.Exceptions()
+	if q.Len() != 2 {
+		t.Fatalf("exceptions queued = %d", q.Len())
+	}
+	if e.cores[0].stats.Exceptions.Load() != 2 {
+		t.Fatal("exception counter")
+	}
+}
+
+func TestRxBufferFullDrops(t *testing.T) {
+	e, nic := testEngine()
+	f := testFlow(e)
+	// Fill the rx buffer completely.
+	f.RxBuf.Write(make([]byte, f.RxBuf.Size()))
+	e.processRx(e.cores[0], dataPkt(f, 5000, []byte("xxxx")))
+	if f.AckNo != 5000 {
+		t.Fatal("full buffer must not advance ack")
+	}
+	if e.cores[0].stats.BufFullDrop.Load() != 1 {
+		t.Fatal("drop not counted")
+	}
+	// Still acked (current ack number) so the sender learns the window.
+	if len(nic.out) != 1 || nic.out[0].Window != 0 {
+		t.Fatalf("expected zero-window ack, out=%v", nic.out)
+	}
+}
+
+func TestBucketTokenMath(t *testing.T) {
+	b := NewBucket(10000)
+	b.SetRate(1000) // 1000 B/s
+	if !b.Take(0, 0) {
+		t.Fatal("zero take")
+	}
+	// At t=1s, 1000 tokens accumulated.
+	if !b.Take(1e9, 1000) {
+		t.Fatal("take after refill should succeed")
+	}
+	if b.Take(1e9, 1) {
+		t.Fatal("bucket should be empty")
+	}
+	// Next availability for 500 bytes: +0.5s.
+	if next := b.NextAvailable(1e9, 500); next < 1.49e9 || next > 1.51e9 {
+		t.Fatalf("next = %d", next)
+	}
+	// Burst cap: after a long idle period tokens clamp to BurstMax.
+	b2 := NewBucket(100)
+	b2.SetRate(1e9)
+	b2.Take(0, 0) // prime the refill clock at t=0
+	if b2.Take(1e9, 101) {
+		t.Fatal("burst cap exceeded")
+	}
+	if !b2.Take(1e9, 100) {
+		t.Fatal("full burst should be available")
+	}
+	// Unlimited.
+	b3 := NewBucket(10)
+	if !b3.Take(0, 1<<30) {
+		t.Fatal("unlimited bucket must always grant")
+	}
+	if b3.NextAvailable(5, 100) != 5 {
+		t.Fatal("unlimited bucket next availability is now")
+	}
+}
+
+func TestContextQueuesAndWake(t *testing.T) {
+	ctx := NewContext(0, 2, 4)
+	if ctx.Cores() != 2 {
+		t.Fatal("cores")
+	}
+	// Fill core-0 queue to capacity.
+	for i := 0; i < 4; i++ {
+		if !ctx.PostEvent(0, Event{Kind: EvData, Bytes: uint32(i)}) {
+			t.Fatalf("post %d failed", i)
+		}
+	}
+	if ctx.PostEvent(0, Event{Kind: EvData}) {
+		t.Fatal("full queue should reject")
+	}
+	if ctx.DroppedEvents.Load() != 1 {
+		t.Fatal("drop not counted")
+	}
+	var evs [16]Event
+	if n := ctx.PollEvents(evs[:]); n != 4 {
+		t.Fatalf("polled %d", n)
+	}
+	// Wake semantics: only when sleeping.
+	ch := ctx.Sleep()
+	ctx.PostEvent(1, Event{Kind: EvData})
+	select {
+	case <-ch:
+	default:
+		t.Fatal("sleeping context should be woken")
+	}
+	ctx.Awake()
+}
+
+func TestSetActiveCoresClamps(t *testing.T) {
+	e, _ := testEngine()
+	e.SetActiveCores(0)
+	if e.ActiveCores() != 1 {
+		t.Fatal("clamp low")
+	}
+	e.SetActiveCores(99)
+	if e.ActiveCores() != 2 {
+		t.Fatal("clamp high")
+	}
+}
+
+func TestInputSteersByRSS(t *testing.T) {
+	e, _ := testEngine()
+	e.SetActiveCores(2)
+	f := testFlow(e)
+	pkt := dataPkt(f, 5000, []byte("x"))
+	want := e.RSS.CoreForPacket(pkt)
+	e.Input(pkt)
+	if e.cores[want].rxRing.Len() != 1 {
+		t.Fatalf("packet not on core %d ring", want)
+	}
+}
+
+func TestInputDropsOnFullRing(t *testing.T) {
+	nic := &stubNIC{}
+	e := NewEngine(nic, Config{LocalIP: 1, MaxCores: 1, RxRingSize: 2})
+	f := testFlow(e)
+	for i := 0; i < 5; i++ {
+		e.Input(dataPkt(f, 5000, []byte("x")))
+	}
+	if e.cores[0].stats.RxDrops.Load() != 3 {
+		t.Fatalf("drops = %d", e.cores[0].stats.RxDrops.Load())
+	}
+}
+
+// TestEngineLifecycle runs real cores: packets delivered via Input are
+// processed by the core goroutines, idle cores block, and Input wakes
+// them.
+func TestEngineLifecycle(t *testing.T) {
+	nic := &syncNIC{}
+	e := NewEngine(nic, Config{
+		LocalIP:      protocol.MakeIPv4(10, 0, 0, 1),
+		LocalMAC:     protocol.MACForIPv4(protocol.MakeIPv4(10, 0, 0, 1)),
+		MaxCores:     2,
+		BlockTimeout: time.Millisecond,
+	})
+	f := testFlow(e)
+	ctx := NewContext(0, 2, 256)
+	e.RegisterContext(ctx)
+	f.Context = 0
+	e.Start()
+	defer e.Stop()
+
+	// Deliver data through the running engine.
+	e.Input(dataPkt(f, 5000, []byte("engine")))
+	deadline := time.Now().Add(5 * time.Second)
+	for nic.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if nic.count() == 0 {
+		t.Fatal("running core never generated the ack")
+	}
+	// Let cores go idle and block, then verify a late packet wakes them.
+	time.Sleep(20 * time.Millisecond)
+	blocked := e.cores[0].stats.Blocks.Load() + e.cores[1].stats.Blocks.Load()
+	if blocked == 0 {
+		t.Fatal("idle cores should block after BlockTimeout")
+	}
+	before := nic.count()
+	e.Input(dataPkt(f, 5006, []byte("wake")))
+	deadline = time.Now().Add(5 * time.Second)
+	for nic.count() == before && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if nic.count() == before {
+		t.Fatal("blocked core never woke for new input")
+	}
+	// TX via context command path on the running engine.
+	f.Lock()
+	f.TxBuf.Write([]byte("outbound"))
+	f.Unlock()
+	if !e.PushTxCmd(ctx, TxCmd{Flow: f, Bytes: 8}) {
+		t.Fatal("tx cmd rejected")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		f.Lock()
+		sent := f.TxSent
+		f.Unlock()
+		if sent == 8 {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal("tx command never transmitted")
+}
+
+// syncNIC is a concurrency-safe stub NIC for lifecycle tests.
+type syncNIC struct {
+	mu  sync.Mutex
+	out []*protocol.Packet
+}
+
+func (n *syncNIC) Output(p *protocol.Packet) {
+	n.mu.Lock()
+	n.out = append(n.out, p)
+	n.mu.Unlock()
+}
+
+func (n *syncNIC) count() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.out)
+}
+
+func TestUtilizationSampling(t *testing.T) {
+	e, _ := testEngine()
+	// No loops run yet: utilization 0.
+	if u := e.Utilization(0); u != 0 {
+		t.Fatalf("idle utilization %v", u)
+	}
+	e.cores[0].stats.BusyLoops.Store(30)
+	e.cores[0].stats.IdleLoops.Store(10)
+	if u := e.Utilization(0); u != 0.75 {
+		t.Fatalf("utilization %v, want 0.75", u)
+	}
+	// Counters reset after sampling.
+	if u := e.Utilization(0); u != 0 {
+		t.Fatalf("post-reset utilization %v", u)
+	}
+}

@@ -1,0 +1,243 @@
+package fastpath
+
+import (
+	"repro/internal/flowstate"
+	"repro/internal/protocol"
+	"repro/internal/tcp"
+)
+
+// processRx handles one received packet on core c: the common-case RX
+// path of §3.1. Connection-control packets (SYN/FIN/RST) and packets for
+// unknown flows are exceptions forwarded to the slow path.
+func (e *Engine) processRx(c *core, pkt *protocol.Packet) {
+	c.stats.RxPackets.Add(1)
+
+	// Filter exceptions: control flags and unknown flows.
+	if pkt.Flags&(protocol.FlagSYN|protocol.FlagRST|protocol.FlagFIN) != 0 {
+		e.toSlowPath(c, pkt)
+		return
+	}
+	f := e.Table.Lookup(pkt.RxKey())
+	if f == nil {
+		e.toSlowPath(c, pkt)
+		return
+	}
+	if e.RSS.CoreForPacket(pkt) != c.idx {
+		c.stats.WrongCore.Add(1) // arrived during a steering transition
+	}
+
+	var ack *protocol.Packet
+	f.Lock()
+	if pkt.Flags.Has(protocol.FlagACK) {
+		e.processAck(c, f, pkt)
+	}
+	if pkt.DataLen() > 0 {
+		ack = e.processData(c, f, pkt)
+	}
+	// An ack may have opened the send window or freed buffer space.
+	e.transmit(c, f)
+	f.Unlock()
+
+	if ack != nil {
+		c.stats.AcksSent.Add(1)
+		e.nic.Output(ack)
+	}
+}
+
+// processAck applies an incoming acknowledgement to flow f. Caller holds
+// the flow lock.
+func (e *Engine) processAck(c *core, f *flowstate.Flow, pkt *protocol.Packet) {
+	una := f.SeqNo - f.TxSent // oldest unacknowledged sequence
+	diff := tcp.SeqDiff(pkt.Ack, una)
+	switch {
+	case diff > 0:
+		if diff > int32(f.TxSent) {
+			// Acks beyond what we sent: tolerate by clamping (can occur
+			// after a slow-path retransmission reset).
+			diff = int32(f.TxSent)
+		}
+		// Free acknowledged transmit buffer space (constant time).
+		f.TxBuf.Release(int(diff))
+		f.TxSent -= uint32(diff)
+		f.CntAckB += uint32(diff)
+		if pkt.Flags.Has(protocol.FlagECE) {
+			f.CntEcnB += uint32(diff)
+		}
+		f.DupAcks = 0
+		f.Window = pkt.Window
+		if pkt.HasTS && pkt.TSEcr != 0 {
+			rtt := e.NowMicros() - pkt.TSEcr
+			if int32(rtt) >= 0 {
+				if f.RTTEst == 0 {
+					f.RTTEst = rtt
+				} else {
+					f.RTTEst = (7*f.RTTEst + rtt) / 8
+				}
+			}
+		}
+		// Inform user-space of reliably delivered bytes.
+		if ctx := e.ContextByID(f.Context); ctx != nil {
+			ctx.PostEvent(c.idx, Event{Kind: EvTxAcked, Opaque: f.Opaque, Bytes: uint32(diff)})
+		}
+	case diff == 0 && f.TxSent > 0 && pkt.DataLen() == 0:
+		if pkt.Window != f.Window {
+			// Same ack number but a new window: a window update (the
+			// peer's application freed receive-buffer space), not a
+			// duplicate.
+			f.Window = pkt.Window
+			return
+		}
+		// Duplicate ACK: count and trigger fast recovery on the third
+		// (§3.1 exception optimization 1).
+		f.DupAcks++
+		if f.DupAcks >= 3 {
+			f.DupAcks = 0
+			f.CntFrexmits++
+			c.stats.Frexmits.Add(1)
+			e.resetSender(f)
+		}
+	}
+}
+
+// resetSender rewinds the sender as if the unacknowledged segments had
+// not been sent (go-back-N); the receiver's out-of-order interval
+// absorbs whatever it already has.
+func (e *Engine) resetSender(f *flowstate.Flow) {
+	f.SeqNo -= f.TxSent
+	f.TxSent = 0
+}
+
+// processData deposits payload into the flow's receive buffer and
+// returns the acknowledgement to transmit. Caller holds the flow lock.
+func (e *Engine) processData(c *core, f *flowstate.Flow, pkt *protocol.Packet) *protocol.Packet {
+	payload := pkt.Payload
+	n := uint32(len(payload))
+	seq := pkt.Seq
+	rel := tcp.SeqDiff(seq, f.AckNo)
+
+	// Trim data we already have.
+	if rel < 0 {
+		if tcp.SeqLEQ(seq+n, f.AckNo) {
+			return e.buildAck(f, pkt) // pure duplicate: re-ack
+		}
+		skip := uint32(-rel)
+		payload = payload[skip:]
+		n -= skip
+		seq = f.AckNo
+		rel = 0
+	}
+
+	if rel == 0 {
+		// Common case: in-order payload, deposited directly into the
+		// user-level receive buffer.
+		if int(n) > f.RxBuf.Free() {
+			// Buffer full: drop; TCP flow control makes this rare.
+			c.stats.BufFullDrop.Add(1)
+			return e.buildAck(f, pkt)
+		}
+		f.RxBuf.Write(payload)
+		f.AckNo += n
+		advance := n
+		// Merge the out-of-order interval if this fill closed the gap.
+		if f.OooLen > 0 && tcp.SeqLEQ(f.OooStart, f.AckNo) {
+			end := f.OooStart + f.OooLen
+			if tcp.SeqGT(end, f.AckNo) {
+				delta := uint32(tcp.SeqDiff(end, f.AckNo))
+				f.RxBuf.AdvanceHead(int(delta))
+				f.AckNo += delta
+				advance += delta
+			}
+			f.OooLen = 0
+			f.OooStart = 0
+		}
+		if ctx := e.ContextByID(f.Context); ctx != nil {
+			ctx.PostEvent(c.idx, Event{Kind: EvData, Opaque: f.Opaque, Bytes: advance})
+		}
+		return e.buildAck(f, pkt)
+	}
+
+	// Out-of-order arrival: track a single interval (§3.1 exception
+	// optimization 2); anything else is dropped and the duplicate ACK
+	// asks the sender to retransmit from the gap.
+	if e.cfg.DisableOoo {
+		// Simple-recovery ablation: drop all out-of-order data.
+		c.stats.OooDropped.Add(1)
+		return e.buildAck(f, pkt)
+	}
+	if uint32(rel)+n <= uint32(f.RxBuf.Free()) {
+		pos := f.RxBuf.Head() + uint32(rel)
+		switch {
+		case f.OooLen == 0:
+			f.RxBuf.WriteAt(pos, payload)
+			f.OooStart, f.OooLen = seq, n
+			c.stats.OooAccepted.Add(1)
+		case tcp.SeqLEQ(seq, f.OooStart+f.OooLen) && tcp.SeqGEQ(seq+n, f.OooStart):
+			f.RxBuf.WriteAt(pos, payload)
+			ns := tcp.SeqMin(f.OooStart, seq)
+			ne := tcp.SeqMax(f.OooStart+f.OooLen, seq+n)
+			f.OooStart, f.OooLen = ns, uint32(tcp.SeqDiff(ne, ns))
+			c.stats.OooAccepted.Add(1)
+		default:
+			c.stats.OooDropped.Add(1)
+		}
+	} else {
+		c.stats.OooDropped.Add(1)
+	}
+	return e.buildAck(f, pkt)
+}
+
+// buildAck constructs the acknowledgement for the current flow state,
+// echoing ECN marks (for DCTCP) and the peer's timestamp (for RTT
+// estimation). Caller holds the flow lock.
+func (e *Engine) buildAck(f *flowstate.Flow, data *protocol.Packet) *protocol.Packet {
+	ack := &protocol.Packet{
+		SrcMAC: e.cfg.LocalMAC, DstMAC: f.PeerMAC,
+		SrcIP: f.LocalIP, DstIP: f.PeerIP,
+		SrcPort: f.LocalPort, DstPort: f.PeerPort,
+		Flags:  protocol.FlagACK,
+		Seq:    f.SeqNo,
+		Ack:    f.AckNo,
+		Window: e.advertisedWindow(f),
+		ECN:    protocol.ECNECT0,
+	}
+	if data.ECN == protocol.ECNCE {
+		ack.Flags |= protocol.FlagECE
+	}
+	if data.HasTS {
+		ack.HasTS = true
+		ack.TSVal = e.NowMicros()
+		ack.TSEcr = data.TSVal
+	}
+	return ack
+}
+
+// SendWindowUpdate emits a bare ACK advertising the flow's current
+// receive window — issued by libtas after the application frees a
+// substantial amount of receive-buffer space, so a flow-control-blocked
+// peer resumes promptly.
+func (e *Engine) SendWindowUpdate(f *flowstate.Flow) {
+	f.Lock()
+	pkt := &protocol.Packet{
+		SrcMAC: e.cfg.LocalMAC, DstMAC: f.PeerMAC,
+		SrcIP: f.LocalIP, DstIP: f.PeerIP,
+		SrcPort: f.LocalPort, DstPort: f.PeerPort,
+		Flags:  protocol.FlagACK,
+		Seq:    f.SeqNo,
+		Ack:    f.AckNo,
+		Window: e.advertisedWindow(f),
+		ECN:    protocol.ECNECT0,
+		HasTS:  true,
+		TSVal:  e.NowMicros(),
+	}
+	f.Unlock()
+	e.nic.Output(pkt)
+}
+
+// advertisedWindow returns the receive window in WindowUnit units.
+func (e *Engine) advertisedWindow(f *flowstate.Flow) uint16 {
+	w := f.RxBuf.Free() / WindowUnit
+	if w > 0xffff {
+		w = 0xffff
+	}
+	return uint16(w)
+}

@@ -1,0 +1,71 @@
+package fastpath
+
+import (
+	"repro/internal/flowstate"
+	"repro/internal/protocol"
+)
+
+// transmit sends as much pending payload as the peer window and the
+// slow-path-configured rate bucket allow (§3.1 common-case send:
+// segmentation, header production, timestamps). Caller holds the flow
+// lock.
+func (e *Engine) transmit(c *core, f *flowstate.Flow) {
+	if f.FinSent {
+		return
+	}
+	for {
+		pending := f.TxPending()
+		if pending <= 0 {
+			return
+		}
+		// Peer receive window (KiB units; fall back to one unit before
+		// the first ack arrives so the connection can start).
+		wnd := int(f.Window) * WindowUnit
+		if wnd == 0 {
+			wnd = WindowUnit
+		}
+		avail := wnd - int(f.TxSent)
+		if avail <= 0 {
+			return // window-limited; the next ack resumes transmission
+		}
+		n := e.cfg.MSS
+		if n > pending {
+			n = pending
+		}
+		if n > avail {
+			n = avail
+		}
+
+		// Rate enforcement: congestion control policy is slow-path
+		// business, but the fast path enforces it.
+		if bkt := e.Bucket(f.Bucket); bkt != nil {
+			wire := n + protocol.EthHeaderLen + protocol.IPv4HeaderLen + protocol.TCPHeaderLen + protocol.TSOptLen
+			if !bkt.Take(e.nowNanos(), wire) {
+				// Out of tokens: park the flow for a pacing retry.
+				c.pending = append(c.pending, f)
+				return
+			}
+		}
+
+		payload := make([]byte, n)
+		f.TxBuf.ReadAt(f.TxBuf.Tail()+f.TxSent, payload)
+		pkt := &protocol.Packet{
+			SrcMAC: e.cfg.LocalMAC, DstMAC: f.PeerMAC,
+			SrcIP: f.LocalIP, DstIP: f.PeerIP,
+			SrcPort: f.LocalPort, DstPort: f.PeerPort,
+			Flags:   protocol.FlagACK | protocol.FlagPSH,
+			Seq:     f.SeqNo,
+			Ack:     f.AckNo,
+			Window:  e.advertisedWindow(f),
+			ECN:     protocol.ECNECT0,
+			HasTS:   true,
+			TSVal:   e.NowMicros(),
+			Payload: payload,
+		}
+		f.SeqNo += uint32(n)
+		f.TxSent += uint32(n)
+		c.stats.TxPackets.Add(1)
+		c.stats.TxBytes.Add(uint64(n))
+		e.nic.Output(pkt)
+	}
+}

@@ -1,0 +1,205 @@
+// Package flowstate holds the fast path's per-flow connection state
+// (Table 3 of the paper: 102 bytes per flow), the flow hash table that
+// maps 4-tuples to that state, the per-flow spinlocks that make packets
+// arriving on the "wrong" fast-path core safe during scale up/down, and
+// the RSS redirection table used to steer packets to cores.
+package flowstate
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/protocol"
+	"repro/internal/shmring"
+)
+
+// Flow is the per-flow fast-path state. The layout mirrors Table 3: the
+// comments give the paper's field name and bit width; the logical packed
+// size is 102 bytes (asserted by a test). The two buffer pointers stand
+// in for rx|tx_start|size (the buffers carry their own head/tail
+// positions, the rx|tx_head|tail fields).
+type Flow struct {
+	Opaque  uint64 // opaque, 64: application-defined flow identifier
+	Context uint16 // context, 16: RX/TX context queue number
+	Bucket  uint32 // bucket, 24: rate bucket number
+
+	RxBuf *shmring.PayloadBuffer // rx_start|size|head|tail
+	TxBuf *shmring.PayloadBuffer // tx_start|size|head|tail
+
+	TxSent uint32 // tx_sent, 32: bytes sent but unacknowledged from TxBuf tail
+
+	SeqNo  uint32 // seq, 32: local TCP sequence number (next byte to send)
+	AckNo  uint32 // ack, 32: peer TCP sequence number (next byte expected)
+	Window uint16 // window, 16: remote TCP receive window
+
+	DupAcks uint8 // dupack_cnt, 4: duplicate ACK count
+
+	LocalIP   protocol.IPv4
+	LocalPort uint16        // local_port, 16
+	PeerIP    protocol.IPv4 // peer_ip, 32
+	PeerPort  uint16        // peer_port, 16
+	PeerMAC   protocol.MAC  // peer_mac, 48 (for segmentation)
+
+	OooStart uint32 // ooo_start, 32: out-of-order interval start seq
+	OooLen   uint32 // ooo_len, 32: out-of-order interval length
+
+	CntAckB     uint32 // cnt_ackb, 32: acknowledged bytes since last slow-path poll
+	CntEcnB     uint32 // cnt_ecnb, 32: ECN-marked bytes since last slow-path poll
+	CntFrexmits uint8  // cnt_frexmits, 8: fast retransmits triggered
+	RTTEst      uint32 // rtt_est, 32: RTT estimate in microseconds
+
+	// FinSent/FinReceived track teardown progress; connection control is
+	// a slow-path concern but the fast path must not treat a FIN'd
+	// stream as common-case data.
+	FinSent     bool
+	FinReceived bool
+
+	// lock is the per-connection spinlock (§3.4): taken by whichever
+	// fast-path core handles a packet for this flow, so that packets
+	// arriving on the wrong core during scale up/down remain safe.
+	lock SpinLock
+}
+
+// Lock acquires the flow's spinlock.
+func (f *Flow) Lock() { f.lock.Lock() }
+
+// Unlock releases the flow's spinlock.
+func (f *Flow) Unlock() { f.lock.Unlock() }
+
+// Key returns the flow's 4-tuple key (local perspective).
+func (f *Flow) Key() protocol.FlowKey {
+	return protocol.FlowKey{LocalIP: f.LocalIP, LocalPort: f.LocalPort, RemoteIP: f.PeerIP, RemotePort: f.PeerPort}
+}
+
+// TxPending returns the number of bytes in the transmit buffer that have
+// not been sent yet (the amount the fast path may still segment).
+func (f *Flow) TxPending() int {
+	return f.TxBuf.Used() - int(f.TxSent)
+}
+
+// TakeCounters returns and clears the congestion feedback counters, as
+// the slow path does at each control interval.
+func (f *Flow) TakeCounters() (ackB, ecnB uint32, frexmits uint8) {
+	ackB, ecnB, frexmits = f.CntAckB, f.CntEcnB, f.CntFrexmits
+	f.CntAckB, f.CntEcnB, f.CntFrexmits = 0, 0, 0
+	return
+}
+
+// PackedSize is the paper's logical per-flow state footprint in bytes
+// (Table 3 sums to 818 bits ≈ 102 bytes). The fast path's cache working
+// set per flow is this constant; the connection-scalability experiments
+// use it to model cache pressure.
+const PackedSize = 102
+
+// SpinLock is a test-and-set spinlock with passive backoff. The paper
+// uses per-connection spinlocks because cross-core contention is rare
+// (only during core scaling); a futex-style blocking lock would be
+// heavier in the common uncontended case.
+type SpinLock struct {
+	v atomic.Uint32
+}
+
+// Lock spins until the lock is acquired.
+func (s *SpinLock) Lock() {
+	for !s.v.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+// TryLock attempts to acquire the lock without spinning.
+func (s *SpinLock) TryLock() bool { return s.v.CompareAndSwap(0, 1) }
+
+// Unlock releases the lock.
+func (s *SpinLock) Unlock() { s.v.Store(0) }
+
+// Table maps 4-tuples to flow state. It is sharded to avoid the global
+// shared-state bottleneck the paper identifies in monolithic stacks
+// (overhead source 3): lookups on different shards never contend.
+type Table struct {
+	shards [tableShards]tableShard
+	count  atomic.Int64
+}
+
+const tableShards = 64
+
+type tableShard struct {
+	mu sync.RWMutex
+	m  map[protocol.FlowKey]*Flow
+	_  [40]byte // pad to a cache line to avoid false sharing between shards
+}
+
+// NewTable returns an empty flow table.
+func NewTable() *Table {
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[protocol.FlowKey]*Flow)
+	}
+	return t
+}
+
+func (t *Table) shardFor(k protocol.FlowKey) *tableShard {
+	h := protocol.FlowHash(k.LocalIP, k.LocalPort, k.RemoteIP, k.RemotePort)
+	return &t.shards[h%tableShards]
+}
+
+// Lookup returns the flow for k, or nil if none is installed.
+func (t *Table) Lookup(k protocol.FlowKey) *Flow {
+	s := t.shardFor(k)
+	s.mu.RLock()
+	f := s.m[k]
+	s.mu.RUnlock()
+	return f
+}
+
+// Insert installs f under its key. It reports false if a flow with the
+// same key already exists (the existing flow is left in place).
+func (t *Table) Insert(f *Flow) bool {
+	k := f.Key()
+	s := t.shardFor(k)
+	s.mu.Lock()
+	if _, dup := s.m[k]; dup {
+		s.mu.Unlock()
+		return false
+	}
+	s.m[k] = f
+	s.mu.Unlock()
+	t.count.Add(1)
+	return true
+}
+
+// Remove deletes the flow for k and returns it (nil if absent).
+func (t *Table) Remove(k protocol.FlowKey) *Flow {
+	s := t.shardFor(k)
+	s.mu.Lock()
+	f, ok := s.m[k]
+	if ok {
+		delete(s.m, k)
+	}
+	s.mu.Unlock()
+	if ok {
+		t.count.Add(-1)
+	}
+	return f
+}
+
+// Len returns the number of installed flows.
+func (t *Table) Len() int { return int(t.count.Load()) }
+
+// ForEach calls fn for every flow. The iteration holds one shard read
+// lock at a time; fn must not call back into the table for the same
+// shard. Used by the slow path's congestion-control sweep.
+func (t *Table) ForEach(fn func(*Flow)) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		flows := make([]*Flow, 0, len(s.m))
+		for _, f := range s.m {
+			flows = append(flows, f)
+		}
+		s.mu.RUnlock()
+		for _, f := range flows {
+			fn(f)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package flowstate
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"unsafe"
+
+	"repro/internal/protocol"
+	"repro/internal/shmring"
+)
+
+// TestTable3Layout verifies the paper's Table 3 accounting: the logical
+// per-flow state sums to 102 bytes, and our Go struct's hot fields fit in
+// a small number of cache lines.
+func TestTable3Layout(t *testing.T) {
+	// Bit widths straight from Table 3.
+	bits := map[string]int{
+		"opaque":           64,
+		"context":          16,
+		"bucket":           24,
+		"rx|tx_start":      128,
+		"rx|tx_size":       64,
+		"rx|tx_head|tail":  128,
+		"tx_sent":          32,
+		"seq":              32,
+		"ack":              32,
+		"window":           16,
+		"dupack_cnt":       4,
+		"local_port":       16,
+		"peer_ip|port|mac": 96,
+		"ooo_start|len":    64,
+		"cnt_ackb|ecnb":    64,
+		"cnt_frexmits":     8,
+		"rtt_est":          32,
+	}
+	total := 0
+	for _, b := range bits {
+		total += b
+	}
+	// 820 bits; the paper reports 102 bytes (rounding down).
+	if got := total / 8; got != PackedSize {
+		t.Fatalf("Table 3 sums to %d bytes, PackedSize = %d", got, PackedSize)
+	}
+	// The Go struct carries the same state (pointers replace start|size,
+	// buffers carry head|tail) and must stay within 3 cache lines so the
+	// >20k-flows-per-core cache argument holds roughly.
+	if sz := unsafe.Sizeof(Flow{}); sz > 192 {
+		t.Fatalf("Flow struct is %d bytes, want <= 192", sz)
+	}
+}
+
+func newTestFlow(lp, pp uint16) *Flow {
+	return &Flow{
+		LocalIP: protocol.MakeIPv4(10, 0, 0, 1), LocalPort: lp,
+		PeerIP: protocol.MakeIPv4(10, 0, 0, 2), PeerPort: pp,
+		RxBuf: shmring.NewPayloadBuffer(1024),
+		TxBuf: shmring.NewPayloadBuffer(1024),
+	}
+}
+
+func TestTableInsertLookupRemove(t *testing.T) {
+	tb := NewTable()
+	f := newTestFlow(80, 1000)
+	if !tb.Insert(f) {
+		t.Fatal("insert failed")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if got := tb.Lookup(f.Key()); got != f {
+		t.Fatal("lookup mismatch")
+	}
+	if tb.Insert(newTestFlow(80, 1000)) {
+		t.Fatal("duplicate insert should fail")
+	}
+	if got := tb.Remove(f.Key()); got != f {
+		t.Fatal("remove mismatch")
+	}
+	if tb.Lookup(f.Key()) != nil || tb.Len() != 0 {
+		t.Fatal("flow still present after remove")
+	}
+	if tb.Remove(f.Key()) != nil {
+		t.Fatal("double remove should return nil")
+	}
+}
+
+func TestTableForEach(t *testing.T) {
+	tb := NewTable()
+	for i := 0; i < 100; i++ {
+		tb.Insert(newTestFlow(uint16(i), 9))
+	}
+	seen := 0
+	tb.ForEach(func(f *Flow) { seen++ })
+	if seen != 100 {
+		t.Fatalf("ForEach visited %d, want 100", seen)
+	}
+}
+
+func TestTableConcurrent(t *testing.T) {
+	tb := NewTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f := newTestFlow(uint16(g*1000+i), 7)
+				tb.Insert(f)
+				if tb.Lookup(f.Key()) == nil {
+					t.Error("lookup after insert failed")
+					return
+				}
+				if i%2 == 0 {
+					tb.Remove(f.Key())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tb.Len() != 4000 {
+		t.Fatalf("len = %d, want 4000", tb.Len())
+	}
+}
+
+func TestFlowTxPending(t *testing.T) {
+	f := newTestFlow(1, 2)
+	f.TxBuf.Write(make([]byte, 500))
+	if f.TxPending() != 500 {
+		t.Fatalf("pending = %d", f.TxPending())
+	}
+	f.TxSent = 200
+	if f.TxPending() != 300 {
+		t.Fatalf("pending after send = %d", f.TxPending())
+	}
+}
+
+func TestTakeCounters(t *testing.T) {
+	f := newTestFlow(1, 2)
+	f.CntAckB, f.CntEcnB, f.CntFrexmits = 100, 40, 2
+	a, e, fr := f.TakeCounters()
+	if a != 100 || e != 40 || fr != 2 {
+		t.Fatalf("got %d %d %d", a, e, fr)
+	}
+	if f.CntAckB != 0 || f.CntEcnB != 0 || f.CntFrexmits != 0 {
+		t.Fatal("counters not cleared")
+	}
+}
+
+func TestSpinLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l SpinLock
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 80000 {
+		t.Fatalf("counter = %d, want 80000 (lost updates)", counter)
+	}
+}
+
+func TestRSSSpread(t *testing.T) {
+	r := NewRSS()
+	if r.Cores() != 1 {
+		t.Fatalf("fresh RSS cores = %d", r.Cores())
+	}
+	r.SetCores(4)
+	counts := make(map[int]int)
+	for h := uint32(0); h < 10000; h++ {
+		c := r.CoreFor(h * 2654435761)
+		if c < 0 || c >= 4 {
+			t.Fatalf("core %d out of range", c)
+		}
+		counts[c]++
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] < 1500 {
+			t.Errorf("core %d got only %d/10000 buckets", c, counts[c])
+		}
+	}
+}
+
+func TestRSSSetCoresClamp(t *testing.T) {
+	r := NewRSS()
+	r.SetCores(0)
+	if r.Cores() != 1 {
+		t.Fatalf("cores = %d, want clamped to 1", r.Cores())
+	}
+}
+
+func TestRSSDeterministicPerFlow(t *testing.T) {
+	r := NewRSS()
+	r.SetCores(8)
+	f := func(a, b uint32, ap, bp uint16) bool {
+		p1 := &protocol.Packet{SrcIP: protocol.IPv4(a), DstIP: protocol.IPv4(b), SrcPort: ap, DstPort: bp}
+		p2 := &protocol.Packet{SrcIP: protocol.IPv4(b), DstIP: protocol.IPv4(a), SrcPort: bp, DstPort: ap}
+		// Both directions of a flow steer to the same core.
+		return r.CoreForPacket(p1) == r.CoreForPacket(p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSSSetEntry(t *testing.T) {
+	r := NewRSS()
+	r.SetCores(4)
+	r.SetEntry(5, 3)
+	if got := r.table[5].Load(); got != 3 {
+		t.Fatalf("entry 5 = %d", got)
+	}
+}

@@ -1,0 +1,61 @@
+package flowstate
+
+import (
+	"sync/atomic"
+
+	"repro/internal/protocol"
+)
+
+// RSSTableSize is the number of redirection-table entries, matching the
+// 128-entry indirection tables of commodity NICs.
+const RSSTableSize = 128
+
+// RSS models the NIC's receive-side-scaling redirection table: the flow
+// hash indexes a table of fast-path core ids. The slow path rewrites the
+// table when it adds or removes cores (§3.4, "we eagerly update the NIC
+// RSS redirection table"); packets already in flight may still land on
+// the old core, which is why flows carry spinlocks.
+type RSS struct {
+	table [RSSTableSize]atomic.Int32
+	cores atomic.Int32
+}
+
+// NewRSS returns a table steering everything to core 0.
+func NewRSS() *RSS {
+	r := &RSS{}
+	r.SetCores(1)
+	return r
+}
+
+// SetCores rewrites the redirection table to spread buckets across n
+// cores round-robin. Readers racing with the rewrite observe a mix of old
+// and new entries — exactly the transient the paper's design tolerates.
+func (r *RSS) SetCores(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.cores.Store(int32(n))
+	for i := 0; i < RSSTableSize; i++ {
+		r.table[i].Store(int32(i % n))
+	}
+}
+
+// Cores returns the number of cores currently targeted.
+func (r *RSS) Cores() int { return int(r.cores.Load()) }
+
+// CoreFor returns the fast-path core that should process a packet with
+// the given flow hash.
+func (r *RSS) CoreFor(hash uint32) int {
+	return int(r.table[hash%RSSTableSize].Load())
+}
+
+// CoreForPacket is CoreFor applied to the packet's 4-tuple hash.
+func (r *RSS) CoreForPacket(p *protocol.Packet) int {
+	return r.CoreFor(p.Hash())
+}
+
+// SetEntry explicitly steers one bucket to a core — used for targeted
+// drain during scale-down.
+func (r *RSS) SetEntry(bucket int, core int) {
+	r.table[bucket%RSSTableSize].Store(int32(core))
+}

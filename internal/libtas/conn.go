@@ -1,0 +1,303 @@
+package libtas
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/fastpath"
+	"repro/internal/flowstate"
+)
+
+// Conn is a TCP connection backed by TAS per-flow payload buffers. Send
+// copies into the transmit buffer and posts a TX command on the context
+// queue; Recv copies out of the receive buffer (the fast path deposited
+// payload there directly). Methods must be called from the context's
+// goroutine.
+type Conn struct {
+	ctx  *Context
+	flow *flowstate.Flow
+
+	established bool
+	refused     bool
+	closed      bool
+	peerClosed  bool
+
+	// consumedSinceUpdate tracks receive-buffer space freed since the
+	// last window update we pushed to the peer.
+	consumedSinceUpdate int
+}
+
+// Flow exposes the underlying per-flow state (low-level API users).
+func (cn *Conn) Flow() *flowstate.Flow { return cn.flow }
+
+// Send writes all of p to the connection, blocking while the transmit
+// buffer is full. A zero timeout waits forever.
+func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
+	if cn.closed {
+		return 0, ErrClosed
+	}
+	sent := 0
+	for sent < len(p) {
+		if cn.peerClosed {
+			return sent, ErrClosed
+		}
+		f := cn.flow
+		f.Lock()
+		free := f.TxBuf.Free()
+		n := len(p) - sent
+		if n > free {
+			n = free
+		}
+		if n > 0 {
+			f.TxBuf.Write(p[sent : sent+n])
+		}
+		f.Unlock()
+		if n > 0 {
+			sent += n
+			// Inform the fast path (issue a TX command on the context
+			// queue, §3.1); fall back to a direct kick if the command
+			// ring is full — the payload is already in the buffer.
+			if !cn.ctx.stack.Eng.PushTxCmd(cn.ctx.fp, fastpath.TxCmd{Flow: f, Bytes: uint32(n)}) {
+				cn.ctx.stack.Eng.KickFlow(f)
+			}
+			continue
+		}
+		// Buffer full: wait for acknowledgements to free space.
+		err := cn.ctx.wait(func() bool {
+			return cn.peerClosed || cn.flow.TxBuf.Free() > 0
+		}, timeout)
+		if err != nil {
+			return sent, err
+		}
+	}
+	return sent, nil
+}
+
+// Recv reads up to len(p) bytes, blocking until at least one byte (or
+// EOF) is available. A zero timeout waits forever.
+func (cn *Conn) Recv(p []byte, timeout time.Duration) (int, error) {
+	if cn.closed {
+		return 0, ErrClosed
+	}
+	for {
+		n := cn.recvNoWait(p)
+		if n > 0 {
+			return n, nil
+		}
+		if cn.peerClosed {
+			return 0, io.EOF
+		}
+		err := cn.ctx.wait(func() bool {
+			return cn.peerClosed || cn.flow.RxBuf.Used() > 0
+		}, timeout)
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+// SendNoWait writes as much of p as currently fits in the transmit
+// buffer without blocking. It returns ErrWouldBlock when nothing fits
+// (pair with Poller.MarkWriteInterest to learn when space frees).
+func (cn *Conn) SendNoWait(p []byte) (int, error) {
+	if cn.closed || cn.peerClosed {
+		return 0, ErrClosed
+	}
+	f := cn.flow
+	f.Lock()
+	n := len(p)
+	if free := f.TxBuf.Free(); n > free {
+		n = free
+	}
+	if n > 0 {
+		f.TxBuf.Write(p[:n])
+	}
+	f.Unlock()
+	if n == 0 {
+		return 0, ErrWouldBlock
+	}
+	if !cn.ctx.stack.Eng.PushTxCmd(cn.ctx.fp, fastpath.TxCmd{Flow: f, Bytes: uint32(n)}) {
+		cn.ctx.stack.Eng.KickFlow(f)
+	}
+	return n, nil
+}
+
+// RecvNoWait reads whatever is immediately available (0 if none) — part
+// of the low-level API.
+func (cn *Conn) RecvNoWait(p []byte) int {
+	cn.ctx.dispatch()
+	return cn.recvNoWait(p)
+}
+
+func (cn *Conn) recvNoWait(p []byte) int {
+	f := cn.flow
+	f.Lock()
+	n := f.RxBuf.Read(p)
+	f.Unlock()
+	if n > 0 {
+		cn.noteConsumed(n)
+	}
+	return n
+}
+
+// noteConsumed sends a window update once the application has freed a
+// substantial fraction of the receive buffer, so a sender blocked on
+// flow control resumes (TCP window update).
+func (cn *Conn) noteConsumed(n int) {
+	cn.consumedSinceUpdate += n
+	if cn.consumedSinceUpdate >= cn.flow.RxBuf.Size()/4 {
+		cn.consumedSinceUpdate = 0
+		cn.ctx.stack.Eng.SendWindowUpdate(cn.flow)
+	}
+}
+
+// Buffered returns the bytes currently readable.
+func (cn *Conn) Buffered() int { return cn.flow.RxBuf.Used() }
+
+// TxFree returns the writable transmit-buffer space.
+func (cn *Conn) TxFree() int { return cn.flow.TxBuf.Free() }
+
+// PeerClosed reports whether the remote side has closed (after
+// dispatching pending events).
+func (cn *Conn) PeerClosed() bool {
+	cn.ctx.dispatch()
+	return cn.peerClosed
+}
+
+// SendZeroCopy hands the caller writable spans of the transmit buffer
+// (fill returns the byte count actually produced), then notifies the
+// fast path — the zero-copy variant of Send enabled by the shared
+// payload-buffer design: the application assembles its message in the
+// very memory the fast path segments from. Returns the bytes committed
+// (possibly 0 when the buffer is full; callers may Send-style block via
+// the poller's write interest).
+func (cn *Conn) SendZeroCopy(max int, fill func(first, second []byte) int) (int, error) {
+	if cn.closed {
+		return 0, ErrClosed
+	}
+	if cn.peerClosed {
+		return 0, ErrClosed
+	}
+	f := cn.flow
+	f.Lock()
+	a, b := f.TxBuf.ReserveHead(max)
+	n := 0
+	if len(a)+len(b) > 0 {
+		n = fill(a, b)
+		if n < 0 || n > len(a)+len(b) {
+			f.Unlock()
+			panic("libtas: SendZeroCopy fill returned invalid count")
+		}
+		f.TxBuf.AdvanceHead(n)
+	}
+	f.Unlock()
+	if n > 0 {
+		if !cn.ctx.stack.Eng.PushTxCmd(cn.ctx.fp, fastpath.TxCmd{Flow: f, Bytes: uint32(n)}) {
+			cn.ctx.stack.Eng.KickFlow(f)
+		}
+	}
+	return n, nil
+}
+
+// RecvZeroCopy exposes up to max readable bytes in place (consume
+// returns how many bytes the application is done with). The zero-copy
+// variant of Recv: the fast path deposited the payload directly into
+// this buffer and the application reads it without another copy.
+func (cn *Conn) RecvZeroCopy(max int, consume func(first, second []byte) int) int {
+	f := cn.flow
+	f.Lock()
+	a, b := f.RxBuf.PeekTail(max)
+	n := 0
+	if len(a)+len(b) > 0 {
+		n = consume(a, b)
+		if n < 0 || n > len(a)+len(b) {
+			f.Unlock()
+			panic("libtas: RecvZeroCopy consume returned invalid count")
+		}
+		f.RxBuf.Release(n)
+	}
+	f.Unlock()
+	if n > 0 {
+		cn.noteConsumed(n)
+	}
+	return n
+}
+
+// ConnStats is a snapshot of the flow's fast-path state counters.
+type ConnStats struct {
+	RTTMicros    uint32 // smoothed RTT estimate (rtt_est)
+	FastRexmits  uint8  // fast retransmits since the last slow-path poll
+	RxBuffered   int    // bytes readable
+	TxQueued     int    // bytes written but not yet acknowledged
+	TxUnsent     int    // of those, not yet transmitted
+	RxBufSize    int
+	TxBufSize    int
+	PeerWindowKB uint16
+}
+
+// Stats snapshots the connection's per-flow counters (Table 3 state).
+func (cn *Conn) Stats() ConnStats {
+	f := cn.flow
+	f.Lock()
+	st := ConnStats{
+		RTTMicros:    f.RTTEst,
+		FastRexmits:  f.CntFrexmits,
+		RxBuffered:   f.RxBuf.Used(),
+		TxQueued:     f.TxBuf.Used(),
+		TxUnsent:     f.TxPending(),
+		RxBufSize:    f.RxBuf.Size(),
+		TxBufSize:    f.TxBuf.Size(),
+		PeerWindowKB: f.Window,
+	}
+	f.Unlock()
+	return st
+}
+
+// ResizeBuffers grows the connection's payload buffers at runtime via a
+// slow-path management command (§4.1 future work implemented).
+func (cn *Conn) ResizeBuffers(rxSize, txSize int) {
+	cn.ctx.stack.Slow.ResizeBuffers(cn.flow, rxSize, txSize)
+}
+
+// Rebind moves the connection to another context of the same stack —
+// the handoff pattern for accept loops: the listener's context accepts,
+// then each connection moves to its own per-goroutine context. After
+// Rebind, the connection must only be used from the new context's
+// goroutine. Events still queued in the old context are ignored there
+// (Recv/Send poll the payload buffers directly).
+func (cn *Conn) Rebind(newCtx *Context) {
+	old := cn.ctx
+	if old == newCtx {
+		return
+	}
+	newCtx.mu.Lock()
+	cn2 := cn // keep slot identity
+	newCtx.conns = append(newCtx.conns, cn2)
+	opaque := uint64(len(newCtx.conns) - 1)
+	newCtx.mu.Unlock()
+
+	old.mu.Lock()
+	for i, c := range old.conns {
+		if c == cn {
+			old.conns[i] = nil
+		}
+	}
+	old.mu.Unlock()
+
+	cn.flow.Lock()
+	cn.flow.Context = uint16(newCtx.fp.ID)
+	cn.flow.Opaque = opaque
+	cn.flow.Unlock()
+	cn.ctx = newCtx
+}
+
+// Close initiates teardown via the slow path (graceful FIN after the
+// transmit buffer drains).
+func (cn *Conn) Close() error {
+	if cn.closed {
+		return nil
+	}
+	cn.closed = true
+	cn.ctx.stack.Slow.Close(cn.flow)
+	return nil
+}

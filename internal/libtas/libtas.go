@@ -1,0 +1,251 @@
+// Package libtas is the untrusted per-application user-space stack
+// (§3.3): it presents a sockets-style interface (Dial/Listen/Accept/
+// Send/Recv/Close) on top of the fast path's context queues and per-flow
+// payload buffers, plus the low-level API (direct context-event access,
+// the IX-like interface the paper calls "TAS LL").
+//
+// Each Context corresponds to one application thread: it owns a queue
+// pair per fast-path core and an epoll-like wakeup channel. A Context's
+// methods (and those of the Conns and Listeners bound to it) must be
+// used from one goroutine at a time, exactly like the paper's
+// per-thread contexts.
+package libtas
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/fastpath"
+	"repro/internal/flowstate"
+	"repro/internal/protocol"
+	"repro/internal/slowpath"
+)
+
+// Errors returned by the sockets layer.
+var (
+	ErrTimeout    = errors.New("libtas: operation timed out")
+	ErrClosed     = errors.New("libtas: connection closed")
+	ErrWouldBlock = errors.New("libtas: operation would block")
+)
+
+// Stack binds a fast-path engine and slow path into an application-
+// facing user-level TCP stack.
+type Stack struct {
+	Eng  *fastpath.Engine
+	Slow *slowpath.Slowpath
+}
+
+// NewStack registers the application with the TAS service (the paper's
+// special system call + UNIX socket bootstrap, in-process here).
+func NewStack(eng *fastpath.Engine, slow *slowpath.Slowpath) *Stack {
+	return &Stack{Eng: eng, Slow: slow}
+}
+
+// Context is one application thread's attachment: event queues plus the
+// connection registry used to dispatch events.
+type Context struct {
+	stack *Stack
+	fp    *fastpath.Context
+
+	mu        sync.Mutex
+	conns     []*Conn     // index = opaque id
+	listeners []*Listener // index = listener opaque id
+
+	dispatchMu sync.Mutex
+	evBuf      [256]fastpath.Event
+}
+
+// NewContext allocates and registers a context.
+func (s *Stack) NewContext() *Context {
+	ctx := &Context{stack: s}
+	ctx.fp = fastpath.NewContext(0, s.Eng.MaxCores(), 1024)
+	s.Eng.RegisterContext(ctx.fp)
+	return ctx
+}
+
+// FP exposes the low-level context (the TAS LL API).
+func (c *Context) FP() *fastpath.Context { return c.fp }
+
+// dispatch drains pending fast-path events into connection state. It
+// returns the number of events processed. Contexts are meant to be used
+// from a single goroutine; the mutex only prevents corruption if that
+// contract is violated.
+func (c *Context) dispatch() int {
+	c.dispatchMu.Lock()
+	defer c.dispatchMu.Unlock()
+	n := c.fp.PollEvents(c.evBuf[:])
+	for i := 0; i < n; i++ {
+		ev := c.evBuf[i]
+		switch ev.Kind {
+		case fastpath.EvAccepted:
+			c.mu.Lock()
+			if int(ev.Opaque) < len(c.listeners) {
+				l := c.listeners[ev.Opaque]
+				l.backlog = append(l.backlog, ev.Flow)
+			}
+			c.mu.Unlock()
+		case fastpath.EvConnected:
+			c.mu.Lock()
+			if int(ev.Opaque) < len(c.conns) {
+				if conn := c.conns[ev.Opaque]; conn != nil {
+					if ev.Bytes != 0 {
+						conn.refused = true
+					} else {
+						conn.flow = ev.Flow
+						conn.established = true
+					}
+				}
+			}
+			c.mu.Unlock()
+		case fastpath.EvClosed:
+			c.mu.Lock()
+			if int(ev.Opaque) < len(c.conns) {
+				if conn := c.conns[ev.Opaque]; conn != nil {
+					conn.peerClosed = true
+				}
+			}
+			c.mu.Unlock()
+		case fastpath.EvData, fastpath.EvTxAcked:
+			// Pure wakeups: Recv/Send poll the payload buffers directly,
+			// so event payloads need not be tracked.
+		}
+	}
+	return n
+}
+
+// wait polls until cond holds, blocking on the context's wakeup channel
+// between polls (the epoll analogue). A zero timeout waits forever.
+func (c *Context) wait(cond func() bool, timeout time.Duration) error {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		c.dispatch()
+		if cond() {
+			return nil
+		}
+		ch := c.fp.Sleep()
+		// Re-poll after publishing the sleep flag (lost-wakeup guard).
+		c.dispatch()
+		if cond() {
+			c.fp.Awake()
+			return nil
+		}
+		if deadline.IsZero() {
+			<-ch
+		} else {
+			d := time.Until(deadline)
+			if d <= 0 {
+				c.fp.Awake()
+				return ErrTimeout
+			}
+			select {
+			case <-ch:
+			case <-time.After(d):
+				c.fp.Awake()
+				return ErrTimeout
+			}
+		}
+		c.fp.Awake()
+	}
+}
+
+// newConnLocked allocates a Conn slot; caller holds c.mu.
+func (c *Context) newConnLocked() (*Conn, uint64) {
+	conn := &Conn{ctx: c}
+	c.conns = append(c.conns, conn)
+	return conn, uint64(len(c.conns) - 1)
+}
+
+// Dial opens a TCP connection to ip:port via the slow path, blocking
+// until the handshake completes.
+func (c *Context) Dial(ip protocol.IPv4, port uint16, timeout time.Duration) (*Conn, error) {
+	c.mu.Lock()
+	conn, opaque := c.newConnLocked()
+	c.mu.Unlock()
+	if _, err := c.stack.Slow.Connect(ip, port, uint16(c.fp.ID), opaque); err != nil {
+		return nil, err
+	}
+	err := c.wait(func() bool { return conn.established || conn.refused }, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if conn.refused {
+		return nil, slowpath.ErrNoListener
+	}
+	conn.flow.Lock()
+	conn.flow.Opaque = opaque
+	conn.flow.Unlock()
+	return conn, nil
+}
+
+// Listen registers a listening port on this context.
+func (c *Context) Listen(port uint16) (*Listener, error) {
+	c.mu.Lock()
+	l := &Listener{ctx: c, port: port}
+	c.listeners = append(c.listeners, l)
+	opaque := uint64(len(c.listeners) - 1)
+	c.mu.Unlock()
+	if err := c.stack.Slow.Listen(port, uint16(c.fp.ID), opaque); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	ctx     *Context
+	port    uint16
+	backlog []*flowstate.Flow
+	closed  bool
+}
+
+// Accept blocks for the next established connection. A zero timeout
+// waits forever.
+func (l *Listener) Accept(timeout time.Duration) (*Conn, error) {
+	c := l.ctx
+	var flow *flowstate.Flow
+	err := c.wait(func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if l.closed {
+			return true
+		}
+		if len(l.backlog) > 0 {
+			flow = l.backlog[0]
+			l.backlog = l.backlog[1:]
+			return true
+		}
+		return false
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if flow == nil {
+		return nil, ErrClosed
+	}
+	c.mu.Lock()
+	conn, opaque := c.newConnLocked()
+	c.mu.Unlock()
+	conn.flow = flow
+	conn.established = true
+	// Rebind the flow's context-queue events to the accepting conn.
+	flow.Lock()
+	flow.Opaque = opaque
+	flow.Unlock()
+	return conn, nil
+}
+
+// Close unregisters the listener.
+func (l *Listener) Close() {
+	l.ctx.stack.Slow.Unlisten(l.port)
+	l.ctx.mu.Lock()
+	l.closed = true
+	l.ctx.mu.Unlock()
+	l.ctx.fp.Wake()
+}
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.port }

@@ -1,0 +1,81 @@
+package libtas
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// MsgConn adds datagram framing on top of a TAS byte stream — the §6
+// "Beyond TCP" observation that message framing is simple to layer over
+// the stream abstraction while keeping the fast path's constant
+// per-flow state (the stream needs no message-boundary tracking in the
+// fast path; boundaries live entirely in this untrusted library).
+//
+// Frames are length-prefixed: [4-byte big-endian length][payload].
+type MsgConn struct {
+	*Conn
+	maxMsg int
+	hdr    [4]byte
+}
+
+// MaxMsgDefault bounds message size unless overridden.
+const MaxMsgDefault = 16 << 20
+
+// NewMsgConn wraps a connection with datagram framing. maxMsg bounds
+// accepted message sizes (0 = MaxMsgDefault).
+func NewMsgConn(cn *Conn, maxMsg int) *MsgConn {
+	if maxMsg <= 0 {
+		maxMsg = MaxMsgDefault
+	}
+	return &MsgConn{Conn: cn, maxMsg: maxMsg}
+}
+
+// SendMsg writes one framed message.
+func (m *MsgConn) SendMsg(p []byte, timeout time.Duration) error {
+	if len(p) > m.maxMsg {
+		return fmt.Errorf("libtas: message of %d bytes exceeds limit %d", len(p), m.maxMsg)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+	if _, err := m.Conn.Send(hdr[:], timeout); err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	_, err := m.Conn.Send(p, timeout)
+	return err
+}
+
+// recvFull reads exactly len(p) bytes.
+func (m *MsgConn) recvFull(p []byte, timeout time.Duration) error {
+	got := 0
+	for got < len(p) {
+		n, err := m.Conn.Recv(p[got:], timeout)
+		if err != nil {
+			return err
+		}
+		got += n
+	}
+	return nil
+}
+
+// RecvMsg reads one framed message, allocating its payload.
+func (m *MsgConn) RecvMsg(timeout time.Duration) ([]byte, error) {
+	if err := m.recvFull(m.hdr[:], timeout); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(m.hdr[:])
+	if int(n) > m.maxMsg {
+		return nil, fmt.Errorf("libtas: peer message of %d bytes exceeds limit %d", n, m.maxMsg)
+	}
+	p := make([]byte, n)
+	if n == 0 {
+		return p, nil
+	}
+	if err := m.recvFull(p, timeout); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,291 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// ConnectPair wires two hosts with a direct full-duplex link (the
+// microbenchmark "two machines, one link" setup).
+func ConnectPair(eng *sim.Engine, a, b *Host, cfg PortConfig) {
+	a.AttachUplink(NewPort(eng, cfg, b))
+	b.AttachUplink(NewPort(eng, cfg, a))
+}
+
+// Star is a single-switch network: every host connects to one switch
+// with symmetric links. It models the paper's testbed rack (clients and
+// server on one Arista switch) and the incast setup.
+type Star struct {
+	Switch *Switch
+	Hosts  []*Host
+	index  map[protocol.IPv4]int
+}
+
+// NewStar builds a star over the given hosts. downCfg configures the
+// switch->host ports (where incast congestion happens; give it the ECN
+// threshold), upCfg the host->switch ports.
+func NewStar(eng *sim.Engine, hosts []*Host, upCfg, downCfg PortConfig) *Star {
+	sw := NewSwitch(eng, "star")
+	st := &Star{Switch: sw, Hosts: hosts, index: make(map[protocol.IPv4]int)}
+	for i, h := range hosts {
+		h.AttachUplink(NewPort(eng, upCfg, sw))
+		port := sw.AddPort(downCfg, h)
+		if port != i {
+			panic("netsim: port/host index mismatch")
+		}
+		st.index[h.IP] = i
+	}
+	sw.SetRoute(func(p *protocol.Packet) int {
+		if i, ok := st.index[p.DstIP]; ok {
+			return i
+		}
+		return -1
+	})
+	return st
+}
+
+// DownPort returns the switch egress port feeding host i — the queue to
+// observe for incast/congestion experiments.
+func (s *Star) DownPort(i int) *Port { return s.Switch.Port(i) }
+
+// Dumbbell is the classic two-switch topology: left hosts and right
+// hosts, joined by one (typically bottleneck) link. Useful for
+// congestion experiments that need many senders contending on a single
+// inter-switch link rather than on a receiver's downlink.
+type Dumbbell struct {
+	Left, Right   *Switch
+	LeftHosts     []*Host
+	RightHosts    []*Host
+	bottleneckL2R *Port
+	bottleneckR2L *Port
+}
+
+// NewDumbbell connects nLeft and nRight hosts via two switches joined by
+// a bottleneck link. edgeCfg configures host<->switch ports; coreCfg the
+// inter-switch link (put the ECN threshold there).
+func NewDumbbell(eng *sim.Engine, nLeft, nRight int, edgeCfg, coreCfg PortConfig) *Dumbbell {
+	d := &Dumbbell{
+		Left:  NewSwitch(eng, "left"),
+		Right: NewSwitch(eng, "right"),
+	}
+	for i := 0; i < nLeft; i++ {
+		h := NewHost(eng, protocol.MakeIPv4(10, 1, byte(i/250), byte(i%250+1)))
+		h.AttachUplink(NewPort(eng, edgeCfg, d.Left))
+		d.Left.AddPort(edgeCfg, h)
+		d.LeftHosts = append(d.LeftHosts, h)
+	}
+	for i := 0; i < nRight; i++ {
+		h := NewHost(eng, protocol.MakeIPv4(10, 2, byte(i/250), byte(i%250+1)))
+		h.AttachUplink(NewPort(eng, edgeCfg, d.Right))
+		d.Right.AddPort(edgeCfg, h)
+		d.RightHosts = append(d.RightHosts, h)
+	}
+	// Bottleneck ports are the switches' last ports.
+	l2r := d.Left.AddPort(coreCfg, d.Right)
+	r2l := d.Right.AddPort(coreCfg, d.Left)
+	d.bottleneckL2R = d.Left.Port(l2r)
+	d.bottleneckR2L = d.Right.Port(r2l)
+
+	side := func(ip protocol.IPv4) int { return int(byte(ip >> 16)) } // 1=left, 2=right
+	idx := func(ip protocol.IPv4) int { return int(byte(ip>>8))*250 + int(byte(ip)) - 1 }
+	d.Left.SetRoute(func(p *protocol.Packet) int {
+		if side(p.DstIP) == 1 {
+			i := idx(p.DstIP)
+			if i < 0 || i >= nLeft {
+				return -1
+			}
+			return i
+		}
+		return l2r
+	})
+	d.Right.SetRoute(func(p *protocol.Packet) int {
+		if side(p.DstIP) == 2 {
+			i := idx(p.DstIP)
+			if i < 0 || i >= nRight {
+				return -1
+			}
+			return i
+		}
+		return r2l
+	})
+	return d
+}
+
+// Bottleneck returns the left-to-right inter-switch port (the usual
+// observation point for queue dynamics).
+func (d *Dumbbell) Bottleneck() *Port { return d.bottleneckL2R }
+
+// FatTreeConfig sizes the 3-level Clos used for the paper's large-cluster
+// simulation (§5.5: 2560 servers, 112 switches, 1:4 oversubscription).
+type FatTreeConfig struct {
+	Pods          int // number of pods
+	TorsPerPod    int // ToR switches per pod
+	ServersPerTor int // hosts per ToR
+	AggsPerPod    int // aggregation switches per pod
+	Cores         int // core switches (must be divisible by AggsPerPod)
+
+	HostRateBps float64 // server link rate
+	TorUpBps    float64 // ToR<->agg link rate
+	AggUpBps    float64 // agg<->core link rate
+
+	PropDelay    sim.Time
+	QueueCap     int
+	ECNThreshold int
+}
+
+// PaperFatTree returns the §5.5 configuration: 16 pods x 4 ToRs x 40
+// servers = 2560 servers; 64 ToR + 32 agg + 16 core = 112 switches.
+// Each ToR has 40x10G down and 2x50G up: 1:4 oversubscription at the
+// edge; agg and core are 1:1 above that.
+func PaperFatTree() FatTreeConfig {
+	return FatTreeConfig{
+		Pods: 16, TorsPerPod: 4, ServersPerTor: 40, AggsPerPod: 2, Cores: 16,
+		HostRateBps: 10e9, TorUpBps: 50e9, AggUpBps: 25e9,
+		PropDelay: 5 * sim.Microsecond, QueueCap: 250, ECNThreshold: 65,
+	}
+}
+
+// FatTree is a 3-level Clos topology with ECMP-by-flow-hash routing.
+// Host addressing: 10.pod.tor.(server+1).
+type FatTree struct {
+	Cfg   FatTreeConfig
+	Hosts []*Host
+	Tors  []*Switch // pod-major order
+	Aggs  []*Switch
+	Cores []*Switch
+}
+
+// HostIP returns the address of a server by coordinates.
+func HostIP(pod, tor, server int) protocol.IPv4 {
+	return protocol.MakeIPv4(10, byte(pod), byte(tor), byte(server+1))
+}
+
+func podOf(ip protocol.IPv4) int { return int(byte(ip >> 16)) }
+func torOf(ip protocol.IPv4) int { return int(byte(ip >> 8)) }
+
+// NewFatTree builds the topology and all hosts.
+func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
+	if cfg.Cores%cfg.AggsPerPod != 0 {
+		panic("netsim: Cores must be divisible by AggsPerPod")
+	}
+	coresPerAgg := cfg.Cores / cfg.AggsPerPod
+	ft := &FatTree{Cfg: cfg}
+
+	mk := func(rate float64) PortConfig {
+		return PortConfig{RateBps: rate, PropDelay: cfg.PropDelay, QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNThreshold}
+	}
+
+	// Create switches.
+	for p := 0; p < cfg.Pods; p++ {
+		for t := 0; t < cfg.TorsPerPod; t++ {
+			ft.Tors = append(ft.Tors, NewSwitch(eng, fmt.Sprintf("tor%d.%d", p, t)))
+		}
+		for a := 0; a < cfg.AggsPerPod; a++ {
+			ft.Aggs = append(ft.Aggs, NewSwitch(eng, fmt.Sprintf("agg%d.%d", p, a)))
+		}
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		ft.Cores = append(ft.Cores, NewSwitch(eng, fmt.Sprintf("core%d", c)))
+	}
+
+	tor := func(p, t int) *Switch { return ft.Tors[p*cfg.TorsPerPod+t] }
+	agg := func(p, a int) *Switch { return ft.Aggs[p*cfg.AggsPerPod+a] }
+
+	// Hosts + ToR downlinks. ToR port layout: [0..servers) down,
+	// [servers..servers+aggs) up.
+	for p := 0; p < cfg.Pods; p++ {
+		for t := 0; t < cfg.TorsPerPod; t++ {
+			sw := tor(p, t)
+			for s := 0; s < cfg.ServersPerTor; s++ {
+				h := NewHost(eng, HostIP(p, t, s))
+				h.AttachUplink(NewPort(eng, mk(cfg.HostRateBps), sw))
+				sw.AddPort(mk(cfg.HostRateBps), h)
+				ft.Hosts = append(ft.Hosts, h)
+			}
+			for a := 0; a < cfg.AggsPerPod; a++ {
+				sw.AddPort(mk(cfg.TorUpBps), agg(p, a))
+			}
+		}
+	}
+
+	// Agg port layout: [0..tors) down to ToRs, [tors..tors+coresPerAgg) up.
+	for p := 0; p < cfg.Pods; p++ {
+		for a := 0; a < cfg.AggsPerPod; a++ {
+			sw := agg(p, a)
+			for t := 0; t < cfg.TorsPerPod; t++ {
+				sw.AddPort(mk(cfg.TorUpBps), tor(p, t))
+			}
+			for ci := 0; ci < coresPerAgg; ci++ {
+				core := ft.Cores[a*coresPerAgg+ci]
+				sw.AddPort(mk(cfg.AggUpBps), core)
+			}
+		}
+	}
+
+	// Core port layout: one port per pod, to that pod's owning agg.
+	// Core c belongs to agg group g = c / coresPerAgg.
+	for c := 0; c < cfg.Cores; c++ {
+		g := c / coresPerAgg
+		sw := ft.Cores[c]
+		for p := 0; p < cfg.Pods; p++ {
+			sw.AddPort(mk(cfg.AggUpBps), agg(p, g))
+		}
+	}
+
+	// Routing.
+	for p := 0; p < cfg.Pods; p++ {
+		for t := 0; t < cfg.TorsPerPod; t++ {
+			p, t := p, t
+			tor(p, t).SetRoute(func(pkt *protocol.Packet) int {
+				if podOf(pkt.DstIP) == p && torOf(pkt.DstIP) == t {
+					s := int(byte(pkt.DstIP)) - 1
+					if s < 0 || s >= cfg.ServersPerTor {
+						return -1
+					}
+					return s
+				}
+				// ECMP up over the pod's aggs.
+				return cfg.ServersPerTor + int(pkt.Hash())%cfg.AggsPerPod
+			})
+		}
+		for a := 0; a < cfg.AggsPerPod; a++ {
+			p := p
+			agg(p, a).SetRoute(func(pkt *protocol.Packet) int {
+				if podOf(pkt.DstIP) == p {
+					t := torOf(pkt.DstIP)
+					if t < 0 || t >= cfg.TorsPerPod {
+						return -1
+					}
+					return t
+				}
+				// ECMP up over this agg's cores.
+				return cfg.TorsPerPod + int(pkt.Hash()>>8)%coresPerAgg
+			})
+		}
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		ft.Cores[c].SetRoute(func(pkt *protocol.Packet) int {
+			p := podOf(pkt.DstIP)
+			if p < 0 || p >= cfg.Pods {
+				return -1
+			}
+			return p
+		})
+	}
+	return ft
+}
+
+// HostByIP returns the host with the given address (nil if absent).
+func (ft *FatTree) HostByIP(ip protocol.IPv4) *Host {
+	p, t := podOf(ip), torOf(ip)
+	s := int(byte(ip)) - 1
+	if p < 0 || p >= ft.Cfg.Pods || t < 0 || t >= ft.Cfg.TorsPerPod || s < 0 || s >= ft.Cfg.ServersPerTor {
+		return nil
+	}
+	return ft.Hosts[(p*ft.Cfg.TorsPerPod+t)*ft.Cfg.ServersPerTor+s]
+}
+
+// NumSwitches returns the total switch count.
+func (ft *FatTree) NumSwitches() int { return len(ft.Tors) + len(ft.Aggs) + len(ft.Cores) }

@@ -1,0 +1,202 @@
+package protocol
+
+import "encoding/binary"
+
+// be is the big-endian byte order used by all network headers.
+var be = binary.BigEndian
+
+// Checksum computes the Internet checksum (RFC 1071) over data with the
+// given initial partial sum (pass 0 unless folding a pseudo-header).
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(be.Uint16(data[i:]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the partial sum of the TCP pseudo-header.
+func pseudoHeaderSum(src, dst IPv4, tcpLen int) uint32 {
+	var sum uint32
+	sum += uint32(src >> 16)
+	sum += uint32(src & 0xffff)
+	sum += uint32(dst >> 16)
+	sum += uint32(dst & 0xffff)
+	sum += uint32(IPProtoTCP)
+	sum += uint32(tcpLen)
+	return sum
+}
+
+// Marshal encodes the packet into a freshly allocated wire-format frame.
+// If the packet's payload is elided (Payload nil, PayloadLen > 0) the
+// payload bytes are zero. IP and TCP checksums are computed.
+func Marshal(p *Packet) []byte {
+	buf := make([]byte, p.WireLen())
+	MarshalInto(p, buf)
+	return buf
+}
+
+// MarshalInto encodes the packet into buf, which must be at least
+// p.WireLen() bytes. It returns the number of bytes written.
+func MarshalInto(p *Packet, buf []byte) int {
+	total := p.WireLen()
+	if len(buf) < total {
+		panic("protocol: buffer too small")
+	}
+	// Ethernet.
+	copy(buf[0:6], p.DstMAC[:])
+	copy(buf[6:12], p.SrcMAC[:])
+	be.PutUint16(buf[12:], EtherTypeIPv4)
+
+	// IPv4.
+	ip := buf[EthHeaderLen:]
+	ipTotal := total - EthHeaderLen
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = byte(p.ECN) & 0x3
+	be.PutUint16(ip[2:], uint16(ipTotal))
+	be.PutUint16(ip[4:], 0)      // identification
+	be.PutUint16(ip[6:], 0x4000) // DF, no fragments (never fragmented in DC)
+	ip[8] = 64                   // TTL
+	ip[9] = IPProtoTCP
+	be.PutUint16(ip[10:], 0) // checksum placeholder
+	be.PutUint32(ip[12:], uint32(p.SrcIP))
+	be.PutUint32(ip[16:], uint32(p.DstIP))
+	be.PutUint16(ip[10:], Checksum(ip[:IPv4HeaderLen], 0))
+
+	// TCP.
+	tcp := ip[IPv4HeaderLen:]
+	hlen := p.tcpHeaderLen()
+	be.PutUint16(tcp[0:], p.SrcPort)
+	be.PutUint16(tcp[2:], p.DstPort)
+	be.PutUint32(tcp[4:], p.Seq)
+	be.PutUint32(tcp[8:], p.Ack)
+	tcp[12] = byte(hlen/4) << 4
+	tcp[13] = byte(p.Flags)
+	be.PutUint16(tcp[14:], p.Window)
+	be.PutUint16(tcp[16:], 0) // checksum placeholder
+	be.PutUint16(tcp[18:], 0) // urgent pointer
+
+	// Options.
+	opt := tcp[TCPHeaderLen:hlen]
+	off := 0
+	if p.MSSOpt != 0 {
+		opt[off] = 2 // kind MSS
+		opt[off+1] = 4
+		be.PutUint16(opt[off+2:], p.MSSOpt)
+		off += 4
+	}
+	if p.HasTS {
+		opt[off] = 1 // NOP
+		opt[off+1] = 1
+		opt[off+2] = 8 // kind timestamps
+		opt[off+3] = 10
+		be.PutUint32(opt[off+4:], p.TSVal)
+		be.PutUint32(opt[off+8:], p.TSEcr)
+		off += 12
+	}
+
+	// Payload.
+	data := tcp[hlen:]
+	if p.Payload != nil {
+		copy(data, p.Payload)
+	}
+	// else: leave zeroed (elided payload)
+
+	tcpLen := hlen + p.DataLen()
+	be.PutUint16(tcp[16:], Checksum(tcp[:tcpLen], pseudoHeaderSum(p.SrcIP, p.DstIP, tcpLen)))
+	return total
+}
+
+// Parse decodes a wire-format frame into a Packet, verifying both the IP
+// header checksum and the TCP checksum. The returned packet's Payload
+// aliases buf.
+func Parse(buf []byte) (*Packet, error) {
+	if len(buf) < EthHeaderLen+IPv4HeaderLen+TCPHeaderLen {
+		return nil, ErrTruncated
+	}
+	p := &Packet{}
+	copy(p.DstMAC[:], buf[0:6])
+	copy(p.SrcMAC[:], buf[6:12])
+	if be.Uint16(buf[12:]) != EtherTypeIPv4 {
+		return nil, ErrNotIPv4
+	}
+	ip := buf[EthHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return nil, ErrNotIPv4
+	}
+	ihl := int(ip[0]&0xf) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl {
+		return nil, ErrBadHeader
+	}
+	if Checksum(ip[:ihl], 0) != 0 {
+		return nil, ErrBadChecksum
+	}
+	ipTotal := int(be.Uint16(ip[2:]))
+	if ipTotal < ihl || ipTotal > len(ip) {
+		return nil, ErrTruncated
+	}
+	if ip[9] != IPProtoTCP {
+		return nil, ErrNotTCP
+	}
+	p.ECN = ECN(ip[1] & 0x3)
+	p.SrcIP = IPv4(be.Uint32(ip[12:]))
+	p.DstIP = IPv4(be.Uint32(ip[16:]))
+
+	tcp := ip[ihl:ipTotal]
+	if len(tcp) < TCPHeaderLen {
+		return nil, ErrTruncated
+	}
+	hlen := int(tcp[12]>>4) * 4
+	if hlen < TCPHeaderLen || hlen > len(tcp) {
+		return nil, ErrBadHeader
+	}
+	if Checksum(tcp, pseudoHeaderSum(p.SrcIP, p.DstIP, len(tcp))) != 0 {
+		return nil, ErrBadChecksum
+	}
+	p.SrcPort = be.Uint16(tcp[0:])
+	p.DstPort = be.Uint16(tcp[2:])
+	p.Seq = be.Uint32(tcp[4:])
+	p.Ack = be.Uint32(tcp[8:])
+	p.Flags = TCPFlags(tcp[13])
+	p.Window = be.Uint16(tcp[14:])
+
+	// Options.
+	opt := tcp[TCPHeaderLen:hlen]
+	for len(opt) > 0 {
+		switch opt[0] {
+		case 0: // end of options
+			opt = nil
+		case 1: // NOP
+			opt = opt[1:]
+		default:
+			if len(opt) < 2 || int(opt[1]) < 2 || int(opt[1]) > len(opt) {
+				return nil, ErrBadHeader
+			}
+			olen := int(opt[1])
+			switch opt[0] {
+			case 2: // MSS
+				if olen == 4 {
+					p.MSSOpt = be.Uint16(opt[2:])
+				}
+			case 8: // timestamps
+				if olen == 10 {
+					p.HasTS = true
+					p.TSVal = be.Uint32(opt[2:])
+					p.TSEcr = be.Uint32(opt[6:])
+				}
+			}
+			opt = opt[olen:]
+		}
+	}
+
+	p.Payload = tcp[hlen:]
+	p.PayloadLen = len(p.Payload)
+	return p, nil
+}

@@ -1,0 +1,286 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		SrcMAC: MAC{0x02, 0, 0, 0, 0, 1}, DstMAC: MAC{0x02, 0, 0, 0, 0, 2},
+		SrcIP: MakeIPv4(10, 0, 0, 1), DstIP: MakeIPv4(10, 0, 0, 2),
+		SrcPort: 40000, DstPort: 8080,
+		Seq: 1000, Ack: 2000,
+		Flags: FlagACK | FlagPSH, Window: 65535,
+		HasTS: true, TSVal: 12345, TSEcr: 67890,
+		ECN:     ECNECT0,
+		Payload: []byte("hello, TAS"),
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	p := samplePacket()
+	buf := Marshal(p)
+	q, err := Parse(buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.SrcIP != p.SrcIP || q.DstIP != p.DstIP || q.SrcPort != p.SrcPort || q.DstPort != p.DstPort {
+		t.Fatal("addressing mismatch")
+	}
+	if q.Seq != p.Seq || q.Ack != p.Ack || q.Flags != p.Flags || q.Window != p.Window {
+		t.Fatal("TCP field mismatch")
+	}
+	if !q.HasTS || q.TSVal != p.TSVal || q.TSEcr != p.TSEcr {
+		t.Fatal("timestamp option mismatch")
+	}
+	if q.ECN != p.ECN {
+		t.Fatal("ECN mismatch")
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("payload mismatch: %q", q.Payload)
+	}
+	if q.SrcMAC != p.SrcMAC || q.DstMAC != p.DstMAC {
+		t.Fatal("MAC mismatch")
+	}
+}
+
+func TestMarshalParseSYNWithMSS(t *testing.T) {
+	p := samplePacket()
+	p.Flags = FlagSYN
+	p.MSSOpt = DefaultMSS
+	p.Payload = nil
+	p.PayloadLen = 0
+	q, err := Parse(Marshal(p))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.MSSOpt != DefaultMSS {
+		t.Fatalf("MSS = %d, want %d", q.MSSOpt, DefaultMSS)
+	}
+	if !q.Flags.Has(FlagSYN) {
+		t.Fatal("SYN lost")
+	}
+	if q.DataLen() != 0 {
+		t.Fatalf("payload len = %d, want 0", q.DataLen())
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	p := samplePacket()
+	buf := Marshal(p)
+	// Flip a payload byte: TCP checksum must fail.
+	buf[len(buf)-1] ^= 0xff
+	if _, err := Parse(buf); err != ErrBadChecksum {
+		t.Fatalf("corrupt payload: err = %v, want ErrBadChecksum", err)
+	}
+	// Flip an IP header byte.
+	buf = Marshal(p)
+	buf[EthHeaderLen+8] ^= 0xff // TTL
+	if _, err := Parse(buf); err != ErrBadChecksum {
+		t.Fatalf("corrupt IP header: err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestParseRejectsTruncation(t *testing.T) {
+	buf := Marshal(samplePacket())
+	for _, n := range []int{0, 10, EthHeaderLen, EthHeaderLen + 5, EthHeaderLen + IPv4HeaderLen + 3} {
+		if _, err := Parse(buf[:n]); err == nil {
+			t.Errorf("Parse of %d-byte prefix should fail", n)
+		}
+	}
+}
+
+func TestParseRejectsNonIPv4(t *testing.T) {
+	buf := Marshal(samplePacket())
+	be.PutUint16(buf[12:], 0x0806) // ARP ethertype
+	if _, err := Parse(buf); err != ErrNotIPv4 {
+		t.Fatalf("err = %v, want ErrNotIPv4", err)
+	}
+}
+
+func TestParseRejectsNonTCP(t *testing.T) {
+	p := samplePacket()
+	buf := Marshal(p)
+	ip := buf[EthHeaderLen:]
+	ip[9] = 17 // UDP
+	// refresh IP checksum
+	be.PutUint16(ip[10:], 0)
+	be.PutUint16(ip[10:], Checksum(ip[:IPv4HeaderLen], 0))
+	if _, err := Parse(buf); err != ErrNotTCP {
+		t.Fatalf("err = %v, want ErrNotTCP", err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 0001 f203 f4f5 f6f7 -> checksum 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data, 0); got != 0x220d {
+		t.Fatalf("checksum = %#x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	data := []byte{0xab}
+	if got := Checksum(data, 0); got != ^uint16(0xab00) {
+		t.Fatalf("odd-length checksum = %#x", got)
+	}
+}
+
+func TestElidedPayloadMarshal(t *testing.T) {
+	p := samplePacket()
+	p.Payload = nil
+	p.PayloadLen = 100
+	buf := Marshal(p)
+	q, err := Parse(buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.DataLen() != 100 {
+		t.Fatalf("parsed payload len = %d, want 100", q.DataLen())
+	}
+}
+
+func TestWireLen(t *testing.T) {
+	p := samplePacket() // TS option only
+	want := EthHeaderLen + IPv4HeaderLen + TCPHeaderLen + TSOptLen + len(p.Payload)
+	if p.WireLen() != want {
+		t.Fatalf("WireLen = %d, want %d", p.WireLen(), want)
+	}
+	if got := len(Marshal(p)); got != want {
+		t.Fatalf("Marshal len = %d, want %d", got, want)
+	}
+}
+
+func TestSeqEnd(t *testing.T) {
+	p := &Packet{Seq: 100, PayloadLen: 50}
+	if p.SeqEnd() != 150 {
+		t.Fatalf("SeqEnd = %d", p.SeqEnd())
+	}
+	p.Flags = FlagSYN
+	if p.SeqEnd() != 151 {
+		t.Fatalf("SYN SeqEnd = %d", p.SeqEnd())
+	}
+	p.Flags = FlagSYN | FlagFIN
+	if p.SeqEnd() != 152 {
+		t.Fatalf("SYN|FIN SeqEnd = %d", p.SeqEnd())
+	}
+	// Wraparound.
+	p = &Packet{Seq: 0xffffffff, PayloadLen: 2}
+	if p.SeqEnd() != 1 {
+		t.Fatalf("wrapped SeqEnd = %d", p.SeqEnd())
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	k := FlowKey{LocalIP: 1, LocalPort: 2, RemoteIP: 3, RemotePort: 4}
+	r := k.Reverse()
+	if r.LocalIP != 3 || r.LocalPort != 4 || r.RemoteIP != 1 || r.RemotePort != 2 {
+		t.Fatalf("Reverse = %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Fatal("double reverse should be identity")
+	}
+}
+
+func TestRxKey(t *testing.T) {
+	p := samplePacket()
+	k := p.RxKey()
+	if k.LocalIP != p.DstIP || k.LocalPort != p.DstPort || k.RemoteIP != p.SrcIP || k.RemotePort != p.SrcPort {
+		t.Fatalf("RxKey = %+v", k)
+	}
+}
+
+func TestFlowHashSymmetric(t *testing.T) {
+	f := func(a, b uint32, ap, bp uint16) bool {
+		return FlowHash(IPv4(a), ap, IPv4(b), bp) == FlowHash(IPv4(b), bp, IPv4(a), ap)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowHashSpreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	buckets := make([]int, 16)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h := FlowHash(IPv4(rng.Uint32()), uint16(rng.Uint32()), MakeIPv4(10, 0, 0, 1), 8080)
+		buckets[h%16]++
+	}
+	for i, c := range buckets {
+		if c < n/16*8/10 || c > n/16*12/10 {
+			t.Errorf("bucket %d has %d entries (uniform would be %d)", i, c, n/16)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := samplePacket()
+	q := p.Clone()
+	q.Payload[0] = 'X'
+	q.Seq = 999
+	if p.Payload[0] == 'X' || p.Seq == 999 {
+		t.Fatal("Clone must not share state")
+	}
+}
+
+func TestMarshalParseQuick(t *testing.T) {
+	f := func(srcIP, dstIP uint32, sp, dp uint16, seq, ack uint32, flags uint8, win uint16, payload []byte, ts bool, tsv, tse uint32) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		p := &Packet{
+			SrcIP: IPv4(srcIP), DstIP: IPv4(dstIP),
+			SrcPort: sp, DstPort: dp,
+			Seq: seq, Ack: ack,
+			Flags: TCPFlags(flags), Window: win,
+			HasTS: ts, Payload: payload,
+		}
+		if ts {
+			p.TSVal, p.TSEcr = tsv, tse
+		}
+		q, err := Parse(Marshal(p))
+		if err != nil {
+			return false
+		}
+		// Normalize for comparison: Parse sets PayloadLen and non-nil payload slice.
+		q2 := *q
+		q2.PayloadLen = 0
+		p2 := *p
+		p2.PayloadLen = 0
+		if len(q.Payload) == 0 && len(p.Payload) == 0 {
+			q2.Payload, p2.Payload = nil, nil
+		}
+		return reflect.DeepEqual(p2.Flags, q2.Flags) &&
+			p2.Seq == q2.Seq && p2.Ack == q2.Ack && p2.Window == q2.Window &&
+			p2.SrcIP == q2.SrcIP && p2.DstIP == q2.DstIP &&
+			p2.SrcPort == q2.SrcPort && p2.DstPort == q2.DstPort &&
+			p2.HasTS == q2.HasTS && p2.TSVal == q2.TSVal && p2.TSEcr == q2.TSEcr &&
+			bytes.Equal(p2.Payload, q2.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if s := (FlagSYN | FlagACK).String(); s != "SYN|ACK" {
+		t.Fatalf("got %q", s)
+	}
+	if s := TCPFlags(0).String(); s != "none" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestAddrStrings(t *testing.T) {
+	if s := MakeIPv4(192, 168, 1, 9).String(); s != "192.168.1.9" {
+		t.Fatalf("IPv4.String = %q", s)
+	}
+	if s := (MAC{0xde, 0xad, 0xbe, 0xef, 0, 1}).String(); s != "de:ad:be:ef:00:01" {
+		t.Fatalf("MAC.String = %q", s)
+	}
+}

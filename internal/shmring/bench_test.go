@@ -1,0 +1,52 @@
+package shmring
+
+import "testing"
+
+func BenchmarkSPSCEnqueueDequeue(b *testing.B) {
+	q := NewSPSC[uint64](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(uint64(i))
+		q.Dequeue()
+	}
+}
+
+func BenchmarkSPSCBatch(b *testing.B) {
+	q := NewSPSC[uint64](1024)
+	out := make([]uint64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			q.Enqueue(uint64(j))
+		}
+		q.DequeueBatch(out)
+	}
+	b.SetBytes(64 * 8)
+}
+
+func BenchmarkPayloadBufferWriteRead(b *testing.B) {
+	buf := NewPayloadBuffer(1 << 20)
+	data := make([]byte, 1448)
+	out := make([]byte, 1448)
+	b.SetBytes(1448)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Write(data)
+		buf.Read(out)
+	}
+}
+
+func BenchmarkPayloadBufferOOODeposit(b *testing.B) {
+	buf := NewPayloadBuffer(1 << 20)
+	data := make([]byte, 1448)
+	out := make([]byte, 2*1448)
+	b.SetBytes(2 * 1448)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := buf.Head()
+		buf.WriteAt(h+1448, data) // out-of-order segment first
+		buf.WriteAt(h, data)      // gap fill
+		buf.AdvanceHead(2 * 1448)
+		buf.Read(out)
+	}
+}

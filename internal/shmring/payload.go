@@ -1,0 +1,184 @@
+package shmring
+
+import (
+	"sync/atomic"
+)
+
+// PayloadBuffer is a circular byte buffer with absolute 32-bit positions,
+// modelling the per-flow receive and transmit payload buffers of Table 3:
+// rx|tx_start+size describe the region, head is the producer position and
+// tail the consumer position. Positions are absolute byte counters that
+// wrap modulo 2^32; the buffer index is position mod size, which requires
+// the size to be a power of two so that wrapping stays consistent.
+//
+// The producer owns head, the consumer owns tail. Random-access writes
+// (WriteAt) support the fast path's out-of-order deposit: payload is
+// placed at its stream position before head advances over it.
+type PayloadBuffer struct {
+	buf  []byte
+	mask uint32
+	_    pad
+	head atomic.Uint32 // producer position (bytes ever produced)
+	_    pad
+	tail atomic.Uint32 // consumer position (bytes ever consumed)
+	_    pad
+}
+
+// NewPayloadBuffer returns a buffer of the given power-of-two size.
+func NewPayloadBuffer(size int) *PayloadBuffer {
+	if size <= 0 || size&(size-1) != 0 {
+		panic("shmring: payload buffer size must be a positive power of two")
+	}
+	return &PayloadBuffer{buf: make([]byte, size), mask: uint32(size - 1)}
+}
+
+// Size returns the buffer capacity in bytes.
+func (b *PayloadBuffer) Size() int { return len(b.buf) }
+
+// Head returns the producer position.
+func (b *PayloadBuffer) Head() uint32 { return b.head.Load() }
+
+// Tail returns the consumer position.
+func (b *PayloadBuffer) Tail() uint32 { return b.tail.Load() }
+
+// Used returns the number of bytes produced but not yet consumed.
+func (b *PayloadBuffer) Used() int { return int(b.head.Load() - b.tail.Load()) }
+
+// Free returns the number of bytes that can still be produced.
+func (b *PayloadBuffer) Free() int { return len(b.buf) - b.Used() }
+
+// copyIn copies data into the ring at absolute position pos.
+func (b *PayloadBuffer) copyIn(pos uint32, data []byte) {
+	idx := pos & b.mask
+	n := copy(b.buf[idx:], data)
+	if n < len(data) {
+		copy(b.buf, data[n:])
+	}
+}
+
+// copyOut copies from the ring at absolute position pos into out.
+func (b *PayloadBuffer) copyOut(pos uint32, out []byte) {
+	idx := pos & b.mask
+	n := copy(out, b.buf[idx:])
+	if n < len(out) {
+		copy(out[n:], b.buf[:len(out)-int(uint32(n))])
+	}
+}
+
+// Write appends data at head and advances head. It reports false (and
+// writes nothing) if the free space is insufficient.
+func (b *PayloadBuffer) Write(data []byte) bool {
+	if len(data) > b.Free() {
+		return false
+	}
+	h := b.head.Load()
+	b.copyIn(h, data)
+	b.head.Store(h + uint32(len(data)))
+	return true
+}
+
+// WriteAt places data at absolute position pos without moving head. The
+// caller must ensure [pos, pos+len) lies within [head, tail+size) — i.e.
+// at or ahead of head but within the free region. Used for out-of-order
+// deposit.
+func (b *PayloadBuffer) WriteAt(pos uint32, data []byte) {
+	b.copyIn(pos, data)
+}
+
+// AdvanceHead moves the producer position forward by n bytes (payload
+// already placed via WriteAt).
+func (b *PayloadBuffer) AdvanceHead(n int) {
+	b.head.Store(b.head.Load() + uint32(n))
+}
+
+// Read copies up to len(out) bytes from tail and advances tail. It
+// returns the number of bytes read.
+func (b *PayloadBuffer) Read(out []byte) int {
+	avail := b.Used()
+	if avail == 0 || len(out) == 0 {
+		return 0
+	}
+	n := len(out)
+	if n > avail {
+		n = avail
+	}
+	tl := b.tail.Load()
+	b.copyOut(tl, out[:n])
+	b.tail.Store(tl + uint32(n))
+	return n
+}
+
+// ReadAt copies len(out) bytes starting at absolute position pos without
+// moving tail. The caller must ensure [pos, pos+len) lies within
+// [tail, head). Used by the fast path to fetch transmit payload that must
+// remain buffered until acknowledged.
+func (b *PayloadBuffer) ReadAt(pos uint32, out []byte) {
+	b.copyOut(pos, out)
+}
+
+// Release advances tail by n bytes without copying — transmit-buffer
+// space reclamation when acknowledgements arrive.
+func (b *PayloadBuffer) Release(n int) {
+	b.tail.Store(b.tail.Load() + uint32(n))
+}
+
+// ReserveHead returns up to n bytes of writable space at the producer
+// position as (up to) two spans — the contiguous tail of the ring and
+// its wrapped head. The caller fills the spans in order and then calls
+// AdvanceHead for the bytes actually written. This is the zero-copy
+// produce path: payload is assembled directly in the shared buffer.
+func (b *PayloadBuffer) ReserveHead(n int) (first, second []byte) {
+	if free := b.Free(); n > free {
+		n = free
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	idx := int(b.head.Load() & b.mask)
+	if idx+n <= len(b.buf) {
+		return b.buf[idx : idx+n], nil
+	}
+	return b.buf[idx:], b.buf[:n-(len(b.buf)-idx)]
+}
+
+// PeekTail returns up to n readable bytes at the consumer position as
+// (up to) two spans, without consuming. Follow with Release for the
+// bytes actually consumed. This is the zero-copy consume path.
+func (b *PayloadBuffer) PeekTail(n int) (first, second []byte) {
+	if used := b.Used(); n > used {
+		n = used
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	idx := int(b.tail.Load() & b.mask)
+	if idx+n <= len(b.buf) {
+		return b.buf[idx : idx+n], nil
+	}
+	return b.buf[idx:], b.buf[:n-(len(b.buf)-idx)]
+}
+
+// Grow replaces the backing storage with a larger power-of-two buffer,
+// preserving unconsumed bytes and the absolute head/tail positions.
+// The paper lists buffer resizing as desirable future work (§4.1
+// Limitations); here it backs the slow path's resize management
+// command. The caller must hold whatever lock serializes producers and
+// consumers of this buffer (the flow spinlock).
+func (b *PayloadBuffer) Grow(newSize int) {
+	if newSize <= len(b.buf) {
+		return
+	}
+	if newSize&(newSize-1) != 0 {
+		panic("shmring: Grow size must be a power of two")
+	}
+	nb := make([]byte, newSize)
+	tl, hd := b.tail.Load(), b.head.Load()
+	used := int(hd - tl)
+	// Copy the live region to the same absolute positions modulo the
+	// new size.
+	tmp := make([]byte, used)
+	b.copyOut(tl, tmp)
+	b.buf = nb
+	b.mask = uint32(newSize - 1)
+	b.copyIn(tl, tmp)
+}

@@ -1,0 +1,292 @@
+package shmring
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPayloadBufferBasic(t *testing.T) {
+	b := NewPayloadBuffer(16)
+	if b.Size() != 16 || b.Free() != 16 || b.Used() != 0 {
+		t.Fatal("fresh buffer geometry wrong")
+	}
+	if !b.Write([]byte("hello")) {
+		t.Fatal("write failed")
+	}
+	if b.Used() != 5 || b.Free() != 11 {
+		t.Fatalf("used=%d free=%d", b.Used(), b.Free())
+	}
+	out := make([]byte, 5)
+	if n := b.Read(out); n != 5 || string(out) != "hello" {
+		t.Fatalf("read %d %q", n, out)
+	}
+	if b.Used() != 0 {
+		t.Fatal("not drained")
+	}
+}
+
+func TestPayloadBufferRejectsOverfill(t *testing.T) {
+	b := NewPayloadBuffer(8)
+	if !b.Write(make([]byte, 8)) {
+		t.Fatal("exact fill should succeed")
+	}
+	if b.Write([]byte{1}) {
+		t.Fatal("write to full buffer should fail")
+	}
+	b.Release(3)
+	if !b.Write(make([]byte, 3)) {
+		t.Fatal("write after release should succeed")
+	}
+}
+
+func TestPayloadBufferWraparound(t *testing.T) {
+	b := NewPayloadBuffer(8)
+	for round := 0; round < 1000; round++ {
+		data := []byte{byte(round), byte(round + 1), byte(round + 2), byte(round + 3), byte(round + 4)}
+		if !b.Write(data) {
+			t.Fatal("write failed")
+		}
+		out := make([]byte, 5)
+		if n := b.Read(out); n != 5 || !bytes.Equal(out, data) {
+			t.Fatalf("round %d: got %v want %v", round, out, data)
+		}
+	}
+}
+
+func TestPayloadBufferPositionWraparound32(t *testing.T) {
+	// Force the absolute counters near the 2^32 wrap and verify indexing
+	// stays consistent.
+	b := NewPayloadBuffer(16)
+	start := uint32(0xfffffff0)
+	b.head.Store(start)
+	b.tail.Store(start)
+	data := []byte("abcdefghijklmnop") // 16 bytes spanning the wrap
+	if !b.Write(data) {
+		t.Fatal("write failed")
+	}
+	out := make([]byte, 16)
+	if n := b.Read(out); n != 16 || !bytes.Equal(out, data) {
+		t.Fatalf("wrap read: %q", out)
+	}
+	if b.Head() != start+16 || b.Tail() != start+16 {
+		t.Fatalf("positions: head=%d tail=%d", b.Head(), b.Tail())
+	}
+}
+
+func TestPayloadBufferWriteAtOutOfOrder(t *testing.T) {
+	// Simulate OOO deposit: segment B (bytes 4..8) arrives before A (0..4).
+	b := NewPayloadBuffer(16)
+	h := b.Head()
+	b.WriteAt(h+4, []byte("BBBB"))
+	if b.Used() != 0 {
+		t.Fatal("WriteAt must not advance head")
+	}
+	b.WriteAt(h, []byte("AAAA"))
+	b.AdvanceHead(8)
+	out := make([]byte, 8)
+	if n := b.Read(out); n != 8 || string(out) != "AAAABBBB" {
+		t.Fatalf("read %q", out)
+	}
+}
+
+func TestPayloadBufferReadAt(t *testing.T) {
+	b := NewPayloadBuffer(16)
+	b.Write([]byte("0123456789"))
+	out := make([]byte, 4)
+	b.ReadAt(b.Tail()+3, out)
+	if string(out) != "3456" {
+		t.Fatalf("ReadAt = %q", out)
+	}
+	if b.Used() != 10 {
+		t.Fatal("ReadAt must not consume")
+	}
+	// Release reclaims without copying (acked tx data).
+	b.Release(10)
+	if b.Used() != 0 {
+		t.Fatal("Release failed")
+	}
+}
+
+func TestPayloadBufferInvalidSizePanics(t *testing.T) {
+	for _, s := range []int{0, -4, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d should panic", s)
+				}
+			}()
+			NewPayloadBuffer(s)
+		}()
+	}
+}
+
+func TestPayloadBufferStreamProperty(t *testing.T) {
+	// Random interleaving of writes and reads must reproduce the byte
+	// stream exactly — the core lossless in-order invariant the fast
+	// path relies on.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewPayloadBuffer(64)
+		var produced, consumed []byte
+		next := byte(0)
+		for op := 0; op < 500; op++ {
+			if rng.Intn(2) == 0 {
+				n := rng.Intn(40) + 1
+				data := make([]byte, n)
+				for i := range data {
+					data[i] = next
+					next++
+				}
+				if b.Write(data) {
+					produced = append(produced, data...)
+				} else {
+					next -= byte(n) // undo
+				}
+			} else {
+				out := make([]byte, rng.Intn(40)+1)
+				n := b.Read(out)
+				consumed = append(consumed, out[:n]...)
+			}
+		}
+		rest := make([]byte, b.Used())
+		b.Read(rest)
+		consumed = append(consumed, rest...)
+		return bytes.Equal(produced, consumed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadBufferConcurrent(t *testing.T) {
+	b := NewPayloadBuffer(1024)
+	const total = 1 << 19
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var v byte
+		sent := 0
+		chunk := make([]byte, 100)
+		for sent < total {
+			n := total - sent
+			if n > len(chunk) {
+				n = len(chunk)
+			}
+			for i := 0; i < n; i++ {
+				chunk[i] = v + byte(i)
+			}
+			if b.Write(chunk[:n]) {
+				v += byte(n)
+				sent += n
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var want byte
+	got := 0
+	buf := make([]byte, 77)
+	for got < total {
+		n := b.Read(buf)
+		if n == 0 {
+			runtime.Gosched()
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] != want {
+				t.Fatalf("byte %d: got %d want %d", got+i, buf[i], want)
+			}
+			want++
+		}
+		got += n
+	}
+	wg.Wait()
+}
+
+func TestPayloadBufferGrow(t *testing.T) {
+	b := NewPayloadBuffer(16)
+	b.Write([]byte("0123456789"))
+	b.Read(make([]byte, 4)) // tail=4, live region "456789"
+	b.Grow(64)
+	if b.Size() != 64 {
+		t.Fatalf("size = %d", b.Size())
+	}
+	if b.Used() != 6 {
+		t.Fatalf("used = %d", b.Used())
+	}
+	out := make([]byte, 6)
+	if n := b.Read(out); n != 6 || string(out) != "456789" {
+		t.Fatalf("after grow read %q", out[:n])
+	}
+	// Growing to a smaller/equal size is a no-op.
+	b.Grow(32)
+	if b.Size() != 64 {
+		t.Fatal("shrink must be ignored")
+	}
+	// New capacity usable.
+	if !b.Write(make([]byte, 60)) {
+		t.Fatal("grown buffer should accept 60 bytes")
+	}
+}
+
+func TestPayloadBufferGrowAcrossWrap(t *testing.T) {
+	b := NewPayloadBuffer(16)
+	// Position the live region across the wrap point.
+	b.Write(make([]byte, 12))
+	b.Read(make([]byte, 12))
+	b.Write([]byte("ABCDEFGH")) // wraps: 4 at end, 4 at start
+	b.Grow(64)
+	out := make([]byte, 8)
+	if n := b.Read(out); n != 8 || string(out) != "ABCDEFGH" {
+		t.Fatalf("wrapped grow read %q", out[:n])
+	}
+}
+
+func TestPayloadBufferGrowInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two")
+		}
+	}()
+	NewPayloadBuffer(16).Grow(48)
+}
+
+func TestReserveHeadPeekTailSpans(t *testing.T) {
+	b := NewPayloadBuffer(16)
+	// Contiguous reserve.
+	a1, a2 := b.ReserveHead(8)
+	if len(a1) != 8 || a2 != nil {
+		t.Fatalf("reserve: %d,%d", len(a1), len(a2))
+	}
+	copy(a1, "01234567")
+	b.AdvanceHead(8)
+	// Peek sees the same bytes.
+	p1, p2 := b.PeekTail(8)
+	if string(p1)+string(p2) != "01234567" {
+		t.Fatalf("peek %q %q", p1, p2)
+	}
+	b.Release(8)
+	// Now force a wrap: head at 8, reserve 16 spans the boundary.
+	r1, r2 := b.ReserveHead(16)
+	if len(r1) != 8 || len(r2) != 8 {
+		t.Fatalf("wrapped reserve: %d,%d", len(r1), len(r2))
+	}
+	copy(r1, "abcdefgh")
+	copy(r2, "ABCDEFGH")
+	b.AdvanceHead(16)
+	q1, q2 := b.PeekTail(16)
+	if string(q1)+string(q2) != "abcdefghABCDEFGH" {
+		t.Fatalf("wrapped peek %q %q", q1, q2)
+	}
+	// Reserve beyond free space clamps.
+	if x1, x2 := b.ReserveHead(5); x1 != nil || x2 != nil {
+		t.Fatal("full buffer must yield empty reserve")
+	}
+	if y1, y2 := b.PeekTail(0); y1 != nil || y2 != nil {
+		t.Fatal("zero peek")
+	}
+}

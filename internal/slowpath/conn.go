@@ -1,0 +1,347 @@
+package slowpath
+
+import (
+	"time"
+
+	"repro/internal/congestion"
+	"repro/internal/fastpath"
+	"repro/internal/flowstate"
+	"repro/internal/protocol"
+	"repro/internal/shmring"
+)
+
+// handleException processes one packet the fast path could not handle:
+// connection control (SYN, SYN|ACK, FIN, RST), handshake-completing
+// ACKs, and packets that raced flow installation.
+func (s *Slowpath) handleException(pkt *protocol.Packet) {
+	key := pkt.RxKey()
+	flags := pkt.Flags
+
+	switch {
+	case flags.Has(protocol.FlagSYN | protocol.FlagACK):
+		s.handleSynAck(key, pkt)
+	case flags.Has(protocol.FlagSYN):
+		s.handleSyn(key, pkt)
+	case flags.Has(protocol.FlagRST):
+		s.handleRst(key)
+	case flags.Has(protocol.FlagFIN):
+		s.handleFin(key, pkt)
+	default:
+		s.handlePlain(key, pkt)
+	}
+}
+
+// handleSyn: a remote open. If a listener exists, reply SYNACK and
+// remember the half-open connection; otherwise refuse with RST.
+func (s *Slowpath) handleSyn(key protocol.FlowKey, pkt *protocol.Packet) {
+	s.mu.Lock()
+	l := s.listeners[key.LocalPort]
+	if l == nil {
+		s.Rejected++
+		s.mu.Unlock()
+		s.sendCtl(key, protocol.FlagRST|protocol.FlagACK, 0, pkt.Seq+1, false)
+		return
+	}
+	if h, dup := s.half[key]; dup {
+		// SYN retransmission: re-send our SYNACK.
+		iss, peer := h.iss, h.peerISS
+		s.mu.Unlock()
+		s.sendCtlSynAck(key, iss, peer+1)
+		return
+	}
+	iss := s.rng.Uint32()
+	s.half[key] = &halfOpen{
+		key: key, iss: iss, ctxID: l.ctxID, opaque: l.opaque,
+		passive: true, peerISS: pkt.Seq,
+		deadline: time.Now().Add(5 * time.Second),
+	}
+	s.mu.Unlock()
+	s.sendCtlSynAck(key, iss, pkt.Seq+1)
+}
+
+func (s *Slowpath) sendCtlSynAck(key protocol.FlowKey, iss, ack uint32) {
+	pkt := &protocol.Packet{
+		SrcMAC: s.eng.Config().LocalMAC,
+		SrcIP:  key.LocalIP, DstIP: key.RemoteIP,
+		SrcPort: key.LocalPort, DstPort: key.RemotePort,
+		Flags: protocol.FlagSYN | protocol.FlagACK, Seq: iss, Ack: ack,
+		Window: uint16(s.cfg.RxBufSize / fastpath.WindowUnit),
+		MSSOpt: uint16(s.eng.Config().MSS),
+		HasTS:  true, TSVal: s.eng.NowMicros(),
+		ECN: protocol.ECNECT0,
+	}
+	s.output(pkt)
+}
+
+// handleSynAck: completion of our active open.
+func (s *Slowpath) handleSynAck(key protocol.FlowKey, pkt *protocol.Packet) {
+	s.mu.Lock()
+	h := s.half[key]
+	if h == nil || h.passive {
+		s.mu.Unlock()
+		return // stale
+	}
+	if pkt.Ack != h.iss+1 {
+		s.mu.Unlock()
+		return // not for our SYN
+	}
+	delete(s.half, key)
+	s.mu.Unlock()
+
+	f := s.installFlow(key, h, pkt.Seq, pkt.Window)
+	// Final handshake ACK.
+	s.sendCtlFlow(f, protocol.FlagACK, h.iss+1, pkt.Seq+1)
+	if ctx := s.eng.ContextByID(h.ctxID); ctx != nil {
+		ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvConnected, Opaque: h.opaque, Flow: f})
+	}
+	s.mu.Lock()
+	s.Established++
+	s.mu.Unlock()
+}
+
+// handlePlain: a data/ack packet the fast path didn't know. Two cases:
+// the ACK completing a passive handshake, or a packet that raced flow
+// installation (re-inject it).
+func (s *Slowpath) handlePlain(key protocol.FlowKey, pkt *protocol.Packet) {
+	s.mu.Lock()
+	if h := s.half[key]; h != nil && h.passive && pkt.Flags.Has(protocol.FlagACK) && pkt.Ack == h.iss+1 {
+		delete(s.half, key)
+		s.Established++
+		s.Accepted++
+		s.mu.Unlock()
+		f := s.installFlow(key, h, h.peerISS, pkt.Window)
+		if ctx := s.eng.ContextByID(h.ctxID); ctx != nil {
+			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAccepted, Opaque: h.opaque, Flow: f})
+		}
+		// The completing ACK may carry data (or more may have raced):
+		// re-inject so the fast path processes it against the new flow.
+		if pkt.DataLen() > 0 {
+			s.eng.Input(pkt)
+		}
+		return
+	}
+	s.mu.Unlock()
+
+	if s.eng.Table.Lookup(key) != nil {
+		// Raced installation: back to the fast path.
+		s.mu.Lock()
+		s.Reinjected++
+		s.mu.Unlock()
+		s.eng.Input(pkt)
+	}
+	// Otherwise: unknown flow, drop (a full stack would RST).
+}
+
+// installFlow creates fast-path state for an established connection:
+// buffers, rate bucket, congestion controller, and the Table 3 record.
+func (s *Slowpath) installFlow(key protocol.FlowKey, h *halfOpen, peerISS uint32, peerWindow uint16) *flowstate.Flow {
+	f := &flowstate.Flow{
+		Opaque:    h.opaque,
+		Context:   h.ctxID,
+		LocalIP:   key.LocalIP,
+		LocalPort: key.LocalPort,
+		PeerIP:    key.RemoteIP,
+		PeerPort:  key.RemotePort,
+		PeerMAC:   protocol.MACForIPv4(key.RemoteIP),
+		SeqNo:     h.iss + 1,
+		AckNo:     peerISS + 1,
+		Window:    peerWindow,
+		RxBuf:     shmring.NewPayloadBuffer(s.cfg.RxBufSize),
+		TxBuf:     shmring.NewPayloadBuffer(s.cfg.TxBufSize),
+	}
+	f.Bucket = s.eng.AllocBucket()
+	ctrl := s.cfg.NewController()
+	s.eng.Bucket(f.Bucket).SetRate(ctrl.Rate())
+	s.eng.Table.Insert(f)
+	s.mu.Lock()
+	s.cc[f] = &ccEntry{ctrl: ctrl, lastUna: f.SeqNo}
+	s.mu.Unlock()
+	return f
+}
+
+// handleFin: remote teardown. Acknowledge the FIN, notify the
+// application, and remove the flow once both sides are done.
+func (s *Slowpath) handleFin(key protocol.FlowKey, pkt *protocol.Packet) {
+	f := s.eng.Table.Lookup(key)
+	if f == nil {
+		return
+	}
+	f.Lock()
+	if pkt.DataLen() > 0 || pkt.Seq != f.AckNo {
+		// FIN with in-flight data gaps: wait for retransmission of the
+		// missing data; ack what we have.
+		seq, ack := f.SeqNo, f.AckNo
+		f.Unlock()
+		s.sendCtlFlow(f, protocol.FlagACK, seq, ack)
+		return
+	}
+	first := !f.FinReceived
+	f.FinReceived = true
+	f.AckNo++ // FIN consumes one sequence number
+	seq, ack := f.SeqNo, f.AckNo
+	done := f.FinSent
+	ctxID, opaque := f.Context, f.Opaque
+	f.Unlock()
+
+	s.sendCtlFlow(f, protocol.FlagACK, seq, ack)
+	if first {
+		if ctx := s.eng.ContextByID(ctxID); ctx != nil {
+			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvClosed, Opaque: opaque})
+		}
+	}
+	if done {
+		s.removeFlowSoon(f)
+	}
+}
+
+// handleRst tears the flow down immediately. A RST against a half-open
+// active connect is a refusal: the application learns via EvConnected
+// with a non-zero error code.
+func (s *Slowpath) handleRst(key protocol.FlowKey) {
+	s.mu.Lock()
+	if h := s.half[key]; h != nil && !h.passive {
+		delete(s.half, key)
+		s.Rejected++
+		s.mu.Unlock()
+		if ctx := s.eng.ContextByID(h.ctxID); ctx != nil {
+			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvConnected, Opaque: h.opaque, Bytes: 1})
+		}
+		return
+	}
+	s.mu.Unlock()
+	f := s.eng.Table.Lookup(key)
+	if f == nil {
+		return
+	}
+	f.Lock()
+	ctxID, opaque := f.Context, f.Opaque
+	first := !f.FinReceived
+	f.FinReceived = true
+	f.Unlock()
+	if first {
+		if ctx := s.eng.ContextByID(ctxID); ctx != nil {
+			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvClosed, Opaque: opaque})
+		}
+	}
+	s.removeFlow(f)
+}
+
+// removeFlowSoon lingers briefly (retransmitted FINs/ACKs) then removes.
+func (s *Slowpath) removeFlowSoon(f *flowstate.Flow) {
+	time.AfterFunc(50*time.Millisecond, func() { s.removeFlow(f) })
+}
+
+func (s *Slowpath) removeFlow(f *flowstate.Flow) {
+	s.eng.Table.Remove(f.Key())
+	s.mu.Lock()
+	delete(s.cc, f)
+	s.mu.Unlock()
+}
+
+// controlLoop is the per-interval congestion/timeout sweep (§3.2): read
+// and reset the fast path's feedback counters, run the congestion
+// policy, write the new rate, and restart stalled flows.
+func (s *Slowpath) controlLoop() {
+	s.mu.Lock()
+	flows := make([]*flowstate.Flow, 0, len(s.cc))
+	entries := make([]*ccEntry, 0, len(s.cc))
+	for f, e := range s.cc {
+		flows = append(flows, f)
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+
+	ivSec := s.cfg.ControlInterval.Seconds()
+	for i, f := range flows {
+		e := entries[i]
+		f.Lock()
+		ackB, ecnB, frex := f.TakeCounters()
+		rtt := int64(f.RTTEst) * 1000
+		una := f.SeqNo - f.TxSent
+		outstanding := f.TxSent
+		pending := f.TxPending()
+		f.Unlock()
+
+		// Retransmission timeout: unacknowledged data with no progress
+		// for StallIntervals control intervals. The wait must also cover
+		// several RTTs and several packet intervals at the current rate
+		// — at low rates whole control intervals legitimately pass
+		// without an ack, and declaring those stalls would collapse the
+		// rate in a self-sustaining cycle.
+		var timeouts uint32
+		if outstanding > 0 && una == e.lastUna && ackB == 0 {
+			e.stallTicks++
+			needWait := time.Duration(s.cfg.StallIntervals) * s.cfg.ControlInterval
+			if w := 8 * time.Duration(rtt); w > needWait {
+				needWait = w
+			}
+			if r := e.ctrl.Rate(); r > 0 {
+				if w := time.Duration(4 * float64(s.eng.Config().MSS) / r * 1e9); w > needWait {
+					needWait = w
+				}
+			}
+			if needWait < 10*time.Millisecond {
+				needWait = 10 * time.Millisecond
+			}
+			if e.stallTicks >= s.cfg.StallIntervals &&
+				time.Duration(e.stallTicks)*s.cfg.ControlInterval >= needWait {
+				e.stallTicks = 0
+				timeouts = 1
+				s.mu.Lock()
+				s.Timeouts++
+				s.mu.Unlock()
+				f.Lock()
+				f.SeqNo -= f.TxSent // reset as if unsent
+				f.TxSent = 0
+				f.Unlock()
+				s.eng.KickFlow(f)
+			}
+		} else {
+			e.stallTicks = 0
+			e.lastUna = una
+		}
+
+		// Smooth the measured rate across intervals: at fine τ a single
+		// interval holds few packets, and the controller's send-rate cap
+		// must not clamp against quantization noise.
+		inst := float64(ackB) / ivSec
+		if e.txEwma == 0 {
+			e.txEwma = inst
+		} else {
+			e.txEwma = 0.7*e.txEwma + 0.3*inst
+		}
+		fb := congestion.Feedback{
+			AckedBytes: uint64(ackB),
+			EcnBytes:   uint64(ecnB),
+			Frexmits:   uint32(frex),
+			Timeouts:   timeouts,
+			RTT:        rtt,
+			TxRate:     e.txEwma,
+		}
+		rate := e.ctrl.Update(fb)
+		if b := s.eng.Bucket(f.Bucket); b != nil {
+			b.SetRate(rate)
+		}
+		if pending > 0 {
+			// Pending data may be sendable at the new rate.
+			s.eng.KickFlow(f)
+		}
+	}
+}
+
+// scaleLoop adjusts the number of active fast-path cores to the load
+// (§3.4): >RemoveIdle aggregate idle cores -> remove one; <AddIdle ->
+// add one.
+func (s *Slowpath) scaleLoop() {
+	active := s.eng.ActiveCores()
+	var idle float64
+	for i := 0; i < active; i++ {
+		idle += 1 - s.eng.Utilization(i)
+	}
+	switch {
+	case idle > s.cfg.RemoveIdle && active > 1:
+		s.eng.SetActiveCores(active - 1)
+	case idle < s.cfg.AddIdle && active < s.eng.MaxCores():
+		s.eng.SetActiveCores(active + 1)
+	}
+}

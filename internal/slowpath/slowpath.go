@@ -1,0 +1,348 @@
+// Package slowpath implements the TAS slow path (§3.2): connection
+// control (ports, handshakes, teardown), the congestion-control loop
+// that polls per-flow feedback from fast-path state every control
+// interval and writes back rate limits, retransmission-timeout
+// detection, and the workload-proportionality monitor that scales
+// fast-path cores with load (§3.4).
+//
+// In the paper the slow path is a separate thread communicating with
+// applications over a UNIX-domain-socket-bootstrapped context queue; in
+// this in-process reproduction, libtas calls the exported methods
+// directly, which stand in for those slow-path context-queue commands
+// (new_flow, listen, accept, close).
+package slowpath
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/congestion"
+	"repro/internal/fastpath"
+	"repro/internal/flowstate"
+	"repro/internal/protocol"
+	"repro/internal/shmring"
+)
+
+// Errors returned by connection control.
+var (
+	ErrPortInUse  = errors.New("slowpath: port in use")
+	ErrNoListener = errors.New("slowpath: connection refused")
+	ErrNoPorts    = errors.New("slowpath: ephemeral ports exhausted")
+	ErrClosed     = errors.New("slowpath: stack closed")
+)
+
+// Config parameterizes the slow path.
+type Config struct {
+	// Buffer sizes for per-flow payload buffers (fixed at connection
+	// creation; §4.1 Limitations). Must be powers of two.
+	RxBufSize, TxBufSize int
+
+	// ControlInterval is the congestion-control loop period τ.
+	ControlInterval time.Duration
+
+	// StallIntervals control intervals without ack progress trigger a
+	// retransmission restart (default 2, §3.2).
+	StallIntervals int
+
+	// NewController builds the per-flow congestion controller (nil =
+	// rate-based DCTCP at 40G defaults).
+	NewController func() congestion.RateController
+
+	// Core-scaling thresholds (§3.4): add a core when aggregate idle
+	// capacity < AddIdle cores, remove one when > RemoveIdle.
+	AddIdle, RemoveIdle float64
+	ScaleInterval       time.Duration
+	// DisableScaling pins the core count (benchmarks that fix cores).
+	DisableScaling bool
+}
+
+func (c *Config) fill() {
+	if c.RxBufSize <= 0 {
+		c.RxBufSize = 256 << 10
+	}
+	if c.TxBufSize <= 0 {
+		c.TxBufSize = 256 << 10
+	}
+	if c.ControlInterval <= 0 {
+		c.ControlInterval = time.Millisecond
+	}
+	if c.StallIntervals <= 0 {
+		c.StallIntervals = 2
+	}
+	if c.NewController == nil {
+		c.NewController = func() congestion.RateController {
+			cfg := congestion.DefaultConfig(40e9)
+			cfg.InitRate = 125e6 // 1 Gbps initial: loopback fabric has no congestion
+			return congestion.NewRateDCTCP(cfg)
+		}
+	}
+	if c.AddIdle <= 0 {
+		c.AddIdle = 0.2
+	}
+	if c.RemoveIdle <= 0 {
+		c.RemoveIdle = 1.25
+	}
+	if c.ScaleInterval <= 0 {
+		c.ScaleInterval = 10 * time.Millisecond
+	}
+}
+
+// listener is a registered listening port.
+type listener struct {
+	port   uint16
+	ctxID  uint16
+	opaque uint64
+}
+
+// halfOpen is an in-progress handshake.
+type halfOpen struct {
+	key      protocol.FlowKey
+	iss      uint32 // our initial sequence
+	ctxID    uint16
+	opaque   uint64
+	passive  bool // true: we sent SYNACK (accepting); false: we sent SYN
+	peerISS  uint32
+	deadline time.Time
+}
+
+// ccEntry is the slow path's per-flow congestion/timeout state.
+type ccEntry struct {
+	ctrl       congestion.RateController
+	lastUna    uint32
+	stallTicks int
+	txEwma     float64
+}
+
+// Slowpath drives one TAS instance's control plane.
+type Slowpath struct {
+	eng *fastpath.Engine
+	cfg Config
+
+	mu        sync.Mutex
+	listeners map[uint16]*listener
+	half      map[protocol.FlowKey]*halfOpen
+	cc        map[*flowstate.Flow]*ccEntry
+	nextPort  uint16
+	rng       *rand.Rand
+
+	excq    *shmring.SPSC[*protocol.Packet]
+	excWake <-chan struct{}
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// Stats.
+	Established uint64
+	Accepted    uint64
+	Rejected    uint64
+	Timeouts    uint64
+	Reinjected  uint64
+}
+
+// New builds (but does not start) a slow path for the engine.
+func New(eng *fastpath.Engine, cfg Config) *Slowpath {
+	cfg.fill()
+	excq, wake := eng.Exceptions()
+	return &Slowpath{
+		eng: eng, cfg: cfg,
+		listeners: make(map[uint16]*listener),
+		half:      make(map[protocol.FlowKey]*halfOpen),
+		cc:        make(map[*flowstate.Flow]*ccEntry),
+		nextPort:  32768,
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		excq:      excq,
+		excWake:   wake,
+		stop:      make(chan struct{}),
+	}
+}
+
+// Start launches the slow-path goroutine.
+func (s *Slowpath) Start() {
+	s.wg.Add(1)
+	go s.run()
+}
+
+// Stop terminates the slow path.
+func (s *Slowpath) Stop() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+func (s *Slowpath) run() {
+	defer s.wg.Done()
+	ctrl := time.NewTicker(s.cfg.ControlInterval)
+	defer ctrl.Stop()
+	scale := time.NewTicker(s.cfg.ScaleInterval)
+	defer scale.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.excWake:
+			s.drainExceptions()
+		case <-ctrl.C:
+			s.drainExceptions()
+			s.controlLoop()
+		case <-scale.C:
+			if !s.cfg.DisableScaling {
+				s.scaleLoop()
+			}
+		}
+	}
+}
+
+func (s *Slowpath) drainExceptions() {
+	for {
+		pkt, ok := s.excq.Dequeue()
+		if !ok {
+			return
+		}
+		s.handleException(pkt)
+	}
+}
+
+// Listen registers a listening port delivering accept events to the
+// given context with the given opaque listener id.
+func (s *Slowpath) Listen(port uint16, ctxID uint16, opaque uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.listeners[port]; dup {
+		return ErrPortInUse
+	}
+	s.listeners[port] = &listener{port: port, ctxID: ctxID, opaque: opaque}
+	return nil
+}
+
+// Unlisten removes a listener.
+func (s *Slowpath) Unlisten(port uint16) {
+	s.mu.Lock()
+	delete(s.listeners, port)
+	s.mu.Unlock()
+}
+
+// Connect starts an active open toward the peer; the EvConnected event
+// (carrying the flow) is posted to ctxID/opaque when the handshake
+// completes. It returns the chosen local port.
+func (s *Slowpath) Connect(peerIP protocol.IPv4, peerPort uint16, ctxID uint16, opaque uint64) (uint16, error) {
+	s.mu.Lock()
+	var lport uint16
+	for i := 0; i < 65536; i++ {
+		cand := s.nextPort
+		s.nextPort++
+		if s.nextPort == 0 {
+			s.nextPort = 32768
+		}
+		key := protocol.FlowKey{LocalIP: s.eng.Config().LocalIP, LocalPort: cand, RemoteIP: peerIP, RemotePort: peerPort}
+		if _, busy := s.half[key]; !busy && s.eng.Table.Lookup(key) == nil && s.listeners[cand] == nil {
+			lport = cand
+			break
+		}
+	}
+	if lport == 0 {
+		s.mu.Unlock()
+		return 0, ErrNoPorts
+	}
+	key := protocol.FlowKey{LocalIP: s.eng.Config().LocalIP, LocalPort: lport, RemoteIP: peerIP, RemotePort: peerPort}
+	iss := s.rng.Uint32()
+	s.half[key] = &halfOpen{key: key, iss: iss, ctxID: ctxID, opaque: opaque, deadline: time.Now().Add(5 * time.Second)}
+	s.mu.Unlock()
+
+	s.sendCtl(key, protocol.FlagSYN, iss, 0, true)
+	return lport, nil
+}
+
+// Close initiates connection teardown: once the transmit buffer drains,
+// a FIN goes out; the flow is removed when both directions have closed.
+func (s *Slowpath) Close(f *flowstate.Flow) {
+	go func() {
+		// Wait for the transmit buffer to drain (bounded).
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			f.Lock()
+			drained := f.TxBuf.Used() == 0
+			f.Unlock()
+			if drained || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		f.Lock()
+		alreadyClosed := f.FinSent
+		if !alreadyClosed {
+			f.FinSent = true
+		}
+		seq := f.SeqNo
+		ack := f.AckNo
+		peerDone := f.FinReceived
+		f.Unlock()
+		if !alreadyClosed {
+			s.sendCtlFlow(f, protocol.FlagFIN|protocol.FlagACK, seq, ack)
+		}
+		if peerDone {
+			s.removeFlowSoon(f)
+		}
+	}()
+}
+
+// sendCtl emits a control packet for a 4-tuple (no flow state yet).
+func (s *Slowpath) sendCtl(key protocol.FlowKey, flags protocol.TCPFlags, seq, ack uint32, withMSS bool) {
+	pkt := &protocol.Packet{
+		SrcMAC: s.eng.Config().LocalMAC, DstMAC: protocol.MAC{},
+		SrcIP: key.LocalIP, DstIP: key.RemoteIP,
+		SrcPort: key.LocalPort, DstPort: key.RemotePort,
+		Flags: flags, Seq: seq, Ack: ack,
+		Window: uint16(s.cfg.RxBufSize / fastpath.WindowUnit),
+		HasTS:  true, TSVal: s.eng.NowMicros(),
+		ECN: protocol.ECNECT0,
+	}
+	if withMSS {
+		pkt.MSSOpt = uint16(s.eng.Config().MSS)
+	}
+	s.output(pkt)
+}
+
+func (s *Slowpath) sendCtlFlow(f *flowstate.Flow, flags protocol.TCPFlags, seq, ack uint32) {
+	pkt := &protocol.Packet{
+		SrcMAC: s.eng.Config().LocalMAC, DstMAC: f.PeerMAC,
+		SrcIP: f.LocalIP, DstIP: f.PeerIP,
+		SrcPort: f.LocalPort, DstPort: f.PeerPort,
+		Flags: flags, Seq: seq, Ack: ack,
+		Window: uint16(f.RxBuf.Free() / fastpath.WindowUnit),
+		HasTS:  true, TSVal: s.eng.NowMicros(),
+		ECN: protocol.ECNECT0,
+	}
+	s.output(pkt)
+}
+
+// output hands a packet to the NIC via the engine's sender.
+func (s *Slowpath) output(pkt *protocol.Packet) {
+	s.eng.Output(pkt)
+}
+
+// ResizeBuffers grows a flow's payload buffers at runtime (the paper's
+// §4.1 future-work management command). Sizes round up to powers of two;
+// shrinking is not supported. After growing the receive buffer the fast
+// path advertises the larger window on its next ack.
+func (s *Slowpath) ResizeBuffers(f *flowstate.Flow, rxSize, txSize int) {
+	f.Lock()
+	if rxSize > f.RxBuf.Size() {
+		f.RxBuf.Grow(ceilPow2(rxSize))
+	}
+	if txSize > f.TxBuf.Size() {
+		f.TxBuf.Grow(ceilPow2(txSize))
+	}
+	f.Unlock()
+	// Tell the peer about the larger receive window promptly.
+	s.eng.SendWindowUpdate(f)
+	s.eng.KickFlow(f)
+}
+
+func ceilPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,244 @@
+package slowpath
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/congestion"
+	"repro/internal/fabric"
+	"repro/internal/fastpath"
+	"repro/internal/flowstate"
+	"repro/internal/protocol"
+)
+
+// testNode is one TAS instance (engine + slow path) on a fabric.
+type testNode struct {
+	eng *fastpath.Engine
+	sp  *Slowpath
+	ctx *fastpath.Context
+}
+
+func newNode(t *testing.T, fab *fabric.Fabric, ip protocol.IPv4, scfg Config) *testNode {
+	t.Helper()
+	var eng *fastpath.Engine
+	nic := fab.Attach(ip, func(p *protocol.Packet) { eng.Input(p) })
+	eng = fastpath.NewEngine(nic, fastpath.Config{LocalIP: ip, LocalMAC: protocol.MACForIPv4(ip), MaxCores: 1})
+	sp := New(eng, scfg)
+	eng.Start()
+	sp.Start()
+	t.Cleanup(func() { sp.Stop(); eng.Stop() })
+	ctx := fastpath.NewContext(0, 1, 256)
+	eng.RegisterContext(ctx)
+	return &testNode{eng: eng, sp: sp, ctx: ctx}
+}
+
+// waitEvent polls a context for the next event.
+func waitEvent(t *testing.T, ctx *fastpath.Context, timeout time.Duration) fastpath.Event {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var evs [16]fastpath.Event
+	for time.Now().Before(deadline) {
+		if n := ctx.PollEvents(evs[:]); n > 0 {
+			return evs[0]
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal("no event before timeout")
+	return fastpath.Event{}
+}
+
+func TestHandshakeEstablishesBothSides(t *testing.T) {
+	fab := fabric.New()
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), Config{})
+	b := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 2), Config{})
+
+	if err := b.sp.Listen(80, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	lport, err := a.sp.Connect(protocol.MakeIPv4(10, 0, 0, 2), 80, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lport < 32768 {
+		t.Fatalf("ephemeral port %d", lport)
+	}
+
+	evA := waitEvent(t, a.ctx, 2*time.Second)
+	if evA.Kind != fastpath.EvConnected || evA.Opaque != 7 || evA.Flow == nil {
+		t.Fatalf("client event: %+v", evA)
+	}
+	evB := waitEvent(t, b.ctx, 2*time.Second)
+	if evB.Kind != fastpath.EvAccepted || evB.Opaque != 42 || evB.Flow == nil {
+		t.Fatalf("server event: %+v", evB)
+	}
+	// Both flow tables must contain the connection.
+	if a.eng.Table.Len() != 1 || b.eng.Table.Len() != 1 {
+		t.Fatalf("tables: %d %d", a.eng.Table.Len(), b.eng.Table.Len())
+	}
+	// Sequence numbers line up.
+	fa, fb := evA.Flow, evB.Flow
+	if fa.SeqNo != fb.AckNo || fb.SeqNo != fa.AckNo {
+		t.Fatalf("seq mismatch: a(seq=%d ack=%d) b(seq=%d ack=%d)", fa.SeqNo, fa.AckNo, fb.SeqNo, fb.AckNo)
+	}
+	// Rate bucket allocated and configured.
+	if a.eng.Bucket(fa.Bucket) == nil {
+		t.Fatal("no bucket")
+	}
+}
+
+func TestConnectRefusedSendsRst(t *testing.T) {
+	fab := fabric.New()
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), Config{})
+	newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 2), Config{})
+	if _, err := a.sp.Connect(protocol.MakeIPv4(10, 0, 0, 2), 81, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitEvent(t, a.ctx, 2*time.Second)
+	if ev.Kind != fastpath.EvConnected || ev.Bytes == 0 {
+		t.Fatalf("expected refusal event, got %+v", ev)
+	}
+}
+
+func TestListenDuplicatePort(t *testing.T) {
+	fab := fabric.New()
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), Config{})
+	if err := a.sp.Listen(80, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.sp.Listen(80, 0, 2); err != ErrPortInUse {
+		t.Fatalf("err = %v", err)
+	}
+	a.sp.Unlisten(80)
+	if err := a.sp.Listen(80, 0, 3); err != nil {
+		t.Fatalf("relisten after unlisten: %v", err)
+	}
+}
+
+func TestControlLoopSetsBucketRate(t *testing.T) {
+	fab := fabric.New()
+	fixed := 12345.0
+	cfg := Config{
+		ControlInterval: time.Millisecond,
+		NewController: func() congestion.RateController {
+			return fixedRate{rate: fixed}
+		},
+	}
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), cfg)
+	b := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 2), cfg)
+	b.sp.Listen(80, 0, 1)
+	a.sp.Connect(protocol.MakeIPv4(10, 0, 0, 2), 80, 0, 1)
+	ev := waitEvent(t, a.ctx, 2*time.Second)
+	f := ev.Flow
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.eng.Bucket(f.Bucket).Rate() == fixed {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("bucket rate = %v, want %v", a.eng.Bucket(f.Bucket).Rate(), fixed)
+}
+
+type fixedRate struct{ rate float64 }
+
+func (f fixedRate) Name() string                       { return "fixed" }
+func (f fixedRate) Update(congestion.Feedback) float64 { return f.rate }
+func (f fixedRate) Rate() float64                      { return f.rate }
+
+func TestStallTriggersRetransmission(t *testing.T) {
+	fab := fabric.New()
+	cfg := Config{ControlInterval: time.Millisecond, StallIntervals: 2}
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), cfg)
+	b := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 2), cfg)
+	b.sp.Listen(80, 0, 1)
+	a.sp.Connect(protocol.MakeIPv4(10, 0, 0, 2), 80, 0, 1)
+	ev := waitEvent(t, a.ctx, 2*time.Second)
+	f := ev.Flow
+
+	// Simulate in-flight data whose packets (and acks) were all lost.
+	fab.SetLossRate(1.0)
+	f.Lock()
+	f.TxBuf.Write(make([]byte, 1000))
+	f.Unlock()
+	a.eng.KickFlow(f)
+	// Wait for the fast path to mark it sent.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		f.Lock()
+		sent := f.TxSent
+		f.Unlock()
+		if sent == 1000 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Heal the network; the slow path's stall detector must rewind and
+	// retransmit, and the transfer completes.
+	time.Sleep(10 * time.Millisecond)
+	fab.SetLossRate(0)
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		f.Lock()
+		done := f.TxBuf.Used() == 0 && f.TxSent == 0
+		f.Unlock()
+		if done {
+			if s := a.sp; s.Timeouts == 0 {
+				t.Fatal("expected a slow-path timeout event")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("stalled flow never recovered")
+}
+
+func TestFlowRemovalOnRst(t *testing.T) {
+	fab := fabric.New()
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), Config{})
+	b := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 2), Config{})
+	b.sp.Listen(80, 0, 1)
+	a.sp.Connect(protocol.MakeIPv4(10, 0, 0, 2), 80, 0, 1)
+	ev := waitEvent(t, a.ctx, 2*time.Second)
+	f := ev.Flow
+
+	// Forge a RST from the peer.
+	rst := &protocol.Packet{
+		SrcIP: f.PeerIP, DstIP: f.LocalIP,
+		SrcPort: f.PeerPort, DstPort: f.LocalPort,
+		Flags: protocol.FlagRST,
+	}
+	a.eng.Input(rst)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.eng.Table.Len() == 0 {
+			// Closed event delivered too.
+			ev := waitEvent(t, a.ctx, time.Second)
+			if ev.Kind != fastpath.EvClosed {
+				t.Fatalf("event = %+v", ev)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("flow not removed after RST")
+}
+
+func TestScaleLoopRespondsToLoad(t *testing.T) {
+	fab := fabric.New()
+	var eng *fastpath.Engine
+	ip := protocol.MakeIPv4(10, 0, 0, 1)
+	nic := fab.Attach(ip, func(p *protocol.Packet) { eng.Input(p) })
+	eng = fastpath.NewEngine(nic, fastpath.Config{LocalIP: ip, LocalMAC: protocol.MACForIPv4(ip), MaxCores: 4})
+	sp := New(eng, Config{ScaleInterval: 5 * time.Millisecond})
+	// Don't start the engine: drive utilization synthetically through
+	// the scale loop's own inputs by pre-setting active cores.
+	eng.SetActiveCores(3)
+	// All cores idle: repeated scale loops must shrink to 1.
+	for i := 0; i < 10; i++ {
+		sp.scaleLoop()
+	}
+	if eng.ActiveCores() != 1 {
+		t.Fatalf("idle system should shrink to 1 core, got %d", eng.ActiveCores())
+	}
+	_ = flowstate.Flow{}
+}

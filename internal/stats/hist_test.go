@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 1.5, 50)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram should report zeros")
+	}
+	h.Add(10)
+	h.Add(20)
+	h.Add(30)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if got := h.Mean(); got != 20 {
+		t.Fatalf("mean = %v, want 20", got)
+	}
+	if h.Min() != 10 || h.Max() != 30 {
+		t.Fatalf("min/max = %v/%v, want 10/30", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(1))
+	var exact []float64
+	for i := 0; i < 100000; i++ {
+		v := rng.ExpFloat64() * 50000 // mean 50us in ns
+		h.Add(v)
+		exact = append(exact, v)
+	}
+	c := NewCDF()
+	for _, v := range exact {
+		c.Add(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := c.Quantile(q)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("q=%v: hist %v vs exact %v (>5%% error)", q, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram(1, 1.3, 80)
+		for _, v := range vals {
+			h.Add(float64(v%1000000) + 1)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQuantileWithinObservedRange(t *testing.T) {
+	f := func(vals []uint16, qi uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram(1, 2, 40)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			x := float64(v) + 0.5
+			h.Add(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		q := float64(qi) / 255
+		v := h.Quantile(q)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1, 1.5, 30)
+	b := NewHistogram(1, 1.5, 30)
+	for i := 1; i <= 100; i++ {
+		a.Add(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Add(float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	if math.Abs(a.Mean()-100.5) > 1e-9 {
+		t.Fatalf("merged mean = %v, want 100.5", a.Mean())
+	}
+}
+
+func TestHistogramMergeIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on incompatible merge")
+		}
+	}()
+	NewHistogram(1, 1.5, 30).Merge(NewHistogram(1, 2, 30))
+}
+
+func TestHistogramAddN(t *testing.T) {
+	h := NewHistogram(1, 1.5, 30)
+	h.AddN(5, 10)
+	h.AddN(7, 0)
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10", h.Count())
+	}
+	if h.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", h.Mean())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(1, 2, 4) // covers up to 16
+	h.Add(1e12)
+	if h.Count() != 1 || h.Max() != 1e12 {
+		t.Fatal("overflow value not recorded")
+	}
+	// Quantile clamps to observed max.
+	if got := h.Quantile(0.99); got != 1e12 {
+		t.Fatalf("overflow quantile = %v", got)
+	}
+}
+
+func TestHistogramInvalidParamsPanics(t *testing.T) {
+	for _, c := range []struct {
+		min, g float64
+		n      int
+	}{
+		{0, 2, 10}, {1, 1, 10}, {1, 2, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) should panic", c.min, c.g, c.n)
+				}
+			}()
+			NewHistogram(c.min, c.g, c.n)
+		}()
+	}
+}
+
+func TestCDFExactQuantiles(t *testing.T) {
+	c := NewCDF()
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.01, 1}, {0.5, 50}, {0.9, 90}, {0.99, 99}, {1, 100},
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if c.Mean() != 50.5 {
+		t.Errorf("mean = %v, want 50.5", c.Mean())
+	}
+	if c.Min() != 1 || c.Max() != 100 {
+		t.Errorf("min/max = %v/%v", c.Min(), c.Max())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF()
+	if c.Quantile(0.5) != 0 || c.Mean() != 0 || c.Min() != 0 || c.Max() != 0 || c.Count() != 0 {
+		t.Fatal("empty CDF should report zeros")
+	}
+	if c.Points(10) != nil {
+		t.Fatal("empty CDF points should be nil")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF()
+	for i := 1; i <= 1000; i++ {
+		c.Add(float64(i))
+	}
+	pts := c.Points(10)
+	if len(pts) != 10 {
+		t.Fatalf("got %d points, want 10", len(pts))
+	}
+	if pts[9][0] != 1000 || pts[9][1] != 1 {
+		t.Fatalf("last point = %v, want [1000 1]", pts[9])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatal("points must be nondecreasing")
+		}
+	}
+	// n<=0 returns all points.
+	if got := len(c.Points(0)); got != 1000 {
+		t.Fatalf("Points(0) len = %d, want 1000", got)
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	if r.Count() != 0 || r.Variance() != 0 {
+		t.Fatal("zero Running should report zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(v)
+	}
+	if r.Count() != 8 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if r.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", r.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(r.Variance()-32.0/7.0) > 1e-9 {
+		t.Fatalf("variance = %v, want %v", r.Variance(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA should not be initialized")
+	}
+	e.Update(10)
+	if e.Value() != 10 {
+		t.Fatalf("first update should initialize directly, got %v", e.Value())
+	}
+	e.Update(20)
+	if e.Value() != 15 {
+		t.Fatalf("value = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.1)
+	for i := 0; i < 200; i++ {
+		e.Update(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-9 {
+		t.Fatalf("EWMA should converge to constant input, got %v", e.Value())
+	}
+}
+
+func TestEWMAInvalidAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) should panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. Unlike math/rand's Zipf it supports any s > 0 including
+// the paper's s=0.9 key-popularity skew, via an inverse-CDF table.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a Zipf generator over n items with exponent s, driven by
+// rng. Building is O(n); drawing is O(log n).
+func NewZipf(rng *rand.Rand, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf n must be positive")
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Draw returns a rank in [0, n); rank 0 is the most popular item.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the number of items.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Pareto draws bounded-Pareto values in [min, max] with shape alpha, the
+// canonical heavy-tailed flow-size distribution used in the paper's
+// single-link simulation (Pareto-distributed flow sizes).
+type Pareto struct {
+	alpha, min, max float64
+	rng             *rand.Rand
+}
+
+// NewPareto returns a bounded Pareto generator. alpha > 0, 0 < min < max.
+func NewPareto(rng *rand.Rand, alpha, min, max float64) *Pareto {
+	if alpha <= 0 || min <= 0 || max <= min {
+		panic("stats: invalid Pareto parameters")
+	}
+	return &Pareto{alpha: alpha, min: min, max: max, rng: rng}
+}
+
+// Draw returns one sample in [min, max].
+func (p *Pareto) Draw() float64 {
+	u := p.rng.Float64()
+	la := math.Pow(p.min, p.alpha)
+	ha := math.Pow(p.max, p.alpha)
+	// Inverse CDF of bounded Pareto.
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.alpha)
+	if x < p.min {
+		x = p.min
+	}
+	if x > p.max {
+		x = p.max
+	}
+	return x
+}
+
+// Mean returns the analytic mean of the bounded Pareto distribution.
+func (p *Pareto) Mean() float64 {
+	a, l, h := p.alpha, p.min, p.max
+	if a == 1 {
+		return (h * l / (h - l)) * math.Log(h/l)
+	}
+	la := math.Pow(l, a)
+	return la / (1 - math.Pow(l/h, a)) * (a / (a - 1)) * (1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}
+
+// Exp draws exponential inter-arrival gaps with the given mean, for
+// Poisson open-loop load generation.
+type Exp struct {
+	mean float64
+	rng  *rand.Rand
+}
+
+// NewExp returns an exponential generator with the given mean > 0.
+func NewExp(rng *rand.Rand, mean float64) *Exp {
+	if mean <= 0 {
+		panic("stats: Exp mean must be positive")
+	}
+	return &Exp{mean: mean, rng: rng}
+}
+
+// Draw returns one sample.
+func (e *Exp) Draw() float64 { return e.rng.ExpFloat64() * e.mean }

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	z := NewZipf(rng, 0.9, 100000)
+	if z.N() != 100000 {
+		t.Fatalf("N = %d", z.N())
+	}
+	counts := make([]int, 100)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		r := z.Draw()
+		if r < 0 || r >= 100000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		if r < 100 {
+			counts[r]++
+		}
+	}
+	// Rank 0 must be the most popular and p(0)/p(9) ~ 10^0.9 ~ 7.9.
+	if counts[0] <= counts[9] {
+		t.Fatalf("rank 0 (%d draws) should beat rank 9 (%d)", counts[0], counts[9])
+	}
+	ratio := float64(counts[0]) / float64(counts[9])
+	if ratio < 4 || ratio > 14 {
+		t.Errorf("p(0)/p(9) = %v, want ~7.9", ratio)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipf(rng, 0, 10)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw()]++
+	}
+	for i, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Errorf("rank %d count %d deviates from uniform 10000", i, c)
+		}
+	}
+}
+
+func TestZipfInvalidN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NewZipf(rand.New(rand.NewSource(1)), 1, 0)
+}
+
+func TestParetoBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewPareto(rng, 1.2, 1000, 1e7)
+	for i := 0; i < 50000; i++ {
+		v := p.Draw()
+		if v < 1000 || v > 1e7 {
+			t.Fatalf("sample %v outside [1000, 1e7]", v)
+		}
+	}
+}
+
+func TestParetoMeanMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := NewPareto(rng, 1.5, 100, 1e6)
+	var sum float64
+	const n = 300000
+	for i := 0; i < n; i++ {
+		sum += p.Draw()
+	}
+	emp := sum / n
+	ana := p.Mean()
+	if math.Abs(emp-ana)/ana > 0.1 {
+		t.Errorf("empirical mean %v vs analytic %v (>10%%)", emp, ana)
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := NewPareto(rng, 1.1, 1, 1e6)
+	small, large := 0, 0
+	for i := 0; i < 100000; i++ {
+		v := p.Draw()
+		if v < 10 {
+			small++
+		}
+		if v > 1e4 {
+			large++
+		}
+	}
+	if small < 80000 {
+		t.Errorf("expected most mass near min, got %d/100000 below 10", small)
+	}
+	if large == 0 {
+		t.Error("expected some heavy-tail samples above 1e4")
+	}
+}
+
+func TestParetoInvalidParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ a, lo, hi float64 }{
+		{0, 1, 2}, {1, 0, 2}, {1, 2, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPareto(%v,%v,%v) should panic", c.a, c.lo, c.hi)
+				}
+			}()
+			NewPareto(rng, c.a, c.lo, c.hi)
+		}()
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	e := NewExp(rng, 250)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := e.Draw()
+		if v < 0 {
+			t.Fatalf("negative sample %v", v)
+		}
+		sum += v
+	}
+	if m := sum / n; math.Abs(m-250)/250 > 0.05 {
+		t.Errorf("empirical mean %v, want ~250", m)
+	}
+}
+
+func TestExpInvalidMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mean<=0")
+		}
+	}()
+	NewExp(rand.New(rand.NewSource(1)), 0)
+}

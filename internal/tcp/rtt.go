@@ -1,0 +1,65 @@
+package tcp
+
+// RTTEstimator implements the standard SRTT/RTTVAR smoothing (RFC 6298)
+// over timestamp-derived samples, as the TAS fast path computes from TCP
+// timestamp echoes and exports to the slow path via the rtt_est field.
+// Times are in nanoseconds.
+type RTTEstimator struct {
+	srtt   int64
+	rttvar int64
+	init   bool
+
+	// Bounds for the retransmission timeout.
+	MinRTO int64
+	MaxRTO int64
+}
+
+// NewRTTEstimator returns an estimator with datacenter-appropriate RTO
+// bounds (1 ms .. 1 s).
+func NewRTTEstimator() *RTTEstimator {
+	return &RTTEstimator{MinRTO: 1e6, MaxRTO: 1e9}
+}
+
+// Sample folds in one RTT measurement (ns).
+func (r *RTTEstimator) Sample(rtt int64) {
+	if rtt < 0 {
+		return
+	}
+	if !r.init {
+		r.srtt = rtt
+		r.rttvar = rtt / 2
+		r.init = true
+		return
+	}
+	d := r.srtt - rtt
+	if d < 0 {
+		d = -d
+	}
+	r.rttvar = (3*r.rttvar + d) / 4
+	r.srtt = (7*r.srtt + rtt) / 8
+}
+
+// SRTT returns the smoothed RTT (0 before any sample).
+func (r *RTTEstimator) SRTT() int64 { return r.srtt }
+
+// RTTVar returns the smoothed RTT variance.
+func (r *RTTEstimator) RTTVar() int64 { return r.rttvar }
+
+// Initialized reports whether at least one sample has been folded in.
+func (r *RTTEstimator) Initialized() bool { return r.init }
+
+// RTO returns the current retransmission timeout, clamped to
+// [MinRTO, MaxRTO]. Before any sample it returns MaxRTO.
+func (r *RTTEstimator) RTO() int64 {
+	if !r.init {
+		return r.MaxRTO
+	}
+	rto := r.srtt + 4*r.rttvar
+	if rto < r.MinRTO {
+		rto = r.MinRTO
+	}
+	if rto > r.MaxRTO {
+		rto = r.MaxRTO
+	}
+	return rto
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+func samplePkt(seq uint32, payload string) *protocol.Packet {
+	return &protocol.Packet{
+		SrcMAC: protocol.MACForIPv4(protocol.MakeIPv4(10, 0, 0, 1)),
+		DstMAC: protocol.MACForIPv4(protocol.MakeIPv4(10, 0, 0, 2)),
+		SrcIP:  protocol.MakeIPv4(10, 0, 0, 1), DstIP: protocol.MakeIPv4(10, 0, 0, 2),
+		SrcPort: 1234, DstPort: 80,
+		Seq: seq, Flags: protocol.FlagACK | protocol.FlagPSH,
+		Window: 100, Payload: []byte(payload), ECN: protocol.ECNECT0,
+		HasTS: true, TSVal: 7, TSEcr: 9,
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []*protocol.Packet{samplePkt(100, "alpha"), samplePkt(105, "beta")}
+	for i, p := range pkts {
+		if err := w.WritePacket(int64(i+1)*1_000_000, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 2 {
+		t.Fatalf("count = %d", w.Count())
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pkts {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		got := rec.Packet
+		if got.Seq != want.Seq || string(got.Payload) != string(want.Payload) {
+			t.Fatalf("record %d mismatch: %+v", i, got)
+		}
+		if got.TSVal != 7 || !got.HasTS {
+			t.Fatal("timestamp option lost")
+		}
+		// Timestamps survive at microsecond resolution.
+		if rec.TsNanos != int64(i+1)*1_000_000 {
+			t.Fatalf("timestamp %d", rec.TsNanos)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestPcapGlobalHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) != 24 {
+		t.Fatalf("header length %d", len(b))
+	}
+	if b[0] != 0xd4 || b[1] != 0xc3 || b[2] != 0xb2 || b[3] != 0xa1 {
+		t.Fatal("magic bytes wrong (little-endian pcap expected)")
+	}
+	// Link type Ethernet at offset 20.
+	if b[20] != 1 {
+		t.Fatal("link type must be Ethernet")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var rec Recorder
+	p := samplePkt(1, "x")
+	rec.Tap(5, p)
+	p.Seq = 999 // recorder must have cloned
+	recs := rec.Records()
+	if len(recs) != 1 || rec.Count() != 1 {
+		t.Fatal("count")
+	}
+	if recs[0].Packet.Seq != 1 || recs[0].TsNanos != 5 {
+		t.Fatalf("record %+v", recs[0])
+	}
+}

@@ -1,0 +1,18 @@
+package transport
+
+import (
+	"repro/internal/protocol"
+)
+
+// StartFlow wires a sender at src and a matching receiver at dst on the
+// given port pair, starts the sender, and returns both halves.
+func StartFlow(src, dst *Endpoint, srcPort, dstPort uint16, scfg SenderConfig, rcfg ReceiverConfig) (*Sender, *Receiver) {
+	key := protocol.FlowKey{
+		LocalIP: src.Host.IP, LocalPort: srcPort,
+		RemoteIP: dst.Host.IP, RemotePort: dstPort,
+	}
+	r := NewReceiver(dst, key.Reverse(), rcfg)
+	s := NewSender(src, key, scfg)
+	s.Start()
+	return s, r
+}

@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"sort"
+
+	"repro/internal/protocol"
+	"repro/internal/tcp"
+)
+
+// ReceiverConfig configures a data sink.
+type ReceiverConfig struct {
+	Mode   RecoveryMode
+	Window uint32 // advertised receive window in bytes (0 = 1 MiB)
+	// RxBufSize bounds how far ahead of the cumulative ack the receiver
+	// will buffer out-of-order data (the per-flow receive payload
+	// buffer); 0 = Window.
+	RxBufSize uint32
+}
+
+func (c *ReceiverConfig) fill() {
+	if c.Window == 0 {
+		c.Window = 1 << 20
+	}
+	if c.RxBufSize == 0 {
+		c.RxBufSize = c.Window
+	}
+}
+
+// interval is a received out-of-order range [start, start+len).
+type interval struct{ start, length uint32 }
+
+// Receiver consumes a byte stream, generating cumulative ACKs with ECN
+// echo, and applies one of the three out-of-order policies.
+type Receiver struct {
+	ep  *Endpoint
+	key protocol.FlowKey
+	cfg ReceiverConfig
+
+	expected uint32 // next in-order sequence expected (cumulative ack)
+
+	// Selective mode: all buffered OOO intervals, kept merged+sorted.
+	intervals []interval
+
+	// One-interval mode: the single tracked interval (TAS ooo_start|len).
+	oooStart, oooLen uint32
+	haveOoo          bool
+
+	// Stats.
+	BytesReceived uint64 // in-order bytes delivered
+	OooAccepted   uint64 // out-of-order bytes buffered
+	OooDropped    uint64 // out-of-order bytes dropped (policy or buffer)
+	DupDropped    uint64 // duplicate/below-window bytes
+	AcksSent      uint64
+}
+
+func newReceiver(ep *Endpoint, key protocol.FlowKey, cfg ReceiverConfig) *Receiver {
+	cfg.fill()
+	return &Receiver{ep: ep, key: key, cfg: cfg}
+}
+
+// NewReceiver registers a receiver for the given flow (local view).
+func NewReceiver(ep *Endpoint, key protocol.FlowKey, cfg ReceiverConfig) *Receiver {
+	r := newReceiver(ep, key, cfg)
+	ep.register(key, r)
+	return r
+}
+
+// Expected returns the cumulative ack point.
+func (r *Receiver) Expected() uint32 { return r.expected }
+
+func (r *Receiver) onPacket(pkt *protocol.Packet) {
+	n := uint32(pkt.DataLen())
+	if n == 0 {
+		return // pure ack to a receiver: ignore
+	}
+	seq := pkt.Seq
+	end := seq + n
+	ce := pkt.ECN == protocol.ECNCE
+
+	switch {
+	case tcp.SeqLEQ(end, r.expected):
+		// Entirely old: duplicate.
+		r.DupDropped += uint64(n)
+	case tcp.SeqLEQ(seq, r.expected):
+		// In-order (possibly partially duplicate) data: deliver.
+		adv := uint32(tcp.SeqDiff(end, r.expected))
+		r.expected = end
+		r.BytesReceived += uint64(adv)
+		r.mergeBuffered()
+	default:
+		// Out of order.
+		r.handleOoo(seq, n)
+	}
+
+	r.sendAck(pkt, ce)
+}
+
+// handleOoo applies the policy to a segment strictly beyond expected.
+func (r *Receiver) handleOoo(seq, n uint32) {
+	// Beyond the receive buffer: drop regardless of mode.
+	if tcp.SeqDiff(seq+n, r.expected) > int32(r.cfg.RxBufSize) {
+		r.OooDropped += uint64(n)
+		return
+	}
+	switch r.cfg.Mode {
+	case RecoveryGoBackN:
+		r.OooDropped += uint64(n)
+	case RecoveryOneInterval:
+		// TAS: accept only segments extending or within the single
+		// tracked interval (§3.1): start a new interval if none, extend
+		// if contiguous/overlapping, drop otherwise.
+		switch {
+		case !r.haveOoo:
+			r.haveOoo = true
+			r.oooStart, r.oooLen = seq, n
+			r.OooAccepted += uint64(n)
+		case tcp.SeqLEQ(seq, r.oooStart+r.oooLen) && tcp.SeqGEQ(seq+n, r.oooStart):
+			// Overlaps or abuts the tracked interval: extend.
+			ns := tcp.SeqMin(r.oooStart, seq)
+			ne := tcp.SeqMax(r.oooStart+r.oooLen, seq+n)
+			grown := uint32(tcp.SeqDiff(ne, ns)) - r.oooLen
+			r.oooStart, r.oooLen = ns, uint32(tcp.SeqDiff(ne, ns))
+			r.OooAccepted += uint64(grown)
+		default:
+			r.OooDropped += uint64(n)
+		}
+	case RecoverySelective:
+		r.insertInterval(seq, n)
+	}
+}
+
+// mergeBuffered advances expected through any buffered data that is now
+// in order.
+func (r *Receiver) mergeBuffered() {
+	switch r.cfg.Mode {
+	case RecoveryOneInterval:
+		if r.haveOoo && tcp.SeqLEQ(r.oooStart, r.expected) {
+			if end := r.oooStart + r.oooLen; tcp.SeqGT(end, r.expected) {
+				adv := uint32(tcp.SeqDiff(end, r.expected))
+				r.expected = end
+				r.BytesReceived += uint64(adv)
+			}
+			r.haveOoo = false
+			r.oooLen = 0
+		}
+	case RecoverySelective:
+		for len(r.intervals) > 0 && tcp.SeqLEQ(r.intervals[0].start, r.expected) {
+			iv := r.intervals[0]
+			r.intervals = r.intervals[1:]
+			if end := iv.start + iv.length; tcp.SeqGT(end, r.expected) {
+				adv := uint32(tcp.SeqDiff(end, r.expected))
+				r.expected = end
+				r.BytesReceived += uint64(adv)
+			}
+		}
+	}
+}
+
+// insertInterval merges [seq, seq+n) into the sorted interval set.
+func (r *Receiver) insertInterval(seq, n uint32) {
+	r.OooAccepted += uint64(n)
+	r.intervals = append(r.intervals, interval{seq, n})
+	sort.Slice(r.intervals, func(i, j int) bool {
+		return tcp.SeqLT(r.intervals[i].start, r.intervals[j].start)
+	})
+	merged := r.intervals[:1]
+	for _, iv := range r.intervals[1:] {
+		last := &merged[len(merged)-1]
+		if tcp.SeqLEQ(iv.start, last.start+last.length) {
+			if e := iv.start + iv.length; tcp.SeqGT(e, last.start+last.length) {
+				last.length = uint32(tcp.SeqDiff(e, last.start))
+			}
+		} else {
+			merged = append(merged, iv)
+		}
+	}
+	r.intervals = merged
+}
+
+func (r *Receiver) sendAck(data *protocol.Packet, ce bool) {
+	ack := &protocol.Packet{
+		SrcIP: r.key.LocalIP, DstIP: r.key.RemoteIP,
+		SrcPort: r.key.LocalPort, DstPort: r.key.RemotePort,
+		Flags:  protocol.FlagACK,
+		Ack:    r.expected,
+		Window: uint16(min32(r.cfg.Window, 0xffff)),
+		ECN:    protocol.ECNECT0,
+	}
+	if ce {
+		ack.Flags |= protocol.FlagECE
+	}
+	if data.HasTS {
+		ack.HasTS = true
+		ack.TSVal = uint32(r.ep.eng.Now() / 1000)
+		ack.TSEcr = data.TSVal
+	}
+	r.AcksSent++
+	r.ep.send(ack)
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+// Package transport implements byte-stream TCP data transfer over the
+// network simulator, at the fidelity the paper's transport-level
+// experiments need: slow start, congestion avoidance, fast retransmit,
+// retransmission timeouts, ECN echo, and three loss-recovery modes —
+//
+//   - RecoverySelective: the receiver buffers all out-of-order data and
+//     the sender retransmits only missing segments (models Linux with
+//     SACK, the paper's loss-resilience baseline);
+//   - RecoveryOneInterval: the receiver tracks exactly one out-of-order
+//     interval, dropping other out-of-order arrivals — the TAS fast path
+//     (§3.1, Exceptions);
+//   - RecoveryGoBackN: the receiver drops all out-of-order data — "TAS
+//     simple recovery" in Figure 7.
+//
+// Senders come in two flavors: window-based (ack-clocked, driven by a
+// congestion.WindowController — the Linux/DCTCP model) and rate-based
+// (paced by a token rate that a congestion.RateController updates every
+// control interval τ — the TAS model, where the slow path sets rates the
+// fast path enforces).
+package transport
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// RecoveryMode selects the receiver's out-of-order policy (and with it,
+// how much the sender must resend after loss).
+type RecoveryMode int
+
+// Recovery modes.
+const (
+	RecoverySelective RecoveryMode = iota
+	RecoveryOneInterval
+	RecoveryGoBackN
+)
+
+// String names the mode.
+func (m RecoveryMode) String() string {
+	switch m {
+	case RecoverySelective:
+		return "selective"
+	case RecoveryOneInterval:
+		return "one-interval"
+	case RecoveryGoBackN:
+		return "go-back-n"
+	}
+	return "unknown"
+}
+
+// conn is anything that consumes packets for one flow key.
+type conn interface {
+	onPacket(pkt *protocol.Packet)
+}
+
+// Endpoint attaches to a netsim.Host and demultiplexes TCP segments to
+// senders and receivers by 4-tuple.
+type Endpoint struct {
+	Host  *netsim.Host
+	eng   *sim.Engine
+	conns map[protocol.FlowKey]conn
+
+	// acceptCfg, when non-nil, auto-creates a Receiver for any unknown
+	// incoming flow.
+	acceptCfg *ReceiverConfig
+}
+
+// NewEndpoint wraps host and installs itself as the packet handler.
+func NewEndpoint(host *netsim.Host) *Endpoint {
+	e := &Endpoint{Host: host, eng: host.Engine(), conns: make(map[protocol.FlowKey]conn)}
+	host.Handler = netsim.DeliverFunc(e.deliver)
+	return e
+}
+
+// AcceptAll makes the endpoint create a Receiver with cfg for every
+// incoming flow that has no connection yet.
+func (e *Endpoint) AcceptAll(cfg ReceiverConfig) { c := cfg; e.acceptCfg = &c }
+
+func (e *Endpoint) deliver(pkt *protocol.Packet) {
+	key := pkt.RxKey()
+	c, ok := e.conns[key]
+	if !ok {
+		if e.acceptCfg == nil || pkt.DataLen() == 0 {
+			return // no consumer: drop (a real stack would RST)
+		}
+		r := newReceiver(e, key, *e.acceptCfg)
+		e.conns[key] = r
+		c = r
+	}
+	c.onPacket(pkt)
+}
+
+func (e *Endpoint) register(key protocol.FlowKey, c conn) { e.conns[key] = c }
+
+// Receiver returns the receiver for a flow key, if one exists.
+func (e *Endpoint) Receiver(key protocol.FlowKey) *Receiver {
+	if r, ok := e.conns[key].(*Receiver); ok {
+		return r
+	}
+	return nil
+}
+
+// send stamps and transmits a packet from this endpoint's host.
+func (e *Endpoint) send(pkt *protocol.Packet) { e.Host.Send(pkt) }

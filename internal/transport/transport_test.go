@@ -1,0 +1,423 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/congestion"
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// pairNet builds two hosts on a direct 10G link with 25us one-way delay
+// and optional loss.
+func pairNet(seed int64, loss float64) (*sim.Engine, *Endpoint, *Endpoint) {
+	eng := sim.New(seed)
+	a := netsim.NewHost(eng, protocol.MakeIPv4(10, 0, 0, 1))
+	b := netsim.NewHost(eng, protocol.MakeIPv4(10, 0, 0, 2))
+	netsim.ConnectPair(eng, a, b, netsim.PortConfig{
+		RateBps: 10e9, PropDelay: 25 * sim.Microsecond, QueueCap: 500,
+		ECNThreshold: 65, LossRate: loss,
+	})
+	return eng, NewEndpoint(a), NewEndpoint(b)
+}
+
+func TestSizedFlowCompletesNewReno(t *testing.T) {
+	eng, a, b := pairNet(1, 0)
+	var fct sim.Time
+	s, r := StartFlow(a, b, 4000, 9000, SenderConfig{
+		Size:       1 << 20,
+		Window:     congestion.NewNewReno(1448, 1<<20),
+		OnComplete: func(d sim.Time) { fct = d },
+	}, ReceiverConfig{Mode: RecoverySelective})
+	eng.RunUntil(sim.Second)
+	if !s.Finished() {
+		t.Fatalf("flow did not finish: acked=%d", s.AckedBytes())
+	}
+	if r.BytesReceived != 1<<20 {
+		t.Fatalf("received %d, want %d", r.BytesReceived, 1<<20)
+	}
+	if fct <= 0 {
+		t.Fatal("no FCT reported")
+	}
+	// 1MB at 10G is ~840us + slow start; should complete well under 10ms.
+	if fct > 10*sim.Millisecond {
+		t.Fatalf("FCT %v too slow", fct)
+	}
+	if s.Stats().RetxBytes != 0 {
+		t.Fatalf("lossless run retransmitted %d bytes", s.Stats().RetxBytes)
+	}
+}
+
+func TestSizedFlowCompletesRateDCTCP(t *testing.T) {
+	eng, a, b := pairNet(2, 0)
+	s, r := StartFlow(a, b, 4000, 9000, SenderConfig{
+		Size:            1 << 20,
+		Rate:            congestion.NewRateDCTCP(congestion.DefaultConfig(10e9)),
+		ControlInterval: 100 * sim.Microsecond,
+	}, ReceiverConfig{Mode: RecoveryOneInterval})
+	eng.RunUntil(sim.Second)
+	if !s.Finished() {
+		t.Fatalf("rate flow did not finish: acked=%d", s.AckedBytes())
+	}
+	if r.BytesReceived != 1<<20 {
+		t.Fatalf("received %d", r.BytesReceived)
+	}
+}
+
+func TestBulkFlowNearLineRate(t *testing.T) {
+	eng, a, b := pairNet(3, 0)
+	s, _ := StartFlow(a, b, 4000, 9000, SenderConfig{
+		Window: congestion.NewNewReno(1448, 1<<20),
+	}, ReceiverConfig{Mode: RecoverySelective})
+	eng.RunUntil(100 * sim.Millisecond)
+	gbps := float64(s.AckedBytes()) * 8 / 0.1 / 1e9
+	// Goodput should be > 85% of 10G (header overhead ~4%).
+	if gbps < 8.5 {
+		t.Fatalf("bulk goodput %.2f Gbps, want > 8.5", gbps)
+	}
+	if gbps > 10 {
+		t.Fatalf("goodput %.2f Gbps exceeds line rate", gbps)
+	}
+}
+
+func TestBulkRateSenderNearLineRate(t *testing.T) {
+	eng, a, b := pairNet(4, 0)
+	s, _ := StartFlow(a, b, 4000, 9000, SenderConfig{
+		Rate:            congestion.NewRateDCTCP(congestion.DefaultConfig(10e9)),
+		ControlInterval: 200 * sim.Microsecond,
+	}, ReceiverConfig{Mode: RecoveryOneInterval})
+	eng.RunUntil(100 * sim.Millisecond)
+	gbps := float64(s.AckedBytes()) * 8 / 0.1 / 1e9
+	if gbps < 8 {
+		t.Fatalf("rate-based bulk goodput %.2f Gbps, want > 8", gbps)
+	}
+}
+
+func TestLossRecoveryAllModes(t *testing.T) {
+	for _, mode := range []RecoveryMode{RecoverySelective, RecoveryOneInterval, RecoveryGoBackN} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			eng, a, b := pairNet(5, 0.02) // 2% loss
+			cfg := SenderConfig{
+				Size:   512 << 10,
+				Window: congestion.NewNewReno(1448, 1<<20),
+			}
+			if mode != RecoverySelective {
+				cfg.GoBackN = true
+			}
+			s, r := StartFlow(a, b, 4000, 9000, cfg, ReceiverConfig{Mode: mode})
+			eng.RunUntil(5 * sim.Second)
+			if !s.Finished() {
+				t.Fatalf("flow with 2%% loss did not finish (mode %v): acked=%d", mode, s.AckedBytes())
+			}
+			if r.BytesReceived != 512<<10 {
+				t.Fatalf("received %d", r.BytesReceived)
+			}
+			if s.Stats().RetxBytes == 0 {
+				t.Fatal("expected retransmissions under loss")
+			}
+		})
+	}
+}
+
+func TestLossRecoveryEfficiencyOrdering(t *testing.T) {
+	// Retransmission volume: selective <= one-interval <= go-back-N, the
+	// mechanism behind Figure 7.
+	retx := func(seed int64, mode RecoveryMode, gbn bool) uint64 {
+		eng, a, b := pairNet(seed, 0.02)
+		s, _ := StartFlow(a, b, 4000, 9000, SenderConfig{
+			Size:    2 << 20,
+			Window:  congestion.NewNewReno(1448, 1<<20),
+			GoBackN: gbn,
+		}, ReceiverConfig{Mode: mode})
+		eng.RunUntil(20 * sim.Second)
+		if !s.Finished() {
+			t.Fatalf("mode %v seed %d did not finish", mode, seed)
+		}
+		return s.Stats().RetxBytes
+	}
+	// Loss realizations differ per run (different packet counts consume
+	// the RNG differently), so compare averages over several seeds.
+	var sel, ooo, gbn uint64
+	for seed := int64(70); seed < 78; seed++ {
+		sel += retx(seed, RecoverySelective, false)
+		ooo += retx(seed, RecoveryOneInterval, true)
+		gbn += retx(seed, RecoveryGoBackN, true)
+	}
+	if !(sel < ooo && ooo < gbn) {
+		t.Fatalf("mean retx ordering violated: selective=%d one-interval=%d gbn=%d", sel, ooo, gbn)
+	}
+}
+
+func TestRateSenderRecoversFromLoss(t *testing.T) {
+	eng, a, b := pairNet(6, 0.01)
+	s, r := StartFlow(a, b, 4000, 9000, SenderConfig{
+		Size:            512 << 10,
+		Rate:            congestion.NewRateDCTCP(congestion.DefaultConfig(10e9)),
+		ControlInterval: 100 * sim.Microsecond,
+	}, ReceiverConfig{Mode: RecoveryOneInterval})
+	eng.RunUntil(10 * sim.Second)
+	if !s.Finished() {
+		t.Fatalf("rate flow with loss did not finish: acked=%d", s.AckedBytes())
+	}
+	if r.BytesReceived != 512<<10 {
+		t.Fatalf("received %d", r.BytesReceived)
+	}
+}
+
+func TestECNFeedbackReachesSender(t *testing.T) {
+	// Two DCTCP flows into one 10G link from separate hosts through a
+	// switch port with a low mark threshold: senders must observe ECE.
+	eng := sim.New(7)
+	h1 := netsim.NewHost(eng, protocol.MakeIPv4(10, 0, 0, 1))
+	h2 := netsim.NewHost(eng, protocol.MakeIPv4(10, 0, 0, 2))
+	h3 := netsim.NewHost(eng, protocol.MakeIPv4(10, 0, 0, 3))
+	cfg := netsim.PortConfig{RateBps: 10e9, PropDelay: 10 * sim.Microsecond, QueueCap: 500, ECNThreshold: 20}
+	netsim.NewStar(eng, []*netsim.Host{h1, h2, h3}, cfg, cfg)
+	e1, e2, e3 := NewEndpoint(h1), NewEndpoint(h2), NewEndpoint(h3)
+	s1, _ := StartFlow(e1, e3, 4000, 9000, SenderConfig{
+		Window: congestion.NewWindowDCTCP(1448, 1<<20),
+	}, ReceiverConfig{Mode: RecoverySelective})
+	s2, _ := StartFlow(e2, e3, 4001, 9000, SenderConfig{
+		Window: congestion.NewWindowDCTCP(1448, 1<<20),
+	}, ReceiverConfig{Mode: RecoverySelective})
+	eng.RunUntil(50 * sim.Millisecond)
+	if s1.Stats().EcnAckedBytes == 0 && s2.Stats().EcnAckedBytes == 0 {
+		t.Fatal("expected ECN feedback under congestion")
+	}
+	// Combined goodput near line rate despite marking.
+	total := float64(s1.AckedBytes()+s2.AckedBytes()) * 8 / 0.05 / 1e9
+	if total < 8 {
+		t.Fatalf("combined goodput %.2f Gbps", total)
+	}
+}
+
+func TestReceiverOneIntervalPolicy(t *testing.T) {
+	eng, a, b := pairNet(8, 0)
+	key := protocol.FlowKey{LocalIP: b.Host.IP, LocalPort: 9000, RemoteIP: a.Host.IP, RemotePort: 4000}
+	r := NewReceiver(b, key, ReceiverConfig{Mode: RecoveryOneInterval})
+	mk := func(seq uint32, n int) *protocol.Packet {
+		return &protocol.Packet{
+			SrcIP: a.Host.IP, DstIP: b.Host.IP, SrcPort: 4000, DstPort: 9000,
+			Flags: protocol.FlagACK, Seq: seq, PayloadLen: n, ECN: protocol.ECNECT0,
+		}
+	}
+	// Gap at 0..100; deliver 100..200 (starts interval), 300..400
+	// (non-adjacent: dropped), 200..300 (extends interval).
+	r.onPacket(mk(100, 100))
+	if r.Expected() != 0 || r.OooAccepted != 100 {
+		t.Fatalf("expected=%d oooAccepted=%d", r.Expected(), r.OooAccepted)
+	}
+	r.onPacket(mk(300, 100))
+	if r.OooDropped != 100 {
+		t.Fatalf("non-adjacent OOO should drop, dropped=%d", r.OooDropped)
+	}
+	r.onPacket(mk(200, 100))
+	if r.OooAccepted != 200 {
+		t.Fatalf("adjacent OOO should extend, accepted=%d", r.OooAccepted)
+	}
+	// Fill the gap: expected jumps to 300.
+	r.onPacket(mk(0, 100))
+	if r.Expected() != 300 {
+		t.Fatalf("after gap fill expected=%d, want 300", r.Expected())
+	}
+	if r.BytesReceived != 300 {
+		t.Fatalf("delivered=%d", r.BytesReceived)
+	}
+	_ = eng
+}
+
+func TestReceiverSelectivePolicy(t *testing.T) {
+	_, a, b := pairNet(9, 0)
+	key := protocol.FlowKey{LocalIP: b.Host.IP, LocalPort: 9000, RemoteIP: a.Host.IP, RemotePort: 4000}
+	r := NewReceiver(b, key, ReceiverConfig{Mode: RecoverySelective})
+	mk := func(seq uint32, n int) *protocol.Packet {
+		return &protocol.Packet{
+			SrcIP: a.Host.IP, DstIP: b.Host.IP, SrcPort: 4000, DstPort: 9000,
+			Flags: protocol.FlagACK, Seq: seq, PayloadLen: n, ECN: protocol.ECNECT0,
+		}
+	}
+	// Multiple disjoint intervals all buffered.
+	r.onPacket(mk(100, 100))
+	r.onPacket(mk(300, 100))
+	r.onPacket(mk(500, 100))
+	if r.OooAccepted != 300 || r.OooDropped != 0 {
+		t.Fatalf("selective should buffer all: accepted=%d dropped=%d", r.OooAccepted, r.OooDropped)
+	}
+	r.onPacket(mk(0, 100)) // -> expected 200
+	if r.Expected() != 200 {
+		t.Fatalf("expected=%d, want 200", r.Expected())
+	}
+	r.onPacket(mk(200, 100)) // -> merges through 400
+	if r.Expected() != 400 {
+		t.Fatalf("expected=%d, want 400", r.Expected())
+	}
+	r.onPacket(mk(400, 100)) // -> merges through 600
+	if r.Expected() != 600 {
+		t.Fatalf("expected=%d, want 600", r.Expected())
+	}
+}
+
+func TestReceiverGoBackNPolicy(t *testing.T) {
+	_, a, b := pairNet(10, 0)
+	key := protocol.FlowKey{LocalIP: b.Host.IP, LocalPort: 9000, RemoteIP: a.Host.IP, RemotePort: 4000}
+	r := NewReceiver(b, key, ReceiverConfig{Mode: RecoveryGoBackN})
+	pkt := &protocol.Packet{
+		SrcIP: a.Host.IP, DstIP: b.Host.IP, SrcPort: 4000, DstPort: 9000,
+		Flags: protocol.FlagACK, Seq: 100, PayloadLen: 100, ECN: protocol.ECNECT0,
+	}
+	r.onPacket(pkt)
+	if r.OooDropped != 100 || r.OooAccepted != 0 {
+		t.Fatalf("GBN must drop all OOO: dropped=%d accepted=%d", r.OooDropped, r.OooAccepted)
+	}
+}
+
+func TestReceiverDuplicateSuppression(t *testing.T) {
+	_, a, b := pairNet(11, 0)
+	key := protocol.FlowKey{LocalIP: b.Host.IP, LocalPort: 9000, RemoteIP: a.Host.IP, RemotePort: 4000}
+	r := NewReceiver(b, key, ReceiverConfig{Mode: RecoverySelective})
+	mk := func(seq uint32, n int) *protocol.Packet {
+		return &protocol.Packet{
+			SrcIP: a.Host.IP, DstIP: b.Host.IP, SrcPort: 4000, DstPort: 9000,
+			Flags: protocol.FlagACK, Seq: seq, PayloadLen: n, ECN: protocol.ECNECT0,
+		}
+	}
+	r.onPacket(mk(0, 100))
+	r.onPacket(mk(0, 100)) // exact duplicate
+	if r.DupDropped != 100 {
+		t.Fatalf("dup dropped = %d", r.DupDropped)
+	}
+	if r.BytesReceived != 100 {
+		t.Fatalf("delivered = %d", r.BytesReceived)
+	}
+	// Partial overlap: 50..150 when expected=100 delivers 50.
+	r.onPacket(mk(50, 100))
+	if r.Expected() != 150 || r.BytesReceived != 150 {
+		t.Fatalf("partial overlap: expected=%d delivered=%d", r.Expected(), r.BytesReceived)
+	}
+}
+
+func TestReceiverBufferBound(t *testing.T) {
+	_, a, b := pairNet(12, 0)
+	key := protocol.FlowKey{LocalIP: b.Host.IP, LocalPort: 9000, RemoteIP: a.Host.IP, RemotePort: 4000}
+	r := NewReceiver(b, key, ReceiverConfig{Mode: RecoverySelective, RxBufSize: 1024, Window: 1024})
+	pkt := &protocol.Packet{
+		SrcIP: a.Host.IP, DstIP: b.Host.IP, SrcPort: 4000, DstPort: 9000,
+		Flags: protocol.FlagACK, Seq: 5000, PayloadLen: 100, ECN: protocol.ECNECT0,
+	}
+	r.onPacket(pkt)
+	if r.OooAccepted != 0 || r.OooDropped != 100 {
+		t.Fatal("data beyond the receive buffer must be dropped")
+	}
+}
+
+func TestAcceptAll(t *testing.T) {
+	eng, a, b := pairNet(13, 0)
+	b.AcceptAll(ReceiverConfig{Mode: RecoveryOneInterval})
+	key := protocol.FlowKey{LocalIP: a.Host.IP, LocalPort: 4000, RemoteIP: b.Host.IP, RemotePort: 9000}
+	s := NewSender(a, key, SenderConfig{
+		Size:   100 << 10,
+		Window: congestion.NewNewReno(1448, 1<<20),
+	})
+	s.Start()
+	eng.RunUntil(sim.Second)
+	if !s.Finished() {
+		t.Fatal("flow to AcceptAll endpoint did not finish")
+	}
+	r := b.Receiver(key.Reverse())
+	if r == nil || r.BytesReceived != 100<<10 {
+		t.Fatal("auto-created receiver missing or short")
+	}
+}
+
+func TestManyFlowsShareLinkFairly(t *testing.T) {
+	// 10 rate-based flows share one 10G link; all should finish with
+	// comparable goodput (fairness smoke test for fig13 machinery).
+	eng := sim.New(14)
+	var hosts []*netsim.Host
+	for i := 0; i < 11; i++ {
+		hosts = append(hosts, netsim.NewHost(eng, protocol.MakeIPv4(10, 0, 1, byte(i+1))))
+	}
+	cfg := netsim.PortConfig{RateBps: 10e9, PropDelay: 10 * sim.Microsecond, QueueCap: 300, ECNThreshold: 65}
+	netsim.NewStar(eng, hosts, cfg, cfg)
+	sink := NewEndpoint(hosts[10])
+	sink.AcceptAll(ReceiverConfig{Mode: RecoveryOneInterval})
+	var senders []*Sender
+	for i := 0; i < 10; i++ {
+		ep := NewEndpoint(hosts[i])
+		key := protocol.FlowKey{LocalIP: hosts[i].IP, LocalPort: 4000, RemoteIP: hosts[10].IP, RemotePort: 9000}
+		s := NewSender(ep, key, SenderConfig{
+			Rate:            congestion.NewRateDCTCP(congestion.DefaultConfig(10e9)),
+			ControlInterval: 200 * sim.Microsecond,
+		})
+		s.Start()
+		senders = append(senders, s)
+	}
+	eng.RunUntil(200 * sim.Millisecond)
+	var minB, maxB uint64 = 1 << 62, 0
+	var total uint64
+	for _, s := range senders {
+		b := s.AckedBytes()
+		total += b
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	gbps := float64(total) * 8 / 0.2 / 1e9
+	if gbps < 7 {
+		t.Fatalf("aggregate %.2f Gbps too low", gbps)
+	}
+	if minB == 0 {
+		t.Fatal("a flow was starved")
+	}
+	if ratio := float64(maxB) / float64(minB); ratio > 5 {
+		t.Fatalf("fairness ratio %.1f too high (max=%d min=%d)", ratio, maxB, minB)
+	}
+}
+
+func TestDumbbellBottleneckSharing(t *testing.T) {
+	// 4 left senders -> 4 right receivers across a 10G inter-switch
+	// bottleneck: DCTCP keeps aggregate goodput near the bottleneck and
+	// shares it roughly fairly.
+	eng := sim.New(21)
+	edge := netsim.PortConfig{RateBps: 40e9, PropDelay: 2 * sim.Microsecond, QueueCap: 500}
+	core := netsim.PortConfig{RateBps: 10e9, PropDelay: 10 * sim.Microsecond, QueueCap: 500, ECNThreshold: 65}
+	d := netsim.NewDumbbell(eng, 4, 4, edge, core)
+	var senders []*Sender
+	for i := 0; i < 4; i++ {
+		src := NewEndpoint(d.LeftHosts[i])
+		dst := NewEndpoint(d.RightHosts[i])
+		dst.AcceptAll(ReceiverConfig{Mode: RecoverySelective})
+		key := protocol.FlowKey{LocalIP: d.LeftHosts[i].IP, LocalPort: 4000, RemoteIP: d.RightHosts[i].IP, RemotePort: 9000}
+		s := NewSender(src, key, SenderConfig{Window: congestion.NewWindowDCTCP(1448, 1<<20)})
+		s.Start()
+		senders = append(senders, s)
+	}
+	eng.RunUntil(100 * sim.Millisecond)
+	var total, minB, maxB uint64
+	minB = ^uint64(0)
+	for _, s := range senders {
+		b := s.AckedBytes()
+		total += b
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	gbps := float64(total) * 8 / 0.1 / 1e9
+	if gbps < 8 || gbps > 10 {
+		t.Fatalf("aggregate %.2f Gbps, want ~9.5 (bottleneck-bound)", gbps)
+	}
+	if minB == 0 || float64(maxB)/float64(minB) > 3 {
+		t.Fatalf("unfair sharing: min=%d max=%d", minB, maxB)
+	}
+	if d.Bottleneck().Stats().CEMarks == 0 {
+		t.Fatal("expected marking at the bottleneck")
+	}
+}

@@ -1,0 +1,330 @@
+// Package tas is TCP Acceleration as a Service: a reproduction of the
+// EuroSys 2019 paper's system in Go. It splits common-case TCP
+// processing onto dedicated fast-path cores (goroutines here), runs
+// connection control / congestion policy / timeouts / core scaling in a
+// slow path, and gives applications an untrusted user-level stack with
+// a sockets-style API over shared-memory context queues and per-flow
+// payload buffers.
+//
+// The package is a facade over the internal packages:
+//
+//	fab := tas.NewFabric()                  // in-process network
+//	srv, _ := fab.NewService("10.0.0.1", tas.Config{})
+//	cli, _ := fab.NewService("10.0.0.2", tas.Config{})
+//
+//	sctx := srv.NewContext()                // one per app thread
+//	ln, _ := sctx.Listen(8080)
+//	go func() {
+//	    c, _ := ln.Accept(0)
+//	    buf := make([]byte, 64)
+//	    n, _ := c.Read(buf)
+//	    c.Write(buf[:n])
+//	}()
+//
+//	cctx := cli.NewContext()
+//	c, _ := cctx.Dial("10.0.0.1", 8080)
+//	c.Write([]byte("ping"))
+//
+// Connections implement io.ReadWriteCloser. For the low-level API
+// (the paper's IX-like interface) use Context.LowLevel.
+package tas
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/congestion"
+	"repro/internal/fabric"
+	"repro/internal/fastpath"
+	"repro/internal/libtas"
+	"repro/internal/protocol"
+	"repro/internal/slowpath"
+	"repro/internal/trace"
+)
+
+// Config parameterizes one TAS service instance.
+type Config struct {
+	// FastPathCores is the maximum number of fast-path cores (default
+	// 2). The slow path scales the active count with load unless
+	// DisableCoreScaling is set.
+	FastPathCores int
+
+	// RxBufSize / TxBufSize are the fixed per-connection payload buffer
+	// sizes in bytes (powers of two; default 256 KiB).
+	RxBufSize, TxBufSize int
+
+	// CongestionControl selects the slow-path policy: "dctcp" (rate-
+	// based DCTCP, the paper's default), "timely", or "none" (no rate
+	// enforcement). Default "dctcp".
+	CongestionControl string
+
+	// ControlInterval is the slow-path control loop period (default
+	// 1ms).
+	ControlInterval time.Duration
+
+	// LinkRateBps calibrates congestion control (default 40 Gbps, the
+	// paper's server NIC).
+	LinkRateBps float64
+
+	// DisableCoreScaling pins the fast path at FastPathCores.
+	DisableCoreScaling bool
+
+	// DisableOoo turns off the fast path's one-interval out-of-order
+	// buffering ("TAS simple recovery", Figure 7's ablation).
+	DisableOoo bool
+}
+
+// Fabric is the in-process network connecting services.
+type Fabric struct{ f *fabric.Fabric }
+
+// NewFabric creates an empty network.
+func NewFabric() *Fabric { return &Fabric{f: fabric.New()} }
+
+// SetLoss makes the fabric drop packets at the given probability
+// (failure injection).
+func (f *Fabric) SetLoss(p float64) { f.f.SetLossRate(p) }
+
+// SetLatency adds one-way delivery latency.
+func (f *Fabric) SetLatency(d time.Duration) { f.f.SetLatency(d) }
+
+// CaptureTo streams a pcap capture of every packet crossing the fabric
+// into w (readable by tcpdump/Wireshark) until stop is called. One
+// capture at a time.
+func (f *Fabric) CaptureTo(w io.Writer) (stop func(), err error) {
+	pw, err := trace.NewWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	f.f.Tap = func(ts int64, pkt *protocol.Packet) { pw.WritePacket(ts, pkt) }
+	return func() { f.f.Tap = nil }, nil
+}
+
+// ParseIP parses a dotted-quad IPv4 address.
+func ParseIP(s string) (protocol.IPv4, error) {
+	var a, b, c, d int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("tas: bad IPv4 %q: %w", s, err)
+	}
+	for _, v := range []int{a, b, c, d} {
+		if v < 0 || v > 255 {
+			return 0, fmt.Errorf("tas: bad IPv4 %q", s)
+		}
+	}
+	return protocol.MakeIPv4(byte(a), byte(b), byte(c), byte(d)), nil
+}
+
+// Service is one host's TAS instance: fast path + slow path attached to
+// the fabric at an IP address.
+type Service struct {
+	IP    protocol.IPv4
+	eng   *fastpath.Engine
+	slow  *slowpath.Slowpath
+	stack *libtas.Stack
+	fab   *Fabric
+}
+
+// NewService creates, attaches, and starts a TAS instance at addr
+// (dotted quad).
+func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
+	ip, err := ParseIP(addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FastPathCores <= 0 {
+		cfg.FastPathCores = 2
+	}
+	ecfg := fastpath.Config{
+		LocalIP:    ip,
+		LocalMAC:   protocol.MACForIPv4(ip),
+		MaxCores:   cfg.FastPathCores,
+		DisableOoo: cfg.DisableOoo,
+	}
+	// The fabric handler closes over the engine variable, which is
+	// assigned immediately after attaching; no packets flow until a
+	// peer sends to this IP.
+	var eng *fastpath.Engine
+	nic := f.f.Attach(ip, func(pkt *protocol.Packet) {
+		if eng != nil {
+			eng.Input(pkt)
+		}
+	})
+	eng = fastpath.NewEngine(nic, ecfg)
+
+	scfg := slowpath.Config{
+		RxBufSize:       cfg.RxBufSize,
+		TxBufSize:       cfg.TxBufSize,
+		ControlInterval: cfg.ControlInterval,
+		DisableScaling:  cfg.DisableCoreScaling,
+	}
+	link := cfg.LinkRateBps
+	if link <= 0 {
+		link = 40e9
+	}
+	switch cfg.CongestionControl {
+	case "", "dctcp":
+		scfg.NewController = func() congestion.RateController {
+			c := congestion.DefaultConfig(link)
+			c.InitRate = link / 8 / 10
+			return congestion.NewRateDCTCP(c)
+		}
+	case "timely":
+		scfg.NewController = func() congestion.RateController {
+			c := congestion.DefaultConfig(link)
+			c.InitRate = link / 8 / 10
+			return congestion.NewTIMELY(c)
+		}
+	case "dctcp-window":
+		// Window-based DCTCP behind the rate-bucket enforcement (§3.2:
+		// TAS supports both rate- and window-based control).
+		scfg.NewController = func() congestion.RateController {
+			return congestion.NewRateFromWindow(
+				congestion.NewWindowDCTCP(protocol.DefaultMSS, 2<<20),
+				congestion.DefaultConfig(link))
+		}
+	case "none":
+		scfg.NewController = func() congestion.RateController { return unlimited{} }
+	default:
+		return nil, fmt.Errorf("tas: unknown congestion control %q", cfg.CongestionControl)
+	}
+
+	slow := slowpath.New(eng, scfg)
+	eng.Start()
+	slow.Start()
+	s := &Service{IP: ip, eng: eng, slow: slow, fab: f}
+	s.stack = libtas.NewStack(eng, slow)
+	return s, nil
+}
+
+// unlimited is the "none" congestion controller: no rate enforcement.
+type unlimited struct{}
+
+func (unlimited) Name() string                       { return "none" }
+func (unlimited) Update(congestion.Feedback) float64 { return 0 }
+func (unlimited) Rate() float64                      { return 0 }
+
+// Close stops the service and detaches it from the fabric.
+func (s *Service) Close() {
+	s.fab.f.Detach(s.IP)
+	s.slow.Stop()
+	s.eng.Stop()
+}
+
+// Engine exposes the fast-path engine (stats, core counts) for tools
+// and benchmarks.
+func (s *Service) Engine() *fastpath.Engine { return s.eng }
+
+// ActiveCores returns the number of fast-path cores currently steered
+// to by RSS.
+func (s *Service) ActiveCores() int { return s.eng.ActiveCores() }
+
+// Context is one application thread's attachment to a service.
+type Context struct {
+	svc *Service
+	ctx *libtas.Context
+}
+
+// NewContext allocates an application context (one per app thread).
+func (s *Service) NewContext() *Context {
+	return &Context{svc: s, ctx: s.stack.NewContext()}
+}
+
+// LowLevel exposes the IX-like low-level API: the raw fast-path context
+// with direct event-queue access.
+func (c *Context) LowLevel() *fastpath.Context { return c.ctx.FP() }
+
+// Dial connects to addr (dotted quad) : port. Blocks up to 5s.
+func (c *Context) Dial(addr string, port uint16) (*Conn, error) {
+	ip, err := ParseIP(addr)
+	if err != nil {
+		return nil, err
+	}
+	lc, err := c.ctx.Dial(ip, port, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: lc}, nil
+}
+
+// Listen binds a listener on port for this context.
+func (c *Context) Listen(port uint16) (*Listener, error) {
+	ll, err := c.ctx.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: ll}, nil
+}
+
+// Listener accepts inbound connections.
+type Listener struct{ l *libtas.Listener }
+
+// Accept waits up to timeout (0 = forever) for a connection.
+func (l *Listener) Accept(timeout time.Duration) (*Conn, error) {
+	lc, err := l.l.Accept(timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: lc}, nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() { l.l.Close() }
+
+// Conn is a TAS TCP connection; it implements io.ReadWriteCloser.
+type Conn struct{ c *libtas.Conn }
+
+// Read reads at least one byte (blocking) into p; returns io.EOF after
+// the peer closes and the buffer drains.
+func (c *Conn) Read(p []byte) (int, error) { return c.c.Recv(p, 0) }
+
+// Write writes all of p, blocking on flow control as needed.
+func (c *Conn) Write(p []byte) (int, error) { return c.c.Send(p, 0) }
+
+// Close tears the connection down gracefully.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// ReadZeroCopy exposes readable bytes of the receive buffer in place
+// (up to max); consume returns how many bytes it finished with. Returns
+// the consumed count.
+func (c *Conn) ReadZeroCopy(max int, consume func(first, second []byte) int) int {
+	return c.c.RecvZeroCopy(max, consume)
+}
+
+// WriteZeroCopy assembles up to max bytes directly in the transmit
+// buffer via fill (which returns the bytes produced) and notifies the
+// fast path. Returns the committed count.
+func (c *Conn) WriteZeroCopy(max int, fill func(first, second []byte) int) (int, error) {
+	return c.c.SendZeroCopy(max, fill)
+}
+
+// Rebind moves the connection to another context of the same service —
+// the accept-loop handoff pattern: one context accepts, then each
+// connection is rebound to its own per-goroutine context before use.
+func (c *Conn) Rebind(ctx *Context) { c.c.Rebind(ctx.ctx) }
+
+// Stats snapshots the connection's fast-path counters.
+func (c *Conn) Stats() libtas.ConnStats { return c.c.Stats() }
+
+// ResizeBuffers grows the connection's payload buffers at runtime.
+func (c *Conn) ResizeBuffers(rx, tx int) { c.c.ResizeBuffers(rx, tx) }
+
+// MsgConn layers length-prefixed datagram framing over a connection
+// (§6, Beyond TCP).
+type MsgConn = libtas.MsgConn
+
+// NewMsgConn wraps a connection with datagram framing (maxMsg 0 =
+// 16 MiB limit).
+func NewMsgConn(c *Conn, maxMsg int) *MsgConn { return libtas.NewMsgConn(c.c, maxMsg) }
+
+// Buffered returns bytes available to Read without blocking.
+func (c *Conn) Buffered() int { return c.c.Buffered() }
+
+// ReadTimeout is Read with a deadline (0 = forever).
+func (c *Conn) ReadTimeout(p []byte, d time.Duration) (int, error) { return c.c.Recv(p, d) }
+
+// WriteTimeout is Write with a deadline (0 = forever).
+func (c *Conn) WriteTimeout(p []byte, d time.Duration) (int, error) { return c.c.Send(p, d) }
+
+// ErrTimeout reports whether err is a TAS timeout.
+func ErrTimeout(err error) bool { return errors.Is(err, libtas.ErrTimeout) }

@@ -1,0 +1,416 @@
+package tas
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newPair(t *testing.T, cfg Config) (*Fabric, *Service, *Service) {
+	t.Helper()
+	fab := NewFabric()
+	srv, err := fab.NewService("10.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := fab.NewService("10.0.0.2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); cli.Close() })
+	return fab, srv, cli
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	_, srv, cli := newPair(t, Config{})
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		buf := make([]byte, 128)
+		n, err := c.Read(buf)
+		if err != nil {
+			done <- err
+			return
+		}
+		if _, err := c.Write(buf[:n]); err != nil {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+
+	cctx := cli.NewContext()
+	c, err := cctx.Dial("10.0.0.1", 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello TAS fast path")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:n], msg) {
+		t.Fatalf("echo mismatch: %q", buf[:n])
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialRefusedWithoutListener(t *testing.T) {
+	_, _, cli := newPair(t, Config{})
+	ctx := cli.NewContext()
+	start := time.Now()
+	_, err := ctx.Dial("10.0.0.1", 12345)
+	if err == nil {
+		t.Fatal("dial to closed port should fail")
+	}
+	if time.Since(start) > 6*time.Second {
+		t.Fatal("refusal should not take the full timeout")
+	}
+}
+
+func TestBulkTransferIntegrity(t *testing.T) {
+	_, srv, cli := newPair(t, Config{})
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 8 << 20 // 8 MiB through 256 KiB buffers
+	// Deterministic pseudo-random payload.
+	payload := make([]byte, total)
+	x := uint32(123456789)
+	for i := range payload {
+		x = x*1664525 + 1013904223
+		payload[i] = byte(x >> 24)
+	}
+	var got bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		buf := make([]byte, 64<<10)
+		for got.Len() < total {
+			n, err := c.Read(buf)
+			if err != nil {
+				done <- fmt.Errorf("read after %d bytes: %w", got.Len(), err)
+				return
+			}
+			got.Write(buf[:n])
+		}
+		done <- nil
+	}()
+
+	cctx := cli.NewContext()
+	c, err := cctx.Dial("10.0.0.1", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatal("bulk payload corrupted in transit")
+	}
+}
+
+func TestManyConnections(t *testing.T) {
+	_, srv, cli := newPair(t, Config{})
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const conns = 50
+	go func() {
+		for i := 0; i < conns; i++ {
+			c, err := ln.Accept(10 * time.Second)
+			if err != nil {
+				return
+			}
+			go func() {
+				// One echo per connection on its own goroutine is not
+				// context-safe; serially echo instead.
+				_ = c
+			}()
+			buf := make([]byte, 64)
+			n, err := c.Read(buf)
+			if err == nil {
+				c.Write(buf[:n])
+			}
+		}
+	}()
+
+	cctx := cli.NewContext()
+	for i := 0; i < conns; i++ {
+		c, err := cctx.Dial("10.0.0.1", 9100)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		msg := []byte(fmt.Sprintf("conn-%03d", i))
+		if _, err := c.Write(msg); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		buf := make([]byte, 64)
+		n, err := c.Read(buf)
+		if err != nil || !bytes.Equal(buf[:n], msg) {
+			t.Fatalf("echo %d: %q err=%v", i, buf[:n], err)
+		}
+		c.Close()
+	}
+}
+
+func TestGracefulClose(t *testing.T) {
+	_, srv, cli := newPair(t, Config{})
+	sctx := srv.NewContext()
+	ln, _ := sctx.Listen(9200)
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		// Read until EOF.
+		buf := make([]byte, 1024)
+		var total int
+		for {
+			n, err := c.Read(buf)
+			total += n
+			if err == io.EOF {
+				if total != 1000 {
+					done <- fmt.Errorf("got %d bytes before EOF", total)
+					return
+				}
+				done <- nil
+				return
+			}
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	cctx := cli.NewContext()
+	c, err := cctx.Dial("10.0.0.1", 9200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("EOF never observed")
+	}
+}
+
+func TestLossRecoveryLive(t *testing.T) {
+	fab, srv, cli := newPair(t, Config{})
+	sctx := srv.NewContext()
+	ln, _ := sctx.Listen(9300)
+	const total = 1 << 20
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		buf := make([]byte, 32<<10)
+		n := 0
+		for n < total {
+			k, err := c.Read(buf)
+			if err != nil {
+				done <- err
+				return
+			}
+			n += k
+		}
+		done <- nil
+	}()
+	cctx := cli.NewContext()
+	c, err := cctx.Dial("10.0.0.1", 9300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab.SetLoss(0.02) // 2% loss after handshake
+	defer fab.SetLoss(0)
+	if _, err := c.Write(make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("transfer with loss did not complete")
+	}
+}
+
+func TestConcurrentContexts(t *testing.T) {
+	_, srv, cli := newPair(t, Config{FastPathCores: 2})
+	sctx := srv.NewContext()
+	ln, _ := sctx.Listen(9400)
+	go func() {
+		for {
+			c, err := ln.Accept(5 * time.Second)
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 256)
+			n, err := c.Read(buf)
+			if err == nil {
+				c.Write(buf[:n])
+			}
+		}
+	}()
+	// Several client contexts (threads) in parallel, each with its own
+	// connection — contexts are single-goroutine, services are not.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := cli.NewContext()
+			c, err := ctx.Dial("10.0.0.1", 9400)
+			if err != nil {
+				errs <- err
+				return
+			}
+			msg := []byte(fmt.Sprintf("ctx-%d", g))
+			if _, err := c.Write(msg); err != nil {
+				errs <- err
+				return
+			}
+			buf := make([]byte, 256)
+			n, err := c.Read(buf)
+			if err != nil || !bytes.Equal(buf[:n], msg) {
+				errs <- fmt.Errorf("ctx %d echo mismatch: %q %v", g, buf[:n], err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIP(t *testing.T) {
+	ip, err := ParseIP("10.1.2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.String() != "10.1.2.3" {
+		t.Fatalf("round trip: %v", ip)
+	}
+	for _, bad := range []string{"", "10.0.0", "10.0.0.256", "a.b.c.d"} {
+		if _, err := ParseIP(bad); err == nil {
+			t.Errorf("ParseIP(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRandomizedChunksIntegrity(t *testing.T) {
+	// Property-style live test: random chunk sizes, random small loss,
+	// payload must arrive byte-identical. Exercises segmentation,
+	// flow-control windows, window updates, OOO handling, and go-back-N
+	// together.
+	for _, seed := range []int64{3, 7, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			fab, srv, cli := newPair(t, Config{})
+			sctx := srv.NewContext()
+			port := uint16(9500 + seed)
+			ln, err := sctx.Listen(port)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 200<<10 + rng.Intn(300<<10)
+			payload := make([]byte, total)
+			rng.Read(payload)
+
+			var got bytes.Buffer
+			done := make(chan error, 1)
+			go func() {
+				c, err := ln.Accept(5 * time.Second)
+				if err != nil {
+					done <- err
+					return
+				}
+				buf := make([]byte, 48<<10)
+				for got.Len() < total {
+					n, err := c.Read(buf)
+					if err != nil {
+						done <- err
+						return
+					}
+					got.Write(buf[:n])
+				}
+				done <- nil
+			}()
+			cctx := cli.NewContext()
+			c, err := cctx.Dial("10.0.0.1", port)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fab.SetLoss(float64(rng.Intn(3)) * 0.005) // 0, 0.5% or 1%
+			sent := 0
+			for sent < total {
+				n := 1 + rng.Intn(20<<10)
+				if sent+n > total {
+					n = total - sent
+				}
+				if _, err := c.Write(payload[sent : sent+n]); err != nil {
+					t.Fatal(err)
+				}
+				sent += n
+			}
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(60 * time.Second):
+				t.Fatalf("stalled at %d/%d bytes", got.Len(), total)
+			}
+			if !bytes.Equal(got.Bytes(), payload) {
+				t.Fatal("payload corrupted")
+			}
+		})
+	}
+}
