@@ -1,0 +1,278 @@
+package tas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// chaosCfg uses aggressive failure timers so fault detection is fast
+// enough for tests.
+func chaosCfg() Config {
+	return Config{
+		HandshakeRTO:     20 * time.Millisecond,
+		HandshakeRetries: 3,
+		MaxRetransmits:   4,
+	}
+}
+
+// TestChaosPartitionDuringHandshake: a Dial across a partitioned link
+// must return a timeout error in bounded time — not block forever.
+func TestChaosPartitionDuringHandshake(t *testing.T) {
+	fab, srv, cli := newPair(t, chaosCfg())
+	sctx := srv.NewContext()
+	if _, err := sctx.Listen(8080); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Partition("10.0.0.1", "10.0.0.2"); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err := cli.NewContext().DialTimeout("10.0.0.1", 8080, 3*time.Second)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Dial succeeded across a partition")
+	}
+	if !ErrTimeout(err) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	// The handshake retry budget (20+40+80+160ms) decides well before
+	// the caller's 3s deadline.
+	if elapsed > 2*time.Second {
+		t.Fatalf("Dial took %v, want bounded by the retry budget", elapsed)
+	}
+
+	// After healing, a fresh Dial succeeds.
+	fab.HealAll()
+	c, err := cli.NewContext().Dial("10.0.0.1", 8080)
+	if err != nil {
+		t.Fatalf("Dial after heal: %v", err)
+	}
+	c.Close()
+}
+
+// TestChaosTransferAcrossFlappingLossyLink: a bulk transfer across a
+// link that flaps down/up while Gilbert–Elliott burst loss corrupts the
+// schedule must still deliver an intact byte stream (retransmission +
+// out-of-order handling end to end).
+func TestChaosTransferAcrossFlappingLossyLink(t *testing.T) {
+	fab, srv, cli := newPair(t, chaosCfg())
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 512 << 10
+	payload := make([]byte, total)
+	rand.New(rand.NewSource(7)).Read(payload)
+	wantSum := sha256.Sum256(payload)
+
+	recvDone := make(chan [32]byte, 1)
+	recvErr := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept(10 * time.Second)
+		if err != nil {
+			recvErr <- err
+			return
+		}
+		var got bytes.Buffer
+		buf := make([]byte, 32<<10)
+		for got.Len() < total {
+			n, err := c.ReadTimeout(buf, 20*time.Second)
+			if n > 0 {
+				got.Write(buf[:n])
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				recvErr <- err
+				return
+			}
+		}
+		if got.Len() != total {
+			recvErr <- io.ErrUnexpectedEOF
+			return
+		}
+		recvDone <- sha256.Sum256(got.Bytes())
+	}()
+
+	c, err := cli.NewContext().Dial("10.0.0.1", 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos: burst loss for the whole transfer, plus synchronous link
+	// flaps interleaved with the writes so outages provably overlap
+	// in-flight data.
+	fab.SetBurstLoss(GEConfig{PGoodToBad: 0.01, PBadToGood: 0.3, LossGood: 0, LossBad: 0.6}, 42)
+
+	const chunk = 16 << 10
+	nChunks := total / chunk
+	sent, chunks := 0, 0
+	for sent < total {
+		n, err := c.WriteTimeout(payload[sent:min(sent+chunk, total)], 30*time.Second)
+		sent += n
+		if err != nil {
+			t.Fatalf("Write at %d/%d: %v", sent, total, err)
+		}
+		chunks++
+		// Flap the link at the quarter points: data already buffered
+		// (and acks for it) are lost and must be retransmitted.
+		if chunks%(nChunks/4) == 0 && sent < total {
+			fab.SetLinkDown("10.0.0.2", true)
+			time.Sleep(15 * time.Millisecond)
+			fab.SetLinkDown("10.0.0.2", false)
+		}
+	}
+	// Lift the chaos so the tail retransmissions converge promptly.
+	fab.ClearBurstLoss()
+	fab.HealAll()
+	c.Close()
+
+	select {
+	case sum := <-recvDone:
+		if sum != wantSum {
+			t.Fatal("byte stream corrupted in transit")
+		}
+	case err := <-recvErr:
+		t.Fatalf("receiver: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("transfer did not complete")
+	}
+}
+
+// TestChaosPeerDeathAbortsTransfer: when the peer becomes permanently
+// unreachable mid-transfer, the sender's retry budget must expire and
+// Write must return a reset error — never block forever.
+func TestChaosPeerDeathAbortsTransfer(t *testing.T) {
+	fab, srv, cli := newPair(t, chaosCfg())
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err == nil {
+			accepted <- c
+		}
+	}()
+
+	c, err := cli.NewContext().Dial("10.0.0.1", 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-accepted
+
+	// Prove liveness, then kill the path permanently.
+	if _, err := c.Write([]byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Partition("10.0.0.1", "10.0.0.2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep writing; once the transmit buffer fills, Write blocks until
+	// the abort fires — it must surface ErrReset in bounded time.
+	deadline := time.Now().Add(20 * time.Second)
+	chunk := make([]byte, 64<<10)
+	for {
+		_, err := c.WriteTimeout(chunk, 5*time.Second)
+		if err != nil {
+			if !ErrReset(err) {
+				t.Fatalf("err = %v, want reset", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Write never surfaced the abort")
+		}
+	}
+	if !c.Aborted() {
+		t.Fatal("connection not marked aborted")
+	}
+	// Reads on the dead connection fail fast too.
+	if _, err := c.Read(make([]byte, 16)); !ErrReset(err) {
+		t.Fatalf("Read err = %v, want reset", err)
+	}
+}
+
+// TestChaosBurstLossDuringClose: heavy burst loss while both sides
+// close must not strand either endpoint — FIN retransmission (or, in
+// the worst case, the abort budget) converges and all data sent before
+// the close is delivered intact.
+func TestChaosBurstLossDuringClose(t *testing.T) {
+	fab, srv, cli := newPair(t, chaosCfg())
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	msg := make([]byte, 8<<10)
+	rand.New(rand.NewSource(9)).Read(msg)
+
+	srvDone := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		var got bytes.Buffer
+		buf := make([]byte, 4096)
+		for {
+			n, err := c.ReadTimeout(buf, 20*time.Second)
+			if n > 0 {
+				got.Write(buf[:n])
+			}
+			if err != nil {
+				if err == io.EOF && bytes.Equal(got.Bytes(), msg) {
+					srvDone <- nil
+				} else {
+					srvDone <- err
+				}
+				c.Close()
+				return
+			}
+		}
+	}()
+
+	c, err := cli.NewContext().Dial("10.0.0.1", 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	// Give the in-flight data a moment to drain, then make the link
+	// bursty-lossy right as the FIN exchange starts.
+	time.Sleep(50 * time.Millisecond)
+	fab.SetBurstLoss(GEConfig{PGoodToBad: 0.05, PBadToGood: 0.25, LossGood: 0.05, LossBad: 0.8}, 1234)
+	c.Close()
+	time.Sleep(200 * time.Millisecond)
+	fab.ClearBurstLoss()
+
+	select {
+	case err := <-srvDone:
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("close never converged under burst loss")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

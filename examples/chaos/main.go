@@ -1,0 +1,138 @@
+// Command chaos demonstrates TAS connection survivability under fault
+// injection: a bulk transfer across a link subjected to Gilbert–Elliott
+// burst loss and periodic link flaps, followed by a permanent partition
+// that the sender detects and surfaces as a reset error. Run with:
+//
+//	go run ./examples/chaos
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"time"
+
+	tas "repro"
+)
+
+func main() {
+	fab := tas.NewFabric()
+	cfg := tas.Config{
+		HandshakeRTO:     20 * time.Millisecond,
+		HandshakeRetries: 3,
+		MaxRetransmits:   4,
+	}
+	srv, err := fab.NewService("10.0.0.1", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cli, err := fab.NewService("10.0.0.2", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	defer cli.Close()
+
+	ln, err := srv.NewContext().Listen(8080)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const total = 1 << 20
+	payload := make([]byte, total)
+	rand.New(rand.NewSource(1)).Read(payload)
+	want := sha256.Sum256(payload)
+
+	done := make(chan [32]byte, 1)
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var got bytes.Buffer
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := c.Read(buf)
+			if n > 0 {
+				got.Write(buf[:n])
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatalf("receiver: %v", err)
+			}
+		}
+		done <- sha256.Sum256(got.Bytes())
+	}()
+
+	conn, err := cli.NewContext().Dial("10.0.0.1", 8080)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: transfer through burst loss and link flaps.
+	fmt.Printf("phase 1: %d KiB through burst loss + link flaps\n", total>>10)
+	fab.SetBurstLoss(tas.GEConfig{PGoodToBad: 0.01, PBadToGood: 0.3, LossBad: 0.6}, 42)
+	start := time.Now()
+	sent, chunk := 0, 32<<10
+	for sent < total {
+		end := sent + chunk
+		if end > total {
+			end = total
+		}
+		n, err := conn.Write(payload[sent:end])
+		sent += n
+		if err != nil {
+			log.Fatalf("write at %d: %v", sent, err)
+		}
+		if sent%(total/4) == 0 && sent < total {
+			fab.SetLinkDown("10.0.0.2", true)
+			time.Sleep(15 * time.Millisecond)
+			fab.SetLinkDown("10.0.0.2", false)
+			fmt.Printf("  flapped link at %d KiB\n", sent>>10)
+		}
+	}
+	fab.ClearBurstLoss()
+	fab.HealAll()
+	conn.Close()
+	sum := <-done
+	if sum != want {
+		log.Fatal("byte stream corrupted")
+	}
+	fmt.Printf("  intact stream delivered in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// Phase 2: permanent partition mid-transfer -> bounded-time abort.
+	fmt.Println("phase 2: partition mid-transfer -> reset error")
+	ln2, err := srv.NewContext().Listen(8081)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if _, err := ln2.Accept(5 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	conn2, err := cli.NewContext().Dial("10.0.0.1", 8081)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fab.Partition("10.0.0.1", "10.0.0.2"); err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	buf := make([]byte, 64<<10)
+	for {
+		if _, err := conn2.Write(buf); err != nil {
+			if !tas.ErrReset(err) {
+				log.Fatalf("unexpected error: %v", err)
+			}
+			fmt.Printf("  write failed with reset after %v (retry budget exhausted)\n",
+				time.Since(start).Round(time.Millisecond))
+			break
+		}
+	}
+}

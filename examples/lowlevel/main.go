@@ -79,7 +79,7 @@ func main() {
 						m += copy(b, msg[m:])
 						return m
 					})
-				case fastpath.EvClosed:
+				case fastpath.EvClosed, fastpath.EvAborted:
 					return
 				}
 			}

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The
+// simulation smoke tests run minutes of simulated traffic; under the
+// detector's ~20× slowdown they exceed any reasonable test timeout, so
+// they skip themselves (the plain test run still covers them).
+const raceEnabled = true

@@ -3,6 +3,9 @@ package bench
 import "testing"
 
 func TestSmokeRPC(t *testing.T) {
+	if raceEnabled {
+		t.Skip("simulation smoke impractically slow under the race detector")
+	}
 	cfg := RunConfig{Seed: 1, Quick: true}
 	for _, id := range []string{"fig4", "fig5", "fig6", "fig8", "table6", "table5", "table7"} {
 		e, ok := ByID(id)

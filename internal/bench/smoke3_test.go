@@ -3,6 +3,9 @@ package bench
 import "testing"
 
 func TestSmokeRemaining(t *testing.T) {
+	if raceEnabled {
+		t.Skip("simulation smoke impractically slow under the race detector")
+	}
 	cfg := RunConfig{Seed: 1, Quick: true}
 	for _, id := range []string{"fig10", "table8", "fig14", "fig15", "ablation-buffers", "ablation-steering", "fig11", "fig13"} {
 		e, ok := ByID(id)

@@ -3,6 +3,9 @@ package bench
 import "testing"
 
 func TestSmokeTables(t *testing.T) {
+	if raceEnabled {
+		t.Skip("simulation smoke impractically slow under the race detector")
+	}
 	cfg := RunConfig{Seed: 1, Quick: true}
 	for _, id := range []string{"table1", "table2", "table3", "table4", "fig7"} {
 		e, ok := ByID(id)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/stats"
 )
 
 // Handler consumes packets addressed to an attached host.
@@ -24,6 +25,13 @@ type Fabric struct {
 	mu    sync.RWMutex
 	hosts map[protocol.IPv4]Handler
 	rng   *rand.Rand
+
+	// Fault-injection state (guarded by mu): per-host link state,
+	// pairwise partitions, and an optional Gilbert–Elliott burst-loss
+	// channel.
+	downHosts map[protocol.IPv4]bool
+	blocked   map[[2]protocol.IPv4]bool
+	ge        *stats.GilbertElliott
 
 	// latency delays delivery (0 = synchronous hand-off); nanoseconds.
 	latency atomic.Int64
@@ -37,11 +45,82 @@ type Fabric struct {
 	Delivered atomic.Uint64
 	Dropped   atomic.Uint64
 	NoRoute   atomic.Uint64
+
+	// Fault-injection drop counters.
+	DownDrops      atomic.Uint64 // dropped: an endpoint's link was down
+	PartitionDrops atomic.Uint64 // dropped: the host pair was partitioned
+	BurstDrops     atomic.Uint64 // dropped: Gilbert–Elliott burst loss
 }
 
 // New returns an empty fabric.
 func New() *Fabric {
-	return &Fabric{hosts: make(map[protocol.IPv4]Handler), rng: rand.New(rand.NewSource(1))}
+	return &Fabric{
+		hosts:     make(map[protocol.IPv4]Handler),
+		rng:       rand.New(rand.NewSource(1)),
+		downHosts: make(map[protocol.IPv4]bool),
+		blocked:   make(map[[2]protocol.IPv4]bool),
+	}
+}
+
+// pairKey canonicalizes an unordered host pair.
+func pairKey(a, b protocol.IPv4) [2]protocol.IPv4 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]protocol.IPv4{a, b}
+}
+
+// SetLinkDown takes one host's link down (or back up): every packet to
+// or from the host is dropped while down, modeling NIC/cable failure or
+// a link flap. Safe to toggle while traffic flows.
+func (f *Fabric) SetLinkDown(ip protocol.IPv4, down bool) {
+	f.mu.Lock()
+	if down {
+		f.downHosts[ip] = true
+	} else {
+		delete(f.downHosts, ip)
+	}
+	f.mu.Unlock()
+}
+
+// Partition blocks all traffic between a and b (both directions) until
+// Heal. Other pairs are unaffected.
+func (f *Fabric) Partition(a, b protocol.IPv4) {
+	f.mu.Lock()
+	f.blocked[pairKey(a, b)] = true
+	f.mu.Unlock()
+}
+
+// Heal removes the a<->b partition.
+func (f *Fabric) Heal(a, b protocol.IPv4) {
+	f.mu.Lock()
+	delete(f.blocked, pairKey(a, b))
+	f.mu.Unlock()
+}
+
+// HealAll removes every partition and brings every link back up.
+func (f *Fabric) HealAll() {
+	f.mu.Lock()
+	f.downHosts = make(map[protocol.IPv4]bool)
+	f.blocked = make(map[[2]protocol.IPv4]bool)
+	f.mu.Unlock()
+}
+
+// SetBurstLoss installs a seeded Gilbert–Elliott burst-loss channel in
+// front of delivery (nil-equivalent: call ClearBurstLoss). Decisions
+// are drawn per packet under the fabric lock, so a fixed seed gives a
+// reproducible loss pattern for a deterministic packet sequence.
+func (f *Fabric) SetBurstLoss(cfg stats.GEConfig, seed int64) {
+	f.mu.Lock()
+	f.ge = stats.NewGilbertElliott(rand.New(rand.NewSource(seed)), cfg)
+	f.mu.Unlock()
+}
+
+// ClearBurstLoss removes the burst-loss channel.
+func (f *Fabric) ClearBurstLoss() {
+	f.mu.Lock()
+	f.ge = nil
+	f.mu.Unlock()
 }
 
 // SetLossRate makes the fabric drop packets with probability p in [0,1).
@@ -76,6 +155,31 @@ func (f *Fabric) Detach(ip protocol.IPv4) {
 func (f *Fabric) send(pkt *protocol.Packet) {
 	if tap := f.Tap; tap != nil {
 		tap(time.Now().UnixNano(), pkt)
+	}
+	f.mu.RLock()
+	down := len(f.downHosts) > 0 && (f.downHosts[pkt.SrcIP] || f.downHosts[pkt.DstIP])
+	part := len(f.blocked) > 0 && f.blocked[pairKey(pkt.SrcIP, pkt.DstIP)]
+	hasGE := f.ge != nil
+	f.mu.RUnlock()
+	if down {
+		f.DownDrops.Add(1)
+		f.Dropped.Add(1)
+		return
+	}
+	if part {
+		f.PartitionDrops.Add(1)
+		f.Dropped.Add(1)
+		return
+	}
+	if hasGE {
+		f.mu.Lock()
+		drop := f.ge != nil && f.ge.Drop()
+		f.mu.Unlock()
+		if drop {
+			f.BurstDrops.Add(1)
+			f.Dropped.Add(1)
+			return
+		}
 	}
 	if p := f.LossRate(); p > 0 {
 		f.mu.Lock()

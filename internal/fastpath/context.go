@@ -30,10 +30,23 @@ const (
 	// slow path posts this. Opaque identifies the listener.
 	EvAccepted
 	// EvConnected: an outbound connect completed; Bytes != 0 encodes a
-	// connect error code.
+	// connect error code (ConnRefused, ConnTimedOut).
 	EvConnected
 	// EvClosed: the peer closed the connection (all data delivered).
 	EvClosed
+	// EvAborted: the connection failed — the slow path exhausted its
+	// retransmission budget (dead peer / partition) or the peer reset.
+	// In-flight data may be lost; subsequent Send/Recv return errors.
+	EvAborted
+)
+
+// Connect error codes carried in EvConnected.Bytes.
+const (
+	// ConnRefused: the peer answered our SYN with RST (no listener).
+	ConnRefused uint32 = 1
+	// ConnTimedOut: the handshake retry budget was exhausted without an
+	// answer (lost SYNs, partitioned link, dead peer).
+	ConnTimedOut uint32 = 2
 )
 
 // Event is one context-queue entry (fast path -> application).

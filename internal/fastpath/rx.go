@@ -51,6 +51,11 @@ func (e *Engine) processAck(c *core, f *flowstate.Flow, pkt *protocol.Packet) {
 	diff := tcp.SeqDiff(pkt.Ack, una)
 	switch {
 	case diff > 0:
+		if f.FinSent && !f.FinAcked && diff == int32(f.TxSent)+1 {
+			// The peer acknowledged our FIN's sequence number; the slow
+			// path stops retransmitting it.
+			f.FinAcked = true
+		}
 		if diff > int32(f.TxSent) {
 			// Acks beyond what we sent: tolerate by clamping (can occur
 			// after a slow-path retransmission reset).

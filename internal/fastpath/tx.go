@@ -10,7 +10,7 @@ import (
 // segmentation, header production, timestamps). Caller holds the flow
 // lock.
 func (e *Engine) transmit(c *core, f *flowstate.Flow) {
-	if f.FinSent {
+	if f.FinSent || f.Aborted {
 		return
 	}
 	for {

@@ -51,9 +51,17 @@ type Flow struct {
 
 	// FinSent/FinReceived track teardown progress; connection control is
 	// a slow-path concern but the fast path must not treat a FIN'd
-	// stream as common-case data.
+	// stream as common-case data. FinAcked is set by the fast path when
+	// the peer acknowledges our FIN's sequence number, so the slow path
+	// can stop retransmitting it.
 	FinSent     bool
 	FinReceived bool
+	FinAcked    bool
+
+	// Aborted marks a flow torn down by failure (retransmission budget
+	// exhausted or peer RST): the fast path must stop transmitting and
+	// the stack returns reset errors instead of blocking.
+	Aborted bool
 
 	// lock is the per-connection spinlock (§3.4): taken by whichever
 	// fast-path core handles a packet for this flow, so that packets

@@ -19,8 +19,10 @@ type Conn struct {
 
 	established bool
 	refused     bool
+	timedOut    bool
 	closed      bool
 	peerClosed  bool
+	aborted     bool // RST received or retransmission budget exhausted
 
 	// consumedSinceUpdate tracks receive-buffer space freed since the
 	// last window update we pushed to the peer.
@@ -38,6 +40,9 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 	}
 	sent := 0
 	for sent < len(p) {
+		if cn.aborted {
+			return sent, ErrReset
+		}
 		if cn.peerClosed {
 			return sent, ErrClosed
 		}
@@ -64,7 +69,7 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 		}
 		// Buffer full: wait for acknowledgements to free space.
 		err := cn.ctx.wait(func() bool {
-			return cn.peerClosed || cn.flow.TxBuf.Free() > 0
+			return cn.aborted || cn.peerClosed || cn.flow.TxBuf.Free() > 0
 		}, timeout)
 		if err != nil {
 			return sent, err
@@ -84,11 +89,16 @@ func (cn *Conn) Recv(p []byte, timeout time.Duration) (int, error) {
 		if n > 0 {
 			return n, nil
 		}
+		if cn.aborted {
+			// Already-buffered data was delivered above; past that, the
+			// stream is broken.
+			return 0, ErrReset
+		}
 		if cn.peerClosed {
 			return 0, io.EOF
 		}
 		err := cn.ctx.wait(func() bool {
-			return cn.peerClosed || cn.flow.RxBuf.Used() > 0
+			return cn.aborted || cn.peerClosed || cn.flow.RxBuf.Used() > 0
 		}, timeout)
 		if err != nil {
 			return 0, err
@@ -100,6 +110,9 @@ func (cn *Conn) Recv(p []byte, timeout time.Duration) (int, error) {
 // buffer without blocking. It returns ErrWouldBlock when nothing fits
 // (pair with Poller.MarkWriteInterest to learn when space frees).
 func (cn *Conn) SendNoWait(p []byte) (int, error) {
+	if cn.aborted {
+		return 0, ErrReset
+	}
 	if cn.closed || cn.peerClosed {
 		return 0, ErrClosed
 	}
@@ -164,6 +177,13 @@ func (cn *Conn) PeerClosed() bool {
 	return cn.peerClosed
 }
 
+// Aborted reports whether the connection failed (RST received or
+// retransmission budget exhausted), after dispatching pending events.
+func (cn *Conn) Aborted() bool {
+	cn.ctx.dispatch()
+	return cn.aborted
+}
+
 // SendZeroCopy hands the caller writable spans of the transmit buffer
 // (fill returns the byte count actually produced), then notifies the
 // fast path — the zero-copy variant of Send enabled by the shared
@@ -172,6 +192,9 @@ func (cn *Conn) PeerClosed() bool {
 // (possibly 0 when the buffer is full; callers may Send-style block via
 // the poller's write interest).
 func (cn *Conn) SendZeroCopy(max int, fill func(first, second []byte) int) (int, error) {
+	if cn.aborted {
+		return 0, ErrReset
+	}
 	if cn.closed {
 		return 0, ErrClosed
 	}

@@ -27,6 +27,10 @@ var (
 	ErrTimeout    = errors.New("libtas: operation timed out")
 	ErrClosed     = errors.New("libtas: connection closed")
 	ErrWouldBlock = errors.New("libtas: operation would block")
+	// ErrReset: the connection was aborted — the peer sent RST, or the
+	// slow path exhausted its retransmission budget (dead peer,
+	// partition). In-flight data may have been lost.
+	ErrReset = errors.New("libtas: connection reset")
 )
 
 // Stack binds a fast-path engine and slow path into an application-
@@ -89,11 +93,14 @@ func (c *Context) dispatch() int {
 			c.mu.Lock()
 			if int(ev.Opaque) < len(c.conns) {
 				if conn := c.conns[ev.Opaque]; conn != nil {
-					if ev.Bytes != 0 {
-						conn.refused = true
-					} else {
+					switch ev.Bytes {
+					case 0:
 						conn.flow = ev.Flow
 						conn.established = true
+					case fastpath.ConnTimedOut:
+						conn.timedOut = true
+					default: // fastpath.ConnRefused
+						conn.refused = true
 					}
 				}
 			}
@@ -103,6 +110,14 @@ func (c *Context) dispatch() int {
 			if int(ev.Opaque) < len(c.conns) {
 				if conn := c.conns[ev.Opaque]; conn != nil {
 					conn.peerClosed = true
+				}
+			}
+			c.mu.Unlock()
+		case fastpath.EvAborted:
+			c.mu.Lock()
+			if int(ev.Opaque) < len(c.conns) {
+				if conn := c.conns[ev.Opaque]; conn != nil {
+					conn.aborted = true
 				}
 			}
 			c.mu.Unlock()
@@ -168,12 +183,17 @@ func (c *Context) Dial(ip protocol.IPv4, port uint16, timeout time.Duration) (*C
 	if _, err := c.stack.Slow.Connect(ip, port, uint16(c.fp.ID), opaque); err != nil {
 		return nil, err
 	}
-	err := c.wait(func() bool { return conn.established || conn.refused }, timeout)
+	err := c.wait(func() bool { return conn.established || conn.refused || conn.timedOut }, timeout)
 	if err != nil {
 		return nil, err
 	}
 	if conn.refused {
 		return nil, slowpath.ErrNoListener
+	}
+	if conn.timedOut {
+		// The slow path exhausted its SYN retransmission budget (lost
+		// SYNs, partition, dead peer) before the caller's deadline.
+		return nil, ErrTimeout
 	}
 	conn.flow.Lock()
 	conn.flow.Opaque = opaque

@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// faultPort builds a 1 Gbps port feeding a collector, with fi attached.
+func faultPort(eng *sim.Engine, fi *FaultInjector, c *collector) *Port {
+	p := NewPort(eng, PortConfig{RateBps: 1e9, PropDelay: sim.Microsecond}, c)
+	p.SetFaultInjector(fi)
+	return p
+}
+
+func TestFaultLinkDownUpSchedule(t *testing.T) {
+	eng := sim.New(1)
+	c := &collector{eng: eng}
+	fi := NewFaultInjector(eng, FaultConfig{Seed: 1})
+	p := faultPort(eng, fi, c)
+	// Link down during [10us, 20us): packets sent at 5, 15, 25 us.
+	fi.SchedulePartition(10*sim.Microsecond, 20*sim.Microsecond)
+	for _, at := range []sim.Time{5, 15, 25} {
+		at := at * sim.Microsecond
+		eng.At(at, func() { p.Send(mkPkt(1, 2, 100)) })
+	}
+	eng.Run()
+	if len(c.pkts) != 2 {
+		t.Fatalf("delivered %d, want 2 (middle packet hit the partition)", len(c.pkts))
+	}
+	if got := fi.Counters.Get(CntDownDrops); got != 1 {
+		t.Fatalf("down_drops = %d, want 1 (%s)", got, fi.Counters)
+	}
+	if got := fi.Counters.Get(CntPassed); got != 2 {
+		t.Fatalf("passed = %d, want 2", got)
+	}
+}
+
+func TestFaultFlapSchedule(t *testing.T) {
+	eng := sim.New(1)
+	c := &collector{eng: eng}
+	fi := NewFaultInjector(eng, FaultConfig{Seed: 1})
+	p := faultPort(eng, fi, c)
+	// 3 flaps: down 10us / up 10us starting at t=0; send one packet
+	// every 5us for 60us -> packets at 0,5 | 20,25 | 40,45 dropped.
+	fi.ScheduleFlaps(0, 10*sim.Microsecond, 10*sim.Microsecond, 3)
+	for i := 0; i < 12; i++ {
+		at := sim.Time(i*5) * sim.Microsecond
+		eng.At(at, func() { p.Send(mkPkt(1, 2, 100)) })
+	}
+	eng.Run()
+	if got := fi.Counters.Get(CntDownDrops); got != 6 {
+		t.Fatalf("down_drops = %d, want 6 (%s)", got, fi.Counters)
+	}
+	if len(c.pkts) != 6 {
+		t.Fatalf("delivered %d, want 6", len(c.pkts))
+	}
+}
+
+func TestFaultGilbertElliottDeterministic(t *testing.T) {
+	run := func() (delivered int, counters string) {
+		eng := sim.New(1)
+		c := &collector{eng: eng}
+		ge := stats.GEConfig{PGoodToBad: 0.05, PBadToGood: 0.3, LossBad: 0.9}
+		fi := NewFaultInjector(eng, FaultConfig{Seed: 99, GE: &ge})
+		p := faultPort(eng, fi, c)
+		for i := 0; i < 1000; i++ {
+			at := sim.Time(i) * 10 * sim.Microsecond
+			eng.At(at, func() { p.Send(mkPkt(1, 2, 100)) })
+		}
+		eng.Run()
+		return len(c.pkts), fi.Counters.String()
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if d1 != d2 || s1 != s2 {
+		t.Fatalf("non-deterministic: %d %q vs %d %q", d1, s1, d2, s2)
+	}
+	drops := 1000 - d1
+	if drops < 30 || drops > 400 {
+		t.Fatalf("burst drops = %d, outside plausible band (%s)", drops, s1)
+	}
+}
+
+func TestFaultReorderingBounded(t *testing.T) {
+	eng := sim.New(1)
+	c := &collector{eng: eng}
+	fi := NewFaultInjector(eng, FaultConfig{
+		Seed: 5, ReorderProb: 0.3, ReorderMaxDelay: 200 * sim.Microsecond,
+	})
+	p := faultPort(eng, fi, c)
+	const n = 200
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * 20 * sim.Microsecond
+		seq := uint32(i)
+		eng.At(at, func() {
+			pkt := mkPkt(1, 2, 100)
+			pkt.Seq = seq
+			p.Send(pkt)
+		})
+	}
+	eng.Run()
+	if len(c.pkts) != n {
+		t.Fatalf("delivered %d, want %d (reordering must not lose packets)", len(c.pkts), n)
+	}
+	inversions := 0
+	maxDisplacement := 0
+	for i, pkt := range c.pkts {
+		if d := i - int(pkt.Seq); d > maxDisplacement {
+			maxDisplacement = d
+		}
+		if i > 0 && pkt.Seq < c.pkts[i-1].Seq {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("no reordering observed")
+	}
+	// Bounded: 200us delay / 20us spacing => a packet can be overtaken
+	// by at most ~10+serialization successors.
+	if maxDisplacement > 12 {
+		t.Fatalf("displacement %d exceeds the configured bound", maxDisplacement)
+	}
+	if got := fi.Counters.Get(CntReordered); got == 0 {
+		t.Fatal("reordered counter not incremented")
+	}
+}
+
+func TestFaultDuplication(t *testing.T) {
+	eng := sim.New(1)
+	c := &collector{eng: eng}
+	fi := NewFaultInjector(eng, FaultConfig{Seed: 3, DupProb: 0.5})
+	p := faultPort(eng, fi, c)
+	const n = 100
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * 10 * sim.Microsecond
+		eng.At(at, func() { p.Send(mkPkt(1, 2, 100)) })
+	}
+	eng.Run()
+	dups := fi.Counters.Get(CntDuplicated)
+	if dups == 0 {
+		t.Fatal("no duplicates injected")
+	}
+	if uint64(len(c.pkts)) != n+dups {
+		t.Fatalf("delivered %d, want %d originals + %d dups", len(c.pkts), n, dups)
+	}
+}
+
+func TestFaultCorruptionDroppedByChecksum(t *testing.T) {
+	eng := sim.New(1)
+	c := &collector{eng: eng}
+	fi := NewFaultInjector(eng, FaultConfig{Seed: 11, CorruptProb: 1.0})
+	p := faultPort(eng, fi, c)
+	const n = 200
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * 10 * sim.Microsecond
+		eng.At(at, func() {
+			pkt := mkPkt(1, 2, 64)
+			pkt.Payload = make([]byte, 64) // real payload so checksums cover it
+			p.Send(pkt)
+		})
+	}
+	eng.Run()
+	rejected := fi.Counters.Get(CntCorruptDrops)
+	passed := fi.Counters.Get(CntCorruptPass)
+	if rejected+passed != n {
+		t.Fatalf("corrupt verdicts %d+%d != %d sent", rejected, passed, n)
+	}
+	// The Ethernet header (14 of ~118 wire bytes) is outside the
+	// checksummed region; almost all flips must be checksum-rejected.
+	if rejected < n*3/4 {
+		t.Fatalf("only %d/%d corrupted frames checksum-rejected (%s)", rejected, n, fi.Counters)
+	}
+	if uint64(len(c.pkts)) != passed {
+		t.Fatalf("delivered %d, want %d survivors", len(c.pkts), passed)
+	}
+}

@@ -56,6 +56,7 @@ type Port struct {
 	queue []*protocol.Packet
 	busy  bool
 	stats PortStats
+	fault *FaultInjector
 }
 
 // NewPort returns a port feeding peer.
@@ -94,13 +95,40 @@ func (p *Port) accountQlen() {
 	p.stats.lastQlenTime = now
 }
 
+// SetFaultInjector attaches a fault injector that filters every packet
+// offered to this port (nil detaches). The injector runs before the
+// port's own LossRate and queue admission.
+func (p *Port) SetFaultInjector(fi *FaultInjector) { p.fault = fi }
+
 // Send enqueues a packet for transmission. Overflow and injected loss
 // drop silently (counted in stats), as a real switch would.
 func (p *Port) Send(pkt *protocol.Packet) {
+	if p.fault != nil {
+		v := p.fault.filter(pkt)
+		if v.drop {
+			p.stats.LossDrops++
+			return
+		}
+		pkt = v.pkt
+		if v.dup {
+			p.enqueue(pkt.Clone())
+		}
+		if v.delay > 0 {
+			held := pkt
+			p.eng.After(v.delay, func() { p.enqueue(held) })
+			return
+		}
+	}
 	if p.cfg.LossRate > 0 && p.eng.Rand().Float64() < p.cfg.LossRate {
 		p.stats.LossDrops++
 		return
 	}
+	p.enqueue(pkt)
+}
+
+// enqueue admits a packet to the drop-tail queue and starts the
+// transmitter if idle.
+func (p *Port) enqueue(pkt *protocol.Packet) {
 	if len(p.queue) >= p.cfg.QueueCap {
 		p.stats.Drops++
 		return

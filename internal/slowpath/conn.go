@@ -53,7 +53,7 @@ func (s *Slowpath) handleSyn(key protocol.FlowKey, pkt *protocol.Packet) {
 	s.half[key] = &halfOpen{
 		key: key, iss: iss, ctxID: l.ctxID, opaque: l.opaque,
 		passive: true, peerISS: pkt.Seq,
-		deadline: time.Now().Add(5 * time.Second),
+		rto: s.cfg.HandshakeRTO, deadline: time.Now().Add(s.cfg.HandshakeRTO),
 	}
 	s.mu.Unlock()
 	s.sendCtlSynAck(key, iss, pkt.Seq+1)
@@ -79,6 +79,15 @@ func (s *Slowpath) handleSynAck(key protocol.FlowKey, pkt *protocol.Packet) {
 	h := s.half[key]
 	if h == nil || h.passive {
 		s.mu.Unlock()
+		// Our final handshake ACK may have been lost and the peer
+		// retransmitted its SYN-ACK: re-ack from the installed flow so
+		// the passive side can establish.
+		if f := s.eng.Table.Lookup(key); f != nil {
+			f.Lock()
+			seq, ack := f.SeqNo, f.AckNo
+			f.Unlock()
+			s.sendCtlFlow(f, protocol.FlagACK, seq, ack)
+		}
 		return // stale
 	}
 	if pkt.Ack != h.iss+1 {
@@ -196,15 +205,19 @@ func (s *Slowpath) handleFin(key protocol.FlowKey, pkt *protocol.Packet) {
 
 // handleRst tears the flow down immediately. A RST against a half-open
 // active connect is a refusal: the application learns via EvConnected
-// with a non-zero error code.
+// with a non-zero error code. A RST against a passive half-open entry
+// (the peer gave up mid-handshake) just reaps the entry. A RST against
+// an established flow aborts it: EvAborted, state removed.
 func (s *Slowpath) handleRst(key protocol.FlowKey) {
 	s.mu.Lock()
-	if h := s.half[key]; h != nil && !h.passive {
+	if h := s.half[key]; h != nil {
 		delete(s.half, key)
 		s.Rejected++
 		s.mu.Unlock()
-		if ctx := s.eng.ContextByID(h.ctxID); ctx != nil {
-			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvConnected, Opaque: h.opaque, Bytes: 1})
+		if !h.passive {
+			if ctx := s.eng.ContextByID(h.ctxID); ctx != nil {
+				ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvConnected, Opaque: h.opaque, Bytes: fastpath.ConnRefused})
+			}
 		}
 		return
 	}
@@ -215,15 +228,130 @@ func (s *Slowpath) handleRst(key protocol.FlowKey) {
 	}
 	f.Lock()
 	ctxID, opaque := f.Context, f.Opaque
-	first := !f.FinReceived
-	f.FinReceived = true
+	first := !f.Aborted
+	f.Aborted = true
 	f.Unlock()
 	if first {
 		if ctx := s.eng.ContextByID(ctxID); ctx != nil {
-			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvClosed, Opaque: opaque})
+			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAborted, Opaque: opaque})
 		}
 	}
 	s.removeFlow(f)
+}
+
+// abortFlow tears a flow down after a retransmission budget is
+// exhausted (dead peer, persistent partition): best-effort RST to the
+// peer, fast-path flow state removed, EvAborted to the application.
+func (s *Slowpath) abortFlow(f *flowstate.Flow) {
+	f.Lock()
+	already := f.Aborted
+	f.Aborted = true
+	seq, ack := f.SeqNo, f.AckNo
+	ctxID, opaque := f.Context, f.Opaque
+	f.Unlock()
+	if already {
+		return
+	}
+	s.sendCtlFlow(f, protocol.FlagRST|protocol.FlagACK, seq, ack)
+	s.mu.Lock()
+	s.Aborts++
+	s.mu.Unlock()
+	s.removeFlow(f)
+	if ctx := s.eng.ContextByID(ctxID); ctx != nil {
+		ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAborted, Opaque: opaque})
+	}
+}
+
+// handshakeSweep retransmits unanswered SYNs / SYN-ACKs with
+// exponential backoff and reaps half-open entries whose retry budget is
+// exhausted — the slow path owns handshake timeouts (§3.2). An active
+// open that gives up delivers EvConnected/ConnTimedOut so the
+// application unblocks in bounded time.
+func (s *Slowpath) handshakeSweep() {
+	now := time.Now()
+	type rexmit struct {
+		key       protocol.FlowKey
+		iss, peer uint32
+		passive   bool
+	}
+	var resend []rexmit
+	var failed []*halfOpen
+	s.mu.Lock()
+	for key, h := range s.half {
+		if now.Before(h.deadline) {
+			continue
+		}
+		if h.attempts >= s.cfg.HandshakeRetries {
+			delete(s.half, key)
+			s.HandshakeTimeouts++
+			if !h.passive {
+				failed = append(failed, h)
+			}
+			continue
+		}
+		h.attempts++
+		h.rto *= 2
+		h.deadline = now.Add(h.rto)
+		s.HandshakeRexmits++
+		resend = append(resend, rexmit{key: key, iss: h.iss, peer: h.peerISS, passive: h.passive})
+	}
+	s.mu.Unlock()
+	for _, r := range resend {
+		if r.passive {
+			s.sendCtlSynAck(r.key, r.iss, r.peer+1)
+		} else {
+			s.sendCtl(r.key, protocol.FlagSYN, r.iss, 0, true)
+		}
+	}
+	for _, h := range failed {
+		if ctx := s.eng.ContextByID(h.ctxID); ctx != nil {
+			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvConnected, Opaque: h.opaque, Bytes: fastpath.ConnTimedOut})
+		}
+	}
+}
+
+// closeSweep retransmits unacknowledged FINs with exponential backoff.
+// Entries clear when the fast path observes the peer's ack of the FIN
+// (Flow.FinAcked); a teardown that exhausts the budget aborts the flow
+// so neither side hangs half-closed forever.
+func (s *Slowpath) closeSweep() {
+	now := time.Now()
+	type rexmit struct {
+		f        *flowstate.Flow
+		seq, ack uint32
+	}
+	var resend []rexmit
+	var aborts []*flowstate.Flow
+	s.mu.Lock()
+	for f, e := range s.closing {
+		f.Lock()
+		acked, aborted, ack := f.FinAcked, f.Aborted, f.AckNo
+		f.Unlock()
+		if acked || aborted {
+			delete(s.closing, f)
+			continue
+		}
+		if now.Before(e.deadline) {
+			continue
+		}
+		if e.attempts >= s.cfg.MaxRetransmits {
+			delete(s.closing, f)
+			aborts = append(aborts, f)
+			continue
+		}
+		e.attempts++
+		e.rto *= 2
+		e.deadline = now.Add(e.rto)
+		s.FinRexmits++
+		resend = append(resend, rexmit{f: f, seq: e.finSeq, ack: ack})
+	}
+	s.mu.Unlock()
+	for _, r := range resend {
+		s.sendCtlFlow(r.f, protocol.FlagFIN|protocol.FlagACK, r.seq, r.ack)
+	}
+	for _, f := range aborts {
+		s.abortFlow(f)
+	}
 }
 
 // removeFlowSoon lingers briefly (retransmitted FINs/ACKs) then removes.
@@ -283,9 +411,24 @@ func (s *Slowpath) controlLoop() {
 			if needWait < 10*time.Millisecond {
 				needWait = 10 * time.Millisecond
 			}
+			// Exponential backoff: each consecutive unproductive timeout
+			// doubles the wait before the next one (capped), so a dead
+			// peer costs a bounded, geometric series of retransmissions.
+			bo := e.consecTimeouts
+			if bo > 6 {
+				bo = 6
+			}
+			needWait <<= uint(bo)
 			if e.stallTicks >= s.cfg.StallIntervals &&
 				time.Duration(e.stallTicks)*s.cfg.ControlInterval >= needWait {
 				e.stallTicks = 0
+				e.consecTimeouts++
+				if e.consecTimeouts > s.cfg.MaxRetransmits {
+					// Retry budget exhausted: the peer is unreachable or
+					// dead. Abort instead of retransmitting forever.
+					s.abortFlow(f)
+					continue
+				}
 				timeouts = 1
 				s.mu.Lock()
 				s.Timeouts++
@@ -298,6 +441,7 @@ func (s *Slowpath) controlLoop() {
 			}
 		} else {
 			e.stallTicks = 0
+			e.consecTimeouts = 0
 			e.lastUna = una
 		}
 

@@ -46,6 +46,21 @@ type Config struct {
 	// retransmission restart (default 2, §3.2).
 	StallIntervals int
 
+	// HandshakeRTO is the initial SYN / SYN-ACK retransmission timeout;
+	// it doubles after every unanswered attempt (default 250ms).
+	HandshakeRTO time.Duration
+
+	// HandshakeRetries is the number of handshake retransmissions
+	// before the half-open entry is reaped (default 3). An active open
+	// that exhausts the budget delivers EvConnected with ConnTimedOut.
+	HandshakeRetries int
+
+	// MaxRetransmits caps consecutive unproductive retransmission
+	// timeouts on an established flow (default 6). Exceeding it aborts
+	// the connection: RST to the peer, flow-state teardown, and an
+	// EvAborted event to the application.
+	MaxRetransmits int
+
 	// NewController builds the per-flow congestion controller (nil =
 	// rate-based DCTCP at 40G defaults).
 	NewController func() congestion.RateController
@@ -70,6 +85,15 @@ func (c *Config) fill() {
 	}
 	if c.StallIntervals <= 0 {
 		c.StallIntervals = 2
+	}
+	if c.HandshakeRTO <= 0 {
+		c.HandshakeRTO = 250 * time.Millisecond
+	}
+	if c.HandshakeRetries <= 0 {
+		c.HandshakeRetries = 3
+	}
+	if c.MaxRetransmits <= 0 {
+		c.MaxRetransmits = 6
 	}
 	if c.NewController == nil {
 		c.NewController = func() congestion.RateController {
@@ -96,7 +120,9 @@ type listener struct {
 	opaque uint64
 }
 
-// halfOpen is an in-progress handshake.
+// halfOpen is an in-progress handshake. deadline is the next
+// retransmission time; rto doubles per attempt until attempts exceeds
+// the configured retry cap and the entry is reaped.
 type halfOpen struct {
 	key      protocol.FlowKey
 	iss      uint32 // our initial sequence
@@ -105,6 +131,8 @@ type halfOpen struct {
 	passive  bool // true: we sent SYNACK (accepting); false: we sent SYN
 	peerISS  uint32
 	deadline time.Time
+	rto      time.Duration
+	attempts int
 }
 
 // ccEntry is the slow path's per-flow congestion/timeout state.
@@ -112,7 +140,21 @@ type ccEntry struct {
 	ctrl       congestion.RateController
 	lastUna    uint32
 	stallTicks int
-	txEwma     float64
+	// consecTimeouts counts back-to-back retransmission timeouts with
+	// no intervening ack progress; it doubles the next timeout's wait
+	// (exponential backoff) and triggers an abort past MaxRetransmits.
+	consecTimeouts int
+	txEwma         float64
+}
+
+// closeEntry tracks a locally initiated teardown awaiting the peer's
+// acknowledgement of our FIN, so lost FINs are retransmitted with
+// backoff instead of leaving the peer half-closed forever.
+type closeEntry struct {
+	finSeq   uint32
+	deadline time.Time
+	rto      time.Duration
+	attempts int
 }
 
 // Slowpath drives one TAS instance's control plane.
@@ -124,6 +166,7 @@ type Slowpath struct {
 	listeners map[uint16]*listener
 	half      map[protocol.FlowKey]*halfOpen
 	cc        map[*flowstate.Flow]*ccEntry
+	closing   map[*flowstate.Flow]*closeEntry
 	nextPort  uint16
 	rng       *rand.Rand
 
@@ -139,6 +182,12 @@ type Slowpath struct {
 	Rejected    uint64
 	Timeouts    uint64
 	Reinjected  uint64
+
+	// Failure-handling stats.
+	HandshakeRexmits  uint64 // SYN/SYN-ACK retransmissions
+	HandshakeTimeouts uint64 // half-open entries reaped after retry cap
+	FinRexmits        uint64 // FIN retransmissions
+	Aborts            uint64 // flows aborted (RST sent) after retry cap
 }
 
 // New builds (but does not start) a slow path for the engine.
@@ -150,6 +199,7 @@ func New(eng *fastpath.Engine, cfg Config) *Slowpath {
 		listeners: make(map[uint16]*listener),
 		half:      make(map[protocol.FlowKey]*halfOpen),
 		cc:        make(map[*flowstate.Flow]*ccEntry),
+		closing:   make(map[*flowstate.Flow]*closeEntry),
 		nextPort:  32768,
 		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 		excq:      excq,
@@ -185,6 +235,8 @@ func (s *Slowpath) run() {
 		case <-ctrl.C:
 			s.drainExceptions()
 			s.controlLoop()
+			s.handshakeSweep()
+			s.closeSweep()
 		case <-scale.C:
 			if !s.cfg.DisableScaling {
 				s.scaleLoop()
@@ -246,7 +298,10 @@ func (s *Slowpath) Connect(peerIP protocol.IPv4, peerPort uint16, ctxID uint16, 
 	}
 	key := protocol.FlowKey{LocalIP: s.eng.Config().LocalIP, LocalPort: lport, RemoteIP: peerIP, RemotePort: peerPort}
 	iss := s.rng.Uint32()
-	s.half[key] = &halfOpen{key: key, iss: iss, ctxID: ctxID, opaque: opaque, deadline: time.Now().Add(5 * time.Second)}
+	s.half[key] = &halfOpen{
+		key: key, iss: iss, ctxID: ctxID, opaque: opaque,
+		rto: s.cfg.HandshakeRTO, deadline: time.Now().Add(s.cfg.HandshakeRTO),
+	}
 	s.mu.Unlock()
 
 	s.sendCtl(key, protocol.FlagSYN, iss, 0, true)
@@ -255,6 +310,8 @@ func (s *Slowpath) Connect(peerIP protocol.IPv4, peerPort uint16, ctxID uint16, 
 
 // Close initiates connection teardown: once the transmit buffer drains,
 // a FIN goes out; the flow is removed when both directions have closed.
+// The FIN is retransmitted with exponential backoff by closeSweep until
+// the peer acknowledges it (or the retry budget aborts the flow).
 func (s *Slowpath) Close(f *flowstate.Flow) {
 	go func() {
 		// Wait for the transmit buffer to drain (bounded).
@@ -262,7 +319,11 @@ func (s *Slowpath) Close(f *flowstate.Flow) {
 		for {
 			f.Lock()
 			drained := f.TxBuf.Used() == 0
+			aborted := f.Aborted
 			f.Unlock()
+			if aborted {
+				return // already torn down by failure handling
+			}
 			if drained || time.Now().After(deadline) {
 				break
 			}
@@ -279,11 +340,25 @@ func (s *Slowpath) Close(f *flowstate.Flow) {
 		f.Unlock()
 		if !alreadyClosed {
 			s.sendCtlFlow(f, protocol.FlagFIN|protocol.FlagACK, seq, ack)
+			rto := s.finRTO()
+			s.mu.Lock()
+			s.closing[f] = &closeEntry{finSeq: seq, rto: rto, deadline: time.Now().Add(rto)}
+			s.mu.Unlock()
 		}
 		if peerDone {
 			s.removeFlowSoon(f)
 		}
 	}()
+}
+
+// finRTO is the initial FIN retransmission timeout: several control
+// intervals, floored so loopback tests don't spin.
+func (s *Slowpath) finRTO() time.Duration {
+	rto := 4 * s.cfg.ControlInterval
+	if rto < 20*time.Millisecond {
+		rto = 20 * time.Millisecond
+	}
+	return rto
 }
 
 // sendCtl emits a control packet for a 4-tuple (no flow state yet).

@@ -211,9 +211,10 @@ func TestFlowRemovalOnRst(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
 		if a.eng.Table.Len() == 0 {
-			// Closed event delivered too.
+			// Abort event delivered too: a peer RST on an established
+			// flow is a failure, not an orderly close.
 			ev := waitEvent(t, a.ctx, time.Second)
-			if ev.Kind != fastpath.EvClosed {
+			if ev.Kind != fastpath.EvAborted {
 				t.Fatalf("event = %+v", ev)
 			}
 			return

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CounterSet is a small registry of named event counters, used by the
+// fault-injection subsystem (and available to any component that wants
+// to export ad-hoc counters without declaring a struct per source).
+// Safe for concurrent use.
+type CounterSet struct {
+	mu   sync.Mutex
+	vals map[string]uint64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{vals: make(map[string]uint64)}
+}
+
+// Add increments the named counter by delta.
+func (s *CounterSet) Add(name string, delta uint64) {
+	s.mu.Lock()
+	s.vals[name] += delta
+	s.mu.Unlock()
+}
+
+// Get returns the named counter (0 if never incremented).
+func (s *CounterSet) Get(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (s *CounterSet) Snapshot() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.vals))
+	for k, v := range s.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters in sorted-name order ("a=1 b=2"), for
+// logs and test failure messages.
+func (s *CounterSet) String() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%d", k, snap[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/libtas"
 	"repro/internal/protocol"
 	"repro/internal/slowpath"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -74,6 +75,20 @@ type Config struct {
 	// DisableOoo turns off the fast path's one-interval out-of-order
 	// buffering ("TAS simple recovery", Figure 7's ablation).
 	DisableOoo bool
+
+	// HandshakeRTO is the initial SYN / SYN-ACK retransmission timeout;
+	// it doubles per unanswered attempt (default 250ms). Lower it in
+	// fault-injection tests to bound handshake failure detection.
+	HandshakeRTO time.Duration
+
+	// HandshakeRetries caps handshake retransmissions before a connect
+	// fails with a timeout error (default 3).
+	HandshakeRetries int
+
+	// MaxRetransmits caps consecutive unproductive retransmission
+	// timeouts on an established flow before it is aborted: RST to the
+	// peer and ErrReset to the application (default 6).
+	MaxRetransmits int
 }
 
 // Fabric is the in-process network connecting services.
@@ -88,6 +103,63 @@ func (f *Fabric) SetLoss(p float64) { f.f.SetLossRate(p) }
 
 // SetLatency adds one-way delivery latency.
 func (f *Fabric) SetLatency(d time.Duration) { f.f.SetLatency(d) }
+
+// GEConfig parameterizes the Gilbert–Elliott burst-loss model.
+type GEConfig = stats.GEConfig
+
+// DefaultGEConfig returns bursty-loss parameters (~9% stationary time
+// in the bad state, 75% loss while there).
+func DefaultGEConfig() GEConfig { return stats.DefaultGEConfig() }
+
+// SetLinkDown takes a host's link down (down=true) or back up: while
+// down, every packet to or from addr is dropped silently.
+func (f *Fabric) SetLinkDown(addr string, down bool) error {
+	ip, err := ParseIP(addr)
+	if err != nil {
+		return err
+	}
+	f.f.SetLinkDown(ip, down)
+	return nil
+}
+
+// Partition drops all packets between the two hosts (both directions)
+// until Heal or HealAll.
+func (f *Fabric) Partition(a, b string) error {
+	ipa, err := ParseIP(a)
+	if err != nil {
+		return err
+	}
+	ipb, err := ParseIP(b)
+	if err != nil {
+		return err
+	}
+	f.f.Partition(ipa, ipb)
+	return nil
+}
+
+// Heal removes a partition between two hosts.
+func (f *Fabric) Heal(a, b string) error {
+	ipa, err := ParseIP(a)
+	if err != nil {
+		return err
+	}
+	ipb, err := ParseIP(b)
+	if err != nil {
+		return err
+	}
+	f.f.Heal(ipa, ipb)
+	return nil
+}
+
+// HealAll removes all partitions and brings all links up.
+func (f *Fabric) HealAll() { f.f.HealAll() }
+
+// SetBurstLoss enables seeded Gilbert–Elliott burst loss on the whole
+// fabric (correlated drop bursts rather than uniform loss).
+func (f *Fabric) SetBurstLoss(cfg GEConfig, seed int64) { f.f.SetBurstLoss(cfg, seed) }
+
+// ClearBurstLoss disables burst loss.
+func (f *Fabric) ClearBurstLoss() { f.f.ClearBurstLoss() }
 
 // CaptureTo streams a pcap capture of every packet crossing the fabric
 // into w (readable by tcpdump/Wireshark) until stop is called. One
@@ -153,10 +225,13 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 	eng = fastpath.NewEngine(nic, ecfg)
 
 	scfg := slowpath.Config{
-		RxBufSize:       cfg.RxBufSize,
-		TxBufSize:       cfg.TxBufSize,
-		ControlInterval: cfg.ControlInterval,
-		DisableScaling:  cfg.DisableCoreScaling,
+		RxBufSize:        cfg.RxBufSize,
+		TxBufSize:        cfg.TxBufSize,
+		ControlInterval:  cfg.ControlInterval,
+		DisableScaling:   cfg.DisableCoreScaling,
+		HandshakeRTO:     cfg.HandshakeRTO,
+		HandshakeRetries: cfg.HandshakeRetries,
+		MaxRetransmits:   cfg.MaxRetransmits,
 	}
 	link := cfg.LinkRateBps
 	if link <= 0 {
@@ -236,11 +311,19 @@ func (c *Context) LowLevel() *fastpath.Context { return c.ctx.FP() }
 
 // Dial connects to addr (dotted quad) : port. Blocks up to 5s.
 func (c *Context) Dial(addr string, port uint16) (*Conn, error) {
+	return c.DialTimeout(addr, port, 5*time.Second)
+}
+
+// DialTimeout connects with an explicit handshake deadline (0 = wait
+// for the slow path's own retry budget to decide). Returns ErrTimeout
+// (see the ErrTimeout helper) when the handshake retry budget or the
+// deadline expires, and a connection-refused error on peer RST.
+func (c *Context) DialTimeout(addr string, port uint16, timeout time.Duration) (*Conn, error) {
 	ip, err := ParseIP(addr)
 	if err != nil {
 		return nil, err
 	}
-	lc, err := c.ctx.Dial(ip, port, 5*time.Second)
+	lc, err := c.ctx.Dial(ip, port, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -328,3 +411,12 @@ func (c *Conn) WriteTimeout(p []byte, d time.Duration) (int, error) { return c.c
 
 // ErrTimeout reports whether err is a TAS timeout.
 func ErrTimeout(err error) bool { return errors.Is(err, libtas.ErrTimeout) }
+
+// ErrReset reports whether err is a connection abort: the peer reset
+// the connection, or the retransmission budget was exhausted against a
+// dead or unreachable peer.
+func ErrReset(err error) bool { return errors.Is(err, libtas.ErrReset) }
+
+// Aborted reports whether the connection failed (RST or retransmission
+// budget exhausted). Subsequent Reads and Writes return a reset error.
+func (c *Conn) Aborted() bool { return c.c.Aborted() }
