@@ -1,0 +1,429 @@
+package tas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+)
+
+// appCfg shortens the liveness timescale so crash detection completes
+// in tens of milliseconds.
+func appCfg() Config {
+	cfg := chaosCfg()
+	// Short enough that reap latency stays test-friendly, long enough
+	// that the 1/4-interval heartbeat survives scheduler starvation on a
+	// loaded single-CPU machine.
+	cfg.AppTimeout = 100 * time.Millisecond
+	return cfg
+}
+
+// TestAppCrashReapedWhileNeighborUnharmed is the headline isolation
+// property (§3.3): two application contexts share one TAS instance;
+// app A is killed mid-transfer and must be fully reclaimed — flows
+// RST, flow-table entries and rate buckets freed, payload buffers
+// returned, context slot reusable, listen port free — while app B's
+// concurrent SHA-256-verified transfer completes untouched.
+func TestAppCrashReapedWhileNeighborUnharmed(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-heavy chaos test; plain run covers it")
+	}
+	_, srv, cli := newPair(t, appCfg())
+
+	// Server side: one accept loop per app.
+	sctxA, sctxB := srv.NewContext(), srv.NewContext()
+	lnA, err := sctxA.Listen(9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := sctxB.Listen(9002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errA := make(chan error, 1)
+	go func() { // A's server: discard until the stream breaks
+		c, err := lnA.Accept(5 * time.Second)
+		if err != nil {
+			errA <- err
+			return
+		}
+		buf := make([]byte, 32<<10)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				errA <- err
+				return
+			}
+		}
+	}()
+	digestB := make(chan []byte, 1)
+	errB := make(chan error, 1)
+	go func() { // B's server: hash framed payload, return the digest
+		c, err := lnB.Accept(5 * time.Second)
+		if err != nil {
+			errB <- err
+			return
+		}
+		h := sha256.New()
+		hdr := make([]byte, 4)
+		buf := make([]byte, 32<<10)
+		for {
+			if _, err := io.ReadFull(c, hdr); err != nil {
+				errB <- err
+				return
+			}
+			n := binary.BigEndian.Uint32(hdr)
+			if n == 0 {
+				break
+			}
+			if _, err := io.ReadFull(c, buf[:n]); err != nil {
+				errB <- err
+				return
+			}
+			h.Write(buf[:n])
+		}
+		if _, err := c.Write(h.Sum(nil)); err != nil {
+			errB <- err
+			return
+		}
+		digestB <- h.Sum(nil)
+	}()
+
+	// Client side: apps A and B share the client TAS instance.
+	ctxA, ctxB := cli.NewContext(), cli.NewContext()
+	idA := ctxA.LowLevel().ID
+	if _, err := ctxA.Listen(7777); err != nil { // a port A holds when it dies
+		t.Fatal(err)
+	}
+	connA, err := ctxA.Dial("10.0.0.1", 9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flowA := connA.c.Flow()
+	connB, err := ctxB.Dial("10.0.0.1", 9002)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// App A streams until its world ends.
+	senderA := make(chan error, 1)
+	go func() {
+		chunk := make([]byte, 4<<10)
+		for {
+			if _, err := connA.WriteTimeout(chunk, 5*time.Second); err != nil {
+				senderA <- err
+				return
+			}
+		}
+	}()
+
+	// App B paces a framed transfer that deliberately spans the crash:
+	// it keeps sending until the reaper has fired, then finishes.
+	h := sha256.New()
+	chunk := make([]byte, 8<<10)
+	for i := range chunk {
+		chunk[i] = byte(i * 31)
+	}
+	sendFrame := func(p []byte) {
+		t.Helper()
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+		if _, err := connB.Write(hdr[:]); err != nil {
+			t.Fatalf("B header: %v", err)
+		}
+		if len(p) == 0 {
+			return
+		}
+		if _, err := connB.Write(p); err != nil {
+			t.Fatalf("B payload: %v", err)
+		}
+		h.Write(p)
+	}
+	for i := 0; i < 8; i++ {
+		sendFrame(chunk)
+	}
+	ctxA.Kill() // crash app A mid-transfer
+
+	deadline := time.Now().Add(10 * time.Second)
+	for cli.Stats().AppsReaped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("app A never reaped")
+		}
+		sendFrame(chunk) // B's transfer continues across the crash
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 8; i++ {
+		sendFrame(chunk)
+	}
+	sendFrame(nil) // end-of-stream
+
+	// B's transfer must complete and verify.
+	var got []byte
+	select {
+	case got = <-digestB:
+	case err := <-errB:
+		t.Fatalf("B server: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("B digest never arrived")
+	}
+	want := h.Sum(nil)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("B digest mismatch: got %x want %x", got, want)
+	}
+	echo := make([]byte, sha256.Size)
+	if _, err := io.ReadFull(connB, echo); err != nil {
+		t.Fatalf("B digest read-back: %v", err)
+	}
+	if !bytes.Equal(echo, want) {
+		t.Fatalf("B read-back mismatch: got %x want %x", echo, want)
+	}
+
+	// A's sender observed the crash...
+	select {
+	case err := <-senderA:
+		if !ErrReset(err) && !ErrAppDead(err) {
+			t.Fatalf("A sender error = %v, want reset or app-dead", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("A's sender never failed")
+	}
+	// ...and so did A's peer (best-effort RST).
+	select {
+	case err := <-errA:
+		if !ErrReset(err) {
+			t.Fatalf("A server error = %v, want reset", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("A's server half never saw the abort")
+	}
+
+	// Everything A held is back in the free pools.
+	st := cli.Stats()
+	if st.AppsReaped != 1 || st.FlowsReaped < 1 || st.ListenersReaped != 1 {
+		t.Fatalf("reap counters: %+v", st)
+	}
+	if !flowA.RxBuf.Reclaimed() || !flowA.TxBuf.Reclaimed() {
+		t.Fatal("A's payload buffers not reclaimed")
+	}
+	if cli.Engine().ContextByID(uint16(idA)) != nil {
+		t.Fatal("A's context slot not released")
+	}
+	if cli.Engine().Bucket(flowA.Bucket) != nil {
+		t.Fatal("A's rate bucket not freed")
+	}
+	// The context slot and the listen port are immediately reusable.
+	fresh := cli.NewContext()
+	if fresh.LowLevel().ID != idA {
+		t.Fatalf("fresh context got slot %d, want reused slot %d", fresh.LowLevel().ID, idA)
+	}
+	if _, err := fresh.Listen(7777); err != nil {
+		t.Fatalf("re-listen on A's port: %v", err)
+	}
+	// B was never touched.
+	if err := connB.Close(); err != nil {
+		t.Fatalf("B close: %v", err)
+	}
+}
+
+// TestAcceptBacklogOverflowShedsSyns: a listener with backlog 4 and a
+// slow accepter sheds the fifth concurrent connection (silent SYN drop,
+// counted, no RST), and accepting connections opens the gate again.
+func TestAcceptBacklogOverflowShedsSyns(t *testing.T) {
+	_, srv, cli := newPair(t, chaosCfg())
+	sctx := srv.NewContext()
+	ln, err := sctx.ListenBacklog(9090, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx := cli.NewContext()
+
+	var conns []*Conn
+	for i := 0; i < 4; i++ {
+		c, err := cctx.DialTimeout("10.0.0.1", 9090, 2*time.Second)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		conns = append(conns, c)
+	}
+	// The accept queue is full: the next SYN must be shed and the dial
+	// time out on the client's handshake retry budget.
+	if _, err := cctx.DialTimeout("10.0.0.1", 9090, 2*time.Second); !ErrTimeout(err) {
+		t.Fatalf("overflow dial err = %v, want timeout", err)
+	}
+	if got := srv.Stats().SynBacklogDrops; got == 0 {
+		t.Fatal("no SynBacklogDrops counted")
+	}
+
+	// Accepting drains the queue and frees backlog slots.
+	if _, err := ln.Accept(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cctx.DialTimeout("10.0.0.1", 9090, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial after accept: %v", err)
+	}
+	c.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// TestCorruptQueueInjectionHarmless: garbage descriptors injected into
+// an app's command queue are dropped and counted, and the service keeps
+// serving the same connection correctly afterwards.
+func TestCorruptQueueInjectionHarmless(t *testing.T) {
+	_, srv, cli := newPair(t, chaosCfg())
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(9091)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 1024)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+	cctx := cli.NewContext()
+	conn, err := cctx.Dial("10.0.0.1", 9091)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundtrip := func(msg string) {
+		t.Helper()
+		if _, err := conn.Write([]byte(msg)); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != msg {
+			t.Fatalf("echo = %q, want %q", buf, msg)
+		}
+	}
+	roundtrip("before")
+
+	injected := cctx.CorruptQueue(42, 64)
+	if injected == 0 {
+		t.Fatal("nothing injected")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for int(cli.Stats().BadDescDrops) < injected {
+		if time.Now().After(deadline) {
+			t.Fatalf("BadDescDrops = %d, want %d", cli.Stats().BadDescDrops, injected)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The connection — and the service — survived the attack.
+	roundtrip("after")
+}
+
+// TestStallShorterThanTimeoutSurvives: a wedged-but-alive app whose
+// stall is shorter than AppTimeout must not be reaped; one that stalls
+// longer is indistinguishable from a crash and is.
+func TestStallShorterThanTimeoutSurvives(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-heavy chaos test; plain run covers it")
+	}
+	cfg := chaosCfg()
+	cfg.AppTimeout = 200 * time.Millisecond
+	_, srv, cli := newPair(t, cfg)
+	sctx := srv.NewContext()
+	if _, err := sctx.Listen(9092); err != nil {
+		t.Fatal(err)
+	}
+	cctx := cli.NewContext()
+
+	cctx.Stall(50 * time.Millisecond)
+	time.Sleep(120 * time.Millisecond)
+	if got := cli.Stats().AppsReaped; got != 0 {
+		t.Fatalf("short stall reaped: %d", got)
+	}
+	if _, err := cctx.Dial("10.0.0.1", 9092); err != nil {
+		t.Fatalf("dial after short stall: %v", err)
+	}
+
+	cctx.Stall(5 * time.Second)
+	deadline := time.Now().Add(10 * time.Second)
+	for cli.Stats().AppsReaped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("long stall never reaped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := cctx.Dial("10.0.0.1", 9092); !ErrAppDead(err) {
+		t.Fatalf("dial on reaped context err = %v, want app-dead", err)
+	}
+}
+
+// TestCloseAfterAbortIdempotent: Close on an aborted connection is a
+// local no-op that reports ErrReset, on both the crashed app's own
+// connections and the surviving peer's — and repeat calls agree.
+func TestCloseAfterAbortIdempotent(t *testing.T) {
+	_, srv, cli := newPair(t, appCfg())
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(9093)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cctx := cli.NewContext()
+	conn, err := cctx.Dial("10.0.0.1", 9093)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peer *Conn
+	select {
+	case peer = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept never completed")
+	}
+
+	cctx.Kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for cli.Stats().AppsReaped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("never reaped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The dead app's own handle: reset, idempotently.
+	if err := conn.Close(); !ErrReset(err) {
+		t.Fatalf("first Close = %v, want reset", err)
+	}
+	if err := conn.Close(); !ErrReset(err) {
+		t.Fatalf("second Close = %v, want reset", err)
+	}
+	// The surviving peer, once it observes the RST: same contract.
+	deadline = time.Now().Add(10 * time.Second)
+	for !peer.Aborted() {
+		if time.Now().After(deadline) {
+			t.Fatal("peer never saw the abort")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := peer.Close(); !ErrReset(err) {
+		t.Fatalf("peer first Close = %v, want reset", err)
+	}
+	if err := peer.Close(); !ErrReset(err) {
+		t.Fatalf("peer second Close = %v, want reset", err)
+	}
+}

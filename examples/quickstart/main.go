@@ -29,13 +29,15 @@ func main() {
 	defer client.Close()
 
 	// Contexts are per-application-thread attachments (the paper's
-	// context queues); use one per goroutine.
+	// context queues); use one per goroutine. Bind the listener before
+	// dialing — as with real TCP, a SYN that arrives before Listen is
+	// refused.
+	sctx := server.NewContext()
+	ln, err := sctx.Listen(8080)
+	if err != nil {
+		log.Fatal(err)
+	}
 	go func() {
-		ctx := server.NewContext()
-		ln, err := ctx.Listen(8080)
-		if err != nil {
-			log.Fatal(err)
-		}
 		conn, err := ln.Accept(5 * time.Second)
 		if err != nil {
 			log.Fatal(err)

@@ -9,6 +9,7 @@ package fastpath
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/flowstate"
 	"repro/internal/shmring"
@@ -57,9 +58,20 @@ type Event struct {
 	Flow   *flowstate.Flow // set for EvAccepted and EvConnected
 }
 
-// TxCmd is one application -> fast-path command: Bytes of new payload
-// were appended to the flow's transmit buffer (§3.1 common-case send).
+// TX-descriptor opcodes. The application side is untrusted (§3.3): a
+// crashed or malicious app can write any bit pattern into its TX queue,
+// so the fast path treats descriptors as wire input — it validates the
+// opcode, the flow reference, and the byte count, and drops-and-counts
+// anything malformed instead of acting on it.
+const (
+	// OpTx: Bytes of new payload were appended to the flow's transmit
+	// buffer (§3.1 common-case send). The only valid opcode today.
+	OpTx uint8 = 1
+)
+
+// TxCmd is one application -> fast-path queue descriptor.
 type TxCmd struct {
+	Op    uint8
 	Flow  *flowstate.Flow
 	Bytes uint32
 }
@@ -81,6 +93,15 @@ type Context struct {
 	// the queue was full (the app will observe the data on its next
 	// poll of the payload buffer).
 	DroppedEvents atomic.Uint64
+
+	// lastBeat is the unix-nano timestamp of the most recent application
+	// heartbeat; 0 means liveness tracking is not enabled for this
+	// context (raw low-level users) and the reaper leaves it alone.
+	lastBeat atomic.Int64
+	// dead marks a context whose application the slow path has declared
+	// crashed: its resources have been (or are being) reclaimed, and the
+	// fast path ignores its queues.
+	dead atomic.Bool
 }
 
 // NewContext allocates a context spanning `cores` fast-path cores with
@@ -101,6 +122,10 @@ func (c *Context) Cores() int { return len(c.rxq) }
 // wakes the application if it is blocked. It reports false if the queue
 // is full (the fast path informs the stack on a later packet, §3.1).
 func (c *Context) PostEvent(core int, ev Event) bool {
+	if c.dead.Load() {
+		// The application is gone; nobody will ever poll this queue.
+		return false
+	}
 	if !c.rxq[core].Enqueue(ev) {
 		c.DroppedEvents.Add(1)
 		return false
@@ -148,3 +173,21 @@ func (c *Context) Sleep() <-chan struct{} {
 
 // Awake clears the sleeping flag after the application resumes polling.
 func (c *Context) Awake() { c.sleeping.Store(false) }
+
+// Beat records an application heartbeat. In the paper the kernel tells
+// TAS when an application process dies; in this in-process reproduction
+// each libtas context runs a keepalive goroutine standing in for the
+// live process, and the slow path's reaper declares the app dead when
+// heartbeats stop arriving.
+func (c *Context) Beat() { c.lastBeat.Store(time.Now().UnixNano()) }
+
+// LastBeat returns the unix-nano time of the most recent heartbeat
+// (0 = liveness tracking never enabled).
+func (c *Context) LastBeat() int64 { return c.lastBeat.Load() }
+
+// MarkDead flags the context as belonging to a crashed application.
+func (c *Context) MarkDead() { c.dead.Store(true) }
+
+// Dead reports whether the slow path has declared this context's
+// application crashed and reaped its resources.
+func (c *Context) Dead() bool { return c.dead.Load() }

@@ -71,6 +71,9 @@ type CoreStats struct {
 	Exceptions  atomic.Uint64
 	RxDrops     atomic.Uint64 // ring overflow
 	BufFullDrop atomic.Uint64 // receive payload buffer full
+	BadDescDrop atomic.Uint64 // malformed app→TAS queue descriptors dropped
+	SynShed     atomic.Uint64 // SYNs shed: slow-path exception queue saturated
+	ExcqDrop    atomic.Uint64 // exceptions dropped: exception queue full
 	OooAccepted atomic.Uint64
 	OooDropped  atomic.Uint64
 	Frexmits    atomic.Uint64
@@ -102,12 +105,16 @@ type Engine struct {
 
 	cores []*core
 
-	// contexts and buckets are append-only registries: writers take mu
-	// and publish a copy-on-write snapshot; the fast path reads the
+	// contexts and buckets are slot registries: writers take mu and
+	// publish a copy-on-write snapshot; the fast path reads the
 	// snapshots without locks (per-packet lookups must not contend).
-	mu        sync.Mutex
-	contextsV atomic.Value // []*Context
-	bucketsV  atomic.Value // []*Bucket
+	// Slots freed by the application reaper are recycled (free lists),
+	// so a churn of crashing apps does not grow the registries forever.
+	mu         sync.Mutex
+	contextsV  atomic.Value // []*Context; nil entries are free slots
+	bucketsV   atomic.Value // []*Bucket; nil entries are free slots
+	freeCtxIDs []int
+	freeBkts   []uint32
 
 	// Exception queue toward the slow path.
 	excq     *shmring.SPSC[*protocol.Packet]
@@ -201,17 +208,44 @@ func (e *Engine) SetActiveCores(n int) {
 // Stats returns the per-core statistics.
 func (e *Engine) Stats(core int) *CoreStats { return &e.cores[core].stats }
 
-// RegisterContext adds an application context and returns its id.
+// RegisterContext adds an application context and returns its id,
+// reusing a slot freed by a previous UnregisterContext if one exists.
 func (e *Engine) RegisterContext(ctx *Context) uint16 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	old := e.contextsV.Load().([]*Context)
+	if n := len(e.freeCtxIDs); n > 0 {
+		id := e.freeCtxIDs[n-1]
+		e.freeCtxIDs = e.freeCtxIDs[:n-1]
+		ns := append([]*Context(nil), old...)
+		ns[id] = ctx
+		ctx.ID = id
+		e.contextsV.Store(ns)
+		return uint16(id)
+	}
 	ctx.ID = len(old)
 	e.contextsV.Store(append(append([]*Context(nil), old...), ctx))
 	return uint16(ctx.ID)
 }
 
-// ContextByID returns a registered context (nil if out of range).
+// UnregisterContext releases a context's slot for reuse — the slow-path
+// reaper calls this after reclaiming a dead application's flows, so the
+// slot must no longer be reachable through live flow state.
+func (e *Engine) UnregisterContext(ctx *Context) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.contextsV.Load().([]*Context)
+	if ctx.ID < 0 || ctx.ID >= len(old) || old[ctx.ID] != ctx {
+		return
+	}
+	ns := append([]*Context(nil), old...)
+	ns[ctx.ID] = nil
+	e.contextsV.Store(ns)
+	e.freeCtxIDs = append(e.freeCtxIDs, ctx.ID)
+}
+
+// ContextByID returns a registered context (nil if out of range or the
+// slot has been freed).
 func (e *Engine) ContextByID(id uint16) *Context {
 	ctxs := e.contextsV.Load().([]*Context)
 	if int(id) >= len(ctxs) {
@@ -220,14 +254,44 @@ func (e *Engine) ContextByID(id uint16) *Context {
 	return ctxs[id]
 }
 
+// Contexts returns the current context registry snapshot (entries may
+// be nil where slots are free). Used by the slow path's liveness sweep.
+func (e *Engine) Contexts() []*Context {
+	return e.contextsV.Load().([]*Context)
+}
+
 // AllocBucket creates a rate bucket and returns its index (the slow
-// path allocates one per established flow).
+// path allocates one per established flow), reusing a freed slot when
+// one exists.
 func (e *Engine) AllocBucket() uint32 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	old := e.bucketsV.Load().([]*Bucket)
+	if n := len(e.freeBkts); n > 0 {
+		i := e.freeBkts[n-1]
+		e.freeBkts = e.freeBkts[:n-1]
+		ns := append([]*Bucket(nil), old...)
+		ns[i] = NewBucket(e.cfg.BurstBytes)
+		e.bucketsV.Store(ns)
+		return i
+	}
 	e.bucketsV.Store(append(append([]*Bucket(nil), old...), NewBucket(e.cfg.BurstBytes)))
 	return uint32(len(old))
+}
+
+// FreeBucket returns a rate bucket slot to the free pool (flow
+// teardown by the application reaper).
+func (e *Engine) FreeBucket(i uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.bucketsV.Load().([]*Bucket)
+	if int(i) >= len(old) || old[i] == nil {
+		return
+	}
+	ns := append([]*Bucket(nil), old...)
+	ns[i] = nil
+	e.bucketsV.Store(ns)
+	e.freeBkts = append(e.freeBkts, i)
 }
 
 // Bucket returns the rate bucket at index i (nil if out of range).
@@ -270,13 +334,34 @@ func (e *Engine) KickFlow(f *flowstate.Flow) {
 }
 
 // PushTxCmd routes a TX command from a context to the owning core and
-// wakes it. It reports false if the queue is full.
+// wakes it. It reports false if the queue is full or the descriptor is
+// obviously malformed (nil flow).
 func (e *Engine) PushTxCmd(ctx *Context, cmd TxCmd) bool {
+	if cmd.Flow == nil {
+		return false
+	}
 	ci := e.CoreForFlow(cmd.Flow)
 	if !ctx.PushTx(ci, cmd) {
 		return false
 	}
 	e.wakeCore(ci)
+	return true
+}
+
+// validTxCmd validates one app→TAS queue descriptor before the fast
+// path acts on it. Applications are untrusted (§3.3): a crashed or
+// malicious app can enqueue arbitrary bit patterns, so a descriptor
+// must carry a known opcode, reference a flow that is actually
+// installed in the flow table with intact buffers, and claim a byte
+// count that could possibly be buffered. Anything else is dropped and
+// counted — never acted on, never a panic.
+func (e *Engine) validTxCmd(c *core, cmd TxCmd) bool {
+	f := cmd.Flow
+	if cmd.Op != OpTx || f == nil || f.RxBuf == nil || f.TxBuf == nil ||
+		int64(cmd.Bytes) > int64(f.TxBuf.Size()) || e.Table.Lookup(f.Key()) != f {
+		c.stats.BadDescDrop.Add(1)
+		return false
+	}
 	return true
 }
 
@@ -286,18 +371,39 @@ func (e *Engine) Exceptions() (*shmring.SPSC[*protocol.Packet], <-chan struct{})
 	return e.excq, e.slowWake
 }
 
-// toSlowPath forwards an exception packet.
+// toSlowPath forwards an exception packet. When the slow path's
+// exception queue saturates, new-connection attempts (bare SYNs) are
+// shed first — admission control under overload: established flows'
+// exceptions keep their queue slots, and a shed peer simply
+// retransmits its SYN later (§3.2: the slow path is the control-plane
+// bottleneck, so it protects itself by refusing new work, not by
+// growing an unbounded backlog).
 func (e *Engine) toSlowPath(c *core, pkt *protocol.Packet) {
+	if pkt.Flags.Has(protocol.FlagSYN) && !pkt.Flags.Has(protocol.FlagACK) &&
+		e.excq.Len() >= e.excq.Cap()*3/4 {
+		c.stats.SynShed.Add(1)
+		return
+	}
 	c.stats.Exceptions.Add(1)
 	if e.excq.Enqueue(pkt) {
 		select {
 		case e.slowWake <- struct{}{}:
 		default:
 		}
+	} else {
+		c.stats.ExcqDrop.Add(1)
 	}
 }
 
 func (e *Engine) wakeCore(i int) { e.wakeCoreS(e.cores[i]) }
+
+// Nudge wakes fast-path core i if it is blocked (fault-harness use:
+// make cores notice queue writes that bypass the normal kick paths).
+func (e *Engine) Nudge(i int) {
+	if i >= 0 && i < len(e.cores) {
+		e.wakeCore(i)
+	}
+}
 
 func (e *Engine) wakeCoreS(c *core) {
 	if c.asleep.Load() {
@@ -338,20 +444,7 @@ func (e *Engine) run(c *core) {
 		}
 
 		// Context TX queues assigned to this core.
-		ctxs := e.contextsV.Load().([]*Context)
-		for _, ctx := range ctxs {
-			if c.idx >= ctx.Cores() {
-				continue
-			}
-			k := ctx.txq[c.idx].DequeueBatch(cmdBatch[:])
-			for i := 0; i < k; i++ {
-				cmd := cmdBatch[i]
-				cmd.Flow.Lock()
-				e.transmit(c, cmd.Flow)
-				cmd.Flow.Unlock()
-			}
-			did += k
-		}
+		did += e.drainCtxTx(c, cmdBatch[:])
 
 		// Rate-limited flows waiting for tokens.
 		did += e.retryPending(c)
@@ -396,6 +489,31 @@ func (e *Engine) run(c *core) {
 	}
 }
 
+// drainCtxTx consumes the TX descriptor queues every registered
+// context aimed at core c, validating each descriptor before acting on
+// it. Dead contexts (reaped applications) and free slots are skipped.
+func (e *Engine) drainCtxTx(c *core, cmdBatch []TxCmd) int {
+	ctxs := e.contextsV.Load().([]*Context)
+	did := 0
+	for _, ctx := range ctxs {
+		if ctx == nil || ctx.Dead() || c.idx >= ctx.Cores() {
+			continue
+		}
+		k := ctx.txq[c.idx].DequeueBatch(cmdBatch)
+		for i := 0; i < k; i++ {
+			cmd := cmdBatch[i]
+			if !e.validTxCmd(c, cmd) {
+				continue
+			}
+			cmd.Flow.Lock()
+			e.transmit(c, cmd.Flow)
+			cmd.Flow.Unlock()
+		}
+		did += k
+	}
+	return did
+}
+
 // retryPending re-attempts transmission for rate-limited flows.
 func (e *Engine) retryPending(c *core) int {
 	if len(c.pending) == 0 {
@@ -411,6 +529,38 @@ func (e *Engine) retryPending(c *core) int {
 		did++
 	}
 	return did
+}
+
+// DropStats aggregates the engine's shed/drop counters across cores and
+// contexts — every cause that makes TAS refuse work instead of growing
+// an unbounded backlog or corrupting state.
+type DropStats struct {
+	RxRingFull uint64 // NIC receive ring overflow
+	RxBufFull  uint64 // per-flow receive payload buffer full
+	BadDesc    uint64 // malformed app→TAS queue descriptors
+	SynShed    uint64 // SYNs shed by slow-path admission control
+	ExcqFull   uint64 // exception queue overflow (non-SYN exceptions)
+	EventsLost uint64 // context event-queue overflow
+	OooDropped uint64 // out-of-order segments outside the tracked interval
+}
+
+// Drops returns the aggregated drop counters.
+func (e *Engine) Drops() DropStats {
+	var d DropStats
+	for _, c := range e.cores {
+		d.RxRingFull += c.stats.RxDrops.Load()
+		d.RxBufFull += c.stats.BufFullDrop.Load()
+		d.BadDesc += c.stats.BadDescDrop.Load()
+		d.SynShed += c.stats.SynShed.Load()
+		d.ExcqFull += c.stats.ExcqDrop.Load()
+		d.OooDropped += c.stats.OooDropped.Load()
+	}
+	for _, ctx := range e.Contexts() {
+		if ctx != nil {
+			d.EventsLost += ctx.DroppedEvents.Load()
+		}
+	}
+	return d
 }
 
 // Utilization returns the busy fraction of core loops since the last

@@ -496,7 +496,7 @@ func TestEngineLifecycle(t *testing.T) {
 	f.Lock()
 	f.TxBuf.Write([]byte("outbound"))
 	f.Unlock()
-	if !e.PushTxCmd(ctx, TxCmd{Flow: f, Bytes: 8}) {
+	if !e.PushTxCmd(ctx, TxCmd{Op: OpTx, Flow: f, Bytes: 8}) {
 		t.Fatal("tx cmd rejected")
 	}
 	deadline = time.Now().Add(5 * time.Second)

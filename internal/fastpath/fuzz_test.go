@@ -86,6 +86,100 @@ func TestProcessRxInvariantFuzz(t *testing.T) {
 	}
 }
 
+// TestDescriptorQueueFuzz hurls randomized app→TAS descriptors at the
+// context TX queues — garbage opcodes, nil and fabricated flow
+// references, structurally broken flows, impossible byte counts —
+// interleaved with valid commands, and checks the fast path drops and
+// counts exactly the malformed ones without panicking or corrupting the
+// live flow (§3.3: applications are untrusted, so the descriptor queue
+// is an attack surface the fast path must validate defensively).
+func TestDescriptorQueueFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e, _ := testEngine()
+		f := testFlow(e)
+		ctx := NewContext(0, 2, 1<<14)
+		e.RegisterContext(ctx)
+		f.Context = 0
+
+		var cmdBatch [64]TxCmd
+		wantBad := uint64(0)
+		for i := 0; i < 5000; i++ {
+			var cmd TxCmd
+			bad := true
+			switch rng.Intn(6) {
+			case 0: // valid command
+				f.Lock()
+				if free := f.TxBuf.Free(); free > 0 {
+					n := rng.Intn(free) + 1
+					f.TxBuf.Write(make([]byte, n))
+					cmd = TxCmd{Op: OpTx, Flow: f, Bytes: uint32(n)}
+					bad = false
+				} else {
+					cmd = TxCmd{Op: OpTx, Flow: f, Bytes: 1}
+					bad = false
+				}
+				f.Unlock()
+			case 1: // bogus opcode on a real flow
+				op := uint8(rng.Intn(255)) + 1 // never 0 here; OpTx excluded below
+				if op == OpTx {
+					op++
+				}
+				cmd = TxCmd{Op: op, Flow: f, Bytes: 1}
+			case 2: // nil flow
+				cmd = TxCmd{Op: OpTx, Flow: nil, Bytes: uint32(rng.Intn(1 << 20))}
+			case 3: // fabricated flow not in the table
+				g := &flowstate.Flow{
+					LocalIP:   e.cfg.LocalIP,
+					LocalPort: uint16(rng.Intn(1 << 16)),
+					PeerIP:    protocol.MakeIPv4(203, 0, 113, byte(rng.Intn(256))),
+					PeerPort:  uint16(rng.Intn(1 << 16)),
+					RxBuf:     f.RxBuf, // alias real buffers: must still be rejected
+					TxBuf:     f.TxBuf,
+				}
+				cmd = TxCmd{Op: OpTx, Flow: g, Bytes: uint32(rng.Intn(1 << 10))}
+			case 4: // structurally broken flow (nil buffers)
+				cmd = TxCmd{Op: OpTx, Flow: &flowstate.Flow{}, Bytes: 1}
+			default: // impossible byte count on a real flow
+				cmd = TxCmd{Op: OpTx, Flow: f,
+					Bytes: uint32(f.TxBuf.Size()) + uint32(rng.Intn(1<<20)) + 1}
+			}
+			if !ctx.PushTx(0, cmd) {
+				// Queue full: drain and retry once.
+				e.drainCtxTx(e.cores[0], cmdBatch[:])
+				if !ctx.PushTx(0, cmd) {
+					t.Fatalf("seed %d cmd %d: queue still full after drain", seed, i)
+				}
+			}
+			if bad {
+				wantBad++
+			}
+			if rng.Intn(8) == 0 {
+				e.drainCtxTx(e.cores[0], cmdBatch[:])
+				// Ack everything so the tx buffer drains and valid commands
+				// keep fitting.
+				f.Lock()
+				una := f.SeqNo
+				f.Unlock()
+				e.processRx(e.cores[0], ackPkt(f, una))
+			}
+		}
+		for e.drainCtxTx(e.cores[0], cmdBatch[:]) > 0 {
+		}
+
+		if got := e.cores[0].stats.BadDescDrop.Load(); got != wantBad {
+			t.Fatalf("seed %d: BadDescDrop = %d, want %d", seed, got, wantBad)
+		}
+		// The live flow must still be structurally sound.
+		if int(f.TxSent) > f.TxBuf.Used() {
+			t.Fatalf("seed %d: TxSent %d exceeds buffered %d", seed, f.TxSent, f.TxBuf.Used())
+		}
+		if e.Table.Lookup(f.Key()) != f {
+			t.Fatalf("seed %d: live flow lost from table", seed)
+		}
+	}
+}
+
 // TestStreamIntegrityUnderReorderAndLoss drives a full sender/receiver
 // conversation through the pure functions with random loss and
 // reordering, and checks the receiver's byte stream is exactly the

@@ -1,0 +1,148 @@
+package fastpath
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+// TestContextSlotReuse exercises the context registry free-list: a slot
+// released by UnregisterContext is handed to the next registration, the
+// registry never grows, and a freed slot reads back nil until reused —
+// the invariant the app reaper depends on to stop a dead application
+// from leaking context slots.
+func TestContextSlotReuse(t *testing.T) {
+	e, _ := testEngine()
+	a := NewContext(0, 2, 64)
+	b := NewContext(0, 2, 64)
+	idA := e.RegisterContext(a)
+	idB := e.RegisterContext(b)
+	if idA == idB {
+		t.Fatalf("distinct contexts share id %d", idA)
+	}
+
+	e.UnregisterContext(a)
+	if got := e.ContextByID(idA); got != nil {
+		t.Fatalf("freed slot %d still resolves to %p", idA, got)
+	}
+	if got := e.ContextByID(idB); got != b {
+		t.Fatalf("unrelated slot %d disturbed", idB)
+	}
+
+	// Double-unregister and stale-pointer unregister must be no-ops.
+	e.UnregisterContext(a)
+	c := NewContext(0, 2, 64)
+	if id := e.RegisterContext(c); id != idA {
+		t.Fatalf("new context got slot %d, want reused slot %d", id, idA)
+	}
+	e.UnregisterContext(a) // stale: slot now owned by c
+	if got := e.ContextByID(idA); got != c {
+		t.Fatalf("stale unregister evicted the new owner of slot %d", idA)
+	}
+	if n := len(e.Contexts()); n != 2 {
+		t.Fatalf("registry grew to %d slots, want 2", n)
+	}
+}
+
+// TestBucketSlotReuse does the same for rate-bucket slots: FreeBucket
+// returns the slot to the pool, AllocBucket reuses it, double-free is
+// harmless, and live buckets are undisturbed.
+func TestBucketSlotReuse(t *testing.T) {
+	e, _ := testEngine()
+	base := e.AllocBucket()
+	b1 := e.AllocBucket()
+	e.FreeBucket(b1)
+	if e.Bucket(b1) != nil {
+		t.Fatalf("freed bucket %d still live", b1)
+	}
+	e.FreeBucket(b1) // double free: no-op
+	if got := e.AllocBucket(); got != b1 {
+		t.Fatalf("alloc after free got slot %d, want reused %d", got, b1)
+	}
+	if e.Bucket(base) == nil {
+		t.Fatalf("unrelated bucket %d disturbed", base)
+	}
+}
+
+// TestSynShedUnderExcqPressure verifies slow-path admission control:
+// when the exception queue nears saturation, bare SYNs (new-connection
+// attempts) are shed and counted while exceptions for established flows
+// still get through, and a completely full queue counts ExcqDrop.
+func TestSynShedUnderExcqPressure(t *testing.T) {
+	e, _ := testEngine()
+	syn := &protocol.Packet{
+		SrcIP: protocol.MakeIPv4(10, 0, 0, 2), DstIP: e.cfg.LocalIP,
+		SrcPort: 5000, DstPort: 80, Flags: protocol.FlagSYN, Seq: 1,
+	}
+	fin := &protocol.Packet{
+		SrcIP: protocol.MakeIPv4(10, 0, 0, 2), DstIP: e.cfg.LocalIP,
+		SrcPort: 5001, DstPort: 80, Flags: protocol.FlagFIN | protocol.FlagACK, Seq: 1,
+	}
+
+	// Below the 3/4 high-water mark a SYN is admitted.
+	e.toSlowPath(e.cores[0], syn)
+	if got := e.cores[0].stats.SynShed.Load(); got != 0 {
+		t.Fatalf("SYN shed below high-water mark: %d", got)
+	}
+	if e.excq.Len() != 1 {
+		t.Fatalf("admitted SYN not enqueued")
+	}
+
+	// Stuff the queue to the high-water mark.
+	for e.excq.Len() < e.excq.Cap()*3/4 {
+		if !e.excq.Enqueue(fin) {
+			t.Fatal("could not stuff exception queue")
+		}
+	}
+	depth := e.excq.Len()
+	e.toSlowPath(e.cores[0], syn)
+	if got := e.cores[0].stats.SynShed.Load(); got != 1 {
+		t.Fatalf("SynShed = %d, want 1", got)
+	}
+	if e.excq.Len() != depth {
+		t.Fatalf("shed SYN was enqueued anyway")
+	}
+	// Established-flow exceptions still get through at this depth.
+	e.toSlowPath(e.cores[0], fin)
+	if e.excq.Len() != depth+1 {
+		t.Fatalf("non-SYN exception rejected below full")
+	}
+
+	// Fill completely: non-SYN exceptions now count ExcqDrop.
+	for e.excq.Enqueue(fin) {
+	}
+	e.toSlowPath(e.cores[0], fin)
+	if got := e.cores[0].stats.ExcqDrop.Load(); got != 1 {
+		t.Fatalf("ExcqDrop = %d, want 1", got)
+	}
+}
+
+// TestDeadContextQuiesced verifies MarkDead makes a context inert: event
+// posting fails (no stale deliveries into a slot that may be reused) and
+// queued TX descriptors are never acted on.
+func TestDeadContextQuiesced(t *testing.T) {
+	e, _ := testEngine()
+	f := testFlow(e)
+	ctx := NewContext(0, 2, 64)
+	e.RegisterContext(ctx)
+	f.Context = 0
+
+	f.Lock()
+	f.TxBuf.Write(make([]byte, 8))
+	f.Unlock()
+	if !ctx.PushTx(0, TxCmd{Op: OpTx, Flow: f, Bytes: 8}) {
+		t.Fatal("push failed")
+	}
+	ctx.MarkDead()
+	if ctx.PostEvent(0, Event{Kind: EvData, Flow: f}) {
+		t.Fatal("PostEvent succeeded on a dead context")
+	}
+	var batch [16]TxCmd
+	e.drainCtxTx(e.cores[0], batch[:])
+	f.Lock()
+	sent := f.TxSent
+	f.Unlock()
+	if sent != 0 {
+		t.Fatalf("dead context's TX descriptor was executed: TxSent=%d", sent)
+	}
+}

@@ -62,7 +62,7 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 			// Inform the fast path (issue a TX command on the context
 			// queue, §3.1); fall back to a direct kick if the command
 			// ring is full — the payload is already in the buffer.
-			if !cn.ctx.stack.Eng.PushTxCmd(cn.ctx.fp, fastpath.TxCmd{Flow: f, Bytes: uint32(n)}) {
+			if !cn.ctx.stack.Eng.PushTxCmd(cn.ctx.fp, fastpath.TxCmd{Op: fastpath.OpTx, Flow: f, Bytes: uint32(n)}) {
 				cn.ctx.stack.Eng.KickFlow(f)
 			}
 			continue
@@ -129,7 +129,7 @@ func (cn *Conn) SendNoWait(p []byte) (int, error) {
 	if n == 0 {
 		return 0, ErrWouldBlock
 	}
-	if !cn.ctx.stack.Eng.PushTxCmd(cn.ctx.fp, fastpath.TxCmd{Flow: f, Bytes: uint32(n)}) {
+	if !cn.ctx.stack.Eng.PushTxCmd(cn.ctx.fp, fastpath.TxCmd{Op: fastpath.OpTx, Flow: f, Bytes: uint32(n)}) {
 		cn.ctx.stack.Eng.KickFlow(f)
 	}
 	return n, nil
@@ -215,7 +215,7 @@ func (cn *Conn) SendZeroCopy(max int, fill func(first, second []byte) int) (int,
 	}
 	f.Unlock()
 	if n > 0 {
-		if !cn.ctx.stack.Eng.PushTxCmd(cn.ctx.fp, fastpath.TxCmd{Flow: f, Bytes: uint32(n)}) {
+		if !cn.ctx.stack.Eng.PushTxCmd(cn.ctx.fp, fastpath.TxCmd{Op: fastpath.OpTx, Flow: f, Bytes: uint32(n)}) {
 			cn.ctx.stack.Eng.KickFlow(f)
 		}
 	}
@@ -315,8 +315,24 @@ func (cn *Conn) Rebind(newCtx *Context) {
 }
 
 // Close initiates teardown via the slow path (graceful FIN after the
-// transmit buffer drains).
+// transmit buffer drains). Closing a connection that was already reset
+// (RST received, retransmission budget exhausted, or the app context
+// reaped) is a local-state no-op and reports ErrReset; there is nothing
+// left to tear down gracefully. Close is idempotent: repeat calls
+// return the same result as the first.
 func (cn *Conn) Close() error {
+	cn.ctx.dispatch()
+	if !cn.aborted {
+		// The abort event never reaches a reaped (dead) context, so also
+		// consult the authoritative per-flow state.
+		cn.flow.Lock()
+		cn.aborted = cn.flow.Aborted
+		cn.flow.Unlock()
+	}
+	if cn.aborted {
+		cn.closed = true
+		return ErrReset
+	}
 	if cn.closed {
 		return nil
 	}

@@ -13,12 +13,15 @@ package libtas
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fastpath"
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
+	"repro/internal/shmring"
 	"repro/internal/slowpath"
 )
 
@@ -31,6 +34,10 @@ var (
 	// slow path exhausted its retransmission budget (dead peer,
 	// partition). In-flight data may have been lost.
 	ErrReset = errors.New("libtas: connection reset")
+	// ErrAppDead: the slow path declared this application context
+	// crashed (missed heartbeats) and reaped its resources; the context
+	// and everything bound to it are unusable.
+	ErrAppDead = errors.New("libtas: application context reaped")
 )
 
 // Stack binds a fast-path engine and slow path into an application-
@@ -58,14 +65,104 @@ type Context struct {
 
 	dispatchMu sync.Mutex
 	evBuf      [256]fastpath.Event
+
+	// Application liveness: a keepalive goroutine beats the fast-path
+	// context on the slow path's heartbeat cadence, standing in for the
+	// live application process. The fault harness (KillApp/StallApp)
+	// manipulates it to simulate crashes and stalls.
+	hbStop   chan struct{}
+	hbStall  atomic.Int64 // unix nanos until which beats are suppressed
+	killOnce sync.Once
 }
 
-// NewContext allocates and registers a context.
+// NewContext allocates and registers a context, and starts its
+// application heartbeat.
 func (s *Stack) NewContext() *Context {
-	ctx := &Context{stack: s}
+	ctx := &Context{stack: s, hbStop: make(chan struct{})}
 	ctx.fp = fastpath.NewContext(0, s.Eng.MaxCores(), 1024)
 	s.Eng.RegisterContext(ctx.fp)
+	ctx.fp.Beat()
+	go ctx.heartbeatLoop(s.Slow.HeartbeatInterval())
 	return ctx
+}
+
+// heartbeatLoop stamps the context's liveness epoch until the app is
+// killed (KillApp) or stalled past the reaper's patience.
+func (c *Context) heartbeatLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-t.C:
+			if time.Now().UnixNano() < c.hbStall.Load() {
+				continue // StallApp window: the app is wedged
+			}
+			c.fp.Beat()
+		}
+	}
+}
+
+// KillApp simulates the application crashing: heartbeats stop
+// immediately and never resume, so the slow-path reaper will detect the
+// death after AppTimeout and reclaim every resource the context holds.
+// Part of the app-layer fault harness (the application-side counterpart
+// of the netsim FaultInjector).
+func (c *Context) KillApp() {
+	c.killOnce.Do(func() { close(c.hbStop) })
+}
+
+// StallApp simulates the application wedging for d: heartbeats are
+// suppressed until the window passes. A stall shorter than the reaper's
+// AppTimeout is survivable; a longer one is indistinguishable from a
+// crash and gets the context reaped.
+func (c *Context) StallApp(d time.Duration) {
+	c.hbStall.Store(time.Now().Add(d).UnixNano())
+}
+
+// CorruptQueue simulates a buggy or malicious application scribbling
+// over its shared-memory TX queues: it enqueues n garbage descriptors
+// (bad opcodes, nil and bogus flow references, impossible byte counts)
+// drawn from seed, returning how many were actually enqueued (the
+// queues are bounded). The fast path must drop-and-count every one
+// without corrupting state or panicking.
+func (c *Context) CorruptQueue(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	injected := 0
+	for i := 0; i < n; i++ {
+		var f *flowstate.Flow
+		switch rng.Intn(3) {
+		case 0:
+			// nil flow reference.
+		case 1:
+			// A fabricated flow object that is not in the flow table.
+			f = &flowstate.Flow{
+				LocalIP:   protocol.MakeIPv4(192, 0, 2, byte(rng.Intn(256))),
+				LocalPort: uint16(rng.Intn(1 << 16)),
+				PeerIP:    protocol.MakeIPv4(198, 51, 100, byte(rng.Intn(256))),
+				PeerPort:  uint16(rng.Intn(1 << 16)),
+				RxBuf:     shmring.NewPayloadBuffer(64),
+				TxBuf:     shmring.NewPayloadBuffer(64),
+			}
+			f.RxBuf.Reclaim() // keep the fake out of pool accounting
+			f.TxBuf.Reclaim()
+		case 2:
+			// A structurally broken flow (missing buffers).
+			f = &flowstate.Flow{}
+		}
+		cmd := fastpath.TxCmd{
+			Op:    uint8(rng.Intn(8)), // mostly invalid opcodes; OpTx hits still fail flow checks
+			Flow:  f,
+			Bytes: rng.Uint32(),
+		}
+		core := rng.Intn(c.fp.Cores())
+		if c.fp.PushTx(core, cmd) {
+			injected++
+		}
+		c.stack.Eng.Nudge(core)
+	}
+	return injected
 }
 
 // FP exposes the low-level context (the TAS LL API).
@@ -130,13 +227,18 @@ func (c *Context) dispatch() int {
 }
 
 // wait polls until cond holds, blocking on the context's wakeup channel
-// between polls (the epoll analogue). A zero timeout waits forever.
+// between polls (the epoll analogue). A zero timeout waits forever. A
+// context reaped by the slow path fails fast with ErrAppDead instead of
+// blocking on queues nobody serves anymore.
 func (c *Context) wait(cond func() bool, timeout time.Duration) error {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
 	for {
+		if c.fp.Dead() {
+			return ErrAppDead
+		}
 		c.dispatch()
 		if cond() {
 			return nil
@@ -177,6 +279,9 @@ func (c *Context) newConnLocked() (*Conn, uint64) {
 // Dial opens a TCP connection to ip:port via the slow path, blocking
 // until the handshake completes.
 func (c *Context) Dial(ip protocol.IPv4, port uint16, timeout time.Duration) (*Conn, error) {
+	if c.fp.Dead() {
+		return nil, ErrAppDead
+	}
 	c.mu.Lock()
 	conn, opaque := c.newConnLocked()
 	c.mu.Unlock()
@@ -201,16 +306,30 @@ func (c *Context) Dial(ip protocol.IPv4, port uint16, timeout time.Duration) (*C
 	return conn, nil
 }
 
-// Listen registers a listening port on this context.
+// Listen registers a listening port on this context with the slow
+// path's default accept backlog.
 func (c *Context) Listen(port uint16) (*Listener, error) {
+	return c.ListenBacklog(port, 0)
+}
+
+// ListenBacklog registers a listening port with an explicit bound on
+// in-flight handshakes plus accepted-but-unconsumed connections
+// (0 = the slow path's configured default). SYNs beyond the bound are
+// shed by the slow path instead of queued without bound.
+func (c *Context) ListenBacklog(port uint16, backlog int) (*Listener, error) {
+	if c.fp.Dead() {
+		return nil, ErrAppDead
+	}
 	c.mu.Lock()
 	l := &Listener{ctx: c, port: port}
 	c.listeners = append(c.listeners, l)
 	opaque := uint64(len(c.listeners) - 1)
 	c.mu.Unlock()
-	if err := c.stack.Slow.Listen(port, uint16(c.fp.ID), opaque); err != nil {
+	pending, err := c.stack.Slow.ListenBacklog(port, uint16(c.fp.ID), opaque, backlog)
+	if err != nil {
 		return nil, err
 	}
+	l.pending = pending
 	return l, nil
 }
 
@@ -220,6 +339,11 @@ type Listener struct {
 	port    uint16
 	backlog []*flowstate.Flow
 	closed  bool
+	// pending mirrors the slow path's accept-queue depth gauge: the
+	// slow path increments it per delivered accept event; Accept
+	// decrements it as the application consumes connections, opening
+	// backlog headroom for new SYNs.
+	pending *atomic.Int32
 }
 
 // Accept blocks for the next established connection. A zero timeout
@@ -236,6 +360,9 @@ func (l *Listener) Accept(timeout time.Duration) (*Conn, error) {
 		if len(l.backlog) > 0 {
 			flow = l.backlog[0]
 			l.backlog = l.backlog[1:]
+			if l.pending != nil {
+				l.pending.Add(-1)
+			}
 			return true
 		}
 		return false

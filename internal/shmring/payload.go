@@ -2,7 +2,20 @@ package shmring
 
 import (
 	"sync/atomic"
+
+	"repro/internal/stats"
 )
+
+// livePayload tracks the bytes of payload-buffer memory allocated and
+// not yet reclaimed, process-wide — the in-process stand-in for the
+// shared payload memory segment TAS carves per-flow buffers out of. The
+// slow path's application reaper returns a dead app's buffers to the
+// pool via Reclaim; tests assert the gauge falls back after a reap.
+var livePayload stats.Gauge
+
+// LivePayloadBytes returns the bytes of payload-buffer memory currently
+// allocated and not reclaimed.
+func LivePayloadBytes() int64 { return livePayload.Load() }
 
 // PayloadBuffer is a circular byte buffer with absolute 32-bit positions,
 // modelling the per-flow receive and transmit payload buffers of Table 3:
@@ -22,6 +35,11 @@ type PayloadBuffer struct {
 	_    pad
 	tail atomic.Uint32 // consumer position (bytes ever consumed)
 	_    pad
+	// reclaimed marks a buffer returned to the payload pool by the
+	// slow-path reaper: further producer writes are refused (the owning
+	// application is dead), while reads keep working so a surviving
+	// peer-side consumer can drain what it already has.
+	reclaimed atomic.Bool
 }
 
 // NewPayloadBuffer returns a buffer of the given power-of-two size.
@@ -29,8 +47,23 @@ func NewPayloadBuffer(size int) *PayloadBuffer {
 	if size <= 0 || size&(size-1) != 0 {
 		panic("shmring: payload buffer size must be a positive power of two")
 	}
+	livePayload.Add(int64(size))
 	return &PayloadBuffer{buf: make([]byte, size), mask: uint32(size - 1)}
 }
+
+// Reclaim returns the buffer's memory to the payload pool (the
+// slow-path reaper calls this when an application dies). Idempotent.
+// Producer writes are refused afterwards; reads still drain whatever
+// was already buffered.
+func (b *PayloadBuffer) Reclaim() {
+	if b.reclaimed.Swap(true) {
+		return
+	}
+	livePayload.Add(-int64(len(b.buf)))
+}
+
+// Reclaimed reports whether the buffer has been returned to the pool.
+func (b *PayloadBuffer) Reclaimed() bool { return b.reclaimed.Load() }
 
 // Size returns the buffer capacity in bytes.
 func (b *PayloadBuffer) Size() int { return len(b.buf) }
@@ -68,7 +101,7 @@ func (b *PayloadBuffer) copyOut(pos uint32, out []byte) {
 // Write appends data at head and advances head. It reports false (and
 // writes nothing) if the free space is insufficient.
 func (b *PayloadBuffer) Write(data []byte) bool {
-	if len(data) > b.Free() {
+	if len(data) > b.Free() || b.reclaimed.Load() {
 		return false
 	}
 	h := b.head.Load()
@@ -176,6 +209,7 @@ func (b *PayloadBuffer) Grow(newSize int) {
 	used := int(hd - tl)
 	// Copy the live region to the same absolute positions modulo the
 	// new size.
+	livePayload.Add(int64(newSize - len(b.buf)))
 	tmp := make([]byte, used)
 	b.copyOut(tl, tmp)
 	b.buf = nb

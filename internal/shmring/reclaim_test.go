@@ -1,0 +1,141 @@
+package shmring
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestReclaimAccounting: the process-wide payload gauge rises on
+// allocation and Grow, falls exactly once per buffer on Reclaim, and
+// repeated Reclaim is a no-op — the invariant the app reaper's leak
+// checking is built on.
+func TestReclaimAccounting(t *testing.T) {
+	base := LivePayloadBytes()
+	b := NewPayloadBuffer(1 << 10)
+	if got := LivePayloadBytes() - base; got != 1<<10 {
+		t.Fatalf("after alloc: delta %d, want %d", got, 1<<10)
+	}
+	b.Grow(4 << 10)
+	if got := LivePayloadBytes() - base; got != 4<<10 {
+		t.Fatalf("after grow: delta %d, want %d", got, 4<<10)
+	}
+	b.Reclaim()
+	if got := LivePayloadBytes() - base; got != 0 {
+		t.Fatalf("after reclaim: delta %d, want 0", got)
+	}
+	if !b.Reclaimed() {
+		t.Fatal("not marked reclaimed")
+	}
+	b.Reclaim() // idempotent: must not double-subtract
+	if got := LivePayloadBytes() - base; got != 0 {
+		t.Fatalf("after double reclaim: delta %d, want 0", got)
+	}
+}
+
+// TestReclaimBlocksWritesAllowsDrain: after Reclaim the buffer refuses
+// new payload but still lets the reader drain what was buffered — an
+// aborted connection may deliver already-received data, never accept
+// more.
+func TestReclaimBlocksWritesAllowsDrain(t *testing.T) {
+	b := NewPayloadBuffer(64)
+	if !b.Write([]byte("buffered")) {
+		t.Fatal("write failed")
+	}
+	b.Reclaim()
+	if b.Write([]byte("x")) {
+		t.Fatal("write accepted after reclaim")
+	}
+	out := make([]byte, 16)
+	if n := b.Read(out); n != 8 || string(out[:8]) != "buffered" {
+		t.Fatalf("drain after reclaim: %q", out[:n])
+	}
+	if n := b.Read(out); n != 0 {
+		t.Fatalf("read past drained data: %d", n)
+	}
+}
+
+// TestReclaimConcurrent races many Reclaim calls against a writer and
+// checks the gauge settles exactly size lower: the release happens
+// exactly once no matter how the race resolves.
+func TestReclaimConcurrent(t *testing.T) {
+	base := LivePayloadBytes()
+	b := NewPayloadBuffer(1 << 12)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Reclaim()
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			b.Write([]byte("payload"))
+		}
+	}()
+	wg.Wait()
+	if got := LivePayloadBytes() - base; got != 0 {
+		t.Fatalf("gauge delta after concurrent reclaim: %d, want 0", got)
+	}
+}
+
+// TestPayloadFullEmptyBoundary drives the ring to exactly full and
+// exactly empty across a wrap and checks Free/Used stay consistent at
+// both edges (the boundary the head==tail encoding must disambiguate).
+func TestPayloadFullEmptyBoundary(t *testing.T) {
+	const size = 64
+	b := NewPayloadBuffer(size)
+	// Offset head/tail so full and empty both land mid-array.
+	b.Write(make([]byte, 40))
+	b.Read(make([]byte, 40))
+
+	if !b.Write(make([]byte, size)) {
+		t.Fatal("fill to exactly full failed")
+	}
+	if b.Free() != 0 || b.Used() != size {
+		t.Fatalf("full: free=%d used=%d", b.Free(), b.Used())
+	}
+	if b.Write([]byte{1}) {
+		t.Fatal("write accepted when exactly full")
+	}
+	if n := b.Read(make([]byte, size)); n != size {
+		t.Fatalf("drain from full: %d", n)
+	}
+	if b.Free() != size || b.Used() != 0 {
+		t.Fatalf("empty: free=%d used=%d", b.Free(), b.Used())
+	}
+	if n := b.Read(make([]byte, 1)); n != 0 {
+		t.Fatal("read succeeded when exactly empty")
+	}
+}
+
+// TestSPSCFullEmptyBoundary does the same for the descriptor ring:
+// enqueue to capacity, overflow refused, drain to empty, underflow
+// refused — then the cycle repeats cleanly (wrap state intact).
+func TestSPSCFullEmptyBoundary(t *testing.T) {
+	q := NewSPSC[int](4)
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < q.Cap(); i++ {
+			if !q.Enqueue(i) {
+				t.Fatalf("cycle %d: enqueue %d failed", cycle, i)
+			}
+		}
+		if q.Enqueue(99) {
+			t.Fatalf("cycle %d: enqueue accepted when full", cycle)
+		}
+		if q.Len() != q.Cap() {
+			t.Fatalf("cycle %d: len=%d cap=%d", cycle, q.Len(), q.Cap())
+		}
+		for i := 0; i < q.Cap(); i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != i {
+				t.Fatalf("cycle %d: dequeue got (%d,%v) want (%d,true)", cycle, v, ok, i)
+			}
+		}
+		if _, ok := q.Dequeue(); ok {
+			t.Fatalf("cycle %d: dequeue succeeded when empty", cycle)
+		}
+	}
+}

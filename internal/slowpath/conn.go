@@ -49,12 +49,22 @@ func (s *Slowpath) handleSyn(key protocol.FlowKey, pkt *protocol.Packet) {
 		s.sendCtlSynAck(key, iss, peer+1)
 		return
 	}
+	if l.halfCount+int(l.pending.Load()) >= l.backlog {
+		// Accept-queue overflow: shed the SYN silently and count it.
+		// No RST — this is overload, not refusal; the peer's handshake
+		// retransmission retries when (if) the backlog drains.
+		s.SynBacklogDrops++
+		s.mu.Unlock()
+		return
+	}
 	iss := s.rng.Uint32()
 	s.half[key] = &halfOpen{
 		key: key, iss: iss, ctxID: l.ctxID, opaque: l.opaque,
 		passive: true, peerISS: pkt.Seq,
 		rto: s.cfg.HandshakeRTO, deadline: time.Now().Add(s.cfg.HandshakeRTO),
+		lst: l,
 	}
+	l.halfCount++
 	s.mu.Unlock()
 	s.sendCtlSynAck(key, iss, pkt.Seq+1)
 }
@@ -94,7 +104,7 @@ func (s *Slowpath) handleSynAck(key protocol.FlowKey, pkt *protocol.Packet) {
 		s.mu.Unlock()
 		return // not for our SYN
 	}
-	delete(s.half, key)
+	s.dropHalfLocked(key, h)
 	s.mu.Unlock()
 
 	f := s.installFlow(key, h, pkt.Seq, pkt.Window)
@@ -114,13 +124,22 @@ func (s *Slowpath) handleSynAck(key protocol.FlowKey, pkt *protocol.Packet) {
 func (s *Slowpath) handlePlain(key protocol.FlowKey, pkt *protocol.Packet) {
 	s.mu.Lock()
 	if h := s.half[key]; h != nil && h.passive && pkt.Flags.Has(protocol.FlagACK) && pkt.Ack == h.iss+1 {
-		delete(s.half, key)
+		s.dropHalfLocked(key, h)
 		s.Established++
 		s.Accepted++
 		s.mu.Unlock()
 		f := s.installFlow(key, h, h.peerISS, pkt.Window)
-		if ctx := s.eng.ContextByID(h.ctxID); ctx != nil {
-			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAccepted, Opaque: h.opaque, Flow: f})
+		ctx := s.eng.ContextByID(h.ctxID)
+		if ctx == nil || !ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAccepted, Opaque: h.opaque, Flow: f}) {
+			// The accept event cannot be delivered (context gone, dead,
+			// or its event queue is full): tear the nascent connection
+			// down instead of orphaning installed flow state the
+			// application will never learn about.
+			s.teardownUndeliverable(f)
+			return
+		}
+		if h.lst != nil {
+			h.lst.pending.Add(1)
 		}
 		// The completing ACK may carry data (or more may have raced):
 		// re-inject so the fast path processes it against the new flow.
@@ -139,6 +158,25 @@ func (s *Slowpath) handlePlain(key protocol.FlowKey, pkt *protocol.Packet) {
 		s.eng.Input(pkt)
 	}
 	// Otherwise: unknown flow, drop (a full stack would RST).
+}
+
+// teardownUndeliverable aborts a just-installed flow whose accept event
+// could not reach the application: RST to the peer, state reclaimed,
+// and the shed connection counted.
+func (s *Slowpath) teardownUndeliverable(f *flowstate.Flow) {
+	f.Lock()
+	f.Aborted = true
+	seq, ack := f.SeqNo, f.AckNo
+	f.Unlock()
+	s.sendCtlFlow(f, protocol.FlagRST|protocol.FlagACK, seq, ack)
+	s.eng.Table.Remove(f.Key())
+	s.eng.FreeBucket(f.Bucket)
+	f.RxBuf.Reclaim()
+	f.TxBuf.Reclaim()
+	s.mu.Lock()
+	delete(s.cc, f)
+	s.AcceptQueueDrops++
+	s.mu.Unlock()
 }
 
 // installFlow creates fast-path state for an established connection:
@@ -211,7 +249,7 @@ func (s *Slowpath) handleFin(key protocol.FlowKey, pkt *protocol.Packet) {
 func (s *Slowpath) handleRst(key protocol.FlowKey) {
 	s.mu.Lock()
 	if h := s.half[key]; h != nil {
-		delete(s.half, key)
+		s.dropHalfLocked(key, h)
 		s.Rejected++
 		s.mu.Unlock()
 		if !h.passive {
@@ -282,7 +320,7 @@ func (s *Slowpath) handshakeSweep() {
 			continue
 		}
 		if h.attempts >= s.cfg.HandshakeRetries {
-			delete(s.half, key)
+			s.dropHalfLocked(key, h)
 			s.HandshakeTimeouts++
 			if !h.passive {
 				failed = append(failed, h)

@@ -1,0 +1,165 @@
+package slowpath
+
+import (
+	"time"
+
+	"repro/internal/fastpath"
+	"repro/internal/flowstate"
+	"repro/internal/protocol"
+)
+
+// This file implements the application-failure half of TAS's isolation
+// story (§3.3): the per-application stack is untrusted, so TAS itself
+// must detect a crashed or wedged application and take back everything
+// it held — otherwise one dead app leaks flows, ports, context slots,
+// and payload buffers forever, starving the apps that are still alive.
+//
+// Liveness is epoch/heartbeat based: each libtas context runs a
+// keepalive goroutine (the in-process stand-in for the paper's kernel
+// notification when an application process exits) that stamps the
+// fast-path context. The slow path sweeps those stamps and reaps any
+// context that has gone silent for AppTimeout.
+
+// HeartbeatInterval returns the cadence applications should beat at to
+// stay comfortably inside AppTimeout (one quarter of it).
+func (s *Slowpath) HeartbeatInterval() time.Duration {
+	if s.cfg.AppTimeout <= 0 {
+		return time.Second
+	}
+	iv := s.cfg.AppTimeout / 4
+	if iv < time.Millisecond {
+		iv = time.Millisecond
+	}
+	return iv
+}
+
+// reapSweep scans registered contexts for missed heartbeats and reaps
+// dead ones. It self-rate-limits to a quarter of AppTimeout so the
+// per-control-interval cost is negligible.
+func (s *Slowpath) reapSweep() {
+	if s.cfg.AppTimeout <= 0 {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if now.Sub(s.lastReap) < s.cfg.AppTimeout/4 {
+		s.mu.Unlock()
+		return
+	}
+	s.lastReap = now
+	s.mu.Unlock()
+
+	for _, ctx := range s.eng.Contexts() {
+		if ctx == nil || ctx.Dead() {
+			continue
+		}
+		lb := ctx.LastBeat()
+		if lb == 0 {
+			continue // liveness never enabled (raw low-level context)
+		}
+		if now.UnixNano()-lb > int64(s.cfg.AppTimeout) {
+			s.ReapContext(ctx)
+		}
+	}
+}
+
+// ReapContext declares one application context dead and reclaims every
+// resource it held: listen ports, half-open handshakes, established
+// flows (best-effort RST to each peer, flow table entry, congestion
+// state, rate-bucket slot, payload buffers), and finally the fast-path
+// context slot itself. Safe to call at most once per context; later
+// calls are no-ops because the context is already marked dead.
+func (s *Slowpath) ReapContext(ctx *fastpath.Context) {
+	if ctx.Dead() {
+		return
+	}
+	ctx.MarkDead()
+	id := uint16(ctx.ID)
+
+	// Listen ports and half-open handshakes go first so no new flows
+	// are installed for the dead app while we sweep the table.
+	s.mu.Lock()
+	for port, l := range s.listeners {
+		if l.ctxID == id {
+			delete(s.listeners, port)
+			s.ListenersReaped++
+		}
+	}
+	for key, h := range s.half {
+		if h.ctxID == id {
+			s.dropHalfLocked(key, h)
+			s.HalfOpenReaped++
+		}
+	}
+	s.mu.Unlock()
+
+	// Established flows: abort toward the peer and free everything.
+	var flows []*flowstate.Flow
+	s.eng.Table.ForEach(func(f *flowstate.Flow) {
+		if f.Context == id {
+			flows = append(flows, f)
+		}
+	})
+	for _, f := range flows {
+		f.Lock()
+		already := f.Aborted
+		f.Aborted = true
+		seq, ack := f.SeqNo, f.AckNo
+		f.Unlock()
+		if !already {
+			s.sendCtlFlow(f, protocol.FlagRST|protocol.FlagACK, seq, ack)
+		}
+		s.eng.Table.Remove(f.Key())
+		s.eng.FreeBucket(f.Bucket)
+		f.RxBuf.Reclaim()
+		f.TxBuf.Reclaim()
+		s.mu.Lock()
+		delete(s.cc, f)
+		delete(s.closing, f)
+		s.FlowsReaped++
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	s.AppsReaped++
+	s.mu.Unlock()
+
+	// Release the context slot only after no live flow references the
+	// id, so a reused slot cannot receive a dead flow's events.
+	s.eng.UnregisterContext(ctx)
+	// Unblock any application goroutine still parked on the context's
+	// wakeup channel; it will observe the dead flag and fail fast.
+	ctx.Wake()
+}
+
+// dropHalfLocked removes a half-open entry and releases its listener
+// backlog slot. Caller holds s.mu.
+func (s *Slowpath) dropHalfLocked(key protocol.FlowKey, h *halfOpen) {
+	delete(s.half, key)
+	if h.lst != nil && h.lst.halfCount > 0 {
+		h.lst.halfCount--
+	}
+}
+
+// Counters is a consistent snapshot of the slow path's event counters.
+type Counters struct {
+	Established, Accepted, Rejected, Timeouts, Reinjected   uint64
+	HandshakeRexmits, HandshakeTimeouts, FinRexmits, Aborts uint64
+	AppsReaped, FlowsReaped, ListenersReaped                uint64
+	HalfOpenReaped, SynBacklogDrops, AcceptQueueDrops       uint64
+}
+
+// Counters returns a snapshot of the slow path's counters.
+func (s *Slowpath) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Counters{
+		Established: s.Established, Accepted: s.Accepted, Rejected: s.Rejected,
+		Timeouts: s.Timeouts, Reinjected: s.Reinjected,
+		HandshakeRexmits: s.HandshakeRexmits, HandshakeTimeouts: s.HandshakeTimeouts,
+		FinRexmits: s.FinRexmits, Aborts: s.Aborts,
+		AppsReaped: s.AppsReaped, FlowsReaped: s.FlowsReaped,
+		ListenersReaped: s.ListenersReaped, HalfOpenReaped: s.HalfOpenReaped,
+		SynBacklogDrops: s.SynBacklogDrops, AcceptQueueDrops: s.AcceptQueueDrops,
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/congestion"
@@ -60,6 +61,21 @@ type Config struct {
 	// the connection: RST to the peer, flow-state teardown, and an
 	// EvAborted event to the application.
 	MaxRetransmits int
+
+	// AppTimeout is how long an application context may miss heartbeats
+	// before the slow path declares the app crashed and reaps its
+	// resources — flows (best-effort RST to peers), listen ports,
+	// half-open handshakes, fast-path context and bucket slots, and
+	// payload buffers (default 30s; negative disables the reaper).
+	// Contexts that never heartbeat (raw low-level users) are exempt.
+	AppTimeout time.Duration
+
+	// ListenBacklog bounds, per listener, the sum of in-flight
+	// handshakes and accepted-but-unconsumed connections. SYNs beyond
+	// the bound are shed (dropped, counted) rather than queued without
+	// bound: the peer's handshake retransmission retries later
+	// (default 128).
+	ListenBacklog int
 
 	// NewController builds the per-flow congestion controller (nil =
 	// rate-based DCTCP at 40G defaults).
@@ -111,13 +127,25 @@ func (c *Config) fill() {
 	if c.ScaleInterval <= 0 {
 		c.ScaleInterval = 10 * time.Millisecond
 	}
+	if c.AppTimeout == 0 {
+		c.AppTimeout = 30 * time.Second
+	}
+	if c.ListenBacklog <= 0 {
+		c.ListenBacklog = 128
+	}
 }
 
-// listener is a registered listening port.
+// listener is a registered listening port. backlog bounds halfCount
+// (in-flight handshakes, guarded by s.mu) plus pending (established
+// connections the application has not yet accepted; shared with the
+// libtas listener, which decrements it on Accept).
 type listener struct {
-	port   uint16
-	ctxID  uint16
-	opaque uint64
+	port      uint16
+	ctxID     uint16
+	opaque    uint64
+	backlog   int
+	halfCount int
+	pending   *atomic.Int32
 }
 
 // halfOpen is an in-progress handshake. deadline is the next
@@ -133,6 +161,7 @@ type halfOpen struct {
 	deadline time.Time
 	rto      time.Duration
 	attempts int
+	lst      *listener // passive only: for backlog accounting
 }
 
 // ccEntry is the slow path's per-flow congestion/timeout state.
@@ -188,6 +217,16 @@ type Slowpath struct {
 	HandshakeTimeouts uint64 // half-open entries reaped after retry cap
 	FinRexmits        uint64 // FIN retransmissions
 	Aborts            uint64 // flows aborted (RST sent) after retry cap
+
+	// Application-failure and overload stats.
+	AppsReaped       uint64 // contexts reaped after missed heartbeats
+	FlowsReaped      uint64 // established flows reclaimed by the reaper
+	ListenersReaped  uint64 // listen ports reclaimed by the reaper
+	HalfOpenReaped   uint64 // half-open handshakes reclaimed by the reaper
+	SynBacklogDrops  uint64 // SYNs shed: listener backlog full
+	AcceptQueueDrops uint64 // established-but-undeliverable accepts torn down
+
+	lastReap time.Time // rate-limits the liveness sweep
 }
 
 // New builds (but does not start) a slow path for the engine.
@@ -237,6 +276,7 @@ func (s *Slowpath) run() {
 			s.controlLoop()
 			s.handshakeSweep()
 			s.closeSweep()
+			s.reapSweep()
 		case <-scale.C:
 			if !s.cfg.DisableScaling {
 				s.scaleLoop()
@@ -256,15 +296,31 @@ func (s *Slowpath) drainExceptions() {
 }
 
 // Listen registers a listening port delivering accept events to the
-// given context with the given opaque listener id.
+// given context with the given opaque listener id, using the configured
+// default backlog.
 func (s *Slowpath) Listen(port uint16, ctxID uint16, opaque uint64) error {
+	_, err := s.ListenBacklog(port, ctxID, opaque, 0)
+	return err
+}
+
+// ListenBacklog registers a listener with an explicit backlog bound
+// (0 = the configured default). It returns the shared accept-queue
+// depth gauge: the slow path increments it per delivered accept event,
+// and the application side must decrement it as connections are
+// accepted — the remaining headroom is what admission control grants
+// new SYNs.
+func (s *Slowpath) ListenBacklog(port uint16, ctxID uint16, opaque uint64, backlog int) (*atomic.Int32, error) {
+	if backlog <= 0 {
+		backlog = s.cfg.ListenBacklog
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.listeners[port]; dup {
-		return ErrPortInUse
+		return nil, ErrPortInUse
 	}
-	s.listeners[port] = &listener{port: port, ctxID: ctxID, opaque: opaque}
-	return nil
+	l := &listener{port: port, ctxID: ctxID, opaque: opaque, backlog: backlog, pending: new(atomic.Int32)}
+	s.listeners[port] = l
+	return l.pending, nil
 }
 
 // Unlisten removes a listener.

@@ -5,7 +5,19 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
+
+// Gauge is a concurrency-safe level indicator: unlike CounterSet's
+// monotonic counters it rises and falls, tracking the current size of a
+// pool or queue (e.g. live payload-buffer bytes awaiting reclamation).
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
 
 // CounterSet is a small registry of named event counters, used by the
 // fault-injection subsystem (and available to any component that wants

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tas
+
+const raceEnabled = false

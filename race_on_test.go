@@ -1,0 +1,9 @@
+//go:build race
+
+package tas
+
+// raceEnabled reports whether the race detector is compiled in. The
+// timing-sensitive application-chaos tests pace real transfers against
+// millisecond liveness timeouts; under the detector's ~20× slowdown
+// they turn flaky, so they skip themselves (the plain run covers them).
+const raceEnabled = true

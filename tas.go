@@ -40,6 +40,7 @@ import (
 	"repro/internal/fastpath"
 	"repro/internal/libtas"
 	"repro/internal/protocol"
+	"repro/internal/shmring"
 	"repro/internal/slowpath"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -89,6 +90,17 @@ type Config struct {
 	// timeouts on an established flow before it is aborted: RST to the
 	// peer and ErrReset to the application (default 6).
 	MaxRetransmits int
+
+	// AppTimeout is how long an application context may go without a
+	// heartbeat before the slow path declares the app dead and reclaims
+	// everything it held: flows (RST to peers), listen ports, context
+	// slot, payload buffers. Default 30s; negative disables reaping.
+	AppTimeout time.Duration
+
+	// ListenBacklog bounds per-listener admission: half-open handshakes
+	// plus not-yet-accepted connections. SYNs beyond it are shed
+	// (dropped silently, so well-behaved peers retry). Default 128.
+	ListenBacklog int
 }
 
 // Fabric is the in-process network connecting services.
@@ -232,6 +244,8 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 		HandshakeRTO:     cfg.HandshakeRTO,
 		HandshakeRetries: cfg.HandshakeRetries,
 		MaxRetransmits:   cfg.MaxRetransmits,
+		AppTimeout:       cfg.AppTimeout,
+		ListenBacklog:    cfg.ListenBacklog,
 	}
 	link := cfg.LinkRateBps
 	if link <= 0 {
@@ -290,6 +304,60 @@ func (s *Service) Close() {
 // and benchmarks.
 func (s *Service) Engine() *fastpath.Engine { return s.eng }
 
+// Slow exposes the slow path (reaper and admission counters) for tools
+// and tests.
+func (s *Service) Slow() *slowpath.Slowpath { return s.slow }
+
+// ServiceStats is a consolidated robustness snapshot of one service:
+// slow-path connection/reaper counters, fast-path drop counters, and
+// live resource gauges.
+type ServiceStats struct {
+	// Slow-path lifecycle counters.
+	Established, Accepted, Rejected uint64
+	Aborts                          uint64
+
+	// Reaper counters (application-failure handling).
+	AppsReaped, FlowsReaped, ListenersReaped, HalfOpenReaped uint64
+
+	// Overload / defensive-drop counters.
+	SynBacklogDrops  uint64 // SYN shed: listener backlog full
+	AcceptQueueDrops uint64 // accepted flow torn down: context queue full or dead
+	SynShed          uint64 // SYN shed: slow-path event queue near saturation
+	ExcqDrops        uint64 // packet drops: slow-path event queue full
+	BadDescDrops     uint64 // malformed app→TAS descriptors dropped
+	RxRingDrops      uint64 // packet drops: fast-path RX ring full
+	RxBufDrops       uint64 // payload drops: receive buffer full
+	EventsLost       uint64 // app event-queue overflows
+	OooDropped       uint64 // out-of-order segments dropped
+
+	// Live resource gauges.
+	FlowsLive        int   // flows currently installed in the flow table
+	LivePayloadBytes int64 // payload-buffer bytes allocated and not reclaimed
+}
+
+// Stats snapshots the service's robustness counters and gauges.
+func (s *Service) Stats() ServiceStats {
+	sc := s.slow.Counters()
+	d := s.eng.Drops()
+	return ServiceStats{
+		Established: sc.Established, Accepted: sc.Accepted, Rejected: sc.Rejected,
+		Aborts:     sc.Aborts,
+		AppsReaped: sc.AppsReaped, FlowsReaped: sc.FlowsReaped,
+		ListenersReaped: sc.ListenersReaped, HalfOpenReaped: sc.HalfOpenReaped,
+		SynBacklogDrops:  sc.SynBacklogDrops,
+		AcceptQueueDrops: sc.AcceptQueueDrops,
+		SynShed:          d.SynShed,
+		ExcqDrops:        d.ExcqFull,
+		BadDescDrops:     d.BadDesc,
+		RxRingDrops:      d.RxRingFull,
+		RxBufDrops:       d.RxBufFull,
+		EventsLost:       d.EventsLost,
+		OooDropped:       d.OooDropped,
+		FlowsLive:        s.eng.Table.Len(),
+		LivePayloadBytes: shmring.LivePayloadBytes(),
+	}
+}
+
 // ActiveCores returns the number of fast-path cores currently steered
 // to by RSS.
 func (s *Service) ActiveCores() int { return s.eng.ActiveCores() }
@@ -330,7 +398,8 @@ func (c *Context) DialTimeout(addr string, port uint16, timeout time.Duration) (
 	return &Conn{c: lc}, nil
 }
 
-// Listen binds a listener on port for this context.
+// Listen binds a listener on port for this context with the service's
+// default backlog.
 func (c *Context) Listen(port uint16) (*Listener, error) {
 	ll, err := c.ctx.Listen(port)
 	if err != nil {
@@ -338,6 +407,33 @@ func (c *Context) Listen(port uint16) (*Listener, error) {
 	}
 	return &Listener{l: ll}, nil
 }
+
+// ListenBacklog binds a listener with an explicit admission bound:
+// half-open handshakes plus not-yet-accepted connections may total at
+// most backlog; SYNs beyond it are shed (0 = service default).
+func (c *Context) ListenBacklog(port uint16, backlog int) (*Listener, error) {
+	ll, err := c.ctx.ListenBacklog(port, backlog)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: ll}, nil
+}
+
+// Kill simulates an abrupt application crash: the context's heartbeat
+// stops, so after the service's AppTimeout the slow path reaps every
+// resource the context held (fault-injection harness).
+func (c *Context) Kill() { c.ctx.KillApp() }
+
+// Stall suppresses the context's heartbeat for d (a wedged — but not
+// exited — application). If d exceeds AppTimeout the context is reaped;
+// shorter stalls survive.
+func (c *Context) Stall(d time.Duration) { c.ctx.StallApp(d) }
+
+// CorruptQueue injects n malformed descriptors into the context's
+// app→TAS command queue (seeded, deterministic) and returns how many
+// were enqueued — a harness for the descriptor-validation path: the
+// fast path must drop and count them without crashing.
+func (c *Context) CorruptQueue(seed int64, n int) int { return c.ctx.CorruptQueue(seed, n) }
 
 // Listener accepts inbound connections.
 type Listener struct{ l *libtas.Listener }
@@ -416,6 +512,11 @@ func ErrTimeout(err error) bool { return errors.Is(err, libtas.ErrTimeout) }
 // the connection, or the retransmission budget was exhausted against a
 // dead or unreachable peer.
 func ErrReset(err error) bool { return errors.Is(err, libtas.ErrReset) }
+
+// ErrAppDead reports whether err means the application context was
+// reaped (crash detected via missed heartbeats); all further operations
+// on the context fail fast with this error.
+func ErrAppDead(err error) bool { return errors.Is(err, libtas.ErrAppDead) }
 
 // Aborted reports whether the connection failed (RST or retransmission
 // budget exhausted). Subsequent Reads and Writes return a reset error.
