@@ -161,14 +161,25 @@ func BenchmarkAblationSteering(b *testing.B) {
 
 // --- Live-stack micro-benchmarks (real goroutine fast path) -------------
 
-func BenchmarkLiveEchoRPC(b *testing.B) {
+func BenchmarkLiveEchoRPC(b *testing.B) { liveEchoRPC(b, tas.Config{}) }
+
+// BenchmarkLiveEchoTelemetryOn is the same workload with the full
+// telemetry surface enabled (metrics registry, flight recorder, cycle
+// accounting); compare against BenchmarkLiveEchoRPC for the end-to-end
+// instrumentation cost. The gated fast-path comparison lives in
+// internal/fastpath (TestTelemetryOverheadSmoke).
+func BenchmarkLiveEchoTelemetryOn(b *testing.B) {
+	liveEchoRPC(b, tas.Config{Telemetry: tas.TelemetryConfig{Enabled: true}})
+}
+
+func liveEchoRPC(b *testing.B, cfg tas.Config) {
 	fab := tas.NewFabric()
-	srv, err := fab.NewService("10.9.0.1", tas.Config{})
+	srv, err := fab.NewService("10.9.0.1", cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	cli, err := fab.NewService("10.9.0.2", tas.Config{})
+	cli, err := fab.NewService("10.9.0.2", cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

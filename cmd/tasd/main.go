@@ -11,11 +11,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
 	"sort"
 	"time"
 
 	tas "repro"
 	"repro/internal/apps/echo"
+	"repro/internal/cpumodel"
 )
 
 func main() {
@@ -25,21 +28,37 @@ func main() {
 		msgSize  = flag.Int("msg", 64, "RPC message size (bytes)")
 		cores    = flag.Int("cores", 2, "max fast-path cores per service")
 		loss     = flag.Float64("loss", 0, "injected packet loss rate")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/flows on this addr (e.g. :9090); enables telemetry")
 	)
 	flag.Parse()
 
+	cfg := tas.Config{FastPathCores: *cores}
+	if *metrics != "" {
+		cfg.Telemetry.Enabled = true
+	}
 	fab := tas.NewFabric()
 	fab.SetLoss(*loss)
-	srv, err := fab.NewService("10.0.0.1", tas.Config{FastPathCores: *cores})
+	srv, err := fab.NewService("10.0.0.1", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	cli, err := fab.NewService("10.0.0.2", tas.Config{FastPathCores: *cores})
+	cli, err := fab.NewService("10.0.0.2", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cli.Close()
+
+	if *metrics != "" {
+		go func() {
+			// The server service's view: its fast path handles both
+			// directions of the echo traffic.
+			if err := http.ListenAndServe(*metrics, srv.Telemetry().Handler()); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("telemetry: http://%s/metrics (also /metrics.json, /debug/flows)\n", *metrics)
+	}
 
 	sctx := srv.NewContext()
 	ln, err := sctx.Listen(7777)
@@ -111,6 +130,10 @@ func main() {
 			}
 			fmt.Printf("server fast path totals: rx=%d tx=%d exceptions=%d active-cores=%d\n",
 				rx, tx, exc, srv.ActiveCores())
+			if t := srv.Telemetry(); t != nil {
+				fmt.Println("server cycle breakdown:")
+				t.Cycles.WriteBreakdown(os.Stdout, cpumodel.DefaultCyclesPerNs, rx+tx)
+			}
 			return
 		case <-tick.C:
 			var lats []time.Duration

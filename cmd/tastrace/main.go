@@ -4,16 +4,28 @@
 // events, ECN marking, and RTT samples from timestamp echoes. It is the
 // debugging companion to the fabric's Tap hook.
 //
+// With -flight it additionally loads a flight-recorder dump (the JSON
+// served at /debug/flows or written by telemetry.Recorder.WriteJSON)
+// and correlates each flow's traced segment events against the capture
+// by sequence number, so a recorder timeline can be lined up with what
+// actually crossed the wire.
+//
 //	tastrace capture.pcap
+//	tastrace -flight flows.json capture.pcap
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"repro/internal/protocol"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -33,14 +45,18 @@ type flowStats struct {
 	rttSumUs      uint64
 	rttCnt        uint64
 	tsEcho        map[uint32]int64 // TSVal -> send time (bounded)
+	segTs         map[uint32]int64 // data seq -> first capture timestamp (bounded)
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tastrace <capture.pcap>")
+	flight := flag.String("flight", "", "flight-recorder JSON dump to correlate against the capture")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tastrace [-flight flows.json] <capture.pcap>")
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	path := flag.Arg(0)
+	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -48,7 +64,7 @@ func main() {
 	defer f.Close()
 	r, err := trace.NewReader(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tastrace: %s: not a readable pcap: %v\n", os.Args[1], err)
+		fmt.Fprintf(os.Stderr, "tastrace: %s: not a readable pcap: %v\n", path, err)
 		os.Exit(1)
 	}
 
@@ -56,16 +72,20 @@ func main() {
 	get := func(k protocol.FlowKey) *flowStats {
 		s := flows[k]
 		if s == nil {
-			s = &flowStats{key: k, tsEcho: make(map[uint32]int64)}
+			s = &flowStats{key: k, tsEcho: make(map[uint32]int64), segTs: make(map[uint32]int64)}
 			flows[k] = s
 		}
 		return s
 	}
 
 	var total uint64
+	var readErr error
 	for {
 		rec, err := r.Next()
 		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				readErr = err
+			}
 			break
 		}
 		total++
@@ -104,6 +124,9 @@ func main() {
 			}
 			if p.HasTS && len(s.tsEcho) < 1<<16 {
 				s.tsEcho[p.TSVal] = rec.TsNanos
+			}
+			if _, seen := s.segTs[p.Seq]; !seen && len(s.segTs) < 1<<20 {
+				s.segTs[p.Seq] = rec.TsNanos
 			}
 		}
 		// RTT from the reverse direction's echo.
@@ -151,4 +174,88 @@ func main() {
 		fmt.Printf("%-44s %8d %10d %6d %5d %5d %7.1f %8.2f %s\n",
 			s.key.String(), s.packets, s.bytes, s.retxPkts, s.ceMarks, s.eceAcks, rtt, mbps, ev)
 	}
+
+	if *flight != "" {
+		if err := correlate(*flight, flows); err != nil {
+			fmt.Fprintf(os.Stderr, "tastrace: flight correlation: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// A short read mid-record means the capture was truncated (e.g. a
+	// writer hit a full disk; see trace.Writer.Err). Everything up to
+	// the damage was analyzed above — but say so and fail.
+	if readErr != nil {
+		fmt.Fprintf(os.Stderr, "tastrace: capture truncated after %d packets: %v\n", total, readErr)
+		os.Exit(1)
+	}
+}
+
+// correlate lines a flight-recorder dump up against the capture: every
+// seg-tx/rexmit event should appear as a data packet in the flow's
+// direction, every seg-rx as a data packet in the reverse direction,
+// matched by raw sequence number.
+func correlate(path string, flows map[protocol.FlowKey]*flowStats) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var dumps []telemetry.FlowDump
+	if err := json.Unmarshal(data, &dumps); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	// The dump keys are local-perspective strings; index the capture's
+	// directions the same way. Capture timestamps print relative to the
+	// first packet (they are absolute wall-clock nanos on the wire).
+	byKey := make(map[string]*flowStats, len(flows))
+	var t0 int64
+	for k, s := range flows {
+		byKey[k.String()] = s
+		if t0 == 0 || (s.firstNs > 0 && s.firstNs < t0) {
+			t0 = s.firstNs
+		}
+	}
+
+	fmt.Printf("\nflight-recorder correlation (%s):\n", path)
+	for _, d := range dumps {
+		fwd := byKey[d.Key]
+		var rev *flowStats
+		if fwd != nil {
+			rev = byKey[fwd.key.Reverse().String()]
+		}
+		fmt.Printf("\nflow %s: %d events (%d overwritten)", d.Key, d.Total, d.Dropped)
+		if fwd == nil {
+			fmt.Printf(" — not in capture\n")
+			continue
+		}
+		fmt.Println()
+		var matched, missed int
+		for _, ev := range d.Events {
+			var dir *flowStats
+			switch ev.Kind {
+			case "seg-tx", "rexmit":
+				dir = fwd
+			case "seg-rx":
+				dir = rev
+			default:
+				continue
+			}
+			mark := "not in capture"
+			if dir != nil {
+				if ts, ok := dir.segTs[ev.Seq]; ok {
+					mark = fmt.Sprintf("pcap @%.3fms", float64(ts-t0)/1e6)
+					matched++
+				} else {
+					missed++
+				}
+			} else {
+				missed++
+			}
+			fmt.Printf("  %12.3fms  %-8s seq=%-10d bytes=%-6d %s\n",
+				float64(ev.TS)/1e6, ev.Kind, ev.Seq, ev.Bytes, mark)
+		}
+		fmt.Printf("  %d/%d segment events matched in capture\n", matched, matched+missed)
+	}
+	return nil
 }

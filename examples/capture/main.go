@@ -79,7 +79,9 @@ func main() {
 	}
 	c.Close()
 	time.Sleep(50 * time.Millisecond) // drain FIN/ACK into the capture
-	stop()
+	if err := stop(); err != nil {
+		log.Fatalf("capture truncated: %v", err)
+	}
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@ package baseline
 import (
 	"repro/internal/cpumodel"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ServerConfig describes one server under test.
@@ -198,7 +199,7 @@ func (s *Server) request(conn uint32, work AppWork, done func(latency sim.Time),
 	appCycles := s.costs.App + work.ExtraCycles
 
 	runApp := func(then func()) {
-		appCore.Exec(appCycles, func() {
+		appCore.ExecMod(telemetry.ModAppCopy, appCycles, func() {
 			if work.Serial != nil && work.SerialCycles > 0 {
 				work.Serial.Exec(work.SerialCycles, then)
 			} else {
@@ -213,8 +214,10 @@ func (s *Server) request(conn uint32, work AppWork, done func(latency sim.Time),
 		// uninterrupted block on the app core (re-queueing the app half
 		// would let unrelated requests interleave, which monolithic
 		// stacks do not do).
+		// The whole block attributes to "other" in the module view:
+		// monolithic stacks have no rx/tx pipeline split to charge.
 		total := s.costs.StackCycles() + s.extraStack() + appCycles
-		appCore.Exec(total, func() {
+		appCore.ExecMod(telemetry.ModOther, total, func() {
 			if work.Serial != nil && work.SerialCycles > 0 {
 				work.Serial.Exec(work.SerialCycles, finish)
 			} else {
@@ -230,11 +233,11 @@ func (s *Server) request(conn uint32, work AppWork, done func(latency sim.Time),
 		stack := s.costs.StackCycles() + s.extraStack() + cold
 		rx := stack * s.costs.RxFraction
 		tx := stack - rx
-		stkCore.Exec(rx, func() {
+		stkCore.ExecMod(telemetry.ModRx, rx, func() {
 			s.atNextBatch(func() {
 				runApp(func() {
 					s.atNextBatch(func() {
-						stkCore.Exec(tx, finish)
+						stkCore.ExecMod(telemetry.ModTx, tx, finish)
 					})
 				})
 			})
@@ -250,9 +253,9 @@ func (s *Server) request(conn uint32, work AppWork, done func(latency sim.Time),
 		rx := proto * s.costs.RxFraction
 		tx := proto - rx
 		sockets := s.costs.Sockets
-		stkCore.Exec(rx, func() {
-			appCore.Exec(sockets+appCycles, func() {
-				postApp := func() { stkCore.Exec(tx, finish) }
+		stkCore.ExecMod(telemetry.ModRx, rx, func() {
+			appCore.ExecMod(telemetry.ModAppCopy, sockets+appCycles, func() {
+				postApp := func() { stkCore.ExecMod(telemetry.ModTx, tx, finish) }
 				if work.Serial != nil && work.SerialCycles > 0 {
 					work.Serial.Exec(work.SerialCycles, postApp)
 				} else {

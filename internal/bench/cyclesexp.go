@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	tas "repro"
+	"repro/internal/baseline"
+	"repro/internal/cpumodel"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func init() {
+	register(Experiment{ID: "cycles", Title: "Per-module cycle breakdown, cycles/packet (Table 1 analog)", Run: runCycles})
+}
+
+// runCycles regenerates the paper's Table 1 view — where CPU cycles go,
+// by stack module — from both substrates:
+//
+//   - sim: the request-level TAS server model, whose ExecMod attribution
+//     splits the calibrated cost table across rx/tx/app pipeline stages;
+//     cycles here are the calibrated Skylake numbers.
+//   - live: the in-process Go stack with telemetry enabled, where each
+//     fast-path batch section, slow-path sweep, and libtas copy is
+//     wall-clock timed and converted at the paper's 2.1 GHz clock.
+//
+// The live numbers measure this reproduction, not the paper's C code;
+// the comparison target is the shape (rx+tx dominate, cc/timer/reaper
+// are a small slow-path tax), not the magnitudes.
+func runCycles(cfg RunConfig) *Result {
+	r := &Result{
+		ID: "cycles", Title: "Per-module cycle breakdown (cycles/packet)",
+		Header: []string{"source", "module", "cycles/pkt", "share"},
+	}
+
+	simRows(cfg, r)
+	liveRows(cfg, r)
+	r.Note("sim: calibrated Table-1 cost model, per request; live: wall-clock of this Go stack at %.1f GHz, per packet", cpumodel.DefaultCyclesPerNs)
+	r.Note("paper Table 1 (TAS, per request): driver 0.09kc, TCP 0.81kc, sockets 0.62kc, other 0.37kc")
+	return r
+}
+
+// simRows runs the request-level TAS model and reports attributed
+// cycles per request.
+func simRows(cfg RunConfig, r *Result) {
+	dur, warm := 20*sim.Millisecond, 10*sim.Millisecond
+	if cfg.Quick {
+		dur, warm = 8*sim.Millisecond, 4*sim.Millisecond
+	}
+	eng := sim.New(cfg.Seed)
+	srv := echoServer(eng, cpumodel.StackTAS, 20, 1024)
+	baseline.RunClosedLoop(eng, srv, baseline.ClosedLoopConfig{
+		Conns: 1024, NetRTT: 20 * sim.Microsecond,
+		Duration: dur, Warmup: warm,
+	})
+	cycles, _ := cpumodel.ModuleBreakdown(srv.AllCores())
+	served := float64(srv.Served)
+	if served == 0 {
+		r.Note("sim: no requests served")
+		return
+	}
+	var total float64
+	for _, c := range cycles {
+		total += c
+	}
+	for m := telemetry.Module(0); m < telemetry.NumModules; m++ {
+		if cycles[m] == 0 {
+			continue
+		}
+		r.AddRow("sim", m.String(), fmtF(cycles[m]/served, 0), fmtF(100*cycles[m]/total, 1)+"%")
+	}
+}
+
+// liveRows runs a live echo exchange over the in-process stack with
+// telemetry on and reports measured cycles per packet.
+func liveRows(cfg RunConfig, r *Result) {
+	rpcs := 3000
+	if cfg.Quick {
+		rpcs = 800
+	}
+	fab := tas.NewFabric()
+	tcfg := tas.Config{Telemetry: tas.TelemetryConfig{Enabled: true}}
+	srv, err := fab.NewService("10.0.0.1", tcfg)
+	if err != nil {
+		r.Note("live: %v", err)
+		return
+	}
+	defer srv.Close()
+	cli, err := fab.NewService("10.0.0.2", tcfg)
+	if err != nil {
+		r.Note("live: %v", err)
+		return
+	}
+	defer cli.Close()
+
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(8080)
+	if err != nil {
+		r.Note("live: %v", err)
+		return
+	}
+	go func() {
+		c, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+	cctx := cli.NewContext()
+	c, err := cctx.Dial("10.0.0.1", 8080)
+	if err != nil {
+		r.Note("live: %v", err)
+		return
+	}
+	req, resp := make([]byte, 64), make([]byte, 64)
+	for i := 0; i < rpcs; i++ {
+		if _, err := c.Write(req); err != nil {
+			r.Note("live: write: %v", err)
+			return
+		}
+		if _, err := io.ReadFull(c, resp); err != nil {
+			r.Note("live: read: %v", err)
+			return
+		}
+	}
+	c.Close()
+
+	// Packets handled by the server's fast path (both directions).
+	eng := srv.Engine()
+	var pkts uint64
+	for i := 0; i < eng.MaxCores(); i++ {
+		st := eng.Stats(i)
+		pkts += st.RxPackets.Load() + st.TxPackets.Load()
+	}
+	if pkts == 0 {
+		r.Note("live: no packets")
+		return
+	}
+	cy := srv.Telemetry().Cycles
+	var total float64
+	for m := telemetry.Module(0); m < telemetry.NumModules; m++ {
+		total += float64(cy.Total(m).Nanos) * cpumodel.DefaultCyclesPerNs
+	}
+	for m := telemetry.Module(0); m < telemetry.NumModules; m++ {
+		tot := cy.Total(m)
+		if tot.Nanos == 0 && tot.Items == 0 {
+			continue
+		}
+		mc := float64(tot.Nanos) * cpumodel.DefaultCyclesPerNs
+		r.AddRow("live", m.String(), fmtF(mc/float64(pkts), 0), fmtF(100*mc/total, 1)+"%")
+	}
+	r.Note("live: %d RPCs, %d packets through the server fast path", rpcs, pkts)
+}

@@ -11,6 +11,7 @@ package cpumodel
 
 import (
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // DefaultCyclesPerNs is the paper's server clock (2.1 GHz Skylake).
@@ -36,6 +37,12 @@ type Core struct {
 
 	TotalCycles float64
 	TotalItems  uint64
+
+	// Per-module attribution (Table 1 style): cycles and work items
+	// charged through ExecMod, indexed by telemetry.Module. Plain Exec
+	// leaves these untouched.
+	ModCycles [telemetry.NumModules]float64
+	ModItems  [telemetry.NumModules]uint64
 }
 
 // NewCore returns a core at the given clock rate (cycles per ns; use
@@ -73,6 +80,40 @@ func (c *Core) Exec(cycles float64, done func()) sim.Time {
 		c.eng.At(end, done)
 	}
 	return end
+}
+
+// ExecMod is Exec with the cycles attributed to a named stack module,
+// so simulations produce the same Table-1-style per-module breakdown
+// the live stack's cycle accounting does. Any surcharge Exec adds on
+// top of the requested cycles (the wakeup penalty of a blocked core)
+// lands under ModOther rather than inflating the named module.
+func (c *Core) ExecMod(mod telemetry.Module, cycles float64, done func()) sim.Time {
+	if cycles < 0 {
+		cycles = 0
+	}
+	before := c.TotalCycles
+	end := c.Exec(cycles, done)
+	if mod < 0 || mod >= telemetry.NumModules {
+		mod = telemetry.ModOther
+	}
+	c.ModCycles[mod] += cycles
+	c.ModItems[mod]++
+	if extra := c.TotalCycles - before - cycles; extra > 0 {
+		c.ModCycles[telemetry.ModOther] += extra
+	}
+	return end
+}
+
+// ModuleBreakdown sums per-module attributed cycles and items across
+// cores.
+func ModuleBreakdown(cores []*Core) (cycles [telemetry.NumModules]float64, items [telemetry.NumModules]uint64) {
+	for _, c := range cores {
+		for m := 0; m < int(telemetry.NumModules); m++ {
+			cycles[m] += c.ModCycles[m]
+			items[m] += c.ModItems[m]
+		}
+	}
+	return cycles, items
 }
 
 // QueueDelay returns how long newly submitted work would wait before

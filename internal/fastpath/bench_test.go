@@ -1,9 +1,12 @@
 package fastpath
 
 import (
+	"math"
+	"os"
 	"testing"
 
 	"repro/internal/protocol"
+	"repro/internal/telemetry"
 )
 
 // BenchmarkProcessRxInOrder measures the live fast path's common-case
@@ -11,9 +14,28 @@ import (
 // the code Table 1 attributes ~0.8kc to (our Go version is measured
 // here in wall time; -benchmem shows the allocation cost of ack
 // packets).
-func BenchmarkProcessRxInOrder(b *testing.B) {
+func BenchmarkProcessRxInOrder(b *testing.B) { benchProcessRx(b, nil) }
+
+// BenchmarkProcessRxTelemetryOn is the same receive path with the full
+// telemetry surface attached: flight-ring event per data segment plus
+// the run loop's per-batch cycle accounting (items every batch, wall
+// time sampled 1-in-cycleSampleEvery), replicated here because the
+// benchmark drives processRx directly rather than through run.
+// TestTelemetryOverheadSmoke gates the delta against the plain path.
+func BenchmarkProcessRxTelemetryOn(b *testing.B) {
+	benchProcessRx(b, telemetry.New(telemetry.Config{Enabled: true}, 2))
+}
+
+func benchProcessRx(b *testing.B, telem *telemetry.Telemetry) {
 	e, _ := testEngine()
 	f := testFlow(e)
+	if telem != nil {
+		key := protocol.FlowKey{
+			LocalIP: f.LocalIP, LocalPort: f.LocalPort,
+			RemoteIP: f.PeerIP, RemotePort: f.PeerPort,
+		}
+		f.Rec = telem.Recorder.Ring(key.String())
+	}
 	ctx := NewContext(0, 2, 1<<16)
 	e.RegisterContext(ctx)
 	f.Context = 0
@@ -21,6 +43,7 @@ func BenchmarkProcessRxInOrder(b *testing.B) {
 	evs := make([]Event, 256)
 	b.ReportAllocs()
 	b.SetBytes(64)
+	var t0 int64
 	for i := 0; i < b.N; i++ {
 		pkt := &protocol.Packet{
 			SrcIP: f.PeerIP, DstIP: f.LocalIP,
@@ -28,11 +51,47 @@ func BenchmarkProcessRxInOrder(b *testing.B) {
 			Flags: protocol.FlagACK, Seq: f.AckNo, Ack: f.SeqNo,
 			Window: 64, Payload: payload, ECN: protocol.ECNECT0,
 		}
+		timed := telem != nil && i&(cycleSampleEvery-1) == 0
+		if timed {
+			t0 = telem.RefreshNow()
+		}
 		e.processRx(e.cores[0], pkt)
+		if telem != nil {
+			var nanos int64
+			if timed {
+				nanos = (telem.RefreshNow() - t0) * cycleSampleEvery
+			}
+			telem.Cycles.AddFast(0, telemetry.ModRx, nanos, 1)
+		}
 		if i%128 == 0 {
 			ctx.PollEvents(evs)
 			f.RxBuf.Release(f.RxBuf.Used()) // drain app side
 		}
+	}
+}
+
+// TestTelemetryOverheadSmoke asserts the instrumented receive path
+// stays within 5% of the uninstrumented one. Single-threaded
+// micro-benchmarks keep the comparison out of scheduler noise, but a
+// wall-clock gate still belongs off the default test path: it runs
+// only with TAS_TELEMETRY_SMOKE=1 (CI sets it in a dedicated job).
+// The two sides are interleaved, best-of-three, so clock-speed drift
+// over the test's lifetime biases neither.
+func TestTelemetryOverheadSmoke(t *testing.T) {
+	if os.Getenv("TAS_TELEMETRY_SMOKE") == "" {
+		t.Skip("set TAS_TELEMETRY_SMOKE=1 to run the telemetry overhead gate")
+	}
+	off, on := math.MaxFloat64, math.MaxFloat64
+	for i := 0; i < 3; i++ {
+		r := testing.Benchmark(BenchmarkProcessRxInOrder)
+		off = math.Min(off, float64(r.NsPerOp()))
+		r = testing.Benchmark(BenchmarkProcessRxTelemetryOn)
+		on = math.Min(on, float64(r.NsPerOp()))
+	}
+	ratio := on / off
+	t.Logf("processRx ns/op: telemetry off %.0f, on %.0f (ratio %.3f)", off, on, ratio)
+	if ratio > 1.05 {
+		t.Fatalf("telemetry-on fast path is %.1f%% slower than off (budget 5%%)", (ratio-1)*100)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 )
 
 // processRx handles one received packet on core c: the common-case RX
@@ -28,6 +29,12 @@ func (e *Engine) processRx(c *core, pkt *protocol.Packet) {
 
 	var ack *protocol.Packet
 	f.Lock()
+	if f.Rec != nil && pkt.DataLen() > 0 {
+		f.Rec.Record(telemetry.FESegRx, pkt.Seq, pkt.Ack, uint32(pkt.DataLen()), 0)
+		if pkt.ECN == protocol.ECNCE {
+			f.Rec.Record(telemetry.FEEcnMark, pkt.Seq, pkt.Ack, uint32(pkt.DataLen()), 0)
+		}
+	}
 	if pkt.Flags.Has(protocol.FlagACK) {
 		e.processAck(c, f, pkt)
 	}
@@ -99,6 +106,9 @@ func (e *Engine) processAck(c *core, f *flowstate.Flow, pkt *protocol.Packet) {
 			f.DupAcks = 0
 			f.CntFrexmits++
 			c.stats.Frexmits.Add(1)
+			if f.Rec != nil {
+				f.Rec.Record(telemetry.FEFastRexmit, f.SeqNo-f.TxSent, pkt.Ack, 0, 0)
+			}
 			e.resetSender(f)
 		}
 	}

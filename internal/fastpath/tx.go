@@ -3,6 +3,7 @@ package fastpath
 import (
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
+	"repro/internal/telemetry"
 )
 
 // transmit sends as much pending payload as the peer window and the
@@ -66,6 +67,9 @@ func (e *Engine) transmit(c *core, f *flowstate.Flow) {
 		f.TxSent += uint32(n)
 		c.stats.TxPackets.Add(1)
 		c.stats.TxBytes.Add(uint64(n))
+		if f.Rec != nil {
+			f.Rec.Record(telemetry.FESegTx, pkt.Seq, pkt.Ack, uint32(n), 0)
+		}
 		e.nic.Output(pkt)
 	}
 }

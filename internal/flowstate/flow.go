@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/protocol"
 	"repro/internal/shmring"
+	"repro/internal/telemetry"
 )
 
 // Flow is the per-flow fast-path state. The layout mirrors Table 3: the
@@ -62,6 +63,12 @@ type Flow struct {
 	// exhausted or peer RST): the fast path must stop transmitting and
 	// the stack returns reset errors instead of blocking.
 	Aborted bool
+
+	// Rec is the flow's flight-recorder ring, nil when telemetry is off.
+	// It is outside the paper's Table 3 footprint (observability state,
+	// not protocol state) and is written by whichever layer holds the
+	// flow at the time — the ring has its own short lock.
+	Rec *telemetry.FlowRing
 
 	// lock is the per-connection spinlock (§3.4): taken by whichever
 	// fast-path core handles a packet for this flow, so that packets

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fastpath"
 	"repro/internal/flowstate"
+	"repro/internal/telemetry"
 )
 
 // Conn is a TCP connection backed by TAS per-flow payload buffers. Send
@@ -27,6 +28,42 @@ type Conn struct {
 	// consumedSinceUpdate tracks receive-buffer space freed since the
 	// last window update we pushed to the peer.
 	consumedSinceUpdate int
+
+	// copyCnt drives app-copy cycle sampling: one copy in
+	// appCycleSampleEvery is wall-timed (clock reads cost ~50-90ns,
+	// comparable to a small copy). Conns are driven by one application
+	// goroutine at a time, so a plain counter suffices.
+	copyCnt uint32
+}
+
+// appCycleSampleEvery is the app-copy cycle-accounting sampling period
+// (power of two); see Conn.copyCnt.
+const appCycleSampleEvery = 32
+
+// copyTimer starts a sampled app-copy timing interval: it returns the
+// start timestamp and whether this copy is one of the timed samples.
+func (cn *Conn) copyTimer(tm *telemetry.Telemetry) (int64, bool) {
+	if tm == nil {
+		return 0, false
+	}
+	cn.copyCnt++
+	if cn.copyCnt&(appCycleSampleEvery-1) != 0 {
+		return 0, false
+	}
+	return tm.RefreshNow(), true
+}
+
+// chargeCopy credits one app copy to the cycle account, with wall time
+// scaled back up when this copy was a timed sample.
+func chargeCopy(tm *telemetry.Telemetry, t0 int64, timed bool) {
+	if tm == nil {
+		return
+	}
+	var nanos int64
+	if timed {
+		nanos = (tm.RefreshNow() - t0) * appCycleSampleEvery
+	}
+	tm.Cycles.AddApp(telemetry.ModAppCopy, nanos, 1)
 }
 
 // Flow exposes the underlying per-flow state (low-level API users).
@@ -39,6 +76,7 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 		return 0, ErrClosed
 	}
 	sent := 0
+	tm := cn.ctx.stack.Telem
 	for sent < len(p) {
 		if cn.aborted {
 			return sent, ErrReset
@@ -47,6 +85,7 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 			return sent, ErrClosed
 		}
 		f := cn.flow
+		t0, timed := cn.copyTimer(tm)
 		f.Lock()
 		free := f.TxBuf.Free()
 		n := len(p) - sent
@@ -59,6 +98,10 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 		f.Unlock()
 		if n > 0 {
 			sent += n
+			chargeCopy(tm, t0, timed)
+			if f.Rec != nil {
+				f.Rec.Record(telemetry.FEAppSend, 0, 0, uint32(n), 0)
+			}
 			// Inform the fast path (issue a TX command on the context
 			// queue, §3.1); fall back to a direct kick if the command
 			// ring is full — the payload is already in the buffer.
@@ -144,10 +187,16 @@ func (cn *Conn) RecvNoWait(p []byte) int {
 
 func (cn *Conn) recvNoWait(p []byte) int {
 	f := cn.flow
+	tm := cn.ctx.stack.Telem
+	t0, timed := cn.copyTimer(tm)
 	f.Lock()
 	n := f.RxBuf.Read(p)
 	f.Unlock()
 	if n > 0 {
+		chargeCopy(tm, t0, timed)
+		if f.Rec != nil {
+			f.Rec.Record(telemetry.FEAppRecv, 0, 0, uint32(n), 0)
+		}
 		cn.noteConsumed(n)
 	}
 	return n

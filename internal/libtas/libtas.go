@@ -23,6 +23,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/shmring"
 	"repro/internal/slowpath"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by the sockets layer.
@@ -45,6 +46,11 @@ var (
 type Stack struct {
 	Eng  *fastpath.Engine
 	Slow *slowpath.Slowpath
+
+	// Telem, when non-nil, enables application-side observability:
+	// app-copy cycle accounting and app-send/app-recv flight-recorder
+	// events. Set it before creating contexts (the facade does).
+	Telem *telemetry.Telemetry
 }
 
 // NewStack registers the application with the TAS service (the paper's

@@ -1,7 +1,11 @@
 package netsim
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
 
 	"repro/internal/protocol"
 	"repro/internal/sim"
@@ -42,7 +46,7 @@ type FaultConfig struct {
 	CorruptProb float64
 }
 
-// Verdict counter names exported by FaultInjector.Counters.
+// Verdict counter names exported by FaultInjector.Counters.Get.
 const (
 	CntDownDrops    = "down_drops"    // dropped while the link was down
 	CntBurstDrops   = "burst_drops"   // Gilbert–Elliott bad-state drops
@@ -67,7 +71,68 @@ type FaultInjector struct {
 	down bool
 
 	// Counters tallies every verdict the injector hands out.
-	Counters *stats.CounterSet
+	Counters FaultCounters
+}
+
+// FaultCounters tallies verdicts with pre-registered atomics: filter
+// runs once per packet, where CounterSet's mutex-protected map lookup
+// is measurable overhead. The Get/Snapshot/String read surface matches
+// stats.CounterSet so callers and tests are unchanged.
+type FaultCounters struct {
+	downDrops, burstDrops, lossDrops, corruptDrops atomic.Uint64
+	corruptPass, reordered, duplicated, passed     atomic.Uint64
+}
+
+// Get returns the named counter (0 for unknown names, like CounterSet).
+func (c *FaultCounters) Get(name string) uint64 {
+	switch name {
+	case CntDownDrops:
+		return c.downDrops.Load()
+	case CntBurstDrops:
+		return c.burstDrops.Load()
+	case CntLossDrops:
+		return c.lossDrops.Load()
+	case CntCorruptDrops:
+		return c.corruptDrops.Load()
+	case CntCorruptPass:
+		return c.corruptPass.Load()
+	case CntReordered:
+		return c.reordered.Load()
+	case CntDuplicated:
+		return c.duplicated.Load()
+	case CntPassed:
+		return c.passed.Load()
+	}
+	return 0
+}
+
+// Snapshot returns the non-zero counters by name.
+func (c *FaultCounters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, 8)
+	for _, name := range []string{
+		CntDownDrops, CntBurstDrops, CntLossDrops, CntCorruptDrops,
+		CntCorruptPass, CntReordered, CntDuplicated, CntPassed,
+	} {
+		if v := c.Get(name); v > 0 {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// String renders the counters in sorted-name order ("a=1 b=2").
+func (c *FaultCounters) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%d", k, snap[k])
+	}
+	return strings.Join(parts, " ")
 }
 
 // NewFaultInjector builds an injector scheduling on eng's clock.
@@ -76,10 +141,9 @@ func NewFaultInjector(eng *sim.Engine, cfg FaultConfig) *FaultInjector {
 		cfg.ReorderMaxDelay = 100 * sim.Microsecond
 	}
 	fi := &FaultInjector{
-		eng:      eng,
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		Counters: stats.NewCounterSet(),
+		eng: eng,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if cfg.GE != nil {
 		fi.ge = stats.NewGilbertElliott(fi.rng, *cfg.GE)
@@ -130,37 +194,37 @@ type verdict struct {
 // filter decides the fate of one packet about to enter the port queue.
 func (fi *FaultInjector) filter(pkt *protocol.Packet) verdict {
 	if fi.down {
-		fi.Counters.Add(CntDownDrops, 1)
+		fi.Counters.downDrops.Add(1)
 		return verdict{drop: true}
 	}
 	if fi.ge != nil && fi.ge.Drop() {
-		fi.Counters.Add(CntBurstDrops, 1)
+		fi.Counters.burstDrops.Add(1)
 		return verdict{drop: true}
 	}
 	if fi.cfg.LossRate > 0 && fi.rng.Float64() < fi.cfg.LossRate {
-		fi.Counters.Add(CntLossDrops, 1)
+		fi.Counters.lossDrops.Add(1)
 		return verdict{drop: true}
 	}
 	v := verdict{pkt: pkt}
 	if fi.cfg.CorruptProb > 0 && fi.rng.Float64() < fi.cfg.CorruptProb {
 		corrupted, rejected := fi.corrupt(pkt)
 		if rejected {
-			fi.Counters.Add(CntCorruptDrops, 1)
+			fi.Counters.corruptDrops.Add(1)
 			return verdict{drop: true}
 		}
-		fi.Counters.Add(CntCorruptPass, 1)
+		fi.Counters.corruptPass.Add(1)
 		v.pkt = corrupted
 	}
 	if fi.cfg.DupProb > 0 && fi.rng.Float64() < fi.cfg.DupProb {
-		fi.Counters.Add(CntDuplicated, 1)
+		fi.Counters.duplicated.Add(1)
 		v.dup = true
 	}
 	if fi.cfg.ReorderProb > 0 && fi.rng.Float64() < fi.cfg.ReorderProb {
-		fi.Counters.Add(CntReordered, 1)
+		fi.Counters.reordered.Add(1)
 		v.delay = 1 + sim.Time(fi.rng.Int63n(int64(fi.cfg.ReorderMaxDelay)))
 		return v
 	}
-	fi.Counters.Add(CntPassed, 1)
+	fi.Counters.passed.Add(1)
 	return v
 }
 

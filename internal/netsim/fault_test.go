@@ -30,7 +30,7 @@ func TestFaultLinkDownUpSchedule(t *testing.T) {
 		t.Fatalf("delivered %d, want 2 (middle packet hit the partition)", len(c.pkts))
 	}
 	if got := fi.Counters.Get(CntDownDrops); got != 1 {
-		t.Fatalf("down_drops = %d, want 1 (%s)", got, fi.Counters)
+		t.Fatalf("down_drops = %d, want 1 (%s)", got, fi.Counters.String())
 	}
 	if got := fi.Counters.Get(CntPassed); got != 2 {
 		t.Fatalf("passed = %d, want 2", got)
@@ -51,7 +51,7 @@ func TestFaultFlapSchedule(t *testing.T) {
 	}
 	eng.Run()
 	if got := fi.Counters.Get(CntDownDrops); got != 6 {
-		t.Fatalf("down_drops = %d, want 6 (%s)", got, fi.Counters)
+		t.Fatalf("down_drops = %d, want 6 (%s)", got, fi.Counters.String())
 	}
 	if len(c.pkts) != 6 {
 		t.Fatalf("delivered %d, want 6", len(c.pkts))
@@ -170,7 +170,7 @@ func TestFaultCorruptionDroppedByChecksum(t *testing.T) {
 	// The Ethernet header (14 of ~118 wire bytes) is outside the
 	// checksummed region; almost all flips must be checksum-rejected.
 	if rejected < n*3/4 {
-		t.Fatalf("only %d/%d corrupted frames checksum-rejected (%s)", rejected, n, fi.Counters)
+		t.Fatalf("only %d/%d corrupted frames checksum-rejected (%s)", rejected, n, fi.Counters.String())
 	}
 	if uint64(len(c.pkts)) != passed {
 		t.Fatalf("delivered %d, want %d survivors", len(c.pkts), passed)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
 	"repro/internal/shmring"
+	"repro/internal/telemetry"
 )
 
 // handleException processes one packet the fast path could not handle:
@@ -66,7 +67,9 @@ func (s *Slowpath) handleSyn(key protocol.FlowKey, pkt *protocol.Packet) {
 	}
 	l.halfCount++
 	s.mu.Unlock()
+	s.record(key, telemetry.FESynRx, pkt.Seq, 0, 0)
 	s.sendCtlSynAck(key, iss, pkt.Seq+1)
+	s.record(key, telemetry.FESynAckTx, iss, pkt.Seq+1, 0)
 }
 
 func (s *Slowpath) sendCtlSynAck(key protocol.FlowKey, iss, ack uint32) {
@@ -107,6 +110,7 @@ func (s *Slowpath) handleSynAck(key protocol.FlowKey, pkt *protocol.Packet) {
 	s.dropHalfLocked(key, h)
 	s.mu.Unlock()
 
+	s.record(key, telemetry.FESynAckRx, pkt.Seq, pkt.Ack, 0)
 	f := s.installFlow(key, h, pkt.Seq, pkt.Window)
 	// Final handshake ACK.
 	s.sendCtlFlow(f, protocol.FlagACK, h.iss+1, pkt.Seq+1)
@@ -169,6 +173,8 @@ func (s *Slowpath) teardownUndeliverable(f *flowstate.Flow) {
 	seq, ack := f.SeqNo, f.AckNo
 	f.Unlock()
 	s.sendCtlFlow(f, protocol.FlagRST|protocol.FlagACK, seq, ack)
+	recordFlow(f, telemetry.FERstTx, seq, ack, 0, 0)
+	recordFlow(f, telemetry.FEAborted, seq, ack, 0, 0)
 	s.eng.Table.Remove(f.Key())
 	s.eng.FreeBucket(f.Bucket)
 	f.RxBuf.Reclaim()
@@ -177,6 +183,7 @@ func (s *Slowpath) teardownUndeliverable(f *flowstate.Flow) {
 	delete(s.cc, f)
 	s.AcceptQueueDrops++
 	s.mu.Unlock()
+	s.retireRec(f)
 }
 
 // installFlow creates fast-path state for an established connection:
@@ -199,9 +206,15 @@ func (s *Slowpath) installFlow(key protocol.FlowKey, h *halfOpen, peerISS uint32
 	f.Bucket = s.eng.AllocBucket()
 	ctrl := s.cfg.NewController()
 	s.eng.Bucket(f.Bucket).SetRate(ctrl.Rate())
+	if s.cfg.Telemetry != nil {
+		// Adopt the handshake-phase ring (keyed by the same 4-tuple) so
+		// the flow's trace runs SYN through reap.
+		f.Rec = s.cfg.Telemetry.Recorder.Ring(key.String())
+		f.Rec.Record(telemetry.FEEstablished, f.SeqNo, f.AckNo, 0, 0)
+	}
 	s.eng.Table.Insert(f)
 	s.mu.Lock()
-	s.cc[f] = &ccEntry{ctrl: ctrl, lastUna: f.SeqNo}
+	s.cc[f] = &ccEntry{ctrl: ctrl, lastUna: f.SeqNo, lastRate: ctrl.Rate()}
 	s.mu.Unlock()
 	return f
 }
@@ -232,6 +245,7 @@ func (s *Slowpath) handleFin(key protocol.FlowKey, pkt *protocol.Packet) {
 
 	s.sendCtlFlow(f, protocol.FlagACK, seq, ack)
 	if first {
+		recordFlow(f, telemetry.FEFinRx, pkt.Seq, ack, 0, 0)
 		if ctx := s.eng.ContextByID(ctxID); ctx != nil {
 			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvClosed, Opaque: opaque})
 		}
@@ -270,6 +284,8 @@ func (s *Slowpath) handleRst(key protocol.FlowKey) {
 	f.Aborted = true
 	f.Unlock()
 	if first {
+		recordFlow(f, telemetry.FERstRx, 0, 0, 0, 0)
+		recordFlow(f, telemetry.FEAborted, 0, 0, 0, 0)
 		if ctx := s.eng.ContextByID(ctxID); ctx != nil {
 			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAborted, Opaque: opaque})
 		}
@@ -291,6 +307,8 @@ func (s *Slowpath) abortFlow(f *flowstate.Flow) {
 		return
 	}
 	s.sendCtlFlow(f, protocol.FlagRST|protocol.FlagACK, seq, ack)
+	recordFlow(f, telemetry.FERstTx, seq, ack, 0, 0)
+	recordFlow(f, telemetry.FEAborted, seq, ack, 0, 0)
 	s.mu.Lock()
 	s.Aborts++
 	s.mu.Unlock()
@@ -337,8 +355,10 @@ func (s *Slowpath) handshakeSweep() {
 	for _, r := range resend {
 		if r.passive {
 			s.sendCtlSynAck(r.key, r.iss, r.peer+1)
+			s.record(r.key, telemetry.FESynAckTx, r.iss, r.peer+1, 0)
 		} else {
 			s.sendCtl(r.key, protocol.FlagSYN, r.iss, 0, true)
+			s.record(r.key, telemetry.FESynTx, r.iss, 0, 0)
 		}
 	}
 	for _, h := range failed {
@@ -386,6 +406,7 @@ func (s *Slowpath) closeSweep() {
 	s.mu.Unlock()
 	for _, r := range resend {
 		s.sendCtlFlow(r.f, protocol.FlagFIN|protocol.FlagACK, r.seq, r.ack)
+		recordFlow(r.f, telemetry.FERexmit, r.seq, r.ack, 0, 0)
 	}
 	for _, f := range aborts {
 		s.abortFlow(f)
@@ -402,6 +423,7 @@ func (s *Slowpath) removeFlow(f *flowstate.Flow) {
 	s.mu.Lock()
 	delete(s.cc, f)
 	s.mu.Unlock()
+	s.retireRec(f)
 }
 
 // controlLoop is the per-interval congestion/timeout sweep (§3.2): read
@@ -471,6 +493,7 @@ func (s *Slowpath) controlLoop() {
 				s.mu.Lock()
 				s.Timeouts++
 				s.mu.Unlock()
+				recordFlow(f, telemetry.FERTOBackoff, una, 0, 0, uint64(needWait))
 				f.Lock()
 				f.SeqNo -= f.TxSent // reset as if unsent
 				f.TxSent = 0
@@ -503,6 +526,19 @@ func (s *Slowpath) controlLoop() {
 		rate := e.ctrl.Update(fb)
 		if b := s.eng.Bucket(f.Bucket); b != nil {
 			b.SetRate(rate)
+		}
+		// Trace only significant rate moves (≥25% relative, or from/to
+		// zero): the controller nudges the rate every interval, and
+		// recording each tick would wash real lifecycle events out of
+		// the bounded flight ring.
+		if d := rate - e.lastRate; d != 0 {
+			if d < 0 {
+				d = -d
+			}
+			if e.lastRate == 0 || d >= 0.25*e.lastRate {
+				recordFlow(f, telemetry.FERateChange, 0, 0, 0, uint64(rate))
+				e.lastRate = rate
+			}
 		}
 		if pending > 0 {
 			// Pending data may be sendable at the new rate.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fastpath"
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
+	"repro/internal/telemetry"
 )
 
 // This file implements the application-failure half of TAS's isolation
@@ -108,7 +109,9 @@ func (s *Slowpath) ReapContext(ctx *fastpath.Context) {
 		f.Unlock()
 		if !already {
 			s.sendCtlFlow(f, protocol.FlagRST|protocol.FlagACK, seq, ack)
+			recordFlow(f, telemetry.FERstTx, seq, ack, 0, 0)
 		}
+		recordFlow(f, telemetry.FEReaped, seq, ack, 0, uint64(id))
 		s.eng.Table.Remove(f.Key())
 		s.eng.FreeBucket(f.Bucket)
 		f.RxBuf.Reclaim()
@@ -118,6 +121,7 @@ func (s *Slowpath) ReapContext(ctx *fastpath.Context) {
 		delete(s.closing, f)
 		s.FlowsReaped++
 		s.mu.Unlock()
+		s.retireRec(f)
 	}
 
 	s.mu.Lock()

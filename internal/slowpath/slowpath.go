@@ -24,6 +24,7 @@ import (
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
 	"repro/internal/shmring"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by connection control.
@@ -87,6 +88,11 @@ type Config struct {
 	ScaleInterval       time.Duration
 	// DisableScaling pins the core count (benchmarks that fix cores).
 	DisableScaling bool
+
+	// Telemetry, when non-nil, enables the flow flight recorder
+	// (handshake/teardown/cc events) and slow-path cycle accounting
+	// (cc, timer, reaper modules).
+	Telemetry *telemetry.Telemetry
 }
 
 func (c *Config) fill() {
@@ -174,6 +180,10 @@ type ccEntry struct {
 	// (exponential backoff) and triggers an abort past MaxRetransmits.
 	consecTimeouts int
 	txEwma         float64
+	// lastRate is the most recent rate written to the flow's bucket, so
+	// the flight recorder only logs rate-change events on actual change
+	// (the controller returns a rate every interval).
+	lastRate float64
 }
 
 // closeEntry tracks a locally initiated teardown awaiting the peer's
@@ -273,15 +283,58 @@ func (s *Slowpath) run() {
 			s.drainExceptions()
 		case <-ctrl.C:
 			s.drainExceptions()
-			s.controlLoop()
-			s.handshakeSweep()
-			s.closeSweep()
-			s.reapSweep()
+			if telem := s.cfg.Telemetry; telem != nil {
+				// Charge each control-plane module's share of the tick to
+				// the slow-path cycle account. RefreshNow also keeps the
+				// cached coarse clock (flight-recorder timestamps) fresh
+				// once per tick even when the fast path is idle.
+				t0 := telem.RefreshNow()
+				s.controlLoop()
+				t1 := telem.RefreshNow()
+				telem.Cycles.AddSlow(telemetry.ModCC, t1-t0, 1)
+				s.handshakeSweep()
+				s.closeSweep()
+				t2 := telem.RefreshNow()
+				telem.Cycles.AddSlow(telemetry.ModTimer, t2-t1, 1)
+				s.reapSweep()
+				telem.Cycles.AddSlow(telemetry.ModReaper, telem.RefreshNow()-t2, 1)
+			} else {
+				s.controlLoop()
+				s.handshakeSweep()
+				s.closeSweep()
+				s.reapSweep()
+			}
 		case <-scale.C:
 			if !s.cfg.DisableScaling {
 				s.scaleLoop()
 			}
 		}
+	}
+}
+
+// record logs a flight-recorder event for a 4-tuple that may not have
+// flow state yet (handshake phase): the event lands in the ring the
+// installed flow later adopts, so a trace covers SYN through reap.
+// No-op when telemetry is off.
+func (s *Slowpath) record(key protocol.FlowKey, kind telemetry.FlowEventKind, seq, ack uint32, aux uint64) {
+	if s.cfg.Telemetry == nil {
+		return
+	}
+	s.cfg.Telemetry.Recorder.Ring(key.String()).Record(kind, seq, ack, 0, aux)
+}
+
+// recordFlow logs a flight-recorder event on an installed flow's ring.
+func recordFlow(f *flowstate.Flow, kind telemetry.FlowEventKind, seq, ack, bytes uint32, aux uint64) {
+	if f.Rec != nil {
+		f.Rec.Record(kind, seq, ack, bytes, aux)
+	}
+}
+
+// retireRec moves a removed flow's flight ring to the recorder's
+// retired list for post-mortem inspection.
+func (s *Slowpath) retireRec(f *flowstate.Flow) {
+	if s.cfg.Telemetry != nil && f.Rec != nil {
+		s.cfg.Telemetry.Recorder.Retire(f.Rec.Key())
 	}
 }
 
@@ -361,6 +414,7 @@ func (s *Slowpath) Connect(peerIP protocol.IPv4, peerPort uint16, ctxID uint16, 
 	s.mu.Unlock()
 
 	s.sendCtl(key, protocol.FlagSYN, iss, 0, true)
+	s.record(key, telemetry.FESynTx, iss, 0, 0)
 	return lport, nil
 }
 
@@ -396,6 +450,7 @@ func (s *Slowpath) Close(f *flowstate.Flow) {
 		f.Unlock()
 		if !alreadyClosed {
 			s.sendCtlFlow(f, protocol.FlagFIN|protocol.FlagACK, seq, ack)
+			recordFlow(f, telemetry.FEFinTx, seq, ack, 0, 0)
 			rto := s.finRTO()
 			s.mu.Lock()
 			s.closing[f] = &closeEntry{finSeq: seq, rto: rto, deadline: time.Now().Add(rto)}

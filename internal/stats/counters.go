@@ -19,10 +19,12 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Load returns the current level.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
-// CounterSet is a small registry of named event counters, used by the
-// fault-injection subsystem (and available to any component that wants
-// to export ad-hoc counters without declaring a struct per source).
-// Safe for concurrent use.
+// CounterSet is a small registry of named event counters for cold
+// paths: every Add takes a mutex and a map lookup, which is fine for
+// setup, teardown, and error accounting but NOT for per-packet or
+// per-event hot paths. Hot-path callers should pre-register
+// telemetry.Counter values (striped atomics) or declare plain atomic
+// struct fields (see netsim.FaultCounters). Safe for concurrent use.
 type CounterSet struct {
 	mu   sync.Mutex
 	vals map[string]uint64

@@ -284,3 +284,73 @@ func TestEWMAInvalidAlphaPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	h := NewHistogram(100, 1.5, 16)
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty Mean/Min/Max = %v/%v/%v, want all 0", h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramSingleSampleQuantiles(t *testing.T) {
+	// One sample: every quantile is that sample, regardless of where it
+	// lands inside a (coarse) bucket — min/max clamping must win over
+	// the bucket upper bound.
+	h := NewHistogram(100, 2, 8)
+	h.Add(137)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 137 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 137", q, got)
+		}
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	// A one-bucket histogram degenerates to [0, min) plus overflow; all
+	// quantiles must still stay inside the observed range.
+	h := NewHistogram(10, 1.5, 1)
+	h.Add(3)
+	h.Add(7)
+	h.Add(25) // overflow bucket
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		if got < 3 || got > 25 {
+			t.Fatalf("single-bucket Quantile(%v) = %v, outside observed [3, 25]", q, got)
+		}
+	}
+	if h.Quantile(0) != 3 {
+		t.Fatalf("p0 = %v, want exact min 3", h.Quantile(0))
+	}
+	if h.Quantile(1) != 25 {
+		t.Fatalf("p100 = %v, want exact max 25", h.Quantile(1))
+	}
+}
+
+func TestHistogramExtremeQuantilesExact(t *testing.T) {
+	// p0 and p100 return the exact observed extremes, not bucket
+	// boundaries, and out-of-range q clamps to them.
+	h := NewHistogram(100, 2, 8)
+	for _, v := range []float64{101, 333, 999} {
+		h.Add(v)
+	}
+	if got := h.Quantile(0); got != 101 {
+		t.Fatalf("p0 = %v, want exact min 101", got)
+	}
+	if got := h.Quantile(1); got != 999 {
+		t.Fatalf("p100 = %v, want exact max 999", got)
+	}
+	if got := h.Quantile(-0.5); got != 101 {
+		t.Fatalf("Quantile(-0.5) = %v, want min 101", got)
+	}
+	if got := h.Quantile(1.5); got != 999 {
+		t.Fatalf("Quantile(1.5) = %v, want max 999", got)
+	}
+	if h.Quantile(1) != h.Max() || h.Quantile(0) != h.Min() {
+		t.Fatal("p100/p0 must equal Max()/Min()")
+	}
+}

@@ -1,0 +1,41 @@
+package telemetry
+
+import "sync/atomic"
+
+// counterStripes is the number of independent cells in a striped
+// counter. Each fast-path core hashes to its own cell, so concurrent
+// increments never contend on a cache line; 16 covers MaxCores with
+// room to spare.
+const counterStripes = 16
+
+// cell is one padded counter stripe. The padding keeps adjacent stripes
+// on distinct cache lines so per-core increments do not false-share.
+type cell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a lock-free hot-path counter: per-core padded atomic
+// stripes, merged on scrape. Increments from a fast-path core should
+// pass that core's index as the hint; cold-path callers can pass 0.
+type Counter struct {
+	cells [counterStripes]cell
+}
+
+// Inc adds one to the stripe selected by hint (typically the calling
+// core's index).
+func (c *Counter) Inc(hint int) { c.Add(hint, 1) }
+
+// Add adds d to the stripe selected by hint.
+func (c *Counter) Add(hint int, d uint64) {
+	c.cells[uint(hint)%counterStripes].v.Add(d)
+}
+
+// Value merges all stripes into the counter's current total.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}

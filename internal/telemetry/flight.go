@@ -1,0 +1,341 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FlowEventKind enumerates the flight-recorder event types. They cover
+// the full connection lifecycle across all three layers: handshake
+// (slow path), segment traffic and loss recovery (fast path),
+// congestion-control decisions (slow path), and application copies
+// (libtas).
+type FlowEventKind uint8
+
+// Flight-recorder event kinds.
+const (
+	FESynTx FlowEventKind = iota + 1
+	FESynRx
+	FESynAckTx
+	FESynAckRx
+	FEEstablished
+	FESegTx
+	FESegRx
+	FEFastRexmit
+	FERexmit
+	FERTOBackoff
+	FEEcnMark
+	FERateChange
+	FEFinTx
+	FEFinRx
+	FERstTx
+	FERstRx
+	FEAborted
+	FEReaped
+	FEAppSend
+	FEAppRecv
+)
+
+var feNames = map[FlowEventKind]string{
+	FESynTx:       "syn-tx",
+	FESynRx:       "syn-rx",
+	FESynAckTx:    "synack-tx",
+	FESynAckRx:    "synack-rx",
+	FEEstablished: "established",
+	FESegTx:       "seg-tx",
+	FESegRx:       "seg-rx",
+	FEFastRexmit:  "fast-rexmit",
+	FERexmit:      "rexmit",
+	FERTOBackoff:  "rto-backoff",
+	FEEcnMark:     "ecn-mark",
+	FERateChange:  "rate-change",
+	FEFinTx:       "fin-tx",
+	FEFinRx:       "fin-rx",
+	FERstTx:       "rst-tx",
+	FERstRx:       "rst-rx",
+	FEAborted:     "aborted",
+	FEReaped:      "reaped",
+	FEAppSend:     "app-send",
+	FEAppRecv:     "app-recv",
+}
+
+func (k FlowEventKind) String() string {
+	if s, ok := feNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// FlowEvent is one flight-recorder entry. Seq/Ack are raw TCP sequence
+// numbers so an event correlates 1:1 against a pcap capture from
+// internal/trace; Aux carries a kind-specific value (rate in bytes/s
+// for FERateChange, backoff RTO in ns for FERTOBackoff, queue depth
+// etc.).
+type FlowEvent struct {
+	TS    int64 // ns since telemetry epoch
+	Kind  FlowEventKind
+	Seq   uint32
+	Ack   uint32
+	Bytes uint32
+	Aux   uint64
+}
+
+// FlowRing is a bounded per-flow ring of trace events. Writers on the
+// fast path, slow path, and libtas all record into the same ring; a
+// spinlock guards the cursor. The critical section is a handful of
+// stores and contention is per-flow-rare, so spinning beats a mutex's
+// call overhead on the per-segment path — Record is charged to every
+// data packet and its cost is gated by the fastpath overhead smoke
+// test. When full, the oldest events are overwritten and Dropped
+// reports how many were lost.
+type FlowRing struct {
+	key   string
+	clock func() int64
+
+	lk    atomic.Int32 // 0 free, 1 held
+	buf   []FlowEvent
+	total uint64 // events ever recorded
+}
+
+func (r *FlowRing) lock() {
+	for i := 0; !r.lk.CompareAndSwap(0, 1); i++ {
+		if i&63 == 63 {
+			runtime.Gosched() // held across at most a few stores; be polite anyway
+		}
+	}
+}
+
+func (r *FlowRing) unlock() { r.lk.Store(0) }
+
+// NewFlowRing builds a standalone ring (tests, tools). Normal flows get
+// theirs from a Recorder.
+func NewFlowRing(key string, size int, clock func() int64) *FlowRing {
+	if size <= 0 {
+		size = 64
+	}
+	return &FlowRing{key: key, clock: clock, buf: make([]FlowEvent, 0, size)}
+}
+
+// Key returns the flow key string ("ip:port->ip:port") the ring was
+// registered under.
+func (r *FlowRing) Key() string { return r.key }
+
+// Record appends one event, stamping it with the telemetry clock.
+func (r *FlowRing) Record(kind FlowEventKind, seq, ack, bytes uint32, aux uint64) {
+	ev := FlowEvent{TS: r.clock(), Kind: kind, Seq: seq, Ack: ack, Bytes: bytes, Aux: aux}
+	r.lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = ev
+	}
+	r.total++
+	r.unlock()
+}
+
+// Events returns the ring's contents oldest-first.
+func (r *FlowRing) Events() []FlowEvent {
+	r.lock()
+	defer r.unlock()
+	out := make([]FlowEvent, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		copy(out, r.buf)
+		return out
+	}
+	head := int(r.total % uint64(cap(r.buf)))
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}
+
+// Total returns how many events were ever recorded (recorded - len(Events())
+// were overwritten).
+func (r *FlowRing) Total() uint64 {
+	r.lock()
+	defer r.unlock()
+	return r.total
+}
+
+// Dropped returns how many events were overwritten by newer ones.
+func (r *FlowRing) Dropped() uint64 {
+	r.lock()
+	defer r.unlock()
+	return r.total - uint64(len(r.buf))
+}
+
+// Recorder owns the flight-recorder rings of one service: a live ring
+// per in-flight flow plus a bounded list of retired rings kept for
+// post-mortem inspection of closed or aborted flows.
+type Recorder struct {
+	ringSize   int
+	retiredMax int
+	clock      func() int64
+
+	mu      sync.Mutex
+	live    map[string]*FlowRing
+	retired []*FlowRing
+}
+
+// NewRecorder builds a recorder; clock is the shared telemetry
+// timestamp source.
+func NewRecorder(ringSize, retiredMax int, clock func() int64) *Recorder {
+	return &Recorder{
+		ringSize:   ringSize,
+		retiredMax: retiredMax,
+		clock:      clock,
+		live:       make(map[string]*FlowRing),
+	}
+}
+
+// Ring returns the live ring for key, creating it if needed. Keys are
+// protocol.FlowKey.String() values ("ip:port->ip:port") from the local
+// flow's perspective, so handshake events recorded before the Flow
+// struct exists land in the same ring the flow later adopts.
+func (rc *Recorder) Ring(key string) *FlowRing {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	r := rc.live[key]
+	if r == nil {
+		r = NewFlowRing(key, rc.ringSize, rc.clock)
+		rc.live[key] = r
+	}
+	return r
+}
+
+// Lookup finds a ring by key: the live flow first, then the most
+// recently retired one. Returns nil if the flow was never recorded.
+func (rc *Recorder) Lookup(key string) *FlowRing {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if r := rc.live[key]; r != nil {
+		return r
+	}
+	for i := len(rc.retired) - 1; i >= 0; i-- {
+		if rc.retired[i].key == key {
+			return rc.retired[i]
+		}
+	}
+	return nil
+}
+
+// Retire moves a flow's ring from the live map to the bounded retired
+// list (evicting the oldest retiree when full). Called when the flow is
+// removed — normal close, abort, or reap — so its last events stay
+// available for post-mortem dumps.
+func (rc *Recorder) Retire(key string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	r := rc.live[key]
+	if r == nil {
+		return
+	}
+	delete(rc.live, key)
+	rc.retired = append(rc.retired, r)
+	if len(rc.retired) > rc.retiredMax {
+		rc.retired = rc.retired[len(rc.retired)-rc.retiredMax:]
+	}
+}
+
+// LiveKeys returns the keys of all in-flight flows, sorted.
+func (rc *Recorder) LiveKeys() []string {
+	rc.mu.Lock()
+	keys := make([]string, 0, len(rc.live))
+	for k := range rc.live {
+		keys = append(keys, k)
+	}
+	rc.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// RetiredKeys returns the keys of retired flows, oldest first.
+func (rc *Recorder) RetiredKeys() []string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	keys := make([]string, len(rc.retired))
+	for i, r := range rc.retired {
+		keys[i] = r.key
+	}
+	return keys
+}
+
+// FlowDump is the JSON shape of one flow's flight-recorder ring.
+type FlowDump struct {
+	Key     string      `json:"key"`
+	Total   uint64      `json:"total_events"`
+	Dropped uint64      `json:"dropped_events"`
+	Events  []EventDump `json:"events"`
+}
+
+// EventDump is the JSON shape of one flight-recorder event.
+type EventDump struct {
+	TS    int64  `json:"ts_ns"`
+	Kind  string `json:"kind"`
+	Seq   uint32 `json:"seq"`
+	Ack   uint32 `json:"ack"`
+	Bytes uint32 `json:"bytes,omitempty"`
+	Aux   uint64 `json:"aux,omitempty"`
+}
+
+// Dump converts a ring to its JSON shape.
+func (r *FlowRing) Dump() FlowDump {
+	evs := r.Events()
+	d := FlowDump{Key: r.key, Total: r.Total(), Dropped: r.Dropped(),
+		Events: make([]EventDump, len(evs))}
+	for i, ev := range evs {
+		d.Events[i] = EventDump{TS: ev.TS, Kind: ev.Kind.String(),
+			Seq: ev.Seq, Ack: ev.Ack, Bytes: ev.Bytes, Aux: ev.Aux}
+	}
+	return d
+}
+
+// DumpAll collects every live and retired ring as JSON shapes, live
+// flows first (sorted by key), then retirees oldest-first.
+func (rc *Recorder) DumpAll() []FlowDump {
+	var out []FlowDump
+	for _, k := range rc.LiveKeys() {
+		if r := rc.Lookup(k); r != nil {
+			out = append(out, r.Dump())
+		}
+	}
+	rc.mu.Lock()
+	retired := make([]*FlowRing, len(rc.retired))
+	copy(retired, rc.retired)
+	rc.mu.Unlock()
+	for _, r := range retired {
+		out = append(out, r.Dump())
+	}
+	return out
+}
+
+// WriteJSON writes every flow's ring as a JSON array.
+func (rc *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false) // flow keys contain "->"
+	enc.SetIndent("", "  ")
+	dumps := rc.DumpAll()
+	if dumps == nil {
+		dumps = []FlowDump{}
+	}
+	return enc.Encode(dumps)
+}
+
+// WriteFlowText writes one flow's ring as a human-readable timeline,
+// one event per line: timestamp, kind, seq/ack, payload bytes, aux.
+func (rc *Recorder) WriteFlowText(w io.Writer, key string) error {
+	r := rc.Lookup(key)
+	if r == nil {
+		return fmt.Errorf("telemetry: no flight record for flow %q", key)
+	}
+	fmt.Fprintf(w, "flow %s (%d events, %d overwritten)\n", key, r.Total(), r.Dropped())
+	for _, ev := range r.Events() {
+		fmt.Fprintf(w, "%12.3fms  %-12s seq=%-10d ack=%-10d bytes=%-6d aux=%d\n",
+			float64(ev.TS)/1e6, ev.Kind, ev.Seq, ev.Ack, ev.Bytes, ev.Aux)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package telemetry
+
+import "net/http"
+
+// Handler returns the telemetry HTTP surface:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  the same registry as a JSON array
+//	/debug/flows   all flight-recorder rings as JSON; ?flow=KEY
+//	               renders one flow's ring as a text timeline
+//
+// Mount it wherever convenient (tasd exposes it behind -metrics-addr).
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.Registry.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.Registry.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/flows", func(w http.ResponseWriter, req *http.Request) {
+		if key := req.URL.Query().Get("flow"); key != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := t.Recorder.WriteFlowText(w, key); err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.Recorder.WriteJSON(w)
+	})
+	return mux
+}

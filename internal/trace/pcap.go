@@ -60,16 +60,39 @@ func (p *Writer) WritePacket(tsNanos int64, pkt *protocol.Packet) error {
 	le.PutUint32(rec[4:], uint32(tsNanos%1e9/1000)) // microseconds
 	le.PutUint32(rec[8:], uint32(len(frame)))
 	le.PutUint32(rec[12:], uint32(len(frame)))
-	if _, err := p.w.Write(rec[:]); err != nil {
-		p.err = err
+	if err := p.writeFull(rec[:]); err != nil {
 		return err
 	}
-	if _, err := p.w.Write(frame); err != nil {
-		p.err = err
+	if err := p.writeFull(frame); err != nil {
 		return err
 	}
 	p.n++
 	return nil
+}
+
+// writeFull writes b entirely or latches the failure, converting a
+// short write (n < len(b) with a nil error, which would silently
+// truncate the capture mid-record) into io.ErrShortWrite. Caller holds
+// p.mu.
+func (p *Writer) writeFull(b []byte) error {
+	n, err := p.w.Write(b)
+	if err == nil && n < len(b) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		p.err = err
+	}
+	return err
+}
+
+// Err returns the first error the writer encountered (nil if none).
+// Taps such as Fabric.CaptureTo ignore WritePacket's per-call return;
+// Err lets them surface a latched failure — a capture that stopped
+// mid-stream — when the capture is closed.
+func (p *Writer) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
 }
 
 // Count returns the number of packets written.

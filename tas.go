@@ -43,6 +43,7 @@ import (
 	"repro/internal/shmring"
 	"repro/internal/slowpath"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -101,7 +102,17 @@ type Config struct {
 	// plus not-yet-accepted connections. SYNs beyond it are shed
 	// (dropped silently, so well-behaved peers retry). Default 128.
 	ListenBacklog int
+
+	// Telemetry opts into the observability subsystem: a unified metrics
+	// registry (Service.Metrics), a per-flow flight recorder, and
+	// per-core cycle accounting. Zero value = off, leaving only
+	// nil-pointer checks on the hot paths.
+	Telemetry TelemetryConfig
 }
+
+// TelemetryConfig configures the observability subsystem (see
+// internal/telemetry).
+type TelemetryConfig = telemetry.Config
 
 // Fabric is the in-process network connecting services.
 type Fabric struct{ f *fabric.Fabric }
@@ -175,14 +186,18 @@ func (f *Fabric) ClearBurstLoss() { f.f.ClearBurstLoss() }
 
 // CaptureTo streams a pcap capture of every packet crossing the fabric
 // into w (readable by tcpdump/Wireshark) until stop is called. One
-// capture at a time.
-func (f *Fabric) CaptureTo(w io.Writer) (stop func(), err error) {
+// capture at a time. stop reports the first write error the capture
+// hit, if any — a non-nil result means the file is truncated.
+func (f *Fabric) CaptureTo(w io.Writer) (stop func() error, err error) {
 	pw, err := trace.NewWriter(w)
 	if err != nil {
 		return nil, err
 	}
 	f.f.Tap = func(ts int64, pkt *protocol.Packet) { pw.WritePacket(ts, pkt) }
-	return func() { f.f.Tap = nil }, nil
+	return func() error {
+		f.f.Tap = nil
+		return pw.Err()
+	}, nil
 }
 
 // ParseIP parses a dotted-quad IPv4 address.
@@ -207,6 +222,7 @@ type Service struct {
 	slow  *slowpath.Slowpath
 	stack *libtas.Stack
 	fab   *Fabric
+	telem *telemetry.Telemetry // nil when telemetry is off
 }
 
 // NewService creates, attaches, and starts a TAS instance at addr
@@ -219,11 +235,16 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 	if cfg.FastPathCores <= 0 {
 		cfg.FastPathCores = 2
 	}
+	var telem *telemetry.Telemetry
+	if cfg.Telemetry.Enabled {
+		telem = telemetry.New(cfg.Telemetry, cfg.FastPathCores)
+	}
 	ecfg := fastpath.Config{
 		LocalIP:    ip,
 		LocalMAC:   protocol.MACForIPv4(ip),
 		MaxCores:   cfg.FastPathCores,
 		DisableOoo: cfg.DisableOoo,
+		Telemetry:  telem,
 	}
 	// The fabric handler closes over the engine variable, which is
 	// assigned immediately after attaching; no packets flow until a
@@ -246,6 +267,7 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 		MaxRetransmits:   cfg.MaxRetransmits,
 		AppTimeout:       cfg.AppTimeout,
 		ListenBacklog:    cfg.ListenBacklog,
+		Telemetry:        telem,
 	}
 	link := cfg.LinkRateBps
 	if link <= 0 {
@@ -281,9 +303,110 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 	slow := slowpath.New(eng, scfg)
 	eng.Start()
 	slow.Start()
-	s := &Service{IP: ip, eng: eng, slow: slow, fab: f}
+	s := &Service{IP: ip, eng: eng, slow: slow, fab: f, telem: telem}
 	s.stack = libtas.NewStack(eng, slow)
+	s.stack.Telem = telem
+	if telem != nil {
+		s.registerMetrics()
+	}
 	return s, nil
+}
+
+// Telemetry returns the service's telemetry hub (registry, flight
+// recorder, cycle accounts), or nil when telemetry is off.
+func (s *Service) Telemetry() *telemetry.Telemetry { return s.telem }
+
+// Metrics returns the service's metrics registry, or nil when telemetry
+// is off. Serve Telemetry().Handler() for the HTTP exposition.
+func (s *Service) Metrics() *telemetry.Registry {
+	if s.telem == nil {
+		return nil
+	}
+	return s.telem.Registry
+}
+
+// registerMetrics exposes the service's pre-existing atomic counters,
+// drop accounting, live gauges, and cycle accounts through the unified
+// registry. Everything reads lock-free or snapshot-at-scrape; nothing
+// here adds hot-path work.
+func (s *Service) registerMetrics() {
+	r := s.telem.Registry
+	eng, slow := s.eng, s.slow
+
+	// Per-core fast-path activity.
+	for i := 0; i < eng.MaxCores(); i++ {
+		st := eng.Stats(i)
+		lbl := telemetry.L("core", fmt.Sprintf("%d", i))
+		for _, m := range []struct {
+			name, help string
+			read       func() float64
+		}{
+			{"tas_fastpath_rx_packets_total", "Packets received by a fast-path core.",
+				func() float64 { return float64(st.RxPackets.Load()) }},
+			{"tas_fastpath_tx_packets_total", "Segments transmitted by a fast-path core.",
+				func() float64 { return float64(st.TxPackets.Load()) }},
+			{"tas_fastpath_tx_bytes_total", "Payload bytes transmitted by a fast-path core.",
+				func() float64 { return float64(st.TxBytes.Load()) }},
+			{"tas_fastpath_acks_sent_total", "Acknowledgements generated by a fast-path core.",
+				func() float64 { return float64(st.AcksSent.Load()) }},
+			{"tas_fastpath_exceptions_total", "Packets forwarded to the slow path by a fast-path core.",
+				func() float64 { return float64(st.Exceptions.Load()) }},
+			{"tas_fastpath_fast_rexmits_total", "Fast retransmits triggered on a fast-path core.",
+				func() float64 { return float64(st.Frexmits.Load()) }},
+		} {
+			r.CounterFunc(m.name, m.help, m.read, lbl)
+		}
+	}
+
+	// Drop/shed accounting by cause (the DropStats causes).
+	for _, m := range []struct {
+		cause, help string
+		read        func(fastpath.DropStats) uint64
+	}{
+		{"rx_ring_full", "NIC receive ring overflow.", func(d fastpath.DropStats) uint64 { return d.RxRingFull }},
+		{"rx_buf_full", "Per-flow receive payload buffer full.", func(d fastpath.DropStats) uint64 { return d.RxBufFull }},
+		{"bad_desc", "Malformed app-to-TAS queue descriptors.", func(d fastpath.DropStats) uint64 { return d.BadDesc }},
+		{"syn_shed", "SYNs shed by slow-path admission control.", func(d fastpath.DropStats) uint64 { return d.SynShed }},
+		{"excq_full", "Exception queue overflow.", func(d fastpath.DropStats) uint64 { return d.ExcqFull }},
+		{"events_lost", "Context event-queue overflow.", func(d fastpath.DropStats) uint64 { return d.EventsLost }},
+		{"ooo_dropped", "Out-of-order segments outside the tracked interval.", func(d fastpath.DropStats) uint64 { return d.OooDropped }},
+	} {
+		read := m.read
+		r.CounterFunc("tas_drops_total", "Work refused by cause: "+m.help,
+			func() float64 { return float64(read(eng.Drops())) },
+			telemetry.L("cause", m.cause))
+	}
+
+	// Slow-path lifecycle counters.
+	for _, m := range []struct {
+		name, help string
+		read       func(slowpath.Counters) uint64
+	}{
+		{"tas_slowpath_established_total", "Connections established.", func(c slowpath.Counters) uint64 { return c.Established }},
+		{"tas_slowpath_accepted_total", "Connections accepted (passive opens).", func(c slowpath.Counters) uint64 { return c.Accepted }},
+		{"tas_slowpath_rejected_total", "Connection attempts refused.", func(c slowpath.Counters) uint64 { return c.Rejected }},
+		{"tas_slowpath_timeouts_total", "Retransmission timeouts declared.", func(c slowpath.Counters) uint64 { return c.Timeouts }},
+		{"tas_slowpath_handshake_rexmits_total", "SYN/SYN-ACK retransmissions.", func(c slowpath.Counters) uint64 { return c.HandshakeRexmits }},
+		{"tas_slowpath_fin_rexmits_total", "FIN retransmissions.", func(c slowpath.Counters) uint64 { return c.FinRexmits }},
+		{"tas_slowpath_aborts_total", "Flows aborted after retry-budget exhaustion.", func(c slowpath.Counters) uint64 { return c.Aborts }},
+		{"tas_slowpath_apps_reaped_total", "Application contexts reaped after missed heartbeats.", func(c slowpath.Counters) uint64 { return c.AppsReaped }},
+		{"tas_slowpath_flows_reaped_total", "Flows reclaimed by the reaper.", func(c slowpath.Counters) uint64 { return c.FlowsReaped }},
+		{"tas_slowpath_syn_backlog_drops_total", "SYNs shed by listener backlog bounds.", func(c slowpath.Counters) uint64 { return c.SynBacklogDrops }},
+	} {
+		read := m.read
+		r.CounterFunc(m.name, m.help, func() float64 { return float64(read(slow.Counters())) })
+	}
+
+	// Live gauges.
+	r.GaugeFunc("tas_flows_live", "Flows currently installed in the flow table.",
+		func() float64 { return float64(eng.Table.Len()) })
+	r.GaugeFunc("tas_active_cores", "Fast-path cores currently receiving RSS traffic.",
+		func() float64 { return float64(eng.ActiveCores()) })
+	r.GaugeFunc("tas_live_payload_bytes", "Payload-buffer bytes allocated and not reclaimed.",
+		func() float64 { return float64(shmring.LivePayloadBytes()) })
+
+	// Per-core per-module cycle accounts.
+	s.telem.Cycles.Register(r)
 }
 
 // unlimited is the "none" congestion controller: no rate enforcement.
