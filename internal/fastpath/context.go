@@ -8,6 +8,7 @@
 package fastpath
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -86,8 +87,15 @@ type Context struct {
 	rxq []*shmring.SPSC[Event] // per-core: fast path produces, app consumes
 	txq []*shmring.SPSC[TxCmd] // per-core: app produces, fast path consumes
 
+	// Wakeup is a broadcast: Wake closes the current channel (releasing
+	// every blocked waiter) and installs a fresh one. A context may have
+	// several application goroutines blocked at once — per-connection
+	// readers sharing one accept context — and a single-token scheme
+	// loses wakeups: one waiter consumes the token, drains the event
+	// queue for everyone, and the rest sleep forever.
+	wakeMu   sync.Mutex
 	wake     chan struct{}
-	sleeping atomic.Bool
+	sleepers atomic.Int32
 
 	// DroppedEvents counts events the fast path could not post because
 	// the queue was full (the app will observe the data on its next
@@ -107,7 +115,7 @@ type Context struct {
 // NewContext allocates a context spanning `cores` fast-path cores with
 // the given per-core queue capacity.
 func NewContext(id, cores, qcap int) *Context {
-	c := &Context{ID: id, wake: make(chan struct{}, 1)}
+	c := &Context{ID: id, wake: make(chan struct{})}
 	for i := 0; i < cores; i++ {
 		c.rxq = append(c.rxq, shmring.NewSPSC[Event](qcap))
 		c.txq = append(c.txq, shmring.NewSPSC[TxCmd](qcap))
@@ -134,14 +142,16 @@ func (c *Context) PostEvent(core int, ev Event) bool {
 	return true
 }
 
-// Wake unblocks a waiting application thread.
+// Wake unblocks every waiting application goroutine. The fast-path
+// cost when nobody is blocked is a single atomic load.
 func (c *Context) Wake() {
-	if c.sleeping.Load() {
-		select {
-		case c.wake <- struct{}{}:
-		default:
-		}
+	if c.sleepers.Load() == 0 {
+		return
 	}
+	c.wakeMu.Lock()
+	close(c.wake)
+	c.wake = make(chan struct{})
+	c.wakeMu.Unlock()
 }
 
 // PushTx enqueues a TX command toward the given core. It reports false
@@ -163,16 +173,20 @@ func (c *Context) PollEvents(out []Event) int {
 	return n
 }
 
-// Sleep marks the context as blocked and returns the wake channel. The
-// caller must re-poll once after calling Sleep and before blocking, to
-// avoid lost wakeups.
+// Sleep registers the caller as a blocked waiter and returns the
+// current wake channel. The caller must re-poll once after calling
+// Sleep and before blocking, to avoid lost wakeups, and must pair every
+// Sleep with exactly one Awake.
 func (c *Context) Sleep() <-chan struct{} {
-	c.sleeping.Store(true)
-	return c.wake
+	c.sleepers.Add(1)
+	c.wakeMu.Lock()
+	ch := c.wake
+	c.wakeMu.Unlock()
+	return ch
 }
 
-// Awake clears the sleeping flag after the application resumes polling.
-func (c *Context) Awake() { c.sleeping.Store(false) }
+// Awake deregisters a waiter after the application resumes polling.
+func (c *Context) Awake() { c.sleepers.Add(-1) }
 
 // Beat records an application heartbeat. In the paper the kernel tells
 // TAS when an application process dies; in this in-process reproduction

@@ -50,6 +50,13 @@ type Config struct {
 	// arrivals are dropped, forcing pure go-back-N. Ablation knob.
 	DisableOoo bool
 
+	// SlowPathTimeout is how long the slow-path heartbeat may go stale
+	// before the engine enters degraded mode: established flows keep
+	// their RX/TX service, but new SYNs are shed immediately and the
+	// application layer fails Connect/Listen fast. 0 disables the
+	// watchdog (raw-engine tests with no slow path attached).
+	SlowPathTimeout time.Duration
+
 	// Telemetry, when non-nil, enables per-core cycle accounting (batch
 	// section timing charged to rx/tx modules) on this engine. The flow
 	// flight recorder rides on Flow.Rec and needs no engine state.
@@ -76,23 +83,25 @@ func (c *Config) fill() {
 
 // CoreStats counts one fast-path core's activity.
 type CoreStats struct {
-	RxPackets   atomic.Uint64
-	TxPackets   atomic.Uint64
-	TxBytes     atomic.Uint64
-	AcksSent    atomic.Uint64
-	Exceptions  atomic.Uint64
-	RxDrops     atomic.Uint64 // ring overflow
-	BufFullDrop atomic.Uint64 // receive payload buffer full
-	BadDescDrop atomic.Uint64 // malformed app→TAS queue descriptors dropped
-	SynShed     atomic.Uint64 // SYNs shed: slow-path exception queue saturated
-	ExcqDrop    atomic.Uint64 // exceptions dropped: exception queue full
-	OooAccepted atomic.Uint64
-	OooDropped  atomic.Uint64
-	Frexmits    atomic.Uint64
-	WrongCore   atomic.Uint64 // packets processed on a non-RSS core
-	BusyLoops   atomic.Uint64
-	IdleLoops   atomic.Uint64
-	Blocks      atomic.Uint64
+	RxPackets     atomic.Uint64
+	TxPackets     atomic.Uint64
+	TxBytes       atomic.Uint64
+	AcksSent      atomic.Uint64
+	Exceptions    atomic.Uint64
+	RxDrops       atomic.Uint64 // ring overflow
+	BufFullDrop   atomic.Uint64 // receive payload buffer full
+	BadDescDrop   atomic.Uint64 // malformed app→TAS queue descriptors dropped
+	SynShed       atomic.Uint64 // SYNs shed: slow-path exception queue saturated
+	SynShedDown   atomic.Uint64 // SYNs shed: slow path down (degraded mode)
+	ExcqDrop      atomic.Uint64 // exceptions dropped: exception queue full
+	InactiveDrain atomic.Uint64 // packets drained on a deactivated core (lazy drain)
+	OooAccepted   atomic.Uint64
+	OooDropped    atomic.Uint64
+	Frexmits      atomic.Uint64
+	WrongCore     atomic.Uint64 // packets processed on a non-RSS core
+	BusyLoops     atomic.Uint64
+	IdleLoops     atomic.Uint64
+	Blocks        atomic.Uint64
 }
 
 type core struct {
@@ -115,6 +124,11 @@ type Engine struct {
 	Table *flowstate.Table
 	RSS   *flowstate.RSS
 
+	// Listeners is the shared-memory listening-port registry. Like the
+	// flow table it is authoritative state the slow path writes through,
+	// so a warm-restarted slow path can reconstruct its listener map.
+	Listeners *flowstate.ListenerTable
+
 	cores []*core
 
 	// contexts and buckets are slot registries: writers take mu and
@@ -135,19 +149,37 @@ type Engine struct {
 	start   time.Time
 	stopped atomic.Bool
 	wg      sync.WaitGroup
+
+	// Slow-path liveness (see watchdog.go): the slow path stamps
+	// slowBeat from its event loop; the watchdog goroutine flips
+	// degraded when the stamp goes stale. Fast-path cores only consult
+	// the flag on the exception path, never per data packet.
+	slowBeat    atomic.Int64 // unix nanos of the last slow-path heartbeat
+	degraded    atomic.Bool
+	outageStart atomic.Int64  // unix nanos when the current outage began
+	outages     atomic.Uint64 // degraded-mode entries
+	outageNanos atomic.Int64  // cumulative outage time (completed outages)
+	outageHist  *telemetry.Histogram
+	watchStop   chan struct{}
+	stopOnce    sync.Once
 }
 
 // NewEngine builds the engine (cores are started by Start).
 func NewEngine(nic NIC, cfg Config) *Engine {
 	cfg.fill()
 	e := &Engine{
-		cfg:      cfg,
-		nic:      nic,
-		Table:    flowstate.NewTable(),
-		RSS:      flowstate.NewRSS(),
-		excq:     shmring.NewSPSC[*protocol.Packet](4096),
-		slowWake: make(chan struct{}, 1),
-		start:    time.Now(),
+		cfg:       cfg,
+		nic:       nic,
+		Table:     flowstate.NewTable(),
+		RSS:       flowstate.NewRSS(),
+		Listeners: flowstate.NewListenerTable(),
+		excq:      shmring.NewSPSC[*protocol.Packet](4096),
+		slowWake:  make(chan struct{}, 1),
+		start:     time.Now(),
+		watchStop: make(chan struct{}),
+	}
+	if cfg.Telemetry != nil {
+		e.outageHist = telemetry.NewHistogram(telemetry.DurationBounds())
 	}
 	e.contextsV.Store([]*Context(nil))
 	e.bucketsV.Store([]*Bucket(nil))
@@ -171,7 +203,8 @@ func (e *Engine) NowMicros() uint32 { return uint32(time.Since(e.start).Microsec
 
 func (e *Engine) nowNanos() int64 { return time.Since(e.start).Nanoseconds() }
 
-// Start launches the fast-path core goroutines.
+// Start launches the fast-path core goroutines and, when a slow-path
+// timeout is configured, the heartbeat watchdog.
 func (e *Engine) Start() {
 	for _, c := range e.cores {
 		c := c
@@ -181,11 +214,22 @@ func (e *Engine) Start() {
 			e.run(c)
 		}()
 	}
+	if e.cfg.SlowPathTimeout > 0 {
+		// Seed the beat so a slow path that never starts still trips the
+		// watchdog after one full timeout rather than instantly.
+		e.SlowpathBeat()
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.watchSlowpath()
+		}()
+	}
 }
 
 // Stop terminates the cores and waits for them.
 func (e *Engine) Stop() {
 	e.stopped.Store(true)
+	e.stopOnce.Do(func() { close(e.watchStop) })
 	for _, c := range e.cores {
 		select {
 		case c.wake <- struct{}{}:
@@ -203,7 +247,10 @@ func (e *Engine) MaxCores() int { return len(e.cores) }
 func (e *Engine) ActiveCores() int { return e.RSS.Cores() }
 
 // SetActiveCores re-steers RSS to n cores (the slow path's scaling
-// decision, §3.4: eager RSS update, lazy drain).
+// decision, §3.4: eager RSS update, lazy drain). Every core is woken —
+// not just the newly active set — so a core that was just steered away
+// from drains the packets already sitting in its receive ring promptly
+// instead of waiting out its block timeout.
 func (e *Engine) SetActiveCores(n int) {
 	if n < 1 {
 		n = 1
@@ -212,7 +259,7 @@ func (e *Engine) SetActiveCores(n int) {
 		n = len(e.cores)
 	}
 	e.RSS.SetCores(n)
-	for i := 0; i < n; i++ {
+	for i := range e.cores {
 		e.wakeCore(i)
 	}
 }
@@ -391,10 +438,19 @@ func (e *Engine) Exceptions() (*shmring.SPSC[*protocol.Packet], <-chan struct{})
 // bottleneck, so it protects itself by refusing new work, not by
 // growing an unbounded backlog).
 func (e *Engine) toSlowPath(c *core, pkt *protocol.Packet) {
-	if pkt.Flags.Has(protocol.FlagSYN) && !pkt.Flags.Has(protocol.FlagACK) &&
-		e.excq.Len() >= e.excq.Cap()*3/4 {
-		c.stats.SynShed.Add(1)
-		return
+	if pkt.Flags.Has(protocol.FlagSYN) && !pkt.Flags.Has(protocol.FlagACK) {
+		// Degraded mode: nobody is draining the exception queue, so a
+		// new-connection attempt cannot succeed — shed it immediately
+		// rather than letting SYNs squeeze out the established flows'
+		// exceptions still queued for the restarted slow path.
+		if e.degraded.Load() {
+			c.stats.SynShedDown.Add(1)
+			return
+		}
+		if e.excq.Len() >= e.excq.Cap()*3/4 {
+			c.stats.SynShed.Add(1)
+			return
+		}
 	}
 	c.stats.Exceptions.Add(1)
 	if e.excq.Enqueue(pkt) {
@@ -605,13 +661,14 @@ func (e *Engine) retryPending(c *core) int {
 // contexts — every cause that makes TAS refuse work instead of growing
 // an unbounded backlog or corrupting state.
 type DropStats struct {
-	RxRingFull uint64 // NIC receive ring overflow
-	RxBufFull  uint64 // per-flow receive payload buffer full
-	BadDesc    uint64 // malformed app→TAS queue descriptors
-	SynShed    uint64 // SYNs shed by slow-path admission control
-	ExcqFull   uint64 // exception queue overflow (non-SYN exceptions)
-	EventsLost uint64 // context event-queue overflow
-	OooDropped uint64 // out-of-order segments outside the tracked interval
+	RxRingFull  uint64 // NIC receive ring overflow
+	RxBufFull   uint64 // per-flow receive payload buffer full
+	BadDesc     uint64 // malformed app→TAS queue descriptors
+	SynShed     uint64 // SYNs shed by slow-path admission control
+	SynShedDown uint64 // SYNs shed while the slow path was down (degraded)
+	ExcqFull    uint64 // exception queue overflow (non-SYN exceptions)
+	EventsLost  uint64 // context event-queue overflow
+	OooDropped  uint64 // out-of-order segments outside the tracked interval
 }
 
 // Drops returns the aggregated drop counters.
@@ -622,6 +679,7 @@ func (e *Engine) Drops() DropStats {
 		d.RxBufFull += c.stats.BufFullDrop.Load()
 		d.BadDesc += c.stats.BadDescDrop.Load()
 		d.SynShed += c.stats.SynShed.Load()
+		d.SynShedDown += c.stats.SynShedDown.Load()
 		d.ExcqFull += c.stats.ExcqDrop.Load()
 		d.OooDropped += c.stats.OooDropped.Load()
 	}

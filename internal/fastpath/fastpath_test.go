@@ -414,6 +414,35 @@ func TestContextQueuesAndWake(t *testing.T) {
 	ctx.Awake()
 }
 
+// TestWakeBroadcast: one Wake must release every blocked waiter, not
+// just one. Regression test for the lost wakeup with several
+// per-connection readers sharing one context: a single-token wake let
+// one reader drain the event queue for everyone while the rest slept
+// until their timeouts.
+func TestWakeBroadcast(t *testing.T) {
+	ctx := NewContext(0, 1, 8)
+	ch1 := ctx.Sleep()
+	ch2 := ctx.Sleep()
+	ctx.PostEvent(0, Event{Kind: EvData})
+	for i, ch := range []<-chan struct{}{ch1, ch2} {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			t.Fatalf("waiter %d not woken", i)
+		}
+	}
+	ctx.Awake()
+	ctx.Awake()
+	// With no sleepers registered, Wake is a no-op on the new channel.
+	ch3 := ctx.Sleep()
+	select {
+	case <-ch3:
+		t.Fatal("woken without a Wake")
+	default:
+	}
+	ctx.Awake()
+}
+
 func TestSetActiveCoresClamps(t *testing.T) {
 	e, _ := testEngine()
 	e.SetActiveCores(0)

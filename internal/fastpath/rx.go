@@ -25,6 +25,12 @@ func (e *Engine) processRx(c *core, pkt *protocol.Packet) {
 	}
 	if e.RSS.CoreForPacket(pkt) != c.idx {
 		c.stats.WrongCore.Add(1) // arrived during a steering transition
+		if c.idx >= e.RSS.Cores() {
+			// This core was deactivated after the packet was steered
+			// here: §3.4's lazy drain. The packet is still processed
+			// normally below; the counter proves the drain happened.
+			c.stats.InactiveDrain.Add(1)
+		}
 	}
 
 	var ack *protocol.Packet

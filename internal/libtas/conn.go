@@ -2,6 +2,7 @@ package libtas
 
 import (
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fastpath"
@@ -18,12 +19,17 @@ type Conn struct {
 	ctx  *Context
 	flow *flowstate.Flow
 
-	established bool
-	refused     bool
-	timedOut    bool
-	closed      bool
-	peerClosed  bool
-	aborted     bool // RST received or retransmission budget exhausted
+	// established/refused/timedOut/peerClosed/aborted are written by
+	// whichever goroutine happens to run dispatch and read by the
+	// connection's owner, which may be a different goroutine when several
+	// connections share a context — hence atomics.
+	established atomic.Bool
+	refused     atomic.Bool
+	timedOut    atomic.Bool
+	peerClosed  atomic.Bool
+	aborted     atomic.Bool // RST received or retransmission budget exhausted
+
+	closed bool // owner-goroutine only
 
 	// consumedSinceUpdate tracks receive-buffer space freed since the
 	// last window update we pushed to the peer.
@@ -78,10 +84,10 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 	sent := 0
 	tm := cn.ctx.stack.Telem
 	for sent < len(p) {
-		if cn.aborted {
+		if cn.aborted.Load() {
 			return sent, ErrReset
 		}
-		if cn.peerClosed {
+		if cn.peerClosed.Load() {
 			return sent, ErrClosed
 		}
 		f := cn.flow
@@ -112,7 +118,7 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 		}
 		// Buffer full: wait for acknowledgements to free space.
 		err := cn.ctx.wait(func() bool {
-			return cn.aborted || cn.peerClosed || cn.flow.TxBuf.Free() > 0
+			return cn.aborted.Load() || cn.peerClosed.Load() || cn.flow.TxBuf.Free() > 0
 		}, timeout)
 		if err != nil {
 			return sent, err
@@ -132,16 +138,16 @@ func (cn *Conn) Recv(p []byte, timeout time.Duration) (int, error) {
 		if n > 0 {
 			return n, nil
 		}
-		if cn.aborted {
+		if cn.aborted.Load() {
 			// Already-buffered data was delivered above; past that, the
 			// stream is broken.
 			return 0, ErrReset
 		}
-		if cn.peerClosed {
+		if cn.peerClosed.Load() {
 			return 0, io.EOF
 		}
 		err := cn.ctx.wait(func() bool {
-			return cn.aborted || cn.peerClosed || cn.flow.RxBuf.Used() > 0
+			return cn.aborted.Load() || cn.peerClosed.Load() || cn.flow.RxBuf.Used() > 0
 		}, timeout)
 		if err != nil {
 			return 0, err
@@ -153,10 +159,10 @@ func (cn *Conn) Recv(p []byte, timeout time.Duration) (int, error) {
 // buffer without blocking. It returns ErrWouldBlock when nothing fits
 // (pair with Poller.MarkWriteInterest to learn when space frees).
 func (cn *Conn) SendNoWait(p []byte) (int, error) {
-	if cn.aborted {
+	if cn.aborted.Load() {
 		return 0, ErrReset
 	}
-	if cn.closed || cn.peerClosed {
+	if cn.closed || cn.peerClosed.Load() {
 		return 0, ErrClosed
 	}
 	f := cn.flow
@@ -223,14 +229,14 @@ func (cn *Conn) TxFree() int { return cn.flow.TxBuf.Free() }
 // dispatching pending events).
 func (cn *Conn) PeerClosed() bool {
 	cn.ctx.dispatch()
-	return cn.peerClosed
+	return cn.peerClosed.Load()
 }
 
 // Aborted reports whether the connection failed (RST received or
 // retransmission budget exhausted), after dispatching pending events.
 func (cn *Conn) Aborted() bool {
 	cn.ctx.dispatch()
-	return cn.aborted
+	return cn.aborted.Load()
 }
 
 // SendZeroCopy hands the caller writable spans of the transmit buffer
@@ -241,13 +247,13 @@ func (cn *Conn) Aborted() bool {
 // (possibly 0 when the buffer is full; callers may Send-style block via
 // the poller's write interest).
 func (cn *Conn) SendZeroCopy(max int, fill func(first, second []byte) int) (int, error) {
-	if cn.aborted {
+	if cn.aborted.Load() {
 		return 0, ErrReset
 	}
 	if cn.closed {
 		return 0, ErrClosed
 	}
-	if cn.peerClosed {
+	if cn.peerClosed.Load() {
 		return 0, ErrClosed
 	}
 	f := cn.flow
@@ -328,7 +334,7 @@ func (cn *Conn) Stats() ConnStats {
 // ResizeBuffers grows the connection's payload buffers at runtime via a
 // slow-path management command (§4.1 future work implemented).
 func (cn *Conn) ResizeBuffers(rxSize, txSize int) {
-	cn.ctx.stack.Slow.ResizeBuffers(cn.flow, rxSize, txSize)
+	cn.ctx.stack.Slow().ResizeBuffers(cn.flow, rxSize, txSize)
 }
 
 // Rebind moves the connection to another context of the same stack —
@@ -371,14 +377,14 @@ func (cn *Conn) Rebind(newCtx *Context) {
 // return the same result as the first.
 func (cn *Conn) Close() error {
 	cn.ctx.dispatch()
-	if !cn.aborted {
+	if !cn.aborted.Load() {
 		// The abort event never reaches a reaped (dead) context, so also
 		// consult the authoritative per-flow state.
 		cn.flow.Lock()
-		cn.aborted = cn.flow.Aborted
+		cn.aborted.Store(cn.flow.Aborted)
 		cn.flow.Unlock()
 	}
-	if cn.aborted {
+	if cn.aborted.Load() {
 		cn.closed = true
 		return ErrReset
 	}
@@ -386,6 +392,6 @@ func (cn *Conn) Close() error {
 		return nil
 	}
 	cn.closed = true
-	cn.ctx.stack.Slow.Close(cn.flow)
+	cn.ctx.stack.Slow().Close(cn.flow)
 	return nil
 }

@@ -39,13 +39,25 @@ var (
 	// crashed (missed heartbeats) and reaped its resources; the context
 	// and everything bound to it are unusable.
 	ErrAppDead = errors.New("libtas: application context reaped")
+	// ErrSlowPathDown: the TAS control plane is unavailable (slow-path
+	// crash or stall detected via missed heartbeats). Established
+	// connections keep transferring on the fast path, but operations
+	// that need the slow path — Dial, Listen — fail fast until a warm
+	// restart recovers it.
+	ErrSlowPathDown = errors.New("libtas: slow path down")
 )
 
 // Stack binds a fast-path engine and slow path into an application-
 // facing user-level TCP stack.
 type Stack struct {
-	Eng  *fastpath.Engine
-	Slow *slowpath.Slowpath
+	Eng *fastpath.Engine
+
+	// slow is the current slow-path instance. It is an atomic pointer
+	// because a warm restart swaps in a fresh instance while
+	// application goroutines are mid-call; connections always route
+	// control requests through Slow() so they reach whichever instance
+	// is current.
+	slow atomic.Pointer[slowpath.Slowpath]
 
 	// Telem, when non-nil, enables application-side observability:
 	// app-copy cycle accounting and app-send/app-recv flight-recorder
@@ -56,8 +68,16 @@ type Stack struct {
 // NewStack registers the application with the TAS service (the paper's
 // special system call + UNIX socket bootstrap, in-process here).
 func NewStack(eng *fastpath.Engine, slow *slowpath.Slowpath) *Stack {
-	return &Stack{Eng: eng, Slow: slow}
+	s := &Stack{Eng: eng}
+	s.slow.Store(slow)
+	return s
 }
+
+// Slow returns the current slow-path instance.
+func (s *Stack) Slow() *slowpath.Slowpath { return s.slow.Load() }
+
+// SetSlow swaps in a warm-restarted slow-path instance.
+func (s *Stack) SetSlow(sp *slowpath.Slowpath) { s.slow.Store(sp) }
 
 // Context is one application thread's attachment: event queues plus the
 // connection registry used to dispatch events.
@@ -88,7 +108,7 @@ func (s *Stack) NewContext() *Context {
 	ctx.fp = fastpath.NewContext(0, s.Eng.MaxCores(), 1024)
 	s.Eng.RegisterContext(ctx.fp)
 	ctx.fp.Beat()
-	go ctx.heartbeatLoop(s.Slow.HeartbeatInterval())
+	go ctx.heartbeatLoop(s.Slow().HeartbeatInterval())
 	return ctx
 }
 
@@ -199,11 +219,11 @@ func (c *Context) dispatch() int {
 					switch ev.Bytes {
 					case 0:
 						conn.flow = ev.Flow
-						conn.established = true
+						conn.established.Store(true)
 					case fastpath.ConnTimedOut:
-						conn.timedOut = true
+						conn.timedOut.Store(true)
 					default: // fastpath.ConnRefused
-						conn.refused = true
+						conn.refused.Store(true)
 					}
 				}
 			}
@@ -212,7 +232,7 @@ func (c *Context) dispatch() int {
 			c.mu.Lock()
 			if int(ev.Opaque) < len(c.conns) {
 				if conn := c.conns[ev.Opaque]; conn != nil {
-					conn.peerClosed = true
+					conn.peerClosed.Store(true)
 				}
 			}
 			c.mu.Unlock()
@@ -220,7 +240,7 @@ func (c *Context) dispatch() int {
 			c.mu.Lock()
 			if int(ev.Opaque) < len(c.conns) {
 				if conn := c.conns[ev.Opaque]; conn != nil {
-					conn.aborted = true
+					conn.aborted.Store(true)
 				}
 			}
 			c.mu.Unlock()
@@ -288,20 +308,29 @@ func (c *Context) Dial(ip protocol.IPv4, port uint16, timeout time.Duration) (*C
 	if c.fp.Dead() {
 		return nil, ErrAppDead
 	}
+	// Shed fast while the control plane is down: a SYN sent now has
+	// nobody to complete its handshake, so failing immediately beats
+	// blocking the application until its dial deadline.
+	if c.stack.Eng.Degraded() {
+		return nil, ErrSlowPathDown
+	}
 	c.mu.Lock()
 	conn, opaque := c.newConnLocked()
 	c.mu.Unlock()
-	if _, err := c.stack.Slow.Connect(ip, port, uint16(c.fp.ID), opaque); err != nil {
+	if _, err := c.stack.Slow().Connect(ip, port, uint16(c.fp.ID), opaque); err != nil {
+		if errors.Is(err, slowpath.ErrDown) {
+			return nil, ErrSlowPathDown
+		}
 		return nil, err
 	}
-	err := c.wait(func() bool { return conn.established || conn.refused || conn.timedOut }, timeout)
+	err := c.wait(func() bool { return conn.established.Load() || conn.refused.Load() || conn.timedOut.Load() }, timeout)
 	if err != nil {
 		return nil, err
 	}
-	if conn.refused {
+	if conn.refused.Load() {
 		return nil, slowpath.ErrNoListener
 	}
-	if conn.timedOut {
+	if conn.timedOut.Load() {
 		// The slow path exhausted its SYN retransmission budget (lost
 		// SYNs, partition, dead peer) before the caller's deadline.
 		return nil, ErrTimeout
@@ -326,13 +355,19 @@ func (c *Context) ListenBacklog(port uint16, backlog int) (*Listener, error) {
 	if c.fp.Dead() {
 		return nil, ErrAppDead
 	}
+	if c.stack.Eng.Degraded() {
+		return nil, ErrSlowPathDown
+	}
 	c.mu.Lock()
 	l := &Listener{ctx: c, port: port}
 	c.listeners = append(c.listeners, l)
 	opaque := uint64(len(c.listeners) - 1)
 	c.mu.Unlock()
-	pending, err := c.stack.Slow.ListenBacklog(port, uint16(c.fp.ID), opaque, backlog)
+	pending, err := c.stack.Slow().ListenBacklog(port, uint16(c.fp.ID), opaque, backlog)
 	if err != nil {
+		if errors.Is(err, slowpath.ErrDown) {
+			return nil, ErrSlowPathDown
+		}
 		return nil, err
 	}
 	l.pending = pending
@@ -383,7 +418,7 @@ func (l *Listener) Accept(timeout time.Duration) (*Conn, error) {
 	conn, opaque := c.newConnLocked()
 	c.mu.Unlock()
 	conn.flow = flow
-	conn.established = true
+	conn.established.Store(true)
 	// Rebind the flow's context-queue events to the accepting conn.
 	flow.Lock()
 	flow.Opaque = opaque
@@ -393,7 +428,7 @@ func (l *Listener) Accept(timeout time.Duration) (*Conn, error) {
 
 // Close unregisters the listener.
 func (l *Listener) Close() {
-	l.ctx.stack.Slow.Unlisten(l.port)
+	l.ctx.stack.Slow().Unlisten(l.port)
 	l.ctx.mu.Lock()
 	l.closed = true
 	l.ctx.mu.Unlock()

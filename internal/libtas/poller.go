@@ -67,7 +67,7 @@ func (p *Poller) poll(out []Ready) int {
 		if cn.flow != nil && cn.flow.RxBuf.Used() > 0 {
 			r.Readable = true
 		}
-		if cn.peerClosed {
+		if cn.peerClosed.Load() {
 			r.Closed = true
 			r.Readable = true // unblock readers so they observe EOF
 		}

@@ -34,6 +34,31 @@ func (s *Slowpath) HeartbeatInterval() time.Duration {
 	return iv
 }
 
+// stallGap is the event-loop gap beyond which wall-clock liveness
+// comparisons are considered unsafe: well above normal tick jitter,
+// well below AppTimeout.
+func (s *Slowpath) stallGap() time.Duration {
+	g := 4 * s.cfg.ControlInterval
+	if s.cfg.AppTimeout > 0 && g < s.cfg.AppTimeout/4 {
+		g = s.cfg.AppTimeout / 4
+	}
+	return g
+}
+
+// noteResume opens the reaper's grace window: the slow path just came
+// back from a stall or a warm restart, during which applications may
+// have been unable to make progress (an app blocked on a control-plane
+// response beats from its keepalive, but a beat-on-activity low-level
+// app goes quiet). Resume time counts as an implicit beat for every
+// context, so only apps that stay silent for a further AppTimeout are
+// reaped — the mass-reap false positive the grace window exists to
+// prevent.
+func (s *Slowpath) noteResume(now time.Time) {
+	s.mu.Lock()
+	s.reapResume = now
+	s.mu.Unlock()
+}
+
 // reapSweep scans registered contexts for missed heartbeats and reaps
 // dead ones. It self-rate-limits to a quarter of AppTimeout so the
 // per-control-interval cost is negligible.
@@ -48,7 +73,14 @@ func (s *Slowpath) reapSweep() {
 		return
 	}
 	s.lastReap = now
+	resume := s.reapResume
 	s.mu.Unlock()
+	if !resume.IsZero() && now.Sub(resume) < s.cfg.AppTimeout {
+		// Post-stall/restart grace: last-beat stamps predating the gap
+		// prove nothing about liveness. Resume reaping only after every
+		// live app has had a full AppTimeout to beat again.
+		return
+	}
 
 	for _, ctx := range s.eng.Contexts() {
 		if ctx == nil || ctx.Dead() {
@@ -83,6 +115,7 @@ func (s *Slowpath) ReapContext(ctx *fastpath.Context) {
 	for port, l := range s.listeners {
 		if l.ctxID == id {
 			delete(s.listeners, port)
+			s.eng.Listeners.Remove(port)
 			s.ListenersReaped++
 		}
 	}
@@ -151,6 +184,7 @@ type Counters struct {
 	HandshakeRexmits, HandshakeTimeouts, FinRexmits, Aborts uint64
 	AppsReaped, FlowsReaped, ListenersReaped                uint64
 	HalfOpenReaped, SynBacklogDrops, AcceptQueueDrops       uint64
+	FlowsReconstructed, RecoveryAborts, Panics              uint64
 }
 
 // Counters returns a snapshot of the slow path's counters.
@@ -165,5 +199,26 @@ func (s *Slowpath) Counters() Counters {
 		AppsReaped: s.AppsReaped, FlowsReaped: s.FlowsReaped,
 		ListenersReaped: s.ListenersReaped, HalfOpenReaped: s.HalfOpenReaped,
 		SynBacklogDrops: s.SynBacklogDrops, AcceptQueueDrops: s.AcceptQueueDrops,
+		FlowsReconstructed: s.FlowsReconstructed, RecoveryAborts: s.RecoveryAborts,
+		Panics: s.Panics,
 	}
+}
+
+// AdoptCounters seeds this instance's counters from a predecessor's
+// snapshot. In a real deployment the counters would live in shared
+// memory and survive the crash with the flow state; here the restart
+// path carries them over explicitly so exported metrics stay monotonic
+// across warm restarts.
+func (s *Slowpath) AdoptCounters(c Counters) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Established, s.Accepted, s.Rejected = c.Established, c.Accepted, c.Rejected
+	s.Timeouts, s.Reinjected = c.Timeouts, c.Reinjected
+	s.HandshakeRexmits, s.HandshakeTimeouts = c.HandshakeRexmits, c.HandshakeTimeouts
+	s.FinRexmits, s.Aborts = c.FinRexmits, c.Aborts
+	s.AppsReaped, s.FlowsReaped = c.AppsReaped, c.FlowsReaped
+	s.ListenersReaped, s.HalfOpenReaped = c.ListenersReaped, c.HalfOpenReaped
+	s.SynBacklogDrops, s.AcceptQueueDrops = c.SynBacklogDrops, c.AcceptQueueDrops
+	s.FlowsReconstructed, s.RecoveryAborts = c.FlowsReconstructed, c.RecoveryAborts
+	s.Panics = c.Panics
 }

@@ -1,0 +1,165 @@
+package slowpath
+
+import (
+	"time"
+
+	"repro/internal/fastpath"
+	"repro/internal/flowstate"
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+)
+
+// This file implements slow-path warm restart. The design leans on the
+// same property that lets the fast path survive a slow-path crash
+// (§3.1): everything a connection needs in the common case — the flow
+// table's Table-3 records with sequence state, the shmring payload
+// buffers with their positions, the rate buckets, the listener registry
+// — lives on the engine side of the boundary. The slow path's private
+// maps (cc entries, half-opens, FIN timers) are pure derived or
+// in-progress state: derived state is rebuilt from shared memory, and
+// in-progress state that cannot be proven from shared memory is
+// abandoned (half-open handshakes) or aborted (inconsistent flows).
+
+// RecoveryStats reports what a warm restart rebuilt.
+type RecoveryStats struct {
+	FlowsReconstructed int // established flows with rebuilt cc/RTO state
+	FlowsAborted       int // flows whose state could not be proven; RST + removed
+	ClosingResumed     int // FIN-in-flight teardowns whose timers were re-armed
+	ListenersRebuilt   int // listening ports readopted from the shared registry
+}
+
+// Recover reconstructs this instance's control state from the engine's
+// shared memory. Call it on a fresh (not yet started) Slowpath created
+// over the engine a previous instance crashed on, then Start it:
+//
+//	dead.Kill()
+//	ns := slowpath.New(eng, cfg)
+//	rep := ns.Recover()
+//	ns.Start()
+//
+// Reconstruction rules:
+//
+//   - Listening ports are readopted from the engine's listener table,
+//     including the live accept-depth gauge the application side holds.
+//   - Every flow in the flow table whose context is alive and whose
+//     buffers are intact gets a fresh congestion controller (seeded
+//     into its existing rate bucket) and a cc entry whose lastUna is
+//     computed from the recorded SeqNo/TxSent — so RTO detection
+//     re-arms exactly where the crashed instance left off.
+//   - A flow mid-teardown (FIN sent, not yet acknowledged) gets its
+//     FIN-retransmission timer re-armed.
+//   - A flow that cannot be proven consistent — context gone or dead,
+//     buffers reclaimed, or already aborted — is aborted: best-effort
+//     RST, state reclaimed, counted in RecoveryAborts.
+//   - Half-open handshakes died with the old instance; peers re-drive
+//     passive opens by retransmitting their SYN, and active opens
+//     surface a timeout to the caller.
+//
+// Reaping resumes only after a grace window (noteResume): last-beat
+// stamps from before the outage prove nothing about app liveness.
+func (s *Slowpath) Recover() RecoveryStats {
+	var rep RecoveryStats
+	now := time.Now()
+
+	// Listening ports from the shared registry.
+	s.mu.Lock()
+	s.eng.Listeners.ForEach(func(e *flowstate.ListenerEntry) {
+		s.listeners[e.Port] = &listener{
+			port: e.Port, ctxID: e.CtxID, opaque: e.Opaque,
+			backlog: e.Backlog, pending: e.Pending,
+		}
+		rep.ListenersRebuilt++
+	})
+	s.mu.Unlock()
+
+	// Established flows from the flow table.
+	var doomed []*flowstate.Flow
+	s.eng.Table.ForEach(func(f *flowstate.Flow) {
+		f.Lock()
+		aborted := f.Aborted
+		ctxID := f.Context
+		buffersGone := f.RxBuf == nil || f.TxBuf == nil ||
+			f.RxBuf.Reclaimed() || f.TxBuf.Reclaimed()
+		seq, txSent := f.SeqNo, f.TxSent
+		ack := f.AckNo
+		finPending := f.FinSent && !f.FinAcked
+		f.Unlock()
+
+		ctx := s.eng.ContextByID(ctxID)
+		if aborted || buffersGone || ctx == nil || ctx.Dead() {
+			doomed = append(doomed, f)
+			return
+		}
+
+		// Rebuild congestion/timeout state. The rate bucket survived in
+		// the engine and kept enforcing the crashed instance's last
+		// rate; the fresh controller restarts from its initial rate and
+		// converges from there.
+		ctrl := s.cfg.NewController()
+		if b := s.eng.Bucket(f.Bucket); b != nil {
+			b.SetRate(ctrl.Rate())
+		}
+		entry := &ccEntry{ctrl: ctrl, lastUna: seq - txSent, lastRate: ctrl.Rate()}
+		s.mu.Lock()
+		s.cc[f] = entry
+		if finPending {
+			rto := s.finRTO()
+			s.closing[f] = &closeEntry{finSeq: seq, rto: rto, deadline: now.Add(rto)}
+			rep.ClosingResumed++
+		}
+		s.FlowsReconstructed++
+		s.mu.Unlock()
+		recordFlow(f, telemetry.FEReconstructed, seq, ack, 0, uint64(txSent))
+		rep.FlowsReconstructed++
+	})
+
+	// Flows whose state cannot be proven: abort rather than resume
+	// control decisions over garbage.
+	for _, f := range doomed {
+		s.recoveryAbort(f)
+		rep.FlowsAborted++
+	}
+
+	// Grace before reaping (see reaper.go): during the outage nobody
+	// observed heartbeats, so stale stamps are not evidence of death.
+	s.noteResume(now)
+	s.mu.Lock()
+	s.lastReap = now
+	s.mu.Unlock()
+	return rep
+}
+
+// recoveryAbort tears down a flow whose state a warm restart could not
+// prove consistent: best-effort RST to the peer, EvAborted toward the
+// owning context if one still exists, and full resource reclamation.
+func (s *Slowpath) recoveryAbort(f *flowstate.Flow) {
+	f.Lock()
+	already := f.Aborted
+	f.Aborted = true
+	seq, ack := f.SeqNo, f.AckNo
+	ctxID, opaque := f.Context, f.Opaque
+	buffersOK := f.RxBuf != nil && !f.RxBuf.Reclaimed()
+	f.Unlock()
+	if !already && buffersOK {
+		s.sendCtlFlow(f, protocol.FlagRST|protocol.FlagACK, seq, ack)
+		recordFlow(f, telemetry.FERstTx, seq, ack, 0, 0)
+	}
+	recordFlow(f, telemetry.FEAborted, seq, ack, 0, 0)
+	s.eng.Table.Remove(f.Key())
+	s.eng.FreeBucket(f.Bucket)
+	if f.RxBuf != nil {
+		f.RxBuf.Reclaim()
+	}
+	if f.TxBuf != nil {
+		f.TxBuf.Reclaim()
+	}
+	s.mu.Lock()
+	delete(s.cc, f)
+	delete(s.closing, f)
+	s.RecoveryAborts++
+	s.mu.Unlock()
+	s.retireRec(f)
+	if ctx := s.eng.ContextByID(ctxID); ctx != nil && !ctx.Dead() {
+		ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAborted, Opaque: opaque})
+	}
+}

@@ -1,0 +1,242 @@
+package slowpath
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/fastpath"
+	"repro/internal/protocol"
+)
+
+// restart kills a node's slow path and warm-restarts it over the same
+// engine — the production sequence (tas.Service.Restart) at this layer.
+func restart(t *testing.T, n *testNode, cfg Config) RecoveryStats {
+	t.Helper()
+	n.sp.Kill()
+	ns := New(n.eng, cfg)
+	ns.AdoptCounters(n.sp.Counters())
+	rep := ns.Recover()
+	ns.Start()
+	t.Cleanup(ns.Stop)
+	n.sp = ns
+	return rep
+}
+
+// TestWarmRestartReconstructsFlows: established connections survive a
+// slow-path crash, and a fresh instance rebuilds its congestion/RTO
+// state for every one of them from the shared flow table.
+func TestWarmRestartReconstructsFlows(t *testing.T) {
+	fab := fabric.New()
+	cfg := Config{ControlInterval: time.Millisecond, AppTimeout: -1}
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), cfg)
+	b := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 2), cfg)
+	if err := b.sp.Listen(80, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	const flows = 3
+	for i := uint64(0); i < flows; i++ {
+		if _, err := a.sp.Connect(protocol.MakeIPv4(10, 0, 0, 2), 80, 0, i); err != nil {
+			t.Fatal(err)
+		}
+		if ev := waitEvent(t, a.ctx, 2*time.Second); ev.Kind != fastpath.EvConnected {
+			t.Fatalf("conn %d: %+v", i, ev)
+		}
+		waitEvent(t, b.ctx, 2*time.Second) // EvAccepted
+	}
+	pre := a.eng.Table.Len()
+	if pre != flows {
+		t.Fatalf("table holds %d flows before crash, want %d", pre, flows)
+	}
+
+	rep := restart(t, a, cfg)
+	if rep.FlowsReconstructed != pre || rep.FlowsAborted != 0 {
+		t.Fatalf("recovery: %+v, want %d reconstructed, 0 aborted", rep, pre)
+	}
+	if got := a.eng.Table.Len(); got != pre {
+		t.Fatalf("table shrank across restart: %d", got)
+	}
+	c := a.sp.Counters()
+	if c.FlowsReconstructed != flows || c.RecoveryAborts != 0 {
+		t.Fatalf("counters: %+v", c)
+	}
+	// The restarted instance serves new work: another connect succeeds.
+	if _, err := a.sp.Connect(protocol.MakeIPv4(10, 0, 0, 2), 80, 0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if ev := waitEvent(t, a.ctx, 2*time.Second); ev.Kind != fastpath.EvConnected || ev.Bytes != 0 {
+		t.Fatalf("post-restart connect: %+v", ev)
+	}
+}
+
+// TestWarmRestartRebuildsListeners: listening ports are readopted from
+// the shared registry, so a peer can connect to a port whose listener
+// was registered before the crash.
+func TestWarmRestartRebuildsListeners(t *testing.T) {
+	fab := fabric.New()
+	cfg := Config{ControlInterval: time.Millisecond, AppTimeout: -1}
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), cfg)
+	b := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 2), cfg)
+	pending, err := b.sp.ListenBacklog(80, 0, 42, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := restart(t, b, cfg)
+	if rep.ListenersRebuilt != 1 {
+		t.Fatalf("recovery: %+v, want 1 listener rebuilt", rep)
+	}
+	// The accept-depth gauge the application holds is the same object
+	// the rebuilt listener uses: admission control still sees accepts.
+	if _, err := a.sp.Connect(protocol.MakeIPv4(10, 0, 0, 2), 80, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if ev := waitEvent(t, a.ctx, 2*time.Second); ev.Kind != fastpath.EvConnected || ev.Bytes != 0 {
+		t.Fatalf("connect to rebuilt listener: %+v", ev)
+	}
+	waitEvent(t, b.ctx, 2*time.Second) // EvAccepted
+	if got := pending.Load(); got != 1 {
+		t.Fatalf("shared pending gauge = %d, want 1", got)
+	}
+	// The port is still owned: a duplicate listen is refused.
+	if err := b.sp.Listen(80, 0, 1); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("duplicate listen: %v", err)
+	}
+}
+
+// TestWarmRestartAbortsUnprovableFlows: a flow whose owning context died
+// during the outage cannot be proven consistent — recovery aborts it
+// (RST, state reclaimed) instead of resuming control over garbage.
+func TestWarmRestartAbortsUnprovableFlows(t *testing.T) {
+	fab := fabric.New()
+	cfg := Config{ControlInterval: time.Millisecond, AppTimeout: -1}
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), cfg)
+	b := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 2), cfg)
+	if err := b.sp.Listen(80, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.sp.Connect(protocol.MakeIPv4(10, 0, 0, 2), 80, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitEvent(t, a.ctx, 2*time.Second)
+	if ev.Kind != fastpath.EvConnected || ev.Flow == nil {
+		t.Fatalf("connect: %+v", ev)
+	}
+	f := ev.Flow
+	waitEvent(t, b.ctx, 2*time.Second)
+
+	a.ctx.MarkDead() // the app died while the control plane was down
+
+	rep := restart(t, a, cfg)
+	if rep.FlowsReconstructed != 0 || rep.FlowsAborted != 1 {
+		t.Fatalf("recovery: %+v, want 0 reconstructed, 1 aborted", rep)
+	}
+	if got := a.eng.Table.Len(); got != 0 {
+		t.Fatalf("aborted flow still in table (%d)", got)
+	}
+	if !f.RxBuf.Reclaimed() || !f.TxBuf.Reclaimed() {
+		t.Fatal("payload buffers not reclaimed")
+	}
+	if a.eng.Bucket(f.Bucket) != nil {
+		t.Fatal("rate bucket not freed")
+	}
+	if got := a.sp.Counters().RecoveryAborts; got != 1 {
+		t.Fatalf("RecoveryAborts = %d, want 1", got)
+	}
+	// The peer got the best-effort RST.
+	if ev := waitEvent(t, b.ctx, 2*time.Second); ev.Kind != fastpath.EvAborted {
+		t.Fatalf("peer event: %+v", ev)
+	}
+}
+
+// TestReapGraceAfterStall is the regression test for the reaper
+// false-positive: an app that was alive but could not beat while the
+// control plane stalled must NOT be reaped when the loop resumes —
+// stale heartbeat stamps from before the gap prove nothing.
+func TestReapGraceAfterStall(t *testing.T) {
+	fab := fabric.New()
+	cfg := reaperCfg() // AppTimeout 40ms
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), cfg)
+	a.ctx.Beat() // liveness enabled
+
+	// Stall the control plane for several AppTimeouts. The app goes
+	// silent too (blocked on the stalled control plane) and only beats
+	// again once the loop resumes.
+	a.sp.Stall(150 * time.Millisecond)
+	time.Sleep(170 * time.Millisecond)
+
+	// Resume beating promptly and keep it up past the grace window.
+	end := time.Now().Add(3 * cfg.AppTimeout)
+	for time.Now().Before(end) {
+		a.ctx.Beat()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := a.sp.Counters().AppsReaped; got != 0 {
+		t.Fatalf("live app reaped after stall: AppsReaped = %d", got)
+	}
+	if a.ctx.Dead() {
+		t.Fatal("live context marked dead after stall")
+	}
+}
+
+// TestReapResumesAfterGrace: the grace window is not amnesty — an app
+// that stays silent after the restart is still reaped once the window
+// plus AppTimeout pass.
+func TestReapResumesAfterGrace(t *testing.T) {
+	fab := fabric.New()
+	cfg := reaperCfg()
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), cfg)
+	a.ctx.Beat() // liveness enabled, then the app truly dies
+
+	restart(t, a, cfg)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for a.sp.Counters().AppsReaped == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := a.sp.Counters().AppsReaped; got != 1 {
+		t.Fatalf("dead app not reaped after grace: AppsReaped = %d", got)
+	}
+}
+
+// TestPanicInjectionKillsLoop: an injected event-loop panic must be
+// contained (counted, loop dead, API failing fast with ErrDown) — not
+// propagate into the engine's goroutines — and a warm restart brings
+// the control plane back.
+func TestPanicInjectionKillsLoop(t *testing.T) {
+	fab := fabric.New()
+	cfg := Config{ControlInterval: time.Millisecond, AppTimeout: -1}
+	a := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 1), cfg)
+	b := newNode(t, fab, protocol.MakeIPv4(10, 0, 0, 2), cfg)
+	if err := b.sp.Listen(80, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	a.sp.InjectPanic()
+	deadline := time.Now().Add(2 * time.Second)
+	for !a.sp.Down() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !a.sp.Down() {
+		t.Fatal("injected panic did not kill the loop")
+	}
+	if got := a.sp.Counters().Panics; got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+	if _, err := a.sp.Connect(protocol.MakeIPv4(10, 0, 0, 2), 80, 0, 1); !errors.Is(err, ErrDown) {
+		t.Fatalf("Connect on dead slow path: %v, want ErrDown", err)
+	}
+	if err := a.sp.Listen(81, 0, 1); !errors.Is(err, ErrDown) {
+		t.Fatalf("Listen on dead slow path: %v, want ErrDown", err)
+	}
+
+	restart(t, a, cfg)
+	if _, err := a.sp.Connect(protocol.MakeIPv4(10, 0, 0, 2), 80, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ev := waitEvent(t, a.ctx, 2*time.Second); ev.Kind != fastpath.EvConnected || ev.Bytes != 0 {
+		t.Fatalf("post-restart connect: %+v", ev)
+	}
+}

@@ -33,6 +33,11 @@ var (
 	ErrNoListener = errors.New("slowpath: connection refused")
 	ErrNoPorts    = errors.New("slowpath: ephemeral ports exhausted")
 	ErrClosed     = errors.New("slowpath: stack closed")
+	// ErrDown: the slow path has crashed (or been killed by the fault
+	// harness) and cannot take control-plane work. Established flows
+	// keep flowing on the fast path; Connect/Listen fail fast until a
+	// warm restart (Recover) brings a fresh instance up.
+	ErrDown = errors.New("slowpath: control plane down")
 )
 
 // Config parameterizes the slow path.
@@ -212,8 +217,26 @@ type Slowpath struct {
 	excq    *shmring.SPSC[*protocol.Packet]
 	excWake <-chan struct{}
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// Fault harness (the control-plane counterpart of the app-layer
+	// Kill/Stall harness): kill terminates the event loop without any
+	// cooperative cleanup, stallC wedges it for a duration, and
+	// panicNext makes the next event-loop tick panic. dead marks the
+	// instance crashed so API calls fail fast with ErrDown.
+	kill      chan struct{}
+	killOnce  sync.Once
+	stallC    chan time.Duration
+	panicNext atomic.Bool
+	dead      atomic.Bool
+
+	// lastTick is the event loop's view of when it last ran; a gap much
+	// larger than the control interval means the loop was stalled (GC
+	// pause, fault-harness Stall) and wall-clock liveness comparisons
+	// are unsafe until apps have had a chance to beat again.
+	lastTick time.Time
 
 	// Stats.
 	Established uint64
@@ -236,7 +259,13 @@ type Slowpath struct {
 	SynBacklogDrops  uint64 // SYNs shed: listener backlog full
 	AcceptQueueDrops uint64 // established-but-undeliverable accepts torn down
 
-	lastReap time.Time // rate-limits the liveness sweep
+	// Control-plane failure-domain stats.
+	FlowsReconstructed uint64 // flows rebuilt from shared state by warm restart
+	RecoveryAborts     uint64 // flows aborted during recovery (unprovable state)
+	Panics             uint64 // event-loop panics survived as crashes
+
+	lastReap   time.Time // rate-limits the liveness sweep
+	reapResume time.Time // post-stall/restart grace: treat as everyone's beat
 }
 
 // New builds (but does not start) a slow path for the engine.
@@ -254,34 +283,102 @@ func New(eng *fastpath.Engine, cfg Config) *Slowpath {
 		excq:      excq,
 		excWake:   wake,
 		stop:      make(chan struct{}),
+		kill:      make(chan struct{}),
+		stallC:    make(chan time.Duration, 1),
 	}
 }
 
 // Start launches the slow-path goroutine.
 func (s *Slowpath) Start() {
+	s.eng.SlowpathBeat()
 	s.wg.Add(1)
 	go s.run()
 }
 
-// Stop terminates the slow path.
+// Stop terminates the slow path cooperatively. Idempotent, and safe
+// after Kill (the loop is already gone).
 func (s *Slowpath) Stop() {
-	close(s.stop)
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
 }
 
+// Kill simulates a slow-path crash: the event loop terminates
+// immediately with no cleanup — half-open handshakes, cc entries, and
+// pending teardowns are simply abandoned, exactly as a crashed process
+// would leave them. The shared state (flow table, buffers, buckets,
+// listener registry) survives in the engine; heartbeats cease, so the
+// fast path's watchdog enters degraded mode. Kill waits for the loop to
+// exit so recovery can scan quiescent state.
+func (s *Slowpath) Kill() {
+	s.dead.Store(true)
+	s.killOnce.Do(func() { close(s.kill) })
+	s.wg.Wait()
+}
+
+// Down reports whether this instance has crashed (Kill or an event-loop
+// panic).
+func (s *Slowpath) Down() bool { return s.dead.Load() }
+
+// Stall wedges the event loop for d: no exception draining, no control
+// ticks, no heartbeats — a livelocked control plane rather than a dead
+// one. The watchdog flags degraded mode if d exceeds the fast path's
+// SlowPathTimeout; processing (and heartbeats) resume afterwards.
+func (s *Slowpath) Stall(d time.Duration) {
+	select {
+	case s.stallC <- d:
+	default: // a stall is already pending; keep it
+	}
+}
+
+// InjectPanic makes the next event-loop tick panic. The loop's recover
+// treats it as a crash — the instance is marked dead, heartbeats stop —
+// demonstrating that a slow-path bug cannot take down packet service
+// for established flows.
+func (s *Slowpath) InjectPanic() { s.panicNext.Store(true) }
+
 func (s *Slowpath) run() {
 	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			// An event-loop panic is a slow-path crash, not a process
+			// crash: contain it, mark the instance dead, and leave the
+			// fast path serving established flows until a warm restart.
+			s.dead.Store(true)
+			s.mu.Lock()
+			s.Panics++
+			s.mu.Unlock()
+		}
+	}()
 	ctrl := time.NewTicker(s.cfg.ControlInterval)
 	defer ctrl.Stop()
 	scale := time.NewTicker(s.cfg.ScaleInterval)
 	defer scale.Stop()
 	for {
+		s.eng.SlowpathBeat()
 		select {
 		case <-s.stop:
 			return
+		case <-s.kill:
+			return
+		case d := <-s.stallC:
+			time.Sleep(d) // wedged: no beats, no processing
+			s.noteResume(time.Now())
 		case <-s.excWake:
 			s.drainExceptions()
 		case <-ctrl.C:
+			if s.panicNext.CompareAndSwap(true, false) {
+				panic("slowpath: injected event-loop panic")
+			}
+			now := time.Now()
+			// Detect that the loop itself was stalled (fault harness,
+			// scheduler starvation): wall-clock-vs-heartbeat comparisons
+			// are not meaningful across the gap, so open the reaper's
+			// grace window instead of mass-reaping apps whose beats are
+			// merely older than the stall.
+			if !s.lastTick.IsZero() && now.Sub(s.lastTick) > s.stallGap() {
+				s.noteResume(now)
+			}
+			s.lastTick = now
 			s.drainExceptions()
 			if telem := s.cfg.Telemetry; telem != nil {
 				// Charge each control-plane module's share of the tick to
@@ -363,6 +460,9 @@ func (s *Slowpath) Listen(port uint16, ctxID uint16, opaque uint64) error {
 // accepted — the remaining headroom is what admission control grants
 // new SYNs.
 func (s *Slowpath) ListenBacklog(port uint16, ctxID uint16, opaque uint64, backlog int) (*atomic.Int32, error) {
+	if s.dead.Load() {
+		return nil, ErrDown
+	}
 	if backlog <= 0 {
 		backlog = s.cfg.ListenBacklog
 	}
@@ -372,6 +472,15 @@ func (s *Slowpath) ListenBacklog(port uint16, ctxID uint16, opaque uint64, backl
 		return nil, ErrPortInUse
 	}
 	l := &listener{port: port, ctxID: ctxID, opaque: opaque, backlog: backlog, pending: new(atomic.Int32)}
+	// Mirror the registration into the engine-side shared table — the
+	// authoritative record a warm-restarted slow path reconstructs
+	// from. The Pending gauge object lives there too, so the depth the
+	// application decrements survives restarts.
+	if !s.eng.Listeners.Insert(&flowstate.ListenerEntry{
+		Port: port, CtxID: ctxID, Opaque: opaque, Backlog: backlog, Pending: l.pending,
+	}) {
+		return nil, ErrPortInUse
+	}
 	s.listeners[port] = l
 	return l.pending, nil
 }
@@ -381,12 +490,16 @@ func (s *Slowpath) Unlisten(port uint16) {
 	s.mu.Lock()
 	delete(s.listeners, port)
 	s.mu.Unlock()
+	s.eng.Listeners.Remove(port)
 }
 
 // Connect starts an active open toward the peer; the EvConnected event
 // (carrying the flow) is posted to ctxID/opaque when the handshake
 // completes. It returns the chosen local port.
 func (s *Slowpath) Connect(peerIP protocol.IPv4, peerPort uint16, ctxID uint16, opaque uint64) (uint16, error) {
+	if s.dead.Load() {
+		return 0, ErrDown
+	}
 	s.mu.Lock()
 	var lport uint16
 	for i := 0; i < 65536; i++ {

@@ -39,29 +39,40 @@ const (
 	FEReaped
 	FEAppSend
 	FEAppRecv
+	// Control-plane failure-domain events: FEDegraded/FERecovered mark
+	// the fast path entering and leaving degraded mode (recorded on the
+	// synthetic "slowpath" ring); FEReconstructed marks a flow whose
+	// control state a warm-restarted slow path rebuilt from shared
+	// memory.
+	FEDegraded
+	FERecovered
+	FEReconstructed
 )
 
 var feNames = map[FlowEventKind]string{
-	FESynTx:       "syn-tx",
-	FESynRx:       "syn-rx",
-	FESynAckTx:    "synack-tx",
-	FESynAckRx:    "synack-rx",
-	FEEstablished: "established",
-	FESegTx:       "seg-tx",
-	FESegRx:       "seg-rx",
-	FEFastRexmit:  "fast-rexmit",
-	FERexmit:      "rexmit",
-	FERTOBackoff:  "rto-backoff",
-	FEEcnMark:     "ecn-mark",
-	FERateChange:  "rate-change",
-	FEFinTx:       "fin-tx",
-	FEFinRx:       "fin-rx",
-	FERstTx:       "rst-tx",
-	FERstRx:       "rst-rx",
-	FEAborted:     "aborted",
-	FEReaped:      "reaped",
-	FEAppSend:     "app-send",
-	FEAppRecv:     "app-recv",
+	FESynTx:         "syn-tx",
+	FESynRx:         "syn-rx",
+	FESynAckTx:      "synack-tx",
+	FESynAckRx:      "synack-rx",
+	FEEstablished:   "established",
+	FESegTx:         "seg-tx",
+	FESegRx:         "seg-rx",
+	FEFastRexmit:    "fast-rexmit",
+	FERexmit:        "rexmit",
+	FERTOBackoff:    "rto-backoff",
+	FEEcnMark:       "ecn-mark",
+	FERateChange:    "rate-change",
+	FEFinTx:         "fin-tx",
+	FEFinRx:         "fin-rx",
+	FERstTx:         "rst-tx",
+	FERstRx:         "rst-rx",
+	FEAborted:       "aborted",
+	FEReaped:        "reaped",
+	FEAppSend:       "app-send",
+	FEAppRecv:       "app-recv",
+	FEDegraded:      "degraded",
+	FERecovered:     "recovered",
+	FEReconstructed: "reconstructed",
 }
 
 func (k FlowEventKind) String() string {

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bound cumulative histogram with lock-free
+// observation, exposed in Prometheus histogram convention
+// (name_bucket{le="..."} / name_sum / name_count). It exists for
+// control-plane events that have a duration distribution rather than a
+// monotonic count — slow-path outages, recovery times — so Observe is
+// called off the packet path and favors simplicity over striping.
+type Histogram struct {
+	bounds []float64       // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds (the +Inf bucket is implicit).
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// DurationBounds are upper bounds (seconds) suited to control-plane
+// outage and recovery durations: 1ms to ~67s in powers of four.
+func DurationBounds() []float64 {
+	return []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384, 65.536}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// cumulative returns the count of observations ≤ bounds[i] (Prometheus
+// buckets are cumulative).
+func (h *Histogram) cumulative(i int) uint64 {
+	var c uint64
+	for j := 0; j <= i; j++ {
+		c += h.counts[j].Load()
+	}
+	return c
+}
+
+// RegisterHistogram exposes h under name in Prometheus histogram
+// convention: one cumulative name_bucket series per bound plus the
+// implicit +Inf bucket, and name_sum / name_count.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	for i, b := range h.bounds {
+		i := i
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		r.CounterFunc(name+"_bucket", help,
+			func() float64 { return float64(h.cumulative(i)) },
+			append(append([]Label(nil), labels...), L("le", le))...)
+	}
+	r.CounterFunc(name+"_bucket", help,
+		func() float64 { return float64(h.Count()) },
+		append(append([]Label(nil), labels...), L("le", "+Inf"))...)
+	r.CounterFunc(name+"_count", help, func() float64 { return float64(h.Count()) }, labels...)
+	r.CounterFunc(name+"_sum", help, func() float64 { return h.Sum() }, labels...)
+}

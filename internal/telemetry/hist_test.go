@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.5+0.5+5+50; got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	// Cumulative bucket counts: ≤0.1 → 1, ≤1 → 3, ≤10 → 4 (+Inf 5).
+	for i, want := range []uint64{1, 3, 4} {
+		if got := h.cumulative(i); got != want {
+			t.Fatalf("cumulative(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram(DurationBounds())
+	h.Observe(0.002)
+	h.Observe(0.5)
+	r.RegisterHistogram("tas_test_seconds", "Test histogram.", h)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`tas_test_seconds_bucket{le="0.004"} 1`,
+		`tas_test_seconds_bucket{le="1.024"} 2`,
+		`tas_test_seconds_bucket{le="+Inf"} 2`,
+		`tas_test_seconds_count 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}

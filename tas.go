@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/congestion"
@@ -102,6 +103,13 @@ type Config struct {
 	// plus not-yet-accepted connections. SYNs beyond it are shed
 	// (dropped silently, so well-behaved peers retry). Default 128.
 	ListenBacklog int
+
+	// SlowPathTimeout is how long the slow-path heartbeat may go stale
+	// before the fast path enters degraded mode: established flows keep
+	// transferring, but new SYNs are shed and Dial/Listen fail fast
+	// with ErrSlowPathDown until Service.Restart recovers the control
+	// plane. Default 1s; negative disables the watchdog.
+	SlowPathTimeout time.Duration
 
 	// Telemetry opts into the observability subsystem: a unified metrics
 	// registry (Service.Metrics), a per-flow flight recorder, and
@@ -219,10 +227,15 @@ func ParseIP(s string) (protocol.IPv4, error) {
 type Service struct {
 	IP    protocol.IPv4
 	eng   *fastpath.Engine
-	slow  *slowpath.Slowpath
 	stack *libtas.Stack
 	fab   *Fabric
 	telem *telemetry.Telemetry // nil when telemetry is off
+
+	// slow is atomic because Restart swaps in a fresh instance while
+	// application goroutines and metric scrapes are running.
+	slow     atomic.Pointer[slowpath.Slowpath]
+	scfg     slowpath.Config // kept for warm restarts
+	restarts atomic.Uint64
 }
 
 // NewService creates, attaches, and starts a TAS instance at addr
@@ -239,12 +252,20 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 	if cfg.Telemetry.Enabled {
 		telem = telemetry.New(cfg.Telemetry, cfg.FastPathCores)
 	}
+	spTimeout := cfg.SlowPathTimeout
+	switch {
+	case spTimeout == 0:
+		spTimeout = time.Second
+	case spTimeout < 0:
+		spTimeout = 0 // watchdog disabled
+	}
 	ecfg := fastpath.Config{
-		LocalIP:    ip,
-		LocalMAC:   protocol.MACForIPv4(ip),
-		MaxCores:   cfg.FastPathCores,
-		DisableOoo: cfg.DisableOoo,
-		Telemetry:  telem,
+		LocalIP:         ip,
+		LocalMAC:        protocol.MACForIPv4(ip),
+		MaxCores:        cfg.FastPathCores,
+		DisableOoo:      cfg.DisableOoo,
+		SlowPathTimeout: spTimeout,
+		Telemetry:       telem,
 	}
 	// The fabric handler closes over the engine variable, which is
 	// assigned immediately after attaching; no packets flow until a
@@ -303,7 +324,8 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 	slow := slowpath.New(eng, scfg)
 	eng.Start()
 	slow.Start()
-	s := &Service{IP: ip, eng: eng, slow: slow, fab: f, telem: telem}
+	s := &Service{IP: ip, eng: eng, fab: f, telem: telem, scfg: scfg}
+	s.slow.Store(slow)
 	s.stack = libtas.NewStack(eng, slow)
 	s.stack.Telem = telem
 	if telem != nil {
@@ -311,6 +333,48 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 	}
 	return s, nil
 }
+
+// RecoveryStats reports what a warm restart rebuilt (see
+// slowpath.Recover).
+type RecoveryStats = slowpath.RecoveryStats
+
+// Restart warm-restarts the slow path: the current instance is killed
+// (a no-op if it already crashed), and a fresh one reconstructs its
+// control state — congestion/RTO entries, FIN timers, listener map —
+// from the shared flow table, payload-ring positions, rate buckets, and
+// listener registry the engine kept serving throughout the outage.
+// Established connections are untouched; the fast path's watchdog
+// observes the resumed heartbeat and leaves degraded mode.
+func (s *Service) Restart() RecoveryStats {
+	old := s.slow.Load()
+	old.Kill()
+	ns := slowpath.New(s.eng, s.scfg)
+	ns.AdoptCounters(old.Counters())
+	rep := ns.Recover()
+	ns.Start()
+	s.slow.Store(ns)
+	s.stack.SetSlow(ns)
+	s.restarts.Add(1)
+	return rep
+}
+
+// Restarts returns how many times the slow path has been warm-restarted.
+func (s *Service) Restarts() uint64 { return s.restarts.Load() }
+
+// KillSlowPath crashes the slow path abruptly (fault harness): the
+// control plane dies mid-whatever-it-was-doing, heartbeats stop, and
+// after SlowPathTimeout the fast path enters degraded mode. Established
+// flows keep transferring; recover with Restart.
+func (s *Service) KillSlowPath() { s.slow.Load().Kill() }
+
+// StallSlowPath wedges the slow path for d without killing it —
+// a livelocked control plane. Stalls longer than SlowPathTimeout
+// trigger degraded mode until the loop resumes beating.
+func (s *Service) StallSlowPath(d time.Duration) { s.slow.Load().Stall(d) }
+
+// Degraded reports whether the fast path currently considers the slow
+// path down.
+func (s *Service) Degraded() bool { return s.eng.Degraded() }
 
 // Telemetry returns the service's telemetry hub (registry, flight
 // recorder, cycle accounts), or nil when telemetry is off.
@@ -331,7 +395,11 @@ func (s *Service) Metrics() *telemetry.Registry {
 // here adds hot-path work.
 func (s *Service) registerMetrics() {
 	r := s.telem.Registry
-	eng, slow := s.eng, s.slow
+	eng := s.eng
+	// Counters are read through s.Slow() at scrape time, not a captured
+	// pointer, so metrics stay live across warm restarts (AdoptCounters
+	// keeps them monotonic).
+	slowCounters := func() slowpath.Counters { return s.Slow().Counters() }
 
 	// Per-core fast-path activity.
 	for i := 0; i < eng.MaxCores(); i++ {
@@ -367,6 +435,7 @@ func (s *Service) registerMetrics() {
 		{"rx_buf_full", "Per-flow receive payload buffer full.", func(d fastpath.DropStats) uint64 { return d.RxBufFull }},
 		{"bad_desc", "Malformed app-to-TAS queue descriptors.", func(d fastpath.DropStats) uint64 { return d.BadDesc }},
 		{"syn_shed", "SYNs shed by slow-path admission control.", func(d fastpath.DropStats) uint64 { return d.SynShed }},
+		{"syn_shed_down", "SYNs shed because the slow path is down (degraded mode).", func(d fastpath.DropStats) uint64 { return d.SynShedDown }},
 		{"excq_full", "Exception queue overflow.", func(d fastpath.DropStats) uint64 { return d.ExcqFull }},
 		{"events_lost", "Context event-queue overflow.", func(d fastpath.DropStats) uint64 { return d.EventsLost }},
 		{"ooo_dropped", "Out-of-order segments outside the tracked interval.", func(d fastpath.DropStats) uint64 { return d.OooDropped }},
@@ -392,9 +461,30 @@ func (s *Service) registerMetrics() {
 		{"tas_slowpath_apps_reaped_total", "Application contexts reaped after missed heartbeats.", func(c slowpath.Counters) uint64 { return c.AppsReaped }},
 		{"tas_slowpath_flows_reaped_total", "Flows reclaimed by the reaper.", func(c slowpath.Counters) uint64 { return c.FlowsReaped }},
 		{"tas_slowpath_syn_backlog_drops_total", "SYNs shed by listener backlog bounds.", func(c slowpath.Counters) uint64 { return c.SynBacklogDrops }},
+		{"tas_slowpath_flows_reconstructed_total", "Flows whose control state was rebuilt by a warm restart.", func(c slowpath.Counters) uint64 { return c.FlowsReconstructed }},
+		{"tas_slowpath_recovery_aborts_total", "Flows aborted during warm restart (state not provably consistent).", func(c slowpath.Counters) uint64 { return c.RecoveryAborts }},
+		{"tas_slowpath_panics_total", "Slow-path event-loop panics caught (loop dead until restart).", func(c slowpath.Counters) uint64 { return c.Panics }},
 	} {
 		read := m.read
-		r.CounterFunc(m.name, m.help, func() float64 { return float64(read(slow.Counters())) })
+		r.CounterFunc(m.name, m.help, func() float64 { return float64(read(slowCounters())) })
+	}
+
+	// Control-plane failure domain: degraded-mode gauge, outage counts,
+	// and the outage-duration histogram (observed at recovery).
+	r.GaugeFunc("tas_slowpath_degraded", "1 while the fast path considers the slow path down.",
+		func() float64 {
+			if eng.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("tas_slowpath_outages_total", "Slow-path outages detected by the fast-path watchdog.",
+		func() float64 { return float64(eng.Outages().Outages) })
+	r.CounterFunc("tas_slowpath_restarts_total", "Slow-path warm restarts performed.",
+		func() float64 { return float64(s.restarts.Load()) })
+	if h := eng.OutageHistogram(); h != nil {
+		r.RegisterHistogram("tas_slowpath_outage_seconds",
+			"Duration of slow-path outages, observed when the heartbeat resumes.", h)
 	}
 
 	// Live gauges.
@@ -419,7 +509,7 @@ func (unlimited) Rate() float64                      { return 0 }
 // Close stops the service and detaches it from the fabric.
 func (s *Service) Close() {
 	s.fab.f.Detach(s.IP)
-	s.slow.Stop()
+	s.slow.Load().Stop()
 	s.eng.Stop()
 }
 
@@ -427,9 +517,10 @@ func (s *Service) Close() {
 // and benchmarks.
 func (s *Service) Engine() *fastpath.Engine { return s.eng }
 
-// Slow exposes the slow path (reaper and admission counters) for tools
-// and tests.
-func (s *Service) Slow() *slowpath.Slowpath { return s.slow }
+// Slow exposes the current slow-path instance (reaper and admission
+// counters, fault harness) for tools and tests. Note that Restart swaps
+// the instance; do not cache the pointer across restarts.
+func (s *Service) Slow() *slowpath.Slowpath { return s.slow.Load() }
 
 // ServiceStats is a consolidated robustness snapshot of one service:
 // slow-path connection/reaper counters, fast-path drop counters, and
@@ -446,12 +537,18 @@ type ServiceStats struct {
 	SynBacklogDrops  uint64 // SYN shed: listener backlog full
 	AcceptQueueDrops uint64 // accepted flow torn down: context queue full or dead
 	SynShed          uint64 // SYN shed: slow-path event queue near saturation
+	SynShedDown      uint64 // SYN shed: slow path down (degraded mode)
 	ExcqDrops        uint64 // packet drops: slow-path event queue full
 	BadDescDrops     uint64 // malformed app→TAS descriptors dropped
 	RxRingDrops      uint64 // packet drops: fast-path RX ring full
 	RxBufDrops       uint64 // payload drops: receive buffer full
 	EventsLost       uint64 // app event-queue overflows
 	OooDropped       uint64 // out-of-order segments dropped
+
+	// Control-plane failure-domain counters.
+	FlowsReconstructed uint64 // flows rebuilt by warm restarts
+	RecoveryAborts     uint64 // flows aborted during warm restarts
+	SlowPathOutages    uint64 // outages detected by the fast-path watchdog
 
 	// Live resource gauges.
 	FlowsLive        int   // flows currently installed in the flow table
@@ -460,7 +557,7 @@ type ServiceStats struct {
 
 // Stats snapshots the service's robustness counters and gauges.
 func (s *Service) Stats() ServiceStats {
-	sc := s.slow.Counters()
+	sc := s.slow.Load().Counters()
 	d := s.eng.Drops()
 	return ServiceStats{
 		Established: sc.Established, Accepted: sc.Accepted, Rejected: sc.Rejected,
@@ -470,12 +567,18 @@ func (s *Service) Stats() ServiceStats {
 		SynBacklogDrops:  sc.SynBacklogDrops,
 		AcceptQueueDrops: sc.AcceptQueueDrops,
 		SynShed:          d.SynShed,
+		SynShedDown:      d.SynShedDown,
 		ExcqDrops:        d.ExcqFull,
 		BadDescDrops:     d.BadDesc,
 		RxRingDrops:      d.RxRingFull,
 		RxBufDrops:       d.RxBufFull,
 		EventsLost:       d.EventsLost,
 		OooDropped:       d.OooDropped,
+
+		FlowsReconstructed: sc.FlowsReconstructed,
+		RecoveryAborts:     sc.RecoveryAborts,
+		SlowPathOutages:    s.eng.Outages().Outages,
+
 		FlowsLive:        s.eng.Table.Len(),
 		LivePayloadBytes: shmring.LivePayloadBytes(),
 	}
@@ -640,6 +743,12 @@ func ErrReset(err error) bool { return errors.Is(err, libtas.ErrReset) }
 // reaped (crash detected via missed heartbeats); all further operations
 // on the context fail fast with this error.
 func ErrAppDead(err error) bool { return errors.Is(err, libtas.ErrAppDead) }
+
+// ErrSlowPathDown reports whether err means the control plane is down:
+// Dial and Listen fail fast with it while the fast path is degraded,
+// rather than queueing work no slow path will serve. Established
+// connections are unaffected; recover with Service.Restart.
+func ErrSlowPathDown(err error) bool { return errors.Is(err, libtas.ErrSlowPathDown) }
 
 // Aborted reports whether the connection failed (RST or retransmission
 // budget exhausted). Subsequent Reads and Writes return a reset error.
