@@ -28,6 +28,13 @@ const WindowUnit = 1024
 // RPC conversation without monopolizing a shared CPU during real lulls.
 const spinWindow = 200 * time.Microsecond
 
+// stopTimeout bounds Engine.Stop against a wedged core: a goroutine
+// stalled inside an iteration (fault harness or a real hang) never
+// reaches its loop check, and shutdown must not inherit its fate. Past
+// the deadline the goroutine is deliberately leaked — the process is
+// exiting or the test harness owns the fallout either way.
+const stopTimeout = 2 * time.Second
+
 // cycleSampleEvery is the cycle-accounting sampling period: the run
 // loop wall-times one iteration in this many (must be a power of two)
 // and scales the measurement up, keeping clock reads off the common
@@ -102,6 +109,8 @@ type CoreStats struct {
 	BusyLoops     atomic.Uint64
 	IdleLoops     atomic.Uint64
 	Blocks        atomic.Uint64
+	Panics        atomic.Uint64 // contained panics in the core's run loop
+	Stranded      atomic.Uint64 // packets stuck in a failed core's queues, unrecoverable by drain
 }
 
 type core struct {
@@ -112,6 +121,23 @@ type core struct {
 	asleep  atomic.Bool
 	pending []*flowstate.Flow // rate-limited flows awaiting tokens
 	stats   CoreStats
+
+	// Data-plane failure domain (see corefault.go). beat is an
+	// iteration counter, not a timestamp: stamping wall-clock time every
+	// loop would put a 50-90ns clock read on the per-batch path, so the
+	// core publishes a monotonically increasing count and the slow-path
+	// watchdog tracks when it last changed. kill/stallC/panicNext are
+	// the fault harness; exited flips (in launchCore's defer) when the
+	// goroutine is provably gone — the gate for safely consuming the
+	// core's single-consumer rings from outside. failed is the slow
+	// path's verdict, mirrored into the RSS exclusion mask.
+	beat      atomic.Uint64
+	kill      chan struct{}
+	killed    atomic.Bool
+	stallC    chan time.Duration
+	panicNext atomic.Bool
+	exited    atomic.Bool
+	failed    atomic.Bool
 }
 
 // Engine is the live fast path: MaxCores goroutines, per-core NIC rings,
@@ -181,6 +207,7 @@ func NewEngine(nic NIC, cfg Config) *Engine {
 	if cfg.Telemetry != nil {
 		e.outageHist = telemetry.NewHistogram(telemetry.DurationBounds())
 	}
+	e.RSS.SetLimit(cfg.MaxCores)
 	e.contextsV.Store([]*Context(nil))
 	e.bucketsV.Store([]*Bucket(nil))
 	for i := 0; i < cfg.MaxCores; i++ {
@@ -189,6 +216,8 @@ func NewEngine(nic NIC, cfg Config) *Engine {
 			rxRing: shmring.NewSPSC[*protocol.Packet](cfg.RxRingSize),
 			kicks:  shmring.NewSPSC[*flowstate.Flow](1024),
 			wake:   make(chan struct{}, 1),
+			kill:   make(chan struct{}),
+			stallC: make(chan time.Duration, 1),
 		})
 	}
 	return e
@@ -207,12 +236,7 @@ func (e *Engine) nowNanos() int64 { return time.Since(e.start).Nanoseconds() }
 // timeout is configured, the heartbeat watchdog.
 func (e *Engine) Start() {
 	for _, c := range e.cores {
-		c := c
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			e.run(c)
-		}()
+		e.launchCore(c)
 	}
 	if e.cfg.SlowPathTimeout > 0 {
 		// Seed the beat so a slow path that never starts still trips the
@@ -226,7 +250,9 @@ func (e *Engine) Start() {
 	}
 }
 
-// Stop terminates the cores and waits for them.
+// Stop terminates the cores and waits for them, bounded by stopTimeout:
+// a core wedged mid-iteration (StallCore, or a genuine hang) would
+// otherwise make shutdown hang with it.
 func (e *Engine) Stop() {
 	e.stopped.Store(true)
 	e.stopOnce.Do(func() { close(e.watchStop) })
@@ -236,7 +262,15 @@ func (e *Engine) Stop() {
 		default:
 		}
 	}
-	e.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(stopTimeout):
+	}
 }
 
 // MaxCores returns the configured maximum core count.
@@ -372,9 +406,16 @@ func (e *Engine) CoreForFlow(f *flowstate.Flow) int {
 func (e *Engine) Output(pkt *protocol.Packet) { e.nic.Output(pkt) }
 
 // Input delivers a received packet into the fast path (called by the
-// NIC/fabric). Steering follows the RSS redirection table.
+// NIC/fabric). Steering follows the RSS redirection table. The index is
+// clamped: a steering table must never be able to crash the input path,
+// and the fabric delivers synchronously — a panic here would unwind
+// into the sending peer's core goroutine.
 func (e *Engine) Input(pkt *protocol.Packet) {
-	c := e.cores[e.RSS.CoreForPacket(pkt)]
+	idx := e.RSS.CoreForPacket(pkt)
+	if idx < 0 || idx >= len(e.cores) {
+		idx = 0
+	}
+	c := e.cores[idx]
 	if !c.rxRing.Enqueue(pkt) {
 		c.stats.RxDrops.Add(1)
 		return
@@ -500,7 +541,32 @@ func (e *Engine) run(c *core) {
 	telem := e.cfg.Telemetry
 	var loops uint32
 	var t0 int64
+	// The kill channel is captured once: ReviveCore installs a fresh
+	// channel for the next incarnation, and this goroutine must keep
+	// watching the one that belongs to it.
+	kill := c.kill
 	for !e.stopped.Load() {
+		// Heartbeat: one atomic add per iteration (no clock read — see
+		// the field comment). The slow-path core watchdog decides
+		// staleness by watching the count stop advancing.
+		c.beat.Add(1)
+
+		// Fault harness (corefault.go). Kill exits the loop as a crash
+		// would — without draining queues or announcing anything; stall
+		// freezes the goroutine mid-iteration; panicNext exercises the
+		// launchCore containment path.
+		if c.killed.Load() {
+			return
+		}
+		select {
+		case d := <-c.stallC:
+			time.Sleep(d)
+		default:
+		}
+		if c.panicNext.CompareAndSwap(true, false) {
+			panic("fastpath: injected core panic")
+		}
+
 		did := 0
 		loops++
 		sampled := telem != nil && loops&(cycleSampleEvery-1) == 0
@@ -590,6 +656,7 @@ func (e *Engine) run(c *core) {
 		}
 		select {
 		case <-c.wake:
+		case <-kill:
 		case <-time.After(100 * time.Millisecond):
 		}
 		c.asleep.Store(false)
@@ -661,14 +728,15 @@ func (e *Engine) retryPending(c *core) int {
 // contexts — every cause that makes TAS refuse work instead of growing
 // an unbounded backlog or corrupting state.
 type DropStats struct {
-	RxRingFull  uint64 // NIC receive ring overflow
-	RxBufFull   uint64 // per-flow receive payload buffer full
-	BadDesc     uint64 // malformed app→TAS queue descriptors
-	SynShed     uint64 // SYNs shed by slow-path admission control
-	SynShedDown uint64 // SYNs shed while the slow path was down (degraded)
-	ExcqFull    uint64 // exception queue overflow (non-SYN exceptions)
-	EventsLost  uint64 // context event-queue overflow
-	OooDropped  uint64 // out-of-order segments outside the tracked interval
+	RxRingFull   uint64 // NIC receive ring overflow
+	RxBufFull    uint64 // per-flow receive payload buffer full
+	BadDesc      uint64 // malformed app→TAS queue descriptors
+	SynShed      uint64 // SYNs shed by slow-path admission control
+	SynShedDown  uint64 // SYNs shed while the slow path was down (degraded)
+	ExcqFull     uint64 // exception queue overflow (non-SYN exceptions)
+	EventsLost   uint64 // context event-queue overflow
+	OooDropped   uint64 // out-of-order segments outside the tracked interval
+	CoreStranded uint64 // packets stranded in a failed core's queues (stalled, not drainable)
 }
 
 // Drops returns the aggregated drop counters.
@@ -682,6 +750,7 @@ func (e *Engine) Drops() DropStats {
 		d.SynShedDown += c.stats.SynShedDown.Load()
 		d.ExcqFull += c.stats.ExcqDrop.Load()
 		d.OooDropped += c.stats.OooDropped.Load()
+		d.CoreStranded += c.stats.Stranded.Load()
 	}
 	for _, ctx := range e.Contexts() {
 		if ctx != nil {

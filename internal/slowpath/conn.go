@@ -549,11 +549,18 @@ func (s *Slowpath) controlLoop() {
 
 // scaleLoop adjusts the number of active fast-path cores to the load
 // (§3.4): >RemoveIdle aggregate idle cores -> remove one; <AddIdle ->
-// add one.
+// add one. Failed cores contribute no idle capacity — a dead goroutine
+// reports 0 utilization, and counting that as a spare core would make
+// the monitor scale down right after a failure, shrinking the surviving
+// set when it needs every core it has. The SetActiveCores rewrite
+// itself never steers to failed cores (RSS exclusion mask).
 func (s *Slowpath) scaleLoop() {
 	active := s.eng.ActiveCores()
 	var idle float64
 	for i := 0; i < active; i++ {
+		if s.eng.CoreFailed(i) {
+			continue
+		}
 		idle += 1 - s.eng.Utilization(i)
 	}
 	switch {

@@ -1,0 +1,238 @@
+package slowpath
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/fastpath"
+	"repro/internal/flowstate"
+	"repro/internal/protocol"
+	"repro/internal/shmring"
+)
+
+// newCoreWatchNode builds a 2-core engine + slow path with the core
+// watchdog armed at its floor timeout and scaling pinned (the test
+// controls the active set).
+func newCoreWatchNode(t *testing.T, coreTimeout time.Duration) (*fastpath.Engine, *Slowpath) {
+	t.Helper()
+	fab := fabric.New()
+	ip := protocol.MakeIPv4(10, 0, 0, 1)
+	var eng *fastpath.Engine
+	nic := fab.Attach(ip, func(p *protocol.Packet) { eng.Input(p) })
+	eng = fastpath.NewEngine(nic, fastpath.Config{
+		LocalIP: ip, LocalMAC: protocol.MACForIPv4(ip), MaxCores: 2,
+	})
+	sp := New(eng, Config{
+		ControlInterval: time.Millisecond,
+		CoreTimeout:     coreTimeout,
+		DisableScaling:  true,
+	})
+	eng.Start()
+	eng.SetActiveCores(2)
+	sp.Start()
+	t.Cleanup(func() { sp.Stop(); eng.Stop() })
+	return eng, sp
+}
+
+// installWatchFlow inserts a flow with unacked in-flight data and a cc
+// entry, as an established connection mid-transfer would have.
+func installWatchFlow(eng *fastpath.Engine, sp *Slowpath) *flowstate.Flow {
+	f := &flowstate.Flow{
+		LocalIP: eng.Config().LocalIP, LocalPort: 80,
+		PeerIP: protocol.MakeIPv4(10, 0, 0, 2), PeerPort: 5000,
+		PeerMAC: protocol.MACForIPv4(protocol.MakeIPv4(10, 0, 0, 2)),
+		SeqNo:   1500, AckNo: 5000, Window: 64, TxSent: 500,
+		RxBuf: shmring.NewPayloadBuffer(64 << 10),
+		TxBuf: shmring.NewPayloadBuffer(64 << 10),
+	}
+	f.Bucket = eng.AllocBucket()
+	eng.Table.Insert(f)
+	sp.mu.Lock()
+	sp.cc[f] = &ccEntry{ctrl: sp.cfg.NewController(), lastUna: 1500, stallTicks: 3, consecTimeouts: 2}
+	sp.mu.Unlock()
+	return f
+}
+
+func waitCond(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCoreWatchdogDetectsKillMigratesAndReadmits drives the full
+// data-plane failure lifecycle: a killed core's frozen heartbeat trips
+// the verdict within CoreTimeout, RSS is rewritten around it, its flow
+// is migrated (go-back-N rewind + re-armed timeout state), and after
+// ReviveCore the watchdog folds the core back in once clean heartbeats
+// flow.
+func TestCoreWatchdogDetectsKillMigratesAndReadmits(t *testing.T) {
+	eng, sp := newCoreWatchNode(t, 250*time.Millisecond)
+	f := installWatchFlow(eng, sp)
+	victim := eng.CoreForFlow(f)
+
+	eng.KillCore(victim)
+	waitCond(t, "failure verdict", 2*time.Second, func() bool {
+		return sp.Counters().CoreFailures == 1
+	})
+	if !eng.CoreFailed(victim) {
+		t.Fatalf("core %d not marked failed", victim)
+	}
+	// Never-steer-to-failed: every RSS bucket must name a survivor.
+	for b := 0; b < flowstate.RSSTableSize; b++ {
+		if eng.RSS.CoreFor(uint32(b)) == victim {
+			t.Fatalf("bucket %d still steers to failed core %d", b, victim)
+		}
+	}
+	// ... including across a scale event while the core is down.
+	eng.SetActiveCores(2)
+	for b := 0; b < flowstate.RSSTableSize; b++ {
+		if eng.RSS.CoreFor(uint32(b)) == victim {
+			t.Fatalf("SetCores steered bucket %d back to failed core %d", b, victim)
+		}
+	}
+	if eng.CoreForFlow(f) == victim {
+		t.Fatal("flow still owned by the failed core")
+	}
+
+	// Migration: in-flight tail rewound as unsent, timeout state re-armed.
+	c := sp.Counters()
+	if c.FlowsMigrated != 1 {
+		t.Fatalf("FlowsMigrated = %d, want 1", c.FlowsMigrated)
+	}
+	f.Lock()
+	seq, txSent := f.SeqNo, f.TxSent
+	f.Unlock()
+	if seq != 1000 || txSent != 0 {
+		t.Fatalf("flow not rewound: SeqNo=%d TxSent=%d, want 1000/0", seq, txSent)
+	}
+	sp.mu.Lock()
+	e := sp.cc[f]
+	stall, consec, una := e.stallTicks, e.consecTimeouts, e.lastUna
+	sp.mu.Unlock()
+	if stall != 0 || consec != 0 || una != 1000 {
+		t.Fatalf("cc entry not re-armed: stall=%d consec=%d lastUna=%d", stall, consec, una)
+	}
+
+	// Recovery: revive, then the watchdog re-admits after clean beats.
+	if !eng.ReviveCore(victim) {
+		t.Fatal("ReviveCore failed")
+	}
+	waitCond(t, "re-admission", 3*time.Second, func() bool {
+		return sp.Counters().CoreReadmits == 1 && !eng.CoreFailed(victim)
+	})
+	owns := false
+	for b := 0; b < flowstate.RSSTableSize; b++ {
+		if eng.RSS.CoreFor(uint32(b)) == victim {
+			owns = true
+			break
+		}
+	}
+	if !owns {
+		t.Fatalf("re-admitted core %d owns no RSS buckets", victim)
+	}
+}
+
+// TestCoreWatchdogStallAutoRecovers: a stall longer than CoreTimeout
+// draws the failure verdict, and the watchdog re-admits the core on its
+// own once the stall ends and heartbeats resume — no ReviveCore needed,
+// symmetric with the slow path's own stall story.
+func TestCoreWatchdogStallAutoRecovers(t *testing.T) {
+	eng, sp := newCoreWatchNode(t, 250*time.Millisecond)
+	eng.StallCore(1, 600*time.Millisecond)
+	waitCond(t, "stall verdict", 2*time.Second, func() bool {
+		return sp.Counters().CoreFailures == 1 && eng.CoreFailed(1)
+	})
+	waitCond(t, "auto re-admission", 3*time.Second, func() bool {
+		return sp.Counters().CoreReadmits == 1 && !eng.CoreFailed(1)
+	})
+}
+
+// TestCoreWatchdogSparesLastCore: the watchdog never condemns the last
+// eligible core. With core 1 dead and excluded, killing core 0 too must
+// not draw a verdict — excluding it would leave nothing to steer to,
+// strictly worse than leaving the (possibly just starved) core in
+// place. Once core 1 revives and is re-admitted, the still-dead core 0
+// finally draws its deferred verdict.
+func TestCoreWatchdogSparesLastCore(t *testing.T) {
+	eng, sp := newCoreWatchNode(t, 250*time.Millisecond)
+	eng.KillCore(1)
+	waitCond(t, "first failure verdict", 2*time.Second, func() bool {
+		return sp.Counters().CoreFailures == 1 && eng.CoreFailed(1)
+	})
+
+	eng.KillCore(0)
+	time.Sleep(600 * time.Millisecond) // well past CoreTimeout
+	if eng.CoreFailed(0) {
+		t.Fatal("watchdog condemned the last eligible core")
+	}
+	if c := sp.Counters().CoreFailures; c != 1 {
+		t.Fatalf("CoreFailures = %d, want 1 (last-core verdict deferred)", c)
+	}
+
+	// A survivor returns: core 1 is re-admitted, and the deferred
+	// verdict against core 0 lands.
+	if !eng.ReviveCore(1) {
+		t.Fatal("ReviveCore failed")
+	}
+	waitCond(t, "deferred verdict on core 0", 3*time.Second, func() bool {
+		c := sp.Counters()
+		return c.CoreReadmits == 1 && c.CoreFailures == 2 && eng.CoreFailed(0)
+	})
+	if eng.CoreFailed(1) {
+		t.Fatal("revived core 1 not re-admitted")
+	}
+}
+
+// TestCoreWatchdogDisabled: CoreTimeout 0 turns the watchdog off — a
+// dead core is never declared failed (raw-engine compatibility).
+func TestCoreWatchdogDisabled(t *testing.T) {
+	eng, sp := newCoreWatchNode(t, 0)
+	eng.KillCore(1)
+	time.Sleep(400 * time.Millisecond)
+	if c := sp.Counters().CoreFailures; c != 0 {
+		t.Fatalf("disabled watchdog declared %d failures", c)
+	}
+	if eng.CoreFailed(1) {
+		t.Fatal("disabled watchdog marked core failed")
+	}
+}
+
+// TestCoreWatchdogSurvivesWarmRestart: a warm-restarted slow path
+// adopts the predecessor's failure verdicts (the failed core stays
+// excluded) and can still re-admit the core after revival.
+func TestCoreWatchdogSurvivesWarmRestart(t *testing.T) {
+	eng, sp := newCoreWatchNode(t, 250*time.Millisecond)
+	eng.KillCore(1)
+	waitCond(t, "failure verdict", 2*time.Second, func() bool {
+		return sp.Counters().CoreFailures == 1
+	})
+
+	// Crash and warm-restart the slow path on the same engine.
+	sp.Kill()
+	ns := New(eng, sp.cfg)
+	ns.AdoptCounters(sp.Counters())
+	ns.Recover()
+	ns.Start()
+	t.Cleanup(func() { ns.Stop() })
+
+	if !eng.CoreFailed(1) {
+		t.Fatal("warm restart lost the failure verdict")
+	}
+	time.Sleep(100 * time.Millisecond)
+	if eng.CoreFailed(1) == false || ns.Counters().CoreFailures != 1 {
+		t.Fatalf("restarted instance re-judged the core: %+v", ns.Counters())
+	}
+
+	if !eng.ReviveCore(1) {
+		t.Fatal("ReviveCore failed")
+	}
+	waitCond(t, "re-admission by restarted instance", 3*time.Second, func() bool {
+		return ns.Counters().CoreReadmits == 1 && !eng.CoreFailed(1)
+	})
+}

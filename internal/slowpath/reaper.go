@@ -185,6 +185,8 @@ type Counters struct {
 	AppsReaped, FlowsReaped, ListenersReaped                uint64
 	HalfOpenReaped, SynBacklogDrops, AcceptQueueDrops       uint64
 	FlowsReconstructed, RecoveryAborts, Panics              uint64
+	CoreFailures, FlowsMigrated, CoreReadmits               uint64
+	CoreDrainRequeued                                       uint64
 }
 
 // Counters returns a snapshot of the slow path's counters.
@@ -200,7 +202,9 @@ func (s *Slowpath) Counters() Counters {
 		ListenersReaped: s.ListenersReaped, HalfOpenReaped: s.HalfOpenReaped,
 		SynBacklogDrops: s.SynBacklogDrops, AcceptQueueDrops: s.AcceptQueueDrops,
 		FlowsReconstructed: s.FlowsReconstructed, RecoveryAborts: s.RecoveryAborts,
-		Panics: s.Panics,
+		Panics:       s.Panics,
+		CoreFailures: s.CoreFailures, FlowsMigrated: s.FlowsMigrated,
+		CoreReadmits: s.CoreReadmits, CoreDrainRequeued: s.CoreDrainRequeued,
 	}
 }
 
@@ -221,4 +225,6 @@ func (s *Slowpath) AdoptCounters(c Counters) {
 	s.SynBacklogDrops, s.AcceptQueueDrops = c.SynBacklogDrops, c.AcceptQueueDrops
 	s.FlowsReconstructed, s.RecoveryAborts = c.FlowsReconstructed, c.RecoveryAborts
 	s.Panics = c.Panics
+	s.CoreFailures, s.FlowsMigrated = c.CoreFailures, c.FlowsMigrated
+	s.CoreReadmits, s.CoreDrainRequeued = c.CoreReadmits, c.CoreDrainRequeued
 }

@@ -120,6 +120,15 @@ func (s *Slowpath) Recover() RecoveryStats {
 		rep.FlowsAborted++
 	}
 
+	// Core-failure verdicts survive in the engine (failed flags + RSS
+	// exclusion mask); New() already adopted them into this instance's
+	// watchdog, but the staleness clocks must restart at resume time —
+	// the outage gap proves nothing about core liveness either way.
+	for i := range s.coresW {
+		s.coresW[i].lastChange = now
+		s.coresW[i].lastBeat = s.eng.CoreBeat(i)
+	}
+
 	// Grace before reaping (see reaper.go): during the outage nobody
 	// observed heartbeats, so stale stamps are not evidence of death.
 	s.noteResume(now)

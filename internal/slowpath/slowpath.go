@@ -76,6 +76,15 @@ type Config struct {
 	// Contexts that never heartbeat (raw low-level users) are exempt.
 	AppTimeout time.Duration
 
+	// CoreTimeout is how long a fast-path core's heartbeat counter may
+	// go without advancing before the core watchdog declares the core
+	// failed, excludes it from RSS steering, and migrates its flows to
+	// the survivors (0 disables the watchdog). Even an idle core
+	// advances its counter every blocked-wakeup period (≤100ms), so
+	// values are floored at 250ms to keep a merely-blocked core from
+	// tripping the verdict.
+	CoreTimeout time.Duration
+
 	// ListenBacklog bounds, per listener, the sum of in-flight
 	// handshakes and accepted-but-unconsumed connections. SYNs beyond
 	// the bound are shed (dropped, counted) rather than queued without
@@ -143,6 +152,9 @@ func (c *Config) fill() {
 	}
 	if c.ListenBacklog <= 0 {
 		c.ListenBacklog = 128
+	}
+	if c.CoreTimeout > 0 && c.CoreTimeout < 250*time.Millisecond {
+		c.CoreTimeout = 250 * time.Millisecond
 	}
 }
 
@@ -264,6 +276,16 @@ type Slowpath struct {
 	RecoveryAborts     uint64 // flows aborted during recovery (unprovable state)
 	Panics             uint64 // event-loop panics survived as crashes
 
+	// Data-plane failure-domain stats (see corewatch.go).
+	CoreFailures      uint64 // cores declared failed by the watchdog
+	FlowsMigrated     uint64 // flows re-adopted onto surviving cores
+	CoreReadmits      uint64 // failed cores folded back into steering
+	CoreDrainRequeued uint64 // packets/kicks requeued from dead cores' rings
+
+	// coresW is the core watchdog's per-core state; owned by the event
+	// loop (coreSweep), so it needs no lock.
+	coresW []coreWatch
+
 	lastReap   time.Time // rate-limits the liveness sweep
 	reapResume time.Time // post-stall/restart grace: treat as everyone's beat
 }
@@ -272,7 +294,7 @@ type Slowpath struct {
 func New(eng *fastpath.Engine, cfg Config) *Slowpath {
 	cfg.fill()
 	excq, wake := eng.Exceptions()
-	return &Slowpath{
+	s := &Slowpath{
 		eng: eng, cfg: cfg,
 		listeners: make(map[uint16]*listener),
 		half:      make(map[protocol.FlowKey]*halfOpen),
@@ -286,6 +308,8 @@ func New(eng *fastpath.Engine, cfg Config) *Slowpath {
 		kill:      make(chan struct{}),
 		stallC:    make(chan time.Duration, 1),
 	}
+	s.initCoreWatch()
+	return s
 }
 
 // Start launches the slow-path goroutine.
@@ -395,11 +419,13 @@ func (s *Slowpath) run() {
 				telem.Cycles.AddSlow(telemetry.ModTimer, t2-t1, 1)
 				s.reapSweep()
 				telem.Cycles.AddSlow(telemetry.ModReaper, telem.RefreshNow()-t2, 1)
+				s.coreSweep(now)
 			} else {
 				s.controlLoop()
 				s.handshakeSweep()
 				s.closeSweep()
 				s.reapSweep()
+				s.coreSweep(now)
 			}
 		case <-scale.C:
 			if !s.cfg.DisableScaling {

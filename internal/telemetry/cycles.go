@@ -19,11 +19,12 @@ const (
 	ModTimer                 // slow-path handshake/close/retransmit timers
 	ModReaper                // slow-path app-liveness reaping
 	ModAppCopy               // libtas payload copies in/out of app buffers
+	ModMigrate               // slow-path core-failure flow migration
 	ModOther                 // everything unattributed
 	NumModules
 )
 
-var modNames = [NumModules]string{"rx", "tx", "cc", "timer", "reaper", "app-copy", "other"}
+var modNames = [NumModules]string{"rx", "tx", "cc", "timer", "reaper", "app-copy", "migrate", "other"}
 
 func (m Module) String() string {
 	if int(m) < len(modNames) {

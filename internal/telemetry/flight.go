@@ -47,6 +47,14 @@ const (
 	FEDegraded
 	FERecovered
 	FEReconstructed
+	// Data-plane failure-domain events: FECoreFailed/FECoreRevived mark
+	// a fast-path core leaving and rejoining the steering set (recorded
+	// on the synthetic "cores" ring with the core index in Aux);
+	// FEMigrated marks a flow the core watchdog re-adopted onto a
+	// surviving core after its owner died.
+	FECoreFailed
+	FECoreRevived
+	FEMigrated
 )
 
 var feNames = map[FlowEventKind]string{
@@ -73,6 +81,9 @@ var feNames = map[FlowEventKind]string{
 	FEDegraded:      "degraded",
 	FERecovered:     "recovered",
 	FEReconstructed: "reconstructed",
+	FECoreFailed:    "core-failed",
+	FECoreRevived:   "core-revived",
+	FEMigrated:      "migrated",
 }
 
 func (k FlowEventKind) String() string {

@@ -111,6 +111,18 @@ type Config struct {
 	// plane. Default 1s; negative disables the watchdog.
 	SlowPathTimeout time.Duration
 
+	// CoreTimeout is how long a fast-path core's per-iteration heartbeat
+	// may go without advancing before the slow path declares the core
+	// failed: its RSS buckets are rewritten to surviving cores (and no
+	// scale event ever steers back to it), its flows are migrated —
+	// state re-adopted, retransmission re-armed, TX kicked — and packets
+	// stranded in its queues are requeued. A revived core
+	// (Service.ReviveCore) is folded back in after it proves clean
+	// heartbeats. Default 500ms; negative disables the core watchdog.
+	// Values below 250ms are floored there: even an idle healthy core
+	// only advances its counter every blocked-wakeup period (~100ms).
+	CoreTimeout time.Duration
+
 	// Telemetry opts into the observability subsystem: a unified metrics
 	// registry (Service.Metrics), a per-flow flight recorder, and
 	// per-core cycle accounting. Zero value = off, leaving only
@@ -259,6 +271,13 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 	case spTimeout < 0:
 		spTimeout = 0 // watchdog disabled
 	}
+	coreTimeout := cfg.CoreTimeout
+	switch {
+	case coreTimeout == 0:
+		coreTimeout = 500 * time.Millisecond
+	case coreTimeout < 0:
+		coreTimeout = 0 // core watchdog disabled
+	}
 	ecfg := fastpath.Config{
 		LocalIP:         ip,
 		LocalMAC:        protocol.MACForIPv4(ip),
@@ -288,6 +307,7 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 		MaxRetransmits:   cfg.MaxRetransmits,
 		AppTimeout:       cfg.AppTimeout,
 		ListenBacklog:    cfg.ListenBacklog,
+		CoreTimeout:      coreTimeout,
 		Telemetry:        telem,
 	}
 	link := cfg.LinkRateBps
@@ -323,6 +343,13 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 
 	slow := slowpath.New(eng, scfg)
 	eng.Start()
+	if cfg.DisableCoreScaling {
+		// With scaling off nothing would ever grow the active set past
+		// the initial single core; pin the full complement so every
+		// configured core carries traffic (and a core-failure re-steer
+		// has survivors to steer to).
+		eng.SetActiveCores(cfg.FastPathCores)
+	}
 	slow.Start()
 	s := &Service{IP: ip, eng: eng, fab: f, telem: telem, scfg: scfg}
 	s.slow.Store(slow)
@@ -375,6 +402,36 @@ func (s *Service) StallSlowPath(d time.Duration) { s.slow.Load().Stall(d) }
 // Degraded reports whether the fast path currently considers the slow
 // path down.
 func (s *Service) Degraded() bool { return s.eng.Degraded() }
+
+// KillCore crashes fast-path core i abruptly (fault harness): its
+// goroutine exits at the next loop check without draining anything,
+// exactly as an uncaught bug would leave it. After CoreTimeout the
+// slow path's core watchdog re-steers RSS around it and migrates its
+// flows to the survivors; recover the core with ReviveCore.
+func (s *Service) KillCore(i int) { s.eng.KillCore(i) }
+
+// StallCore wedges fast-path core i for d without killing it — the
+// goroutine sleeps mid-iteration, heartbeats stop, its queues back up.
+// Stalls longer than CoreTimeout trigger the same failure handling as
+// a crash; when the stall ends the core starts beating again and is
+// re-admitted automatically.
+func (s *Service) StallCore(i int, d time.Duration) { s.eng.StallCore(i, d) }
+
+// InjectCorePanic makes fast-path core i panic at its next loop check.
+// The panic is contained and counted (never escapes to the process);
+// the watchdog then treats the silent core like a crash.
+func (s *Service) InjectCorePanic(i int) { s.eng.InjectCorePanic(i) }
+
+// ReviveCore relaunches a crashed fast-path core's goroutine. Steering
+// does not resume immediately: the slow path folds the core back into
+// RSS only after it observes clean heartbeats from the new incarnation
+// (the normal scale-up path). Returns false if the goroutine is still
+// running.
+func (s *Service) ReviveCore(i int) bool { return s.eng.ReviveCore(i) }
+
+// CoreFailed reports whether fast-path core i is currently excluded
+// from RSS steering by the core watchdog.
+func (s *Service) CoreFailed(i int) bool { return s.eng.CoreFailed(i) }
 
 // Telemetry returns the service's telemetry hub (registry, flight
 // recorder, cycle accounts), or nil when telemetry is off.
@@ -439,6 +496,7 @@ func (s *Service) registerMetrics() {
 		{"excq_full", "Exception queue overflow.", func(d fastpath.DropStats) uint64 { return d.ExcqFull }},
 		{"events_lost", "Context event-queue overflow.", func(d fastpath.DropStats) uint64 { return d.EventsLost }},
 		{"ooo_dropped", "Out-of-order segments outside the tracked interval.", func(d fastpath.DropStats) uint64 { return d.OooDropped }},
+		{"core_stranded", "Packets stranded in a failed core's queues (stalled core, not drainable).", func(d fastpath.DropStats) uint64 { return d.CoreStranded }},
 	} {
 		read := m.read
 		r.CounterFunc("tas_drops_total", "Work refused by cause: "+m.help,
@@ -486,6 +544,29 @@ func (s *Service) registerMetrics() {
 		r.RegisterHistogram("tas_slowpath_outage_seconds",
 			"Duration of slow-path outages, observed when the heartbeat resumes.", h)
 	}
+
+	// Data-plane failure domain: per-core failed gauges plus the
+	// watchdog's failure / migration / re-admission counters.
+	for i := 0; i < eng.MaxCores(); i++ {
+		i := i
+		r.GaugeFunc("tas_core_failed", "1 while the core is excluded from RSS steering.",
+			func() float64 {
+				if eng.CoreFailed(i) {
+					return 1
+				}
+				return 0
+			}, telemetry.L("core", fmt.Sprintf("%d", i)))
+	}
+	r.CounterFunc("tas_core_failures_total", "Fast-path cores declared failed by the core watchdog.",
+		func() float64 { return float64(slowCounters().CoreFailures) })
+	r.CounterFunc("tas_flows_migrated_total", "Flows migrated off failed cores onto survivors.",
+		func() float64 { return float64(slowCounters().FlowsMigrated) })
+	r.CounterFunc("tas_core_readmits_total", "Failed cores folded back into RSS steering after clean heartbeats.",
+		func() float64 { return float64(slowCounters().CoreReadmits) })
+	r.CounterFunc("tas_core_drain_requeued_total", "Packets and kicks requeued from dead cores' rings onto survivors.",
+		func() float64 { return float64(slowCounters().CoreDrainRequeued) })
+	r.CounterFunc("tas_core_panics_total", "Fast-path run-loop panics contained by the per-core harness.",
+		func() float64 { return float64(eng.CoreFaults().Panics) })
 
 	// Live gauges.
 	r.GaugeFunc("tas_flows_live", "Flows currently installed in the flow table.",
@@ -550,6 +631,15 @@ type ServiceStats struct {
 	RecoveryAborts     uint64 // flows aborted during warm restarts
 	SlowPathOutages    uint64 // outages detected by the fast-path watchdog
 
+	// Data-plane failure-domain counters.
+	CoreFailures      uint64 // cores declared failed by the core watchdog
+	FlowsMigrated     uint64 // flows re-adopted onto surviving cores
+	CoreReadmits      uint64 // failed cores folded back into steering
+	CoreDrainRequeued uint64 // packets/kicks requeued from dead cores' rings
+	CorePanics        uint64 // fast-path run-loop panics contained
+	CoreStranded      uint64 // packets stranded in stalled cores' queues
+	CoresFailed       int    // cores currently excluded from steering (gauge)
+
 	// Live resource gauges.
 	FlowsLive        int   // flows currently installed in the flow table
 	LivePayloadBytes int64 // payload-buffer bytes allocated and not reclaimed
@@ -578,6 +668,14 @@ func (s *Service) Stats() ServiceStats {
 		FlowsReconstructed: sc.FlowsReconstructed,
 		RecoveryAborts:     sc.RecoveryAborts,
 		SlowPathOutages:    s.eng.Outages().Outages,
+
+		CoreFailures:      sc.CoreFailures,
+		FlowsMigrated:     sc.FlowsMigrated,
+		CoreReadmits:      sc.CoreReadmits,
+		CoreDrainRequeued: sc.CoreDrainRequeued,
+		CorePanics:        s.eng.CoreFaults().Panics,
+		CoreStranded:      d.CoreStranded,
+		CoresFailed:       s.eng.CoreFaults().Failed,
 
 		FlowsLive:        s.eng.Table.Len(),
 		LivePayloadBytes: shmring.LivePayloadBytes(),
