@@ -5,6 +5,12 @@
 // (rings, flow table, rate buckets, slow-path handshakes).
 //
 //	tasd -duration 10s -conns 4 -msg 64 -cores 2
+//
+// It can also run one chaos scenario instead of the echo demo, or serve
+// the scenario HTTP API (list scenarios, launch runs, poll reports):
+//
+//	tasd -scenario slowpath-outage-churn
+//	tasd -scenario-api :8080
 package main
 
 import (
@@ -19,7 +25,35 @@ import (
 	tas "repro"
 	"repro/internal/apps/echo"
 	"repro/internal/cpumodel"
+	"repro/internal/scenario"
 )
+
+// runScenario executes one scenario (library name or JSON spec file)
+// with live narration and returns the process exit code.
+func runScenario(ref string) int {
+	spec, err := scenario.Lookup(ref)
+	if err != nil {
+		raw, rerr := os.ReadFile(ref)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "scenario %q: not in library (%v) and not readable as a file (%v)\n", ref, err, rerr)
+			return 2
+		}
+		if spec, err = scenario.ParseSpec(raw); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario file %s: %v\n", ref, err)
+			return 2
+		}
+	}
+	rep, err := scenario.Run(spec, scenario.RunOptions{Metrics: true, Log: os.Stderr})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario run: %v\n", err)
+		return 2
+	}
+	fmt.Println(rep.Summary())
+	if !rep.Pass {
+		return 1
+	}
+	return 0
+}
 
 func main() {
 	var (
@@ -29,8 +63,18 @@ func main() {
 		cores    = flag.Int("cores", 2, "max fast-path cores per service")
 		loss     = flag.Float64("loss", 0, "injected packet loss rate")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/flows on this addr (e.g. :9090); enables telemetry")
+		scen     = flag.String("scenario", "", "run a chaos scenario (library name or JSON spec file) instead of the echo demo")
+		scenAPI  = flag.String("scenario-api", "", "serve the scenario HTTP API (/scenarios, /runs, /runs/<id>) on this addr and block")
 	)
 	flag.Parse()
+
+	if *scenAPI != "" {
+		fmt.Printf("scenario API: http://%s/scenarios, POST/GET /runs, GET /runs/<id>\n", *scenAPI)
+		log.Fatal(http.ListenAndServe(*scenAPI, scenario.NewAPI().Handler()))
+	}
+	if *scen != "" {
+		os.Exit(runScenario(*scen))
+	}
 
 	cfg := tas.Config{FastPathCores: *cores}
 	if *metrics != "" {

@@ -37,6 +37,10 @@ type Fabric struct {
 	latency atomic.Int64
 	// lossRate drops packets at random; stored as math.Float64bits.
 	lossRate atomic.Uint64
+	// linkCfg / links are the netem-grade link model (see link.go);
+	// nil linkCfg means the model is off. Guarded by mu.
+	linkCfg *LinkConfig
+	links   map[protocol.IPv4]*link
 	// Tap, when set, observes every packet accepted onto the fabric
 	// (before loss/latency), e.g. a trace.Recorder.Tap or a pcap
 	// writer. Must be safe for concurrent use.
@@ -45,6 +49,10 @@ type Fabric struct {
 	Delivered atomic.Uint64
 	Dropped   atomic.Uint64
 	NoRoute   atomic.Uint64
+
+	// Link-model counters (see link.go).
+	QueueDrops atomic.Uint64 // dropped: link queue overflow
+	CEMarks    atomic.Uint64 // ECN CE marks applied at link queues
 
 	// Fault-injection drop counters.
 	DownDrops      atomic.Uint64 // dropped: an endpoint's link was down
@@ -59,7 +67,18 @@ func New() *Fabric {
 		rng:       rand.New(rand.NewSource(1)),
 		downHosts: make(map[protocol.IPv4]bool),
 		blocked:   make(map[[2]protocol.IPv4]bool),
+		links:     make(map[protocol.IPv4]*link),
 	}
+}
+
+// Reseed re-seeds the fabric's private random source, which drives
+// SetLossRate decisions. Scenario runs call this with the scenario seed
+// so the loss process is part of the reproducible fault timeline rather
+// than pinned to the construction-time default seed.
+func (f *Fabric) Reseed(seed int64) {
+	f.mu.Lock()
+	f.rng = rand.New(rand.NewSource(seed))
+	f.mu.Unlock()
 }
 
 // pairKey canonicalizes an unordered host pair.
@@ -195,6 +214,15 @@ func (f *Fabric) send(pkt *protocol.Packet) {
 	f.mu.RUnlock()
 	if h == nil {
 		f.NoRoute.Add(1)
+		return
+	}
+	if l := f.linkFor(pkt.DstIP); l != nil {
+		if !l.send(pkt, h) {
+			f.QueueDrops.Add(1)
+			f.Dropped.Add(1)
+			return
+		}
+		f.Delivered.Add(1)
 		return
 	}
 	f.Delivered.Add(1)

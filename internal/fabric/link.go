@@ -1,0 +1,237 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// LinkConfig is the netem-grade link model for live-mode delivery. The
+// flat SetLatency model (deliver everything d later) gives every packet
+// infinite bandwidth: packets written back-to-back arrive back-to-back
+// in an artificial burst, and any added loss produces a receiver-limited
+// TCP that collapses instead of degrading (the netem exemplar's "with
+// delay" implementation). This model instead separates, per destination
+// host, the three delays a real link imposes:
+//
+//   - transmission: each packet occupies the link for wirelen*8/RateBps;
+//   - queueing: packets that arrive while the link transmits wait in a
+//     bounded drop-tail FIFO (overflow counted in Fabric.QueueDrops);
+//   - propagation: a constant PropDelay after transmission completes.
+//
+// With the queue bounded and the transmitter serialized, loss and rate
+// sweeps produce congestion-limited degradation — graceful, not cliff.
+type LinkConfig struct {
+	// RateBps is the link bandwidth in bits/s (must be > 0).
+	RateBps float64
+
+	// QueueCap bounds the per-destination drop-tail queue in packets
+	// (<= 0 means 256).
+	QueueCap int
+
+	// PropDelay is the one-way propagation delay added after a packet's
+	// transmission completes.
+	PropDelay time.Duration
+
+	// ECNThreshold, when > 0, marks ECN-capable packets CE when they
+	// arrive to a queue at or past this depth (DCTCP-style marking at
+	// the congestion point).
+	ECNThreshold int
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	return c
+}
+
+// queuedPkt is one packet waiting in or transmitting on a link, with its
+// resolved destination handler captured at admission time.
+type queuedPkt struct {
+	pkt *protocol.Packet
+	h   Handler
+}
+
+// link serializes delivery toward one destination host: a bounded
+// drop-tail FIFO drained at the configured rate, then a propagation
+// delay. It is the live-time mirror of netsim.Port.
+//
+// Draining runs on a virtual transmit clock (free): each packet's
+// transmission completes at free+wirelen*8/rate, and a drain pass
+// delivers every packet whose completion is due, then re-arms one timer
+// for the next. Delivering in elapsed-time batches (rather than one
+// timer per packet) keeps the modeled rate correct even though Go
+// timers fire with ~millisecond slop — per-packet timers at tens of
+// microseconds would silently throttle the link to the timer rate.
+type link struct {
+	fab *Fabric
+
+	mu    sync.Mutex
+	cfg   LinkConfig
+	queue []queuedPkt
+	busy  bool
+	free  time.Time // when the transmitter finishes its current packet
+}
+
+// send admits one packet. Returns false when the queue is full (the
+// caller counts the drop).
+func (l *link) send(pkt *protocol.Packet, h Handler) bool {
+	l.mu.Lock()
+	if len(l.queue) >= l.cfg.QueueCap {
+		l.mu.Unlock()
+		return false
+	}
+	if th := l.cfg.ECNThreshold; th > 0 && len(l.queue) >= th &&
+		(pkt.ECN == protocol.ECNECT0 || pkt.ECN == protocol.ECNECT1) {
+		pkt = pkt.Clone()
+		pkt.ECN = protocol.ECNCE
+		l.fab.CEMarks.Add(1)
+	}
+	l.queue = append(l.queue, queuedPkt{pkt: pkt, h: h})
+	if !l.busy {
+		l.busy = true
+		now := time.Now()
+		if l.free.Before(now) {
+			l.free = now // the transmitter sat idle until this packet
+		}
+		l.armTimer(now)
+	}
+	l.mu.Unlock()
+	return true
+}
+
+// txTime is one packet's transmission time at the configured rate.
+func (l *link) txTime(p *protocol.Packet) time.Duration {
+	tx := time.Duration(float64(p.WireLen()*8) / l.cfg.RateBps * 1e9)
+	if tx <= 0 {
+		tx = time.Nanosecond
+	}
+	return tx
+}
+
+// armTimer schedules the next drain pass for the head-of-line packet's
+// virtual completion. Caller holds l.mu; exactly one timer is
+// outstanding per link, so per-destination delivery stays FIFO.
+func (l *link) armTimer(now time.Time) {
+	wait := l.free.Add(l.txTime(l.queue[0].pkt)).Sub(now)
+	if wait <= 0 {
+		wait = time.Microsecond
+	}
+	time.AfterFunc(wait, l.drain)
+}
+
+// drain delivers every queued packet whose virtual transmission has
+// completed by now, advances the transmit clock, and re-arms the timer
+// for the remainder. Batching by elapsed time absorbs timer slop: if
+// the timer fired 1ms late at a 100 Mbit/s rate, the ~12 packets whose
+// serialization finished in that millisecond all leave now, preserving
+// the configured average rate (bursts stay bounded by the slop, far
+// from the whole-window bursts of the flat-delay model).
+func (l *link) drain() {
+	l.mu.Lock()
+	now := time.Now()
+	var out []queuedPkt
+	for len(l.queue) > 0 {
+		done := l.free.Add(l.txTime(l.queue[0].pkt))
+		if done.After(now) {
+			break
+		}
+		l.free = done
+		out = append(out, l.queue[0])
+		l.queue = l.queue[1:]
+	}
+	prop := l.cfg.PropDelay
+	if len(l.queue) > 0 {
+		l.armTimer(now)
+	} else {
+		l.busy = false
+	}
+	l.mu.Unlock()
+
+	deliver := func() {
+		for _, q := range out {
+			q.h(q.pkt)
+		}
+	}
+	if prop > 0 {
+		// Batches are scheduled at monotonically later completion times
+		// with the same offset, so cross-batch order is preserved.
+		time.AfterFunc(prop, deliver)
+	} else {
+		deliver()
+	}
+}
+
+// SetLink installs (or reconfigures) the netem-grade link model: every
+// destination host gets a bounded FIFO drained at cfg.RateBps followed
+// by cfg.PropDelay. Reconfiguring while traffic flows is safe and takes
+// effect for queued and future packets (an impairment schedule changing
+// the rate mid-run). While a link model is installed it supersedes the
+// flat SetLatency path. Panics if cfg.RateBps <= 0.
+func (f *Fabric) SetLink(cfg LinkConfig) {
+	if cfg.RateBps <= 0 {
+		panic("fabric: link model needs a positive rate")
+	}
+	cfg = cfg.withDefaults()
+	f.mu.Lock()
+	f.linkCfg = &cfg
+	for _, l := range f.links {
+		l.mu.Lock()
+		l.cfg = cfg
+		l.mu.Unlock()
+	}
+	f.mu.Unlock()
+}
+
+// ClearLink removes the link model, returning to direct (or flat
+// SetLatency) delivery. Packets already queued on links still drain.
+func (f *Fabric) ClearLink() {
+	f.mu.Lock()
+	f.linkCfg = nil
+	f.links = make(map[protocol.IPv4]*link)
+	f.mu.Unlock()
+}
+
+// LinkQueueLen reports the instantaneous queue depth toward dst (0 when
+// no link model is installed) — an observation point for congestion
+// assertions.
+func (f *Fabric) LinkQueueLen(dst protocol.IPv4) int {
+	f.mu.RLock()
+	l := f.links[dst]
+	f.mu.RUnlock()
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	n := len(l.queue)
+	l.mu.Unlock()
+	return n
+}
+
+// linkFor returns the link toward dst, creating it if the model is
+// installed (nil when it is not).
+func (f *Fabric) linkFor(dst protocol.IPv4) *link {
+	f.mu.RLock()
+	cfg := f.linkCfg
+	l := f.links[dst]
+	f.mu.RUnlock()
+	if cfg == nil {
+		return nil
+	}
+	if l != nil {
+		return l
+	}
+	f.mu.Lock()
+	if f.linkCfg == nil {
+		f.mu.Unlock()
+		return nil
+	}
+	if l = f.links[dst]; l == nil {
+		l = &link{fab: f, cfg: *f.linkCfg}
+		f.links[dst] = l
+	}
+	f.mu.Unlock()
+	return l
+}

@@ -1,0 +1,1038 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	tas "repro"
+	"repro/internal/apps/echo"
+	"repro/internal/fastpath"
+	"repro/internal/flowstate"
+)
+
+// RunOptions tunes one execution (not part of the deterministic spec).
+type RunOptions struct {
+	// Metrics includes the server's telemetry registry in the report.
+	Metrics bool
+	// Log, when non-nil, receives a progress narration of the run.
+	Log io.Writer
+}
+
+const (
+	serverPort = 7000
+	opTimeout  = 2 * time.Second // bound on any single blocking Read/Write/Dial
+	maxWait    = 30 * time.Second
+)
+
+// Run validates and executes a scenario against a live fabric, driving
+// the timeline deterministically from spec.Seed, and returns the run
+// report. A non-nil error means the run could not be set up (bad spec,
+// service construction); assertion failures are reported via
+// Report.Pass, not an error.
+func Run(spec *Spec, opt RunOptions) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := newRun(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer r.teardown()
+	return r.execute(), nil
+}
+
+// workerSlot tracks one workload worker's current app context so fault
+// events can kill/stall the live context.
+type workerSlot struct {
+	mu  sync.Mutex
+	ctx *tas.Context
+}
+
+// run is the live state of one executing scenario.
+type run struct {
+	spec *Spec
+	opt  RunOptions
+
+	fab     *tas.Fabric
+	srv     *tas.Service
+	clients []*tas.Service
+	slots   [][]*workerSlot // [client][worker]
+
+	linkMu  sync.Mutex
+	linkCfg *tas.LinkConfig // current link model (nil = flat latency)
+
+	stop chan struct{}
+
+	mu          sync.Mutex
+	ops         []OpRecord
+	retries     int
+	appRestarts int
+	bytesMoved  int64
+	timeline    []EventRecord
+
+	start        time.Time
+	lastEventEnd time.Duration // scheduled end (At+For) of the last timeline entry
+}
+
+func (r *run) logf(format string, args ...any) {
+	if r.opt.Log != nil {
+		fmt.Fprintf(r.opt.Log, format+"\n", args...)
+	}
+}
+
+// baseConfig maps a scenario topology onto service configuration. The
+// defaults are chaos-tuned: fast handshake retries, a 10ms control
+// interval (20ms base RTO), and failure-domain timers that converge in
+// hundreds of milliseconds while staying above heartbeat periods even
+// under the race detector (CoreTimeout 400ms > 4x the 100ms
+// blocked-core beat). linkBps calibrates congestion control to the
+// scenario's link model (0 = the 40 Gbps default).
+func baseConfig(t Topology, cores int, server bool, linkBps float64) tas.Config {
+	cfg := tas.Config{
+		FastPathCores:      cores,
+		DisableCoreScaling: t.DisableCoreScaling,
+		HandshakeRTO:       25 * time.Millisecond,
+		HandshakeRetries:   7,
+		MaxRetransmits:     12,
+		AppTimeout:         300 * time.Millisecond,
+		SlowPathTimeout:    150 * time.Millisecond,
+		CoreTimeout:        400 * time.Millisecond,
+		ControlInterval:    10 * time.Millisecond,
+		CongestionControl:  t.CongestionControl,
+		LinkRateBps:        linkBps,
+	}
+	if t.HandshakeRTO > 0 {
+		cfg.HandshakeRTO = t.HandshakeRTO.D()
+	}
+	if t.MaxRetransmits > 0 {
+		cfg.MaxRetransmits = t.MaxRetransmits
+	}
+	if t.AppTimeout > 0 {
+		cfg.AppTimeout = t.AppTimeout.D()
+	}
+	if t.SlowPathTimeout > 0 {
+		cfg.SlowPathTimeout = t.SlowPathTimeout.D()
+	}
+	if t.CoreTimeout > 0 {
+		cfg.CoreTimeout = t.CoreTimeout.D()
+	}
+	if server {
+		cfg.ListenBacklog = t.ListenBacklog
+		cfg.Telemetry.Enabled = true
+	}
+	return cfg
+}
+
+func clientAddr(k int) string { return fmt.Sprintf("10.0.1.%d", k+1) }
+
+// hostAddr resolves a spec host name to its fabric address.
+func hostAddr(name string) string {
+	if name == "server" {
+		return "10.0.0.1"
+	}
+	var k int
+	fmt.Sscanf(name, "client%d", &k)
+	return clientAddr(k)
+}
+
+func newRun(spec *Spec, opt RunOptions) (*run, error) {
+	r := &run{
+		spec: spec,
+		opt:  opt,
+		fab:  tas.NewFabric(),
+		stop: make(chan struct{}),
+	}
+	// Determinism: the fabric's loss process draws from the scenario
+	// seed, not the construction-time default.
+	r.fab.Reseed(spec.Seed)
+	var linkBps float64
+	if l := spec.Link; l != nil {
+		cfg := tas.LinkConfig{
+			RateBps:      l.RateMbps * 1e6,
+			QueueCap:     l.QueuePkts,
+			PropDelay:    l.Delay.D(),
+			ECNThreshold: l.ECNPkts,
+		}
+		r.linkCfg = &cfg
+		r.fab.SetLink(cfg)
+		linkBps = cfg.RateBps
+	}
+	srv, err := r.fab.NewService("10.0.0.1", baseConfig(spec.Topology, spec.Topology.ServerCores, true, linkBps))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: server: %w", err)
+	}
+	r.srv = srv
+	for k := 0; k < spec.Topology.Clients; k++ {
+		cli, err := r.fab.NewService(clientAddr(k), baseConfig(spec.Topology, spec.Topology.ClientCores, false, linkBps))
+		if err != nil {
+			r.teardown()
+			return nil, fmt.Errorf("scenario: client %d: %w", k, err)
+		}
+		r.clients = append(r.clients, cli)
+		slots := make([]*workerSlot, spec.Workload.Conns)
+		for j := range slots {
+			slots[j] = &workerSlot{}
+		}
+		r.slots = append(r.slots, slots)
+	}
+	return r, nil
+}
+
+func (r *run) teardown() {
+	if r.srv != nil {
+		r.srv.Close()
+		r.srv = nil
+	}
+	for _, c := range r.clients {
+		c.Close()
+	}
+	r.clients = nil
+}
+
+func (r *run) stopped() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// service resolves a fault target name.
+func (r *run) service(target string) *tas.Service {
+	if target == "" || target == "server" {
+		return r.srv
+	}
+	var k int
+	fmt.Sscanf(target, "client%d", &k)
+	return r.clients[k]
+}
+
+// --- payloads ---------------------------------------------------------
+
+// payloadSeed mixes the scenario seed with an op's identity; every
+// random byte in the run is derived from it, so payload digests are
+// part of the reproducible report.
+func payloadSeed(seed int64, client, worker, op int) int64 {
+	return seed + int64(client)*1_000_003 + int64(worker)*10_007 + int64(op)*101 + 1
+}
+
+func (r *run) payload(client, worker, op int) ([]byte, [32]byte) {
+	b := make([]byte, r.spec.Workload.TransferBytes)
+	rand.New(rand.NewSource(payloadSeed(r.spec.Seed, client, worker, op))).Read(b)
+	return b, sha256.Sum256(b)
+}
+
+// --- execution --------------------------------------------------------
+
+func (r *run) execute() *Report {
+	spec := r.spec
+	rep := &Report{
+		Scenario:    spec.Name,
+		Description: spec.Description,
+		Seed:        spec.Seed,
+		StartedAt:   time.Now(),
+	}
+	r.start = time.Now()
+	r.logf("scenario %s: seed=%d clients=%d workers=%d duration<=%v",
+		spec.Name, spec.Seed, spec.Topology.Clients, spec.Workload.Conns, spec.Duration.D())
+
+	acceptDone := r.startServer()
+
+	var wg sync.WaitGroup
+	for k := range r.clients {
+		for j := 0; j < spec.Workload.Conns; j++ {
+			wg.Add(1)
+			go func(k, j int) {
+				defer wg.Done()
+				if spec.Workload.Kind == WorkStream {
+					r.streamWorker(k, j)
+				} else {
+					r.rpcWorker(k, j)
+				}
+			}(k, j)
+		}
+	}
+	workDone := make(chan struct{})
+	go func() { wg.Wait(); close(workDone) }()
+
+	evs := r.normalize()
+	for _, ev := range evs {
+		if ev.end > r.lastEventEnd {
+			r.lastEventEnd = ev.end
+		}
+	}
+	timelineDone := make(chan struct{})
+	go func() { defer close(timelineDone); r.playTimeline(evs) }()
+
+	capped := false
+	deadline := time.After(spec.Duration.D())
+	var doneAt time.Time
+waitLoop:
+	for workDone != nil || timelineDone != nil {
+		select {
+		case <-workDone:
+			doneAt = time.Now()
+			workDone = nil
+		case <-timelineDone:
+			timelineDone = nil
+		case <-deadline:
+			capped = true
+			r.logf("duration cap %v hit; stopping", spec.Duration.D())
+			break waitLoop
+		}
+	}
+	close(r.stop)
+	if doneAt.IsZero() {
+		// Cap hit before the workload finished: wait (bounded) for the
+		// workers to observe the stop and bail out.
+		waitWithTimeout(&wg, maxWait)
+		doneAt = time.Now()
+	}
+	<-acceptDone
+
+	rep.WallMS = float64(time.Since(r.start).Microseconds()) / 1000
+
+	// Recovery: from the scheduled end of the last timeline entry to
+	// workload completion.
+	recovery := doneAt.Sub(r.start.Add(r.lastEventEnd))
+	if recovery < 0 || len(r.timeline) == 0 {
+		recovery = 0
+	}
+	rep.RecoveryMS = float64(recovery.Microseconds()) / 1000
+
+	r.mu.Lock()
+	rep.Timeline = append([]EventRecord(nil), r.timeline...)
+	completed, failed, mismatches := 0, 0, 0
+	for _, op := range r.ops {
+		if op.Done {
+			completed++
+			if !op.Intact {
+				mismatches++
+			}
+		} else {
+			failed++
+		}
+	}
+	rep.Workload = WorkloadResult{
+		Kind:        spec.Workload.Kind,
+		Expected:    spec.ExpectedOps(),
+		Completed:   completed,
+		Failed:      failed,
+		Mismatches:  mismatches,
+		BytesMoved:  r.bytesMoved,
+		Retries:     r.retries,
+		AppRestarts: r.appRestarts,
+		Ops:         append([]OpRecord(nil), r.ops...),
+	}
+	r.mu.Unlock()
+
+	// Snapshots (before teardown detaches the services).
+	rep.Server = ServiceSnapshot{Name: "server", ServiceStats: r.srv.Stats(), Restarts: r.srv.Restarts()}
+	for k, c := range r.clients {
+		rep.Clients = append(rep.Clients, ServiceSnapshot{
+			Name: fmt.Sprintf("client%d", k), ServiceStats: c.Stats(), Restarts: c.Restarts(),
+		})
+	}
+	rep.Fabric = FabricSnapshot(r.fab.Stats())
+	if t := r.srv.Telemetry(); t != nil {
+		rep.FlightFlows = len(t.Recorder.LiveKeys()) + len(t.Recorder.RetiredKeys())
+		if r.opt.Metrics {
+			rep.Metrics = t.Registry.Samples()
+		}
+	}
+
+	rep.Assertions = r.evaluate(rep, capped, recovery)
+	rep.Pass = true
+	for _, a := range rep.Assertions {
+		if !a.Pass {
+			rep.Pass = false
+		}
+	}
+	r.logf("%s", rep.Summary())
+	return rep
+}
+
+// waitWithTimeout waits for wg, giving up after d.
+func waitWithTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+// --- server side ------------------------------------------------------
+
+func (r *run) startServer() <-chan struct{} {
+	done := make(chan struct{})
+	sctx := r.srv.NewContext()
+	ln, err := sctx.Listen(serverPort)
+	if err != nil {
+		// Validated spec; a listen failure is a harness bug surfaced as
+		// zero completed ops.
+		r.logf("listen: %v", err)
+		close(done)
+		return done
+	}
+	go func() {
+		defer close(done)
+		defer ln.Close()
+		for {
+			c, err := ln.Accept(250 * time.Millisecond)
+			if err != nil {
+				if r.stopped() {
+					return
+				}
+				continue
+			}
+			hctx := r.srv.NewContext()
+			c.Rebind(hctx)
+			if r.spec.Workload.Kind == WorkStream {
+				go r.serveStream(c)
+			} else {
+				go func() {
+					defer c.Close()
+					echo.Serve(timeoutRW{c: c, stop: r.stop}, r.spec.Workload.MsgBytes)
+				}()
+			}
+		}
+	}()
+	return done
+}
+
+// serveStream answers length-prefixed transfers with their SHA-256.
+func (r *run) serveStream(c *tas.Conn) {
+	defer c.Close()
+	hdr := make([]byte, 8)
+	buf := make([]byte, 32<<10)
+	for {
+		if err := r.readFull(c, hdr); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint64(hdr)
+		if n == 0 || n > 1<<30 {
+			return
+		}
+		h := sha256.New()
+		left := int(n)
+		for left > 0 {
+			chunk := buf
+			if left < len(chunk) {
+				chunk = chunk[:left]
+			}
+			if err := r.readFull(c, chunk); err != nil {
+				return
+			}
+			h.Write(chunk)
+			left -= len(chunk)
+		}
+		sum := h.Sum(nil)
+		if _, err := c.WriteTimeout(sum, opTimeout); err != nil {
+			return
+		}
+	}
+}
+
+// readFull fills buf, retrying bounded-read timeouts until the run
+// stops; any other error (EOF, reset, app dead) is returned.
+func (r *run) readFull(c *tas.Conn, buf []byte) error {
+	got := 0
+	for got < len(buf) {
+		// Check stop per iteration: against a slow link, reads make
+		// continuous partial progress and would otherwise never observe
+		// the duration cap.
+		if got > 0 && r.stopped() {
+			return errStopped
+		}
+		n, err := c.ReadTimeout(buf[got:], opTimeout)
+		got += n
+		if err != nil {
+			if tas.ErrTimeout(err) && !r.stopped() {
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// --- client workers ---------------------------------------------------
+
+var errStopped = errors.New("scenario: run stopped")
+
+// freshCtx replaces (or lazily creates) a worker's app context.
+func (r *run) freshCtx(client, worker int, rebuild bool) *tas.Context {
+	s := r.slots[client][worker]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx == nil || rebuild {
+		if s.ctx != nil {
+			r.mu.Lock()
+			r.appRestarts++
+			r.mu.Unlock()
+		}
+		s.ctx = r.clients[client].NewContext()
+	}
+	return s.ctx
+}
+
+// dial connects a worker to the server, handling dead-context rebuilds.
+// Returns errStopped when the run is over.
+func (r *run) dial(client, worker int) (*tas.Conn, error) {
+	ctx := r.freshCtx(client, worker, false)
+	c, err := ctx.DialTimeout("10.0.0.1", serverPort, opTimeout)
+	if err == nil {
+		return c, nil
+	}
+	if tas.ErrAppDead(err) {
+		r.freshCtx(client, worker, true)
+	}
+	return nil, err
+}
+
+// backoff sleeps a deterministic retry interval, aborting on stop.
+func (r *run) backoff() error {
+	select {
+	case <-r.stop:
+		return errStopped
+	case <-time.After(25 * time.Millisecond):
+		return nil
+	}
+}
+
+func (r *run) recordOp(op OpRecord) {
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	if op.Done {
+		r.bytesMoved += int64(op.Bytes)
+	}
+	r.mu.Unlock()
+}
+
+func (r *run) countRetry() {
+	r.mu.Lock()
+	r.retries++
+	r.mu.Unlock()
+}
+
+func (r *run) streamWorker(client, worker int) {
+	w := r.spec.Workload
+	var conn *tas.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for op := 0; op < w.Transfers; op++ {
+		payload, sum := r.payload(client, worker, op)
+		rec := OpRecord{
+			Client: client, Worker: worker, Op: op,
+			SHA: hex.EncodeToString(sum[:]), Bytes: len(payload),
+		}
+		if w.Reconnect && conn != nil {
+			conn.Close()
+			conn = nil
+		}
+		for !r.stopped() {
+			rec.Attempts++
+			if conn == nil {
+				c, err := r.dial(client, worker)
+				if err != nil {
+					r.countRetry()
+					if r.backoff() != nil {
+						break
+					}
+					continue
+				}
+				conn = c
+			}
+			ok, err := r.doTransfer(conn, payload, sum)
+			if err == nil {
+				rec.Done, rec.Intact = true, ok
+				break
+			}
+			conn.Close()
+			conn = nil
+			if tas.ErrAppDead(err) {
+				r.freshCtx(client, worker, true)
+			}
+			r.countRetry()
+			if r.backoff() != nil {
+				break
+			}
+		}
+		r.recordOp(rec)
+		if !rec.Done {
+			return // run stopped; remaining ops are unrecorded = failed
+		}
+	}
+}
+
+// doTransfer sends one length-prefixed payload and checks the server's
+// digest. Returns (intact, nil) on completion, or an error that forces
+// a reconnect.
+func (r *run) doTransfer(c *tas.Conn, payload []byte, want [32]byte) (bool, error) {
+	hdr := make([]byte, 8)
+	binary.BigEndian.PutUint64(hdr, uint64(len(payload)))
+	if err := r.writeFull(c, hdr); err != nil {
+		return false, err
+	}
+	chunk := r.spec.Workload.ChunkBytes
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		if err := r.writeFull(c, payload[off:end]); err != nil {
+			return false, err
+		}
+	}
+	var got [32]byte
+	if err := r.readFull(c, got[:]); err != nil {
+		return false, err
+	}
+	return got == want, nil
+}
+
+// writeFull writes all of buf, retrying bounded-write timeouts until
+// the run stops.
+func (r *run) writeFull(c *tas.Conn, buf []byte) error {
+	sent := 0
+	for sent < len(buf) {
+		// Same per-iteration stop check as readFull: partial progress
+		// into a slow link must not outlive the duration cap.
+		if sent > 0 && r.stopped() {
+			return errStopped
+		}
+		n, err := c.WriteTimeout(buf[sent:], opTimeout)
+		sent += n
+		if err != nil {
+			if tas.ErrTimeout(err) && !r.stopped() {
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// timeoutRW adapts a connection to io.ReadWriter with bounded ops for
+// the echo application.
+type timeoutRW struct {
+	c    *tas.Conn
+	stop chan struct{}
+}
+
+func (t timeoutRW) Read(p []byte) (int, error)  { return t.c.ReadTimeout(p, opTimeout) }
+func (t timeoutRW) Write(p []byte) (int, error) { return t.c.WriteTimeout(p, opTimeout) }
+
+func (r *run) rpcWorker(client, worker int) {
+	w := r.spec.Workload
+	var conn *tas.Conn
+	var ec *echo.Client
+	onConn := 0
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for op := 0; op < w.Calls; op++ {
+		rec := OpRecord{Client: client, Worker: worker, Op: op, Bytes: w.MsgBytes}
+		if conn != nil && onConn >= w.CallsPerConn {
+			conn.Close()
+			conn, ec = nil, nil
+			onConn = 0
+		}
+		for !r.stopped() {
+			rec.Attempts++
+			if conn == nil {
+				c, err := r.dial(client, worker)
+				if err != nil {
+					r.countRetry()
+					if r.backoff() != nil {
+						break
+					}
+					continue
+				}
+				conn = c
+				ec = echo.NewClient(timeoutRW{c: conn, stop: r.stop}, w.MsgBytes)
+				onConn = 0
+			}
+			if err := ec.Call(); err != nil {
+				conn.Close()
+				conn, ec = nil, nil
+				if tas.ErrAppDead(err) {
+					r.freshCtx(client, worker, true)
+				}
+				r.countRetry()
+				if r.backoff() != nil {
+					break
+				}
+				continue
+			}
+			onConn++
+			rec.Done, rec.Intact = true, true // Call verifies the echo
+			break
+		}
+		r.recordOp(rec)
+		if !rec.Done {
+			return
+		}
+	}
+}
+
+// --- timeline ---------------------------------------------------------
+
+// schedEvent is one normalized timeline entry.
+type schedEvent struct {
+	at     time.Duration
+	end    time.Duration // at + For (stalls occupy a window)
+	kind   string
+	target string
+	apply  func() string // returns the resolved-detail string
+}
+
+// normalize expands flaps and merges impairments and faults into one
+// deterministic schedule, ordered by (at, original position).
+func (r *run) normalize() []schedEvent {
+	var evs []schedEvent
+	for i, imp := range r.spec.Impairments {
+		imp := imp
+		if imp.Kind == ImpFlap {
+			t := imp.At.D()
+			for c := 0; c < imp.Count; c++ {
+				down, up := t, t+imp.Down.D()
+				host := imp.Host
+				evs = append(evs, schedEvent{
+					at: down, end: down, kind: ImpLinkDown, target: host,
+					apply: func() string { r.fab.SetLinkDown(hostAddr(host), true); return "flap down" },
+				})
+				evs = append(evs, schedEvent{
+					at: up, end: up, kind: ImpLinkUp, target: host,
+					apply: func() string { r.fab.SetLinkDown(hostAddr(host), false); return "flap up" },
+				})
+				t = up + imp.Up.D()
+			}
+			continue
+		}
+		evs = append(evs, r.impairmentEvent(i, imp))
+	}
+	for _, f := range r.spec.Faults {
+		evs = append(evs, r.faultEvent(f))
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	return evs
+}
+
+func (r *run) impairmentEvent(idx int, imp Impairment) schedEvent {
+	ev := schedEvent{at: imp.At.D(), end: imp.At.D(), kind: imp.Kind}
+	seed := r.spec.Seed + int64(idx) + 7919 // per-event derived seed
+	switch imp.Kind {
+	case ImpLoss:
+		ev.apply = func() string {
+			r.fab.SetLoss(imp.Rate)
+			return fmt.Sprintf("loss=%.3f", imp.Rate)
+		}
+	case ImpBurstLoss:
+		ev.apply = func() string {
+			r.fab.SetBurstLoss(tas.GEConfig{
+				PGoodToBad: imp.GE.PGoodToBad, PBadToGood: imp.GE.PBadToGood,
+				LossGood: imp.GE.LossGood, LossBad: imp.GE.LossBad,
+			}, seed)
+			return fmt.Sprintf("ge(pgb=%.3f pbg=%.3f lb=%.2f) seed=%d",
+				imp.GE.PGoodToBad, imp.GE.PBadToGood, imp.GE.LossBad, seed)
+		}
+	case ImpClearLoss:
+		ev.apply = func() string {
+			r.fab.SetLoss(0)
+			r.fab.ClearBurstLoss()
+			return "loss cleared"
+		}
+	case ImpPartition:
+		ev.target = imp.A + "<->" + imp.B
+		ev.apply = func() string {
+			r.fab.Partition(hostAddr(imp.A), hostAddr(imp.B))
+			return "partitioned"
+		}
+	case ImpHeal:
+		ev.target = imp.A + "<->" + imp.B
+		ev.apply = func() string {
+			if imp.A == "" || imp.B == "" {
+				r.fab.HealAll()
+				return "healed all"
+			}
+			r.fab.Heal(hostAddr(imp.A), hostAddr(imp.B))
+			return "healed"
+		}
+	case ImpLinkDown:
+		ev.target = imp.Host
+		ev.apply = func() string { r.fab.SetLinkDown(hostAddr(imp.Host), true); return "down" }
+	case ImpLinkUp:
+		ev.target = imp.Host
+		ev.apply = func() string { r.fab.SetLinkDown(hostAddr(imp.Host), false); return "up" }
+	case ImpDelay:
+		ev.apply = func() string {
+			r.linkMu.Lock()
+			defer r.linkMu.Unlock()
+			if r.linkCfg != nil {
+				r.linkCfg.PropDelay = imp.Delay.D()
+				r.fab.SetLink(*r.linkCfg)
+			} else {
+				r.fab.SetLatency(imp.Delay.D())
+			}
+			return fmt.Sprintf("delay=%v", imp.Delay.D())
+		}
+	case ImpRate:
+		ev.apply = func() string {
+			r.linkMu.Lock()
+			defer r.linkMu.Unlock()
+			r.linkCfg.RateBps = imp.Rate * 1e6
+			r.fab.SetLink(*r.linkCfg)
+			return fmt.Sprintf("rate=%.1fMbps", imp.Rate)
+		}
+	}
+	return ev
+}
+
+// victimCore returns the active core owning the most flows (ties to the
+// lowest index): the deterministic resolution of Core == -1.
+func victimCore(eng *fastpath.Engine) int {
+	counts := make(map[int]int)
+	eng.Table.ForEach(func(f *flowstate.Flow) {
+		counts[eng.CoreForFlow(f)]++
+	})
+	victim, n := 0, -1
+	for c, k := range counts {
+		if k > n || (k == n && c < victim) {
+			victim, n = c, k
+		}
+	}
+	return victim
+}
+
+func (r *run) faultEvent(f FaultEvent) schedEvent {
+	target := f.Target
+	if target == "" {
+		target = "server"
+	}
+	ev := schedEvent{at: f.At.D(), end: f.At.D() + f.For.D(), kind: f.Kind, target: target}
+	switch f.Kind {
+	case FaultAppKill:
+		ev.apply = func() string {
+			var k int
+			fmt.Sscanf(target, "client%d", &k)
+			s := r.slots[k][f.App]
+			s.mu.Lock()
+			if s.ctx != nil {
+				s.ctx.Kill()
+			}
+			s.mu.Unlock()
+			return fmt.Sprintf("app %d killed", f.App)
+		}
+	case FaultAppStall:
+		ev.apply = func() string {
+			var k int
+			fmt.Sscanf(target, "client%d", &k)
+			s := r.slots[k][f.App]
+			s.mu.Lock()
+			if s.ctx != nil {
+				s.ctx.Stall(f.For.D())
+			}
+			s.mu.Unlock()
+			return fmt.Sprintf("app %d stalled %v", f.App, f.For.D())
+		}
+	case FaultSlowKill:
+		ev.apply = func() string { r.service(target).KillSlowPath(); return "slow path killed" }
+	case FaultSlowStall:
+		ev.apply = func() string {
+			r.service(target).StallSlowPath(f.For.D())
+			return fmt.Sprintf("slow path stalled %v", f.For.D())
+		}
+	case FaultSlowPanic:
+		ev.apply = func() string { r.service(target).InjectSlowPathPanic(); return "slow path panic injected" }
+	case FaultSlowRestart:
+		ev.apply = func() string {
+			st := r.service(target).Restart()
+			return fmt.Sprintf("warm restart: %d flows readopted, %d aborted", st.FlowsReconstructed, st.FlowsAborted)
+		}
+	case FaultCoreKill:
+		ev.apply = func() string {
+			svc := r.service(target)
+			core := f.Core
+			if core == -1 {
+				core = victimCore(svc.Engine())
+			}
+			svc.KillCore(core)
+			return fmt.Sprintf("core %d killed", core)
+		}
+	case FaultCoreStall:
+		ev.apply = func() string {
+			svc := r.service(target)
+			core := f.Core
+			if core == -1 {
+				core = victimCore(svc.Engine())
+			}
+			svc.StallCore(core, f.For.D())
+			return fmt.Sprintf("core %d stalled %v", core, f.For.D())
+		}
+	case FaultCorePanic:
+		ev.apply = func() string {
+			svc := r.service(target)
+			core := f.Core
+			if core == -1 {
+				core = victimCore(svc.Engine())
+			}
+			svc.InjectCorePanic(core)
+			return fmt.Sprintf("core %d panic injected", core)
+		}
+	case FaultCoreRevive:
+		ev.apply = func() string {
+			ok := r.service(target).ReviveCore(f.Core)
+			return fmt.Sprintf("core %d revived (fresh=%v)", f.Core, ok)
+		}
+	}
+	return ev
+}
+
+// playTimeline fires every scheduled event at its offset.
+func (r *run) playTimeline(evs []schedEvent) {
+	for _, ev := range evs {
+		wait := time.Until(r.start.Add(ev.at))
+		if wait > 0 {
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(wait):
+			}
+		}
+		if r.stopped() {
+			return
+		}
+		detail := ev.apply()
+		wall := time.Since(r.start)
+		r.logf("  t=%7.1fms %-14s %-18s %s",
+			float64(wall.Microseconds())/1000, ev.kind, ev.target, detail)
+		r.mu.Lock()
+		r.timeline = append(r.timeline, EventRecord{
+			AtMS:   float64(ev.at.Microseconds()) / 1000,
+			WallMS: float64(wall.Microseconds()) / 1000,
+			Kind:   ev.kind,
+			Target: ev.target,
+			Detail: detail,
+		})
+		r.mu.Unlock()
+	}
+}
+
+// --- assertions -------------------------------------------------------
+
+func (r *run) evaluate(rep *Report, capped bool, recovery time.Duration) []AssertionResult {
+	a := r.spec.Assert
+	var out []AssertionResult
+	add := func(name string, pass bool, format string, args ...any) {
+		out = append(out, AssertionResult{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	if capped {
+		add("within-duration", false, "run hit the %v duration cap", r.spec.Duration.D())
+	} else {
+		add("within-duration", true, "finished in %.0fms", rep.WallMS)
+	}
+	if a.AllComplete {
+		w := rep.Workload
+		add("all-complete", w.Completed == w.Expected && w.Failed == 0,
+			"%d/%d ops completed (%d failed)", w.Completed, w.Expected, w.Failed)
+	}
+	if a.Intact {
+		m := rep.Workload.Mismatches
+		add("intact", m == 0, "%d content mismatches over %d completed ops (SHA-256 verified)",
+			m, rep.Workload.Completed)
+	}
+	if a.MaxRecovery > 0 {
+		add("recovery", recovery <= a.MaxRecovery.D(),
+			"recovered in %v (bound %v)", recovery.Round(time.Millisecond), a.MaxRecovery.D())
+	}
+	if a.MinFlowsMigrated > 0 {
+		got := rep.Server.FlowsMigrated
+		add("flows-migrated", got >= uint64(a.MinFlowsMigrated),
+			"%d flows migrated (want >= %d)", got, a.MinFlowsMigrated)
+	}
+	if a.MinCoreFailures > 0 {
+		got := rep.Server.CoreFailures
+		add("core-failures", got >= uint64(a.MinCoreFailures),
+			"%d core failures declared (want >= %d)", got, a.MinCoreFailures)
+	}
+	if a.MinAppsReaped > 0 {
+		var got uint64
+		got += rep.Server.AppsReaped
+		for _, c := range rep.Clients {
+			got += c.AppsReaped
+		}
+		add("apps-reaped", got >= uint64(a.MinAppsReaped),
+			"%d app contexts reaped (want >= %d)", got, a.MinAppsReaped)
+	}
+	if a.RequireDegraded {
+		var outages uint64
+		outages += rep.Server.SlowPathOutages
+		for _, c := range rep.Clients {
+			outages += c.SlowPathOutages
+		}
+		add("degraded-observed", outages > 0, "%d slow-path outages observed", outages)
+	}
+	if a.BoundServerAborts {
+		add("server-aborts", rep.Server.Aborts <= uint64(a.MaxServerAborts),
+			"%d server aborts (bound %d)", rep.Server.Aborts, a.MaxServerAborts)
+	}
+	if len(a.DropCauses) > 0 {
+		causes := make([]string, 0, len(a.DropCauses))
+		for c := range a.DropCauses {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		for _, c := range causes {
+			got := dropByCause(rep.Server.ServiceStats, c)
+			add("drops:"+c, got <= a.DropCauses[c], "%d drops (bound %d)", got, a.DropCauses[c])
+		}
+	}
+	return out
+}
+
+func dropByCause(s tas.ServiceStats, cause string) uint64 {
+	switch cause {
+	case "rx_ring_full":
+		return s.RxRingDrops
+	case "rx_buf_full":
+		return s.RxBufDrops
+	case "bad_desc":
+		return s.BadDescDrops
+	case "syn_shed":
+		return s.SynShed
+	case "syn_shed_down":
+		return s.SynShedDown
+	case "excq_full":
+		return s.ExcqDrops
+	case "events_lost":
+		return s.EventsLost
+	case "ooo_dropped":
+		return s.OooDropped
+	case "core_stranded":
+		return s.CoreStranded
+	case "syn_backlog":
+		return s.SynBacklogDrops
+	case "accept_queue":
+		return s.AcceptQueueDrops
+	}
+	return 0
+}

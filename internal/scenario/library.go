@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The library: named, ready-to-run scenarios. Each entry builds a fresh
+// Spec so runs cannot leak state into the registry.
+var (
+	libMu  sync.RWMutex
+	libMap = map[string]func() *Spec{}
+)
+
+// Register adds a named scenario (panics on duplicates: the registry is
+// assembled at init time).
+func Register(name string, build func() *Spec) {
+	libMu.Lock()
+	defer libMu.Unlock()
+	if _, dup := libMap[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration %q", name))
+	}
+	libMap[name] = build
+}
+
+// Lookup builds the named scenario, or ErrUnknownScenario.
+func Lookup(name string) (*Spec, error) {
+	libMu.RLock()
+	build := libMap[name]
+	libMu.RUnlock()
+	if build == nil {
+		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownScenario, name, Names())
+	}
+	return build(), nil
+}
+
+// Names lists the registered scenarios, sorted.
+func Names() []string {
+	libMu.RLock()
+	defer libMu.RUnlock()
+	out := make([]string, 0, len(libMap))
+	for n := range libMap {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("wan", wan)
+	Register("flaky-rack", flakyRack)
+	Register("incast-storm", incastStorm)
+	Register("rolling-core-failure", rollingCoreFailure)
+	Register("slowpath-outage-churn", slowpathOutageChurn)
+	Register("app-crash-churn", appCrashChurn)
+}
+
+// wan: bulk transfers across a rate-limited, delayed, mildly lossy
+// long-haul link. The link model (transmission + bounded queue +
+// propagation separated) is what keeps this congestion-limited instead
+// of cliff-prone.
+func wan() *Spec {
+	return New("wan").
+		Describe("Bulk transfers over a 200 Mbit/s, 5 ms, 0.2%-loss long-haul link: "+
+			"the netem-grade link model must keep degradation congestion-limited.").
+		Seed(11).
+		Duration(60*time.Second).
+		Clients(2).
+		Link(200, 256, 5*time.Millisecond, 64).
+		Stream(2, 2, 128<<10).
+		Loss(0, 0.002).
+		AssertIntact().
+		AssertAllComplete().
+		AssertDropBound("bad_desc", 0).
+		MustBuild()
+}
+
+// flakyRack: correlated burst loss then link flaps on one client, with
+// connection churn riding through it.
+func flakyRack() *Spec {
+	return New("flaky-rack").
+		Describe("Gilbert–Elliott burst loss for 1.5s, then two 50ms link flaps on client0, "+
+			"under per-transfer connection churn; every byte still arrives intact.").
+		Seed(23).
+		Duration(60*time.Second).
+		Clients(2).
+		Stream(2, 4, 64<<10).
+		Reconnect().
+		BurstLoss(0, GESpec{PGoodToBad: 0.02, PBadToGood: 0.2, LossBad: 0.75}).
+		ClearLoss(1500*time.Millisecond).
+		Flap(1600*time.Millisecond, "client0", 2, 50*time.Millisecond, 100*time.Millisecond).
+		AssertIntact().
+		AssertAllComplete().
+		AssertRecovery(30 * time.Second).
+		MustBuild()
+}
+
+// incastStorm: many synchronized senders into one server behind a
+// bottleneck link with a shallow ECN-marking queue — the classic incast
+// pattern; DCTCP's CE response keeps it graceful.
+func incastStorm() *Spec {
+	return New("incast-storm").
+		Describe("8 synchronized workers blast one server through a 100 Mbit/s bottleneck "+
+			"with a shallow ECN queue: drop-tail pressure plus CE marks, no corruption.").
+		Seed(37).
+		Duration(60*time.Second).
+		Clients(4).
+		Cores(4, 2).
+		Link(100, 64, 1*time.Millisecond, 16).
+		Stream(2, 1, 256<<10).
+		AssertIntact().
+		AssertAllComplete().
+		AssertDropBound("bad_desc", 0).
+		MustBuild()
+}
+
+// rollingCoreFailure: two fast-path cores die in sequence mid-transfer;
+// the core watchdog must migrate flows to survivors both times.
+func rollingCoreFailure() *Spec {
+	return New("rolling-core-failure").
+		Describe("Two successive fast-path core crashes (busiest core each time) under "+
+			"sustained transfers: flows migrate to survivors, content stays intact.").
+		Seed(41).
+		Duration(90*time.Second).
+		Clients(2).
+		Cores(4, 2).
+		PinCores().
+		// The 100 Mbit/s link paces the 16 MiB workload to ~1.5s+, so
+		// flows are still live when each kill's detection window
+		// (CoreTimeout 400ms) closes and migration has victims to move.
+		Link(100, 256, 0, 64).
+		Stream(2, 4, 1<<20).
+		KillCore(250*time.Millisecond, "server", -1).
+		KillCore(900*time.Millisecond, "server", -1).
+		AssertIntact().
+		AssertAllComplete().
+		AssertCoreFailures(2).
+		AssertFlowsMigrated(1).
+		AssertRecovery(60 * time.Second).
+		MustBuild()
+}
+
+// slowpathOutageChurn: the control plane dies and panics while an RPC
+// workload churns connections; dials ride through degraded mode and the
+// warm restarts.
+func slowpathOutageChurn() *Spec {
+	return New("slowpath-outage-churn").
+		Describe("Slow-path crash and contained panic, each healed by a warm restart, "+
+			"under RPC connection churn: established flows keep serving, dials recover.").
+		Seed(53).
+		Duration(60*time.Second).
+		Clients(2).
+		RPC(3, 120, 128, 10).
+		KillSlowPath(300*time.Millisecond, "server").
+		RestartSlowPath(900*time.Millisecond, "server").
+		PanicSlowPath(1500*time.Millisecond, "server").
+		RestartSlowPath(2100*time.Millisecond, "server").
+		AssertIntact().
+		AssertAllComplete().
+		AssertDegraded().
+		AssertRecovery(30 * time.Second).
+		MustBuild()
+}
+
+// appCrashChurn: workload app contexts crash and are reaped; workers
+// rebuild their contexts and finish the workload.
+func appCrashChurn() *Spec {
+	return New("app-crash-churn").
+		Describe("Two workload app contexts crash mid-run and are reaped by the slow "+
+			"path; the workers rebuild their contexts and complete every transfer.").
+		Seed(67).
+		Duration(60*time.Second).
+		Clients(2).
+		// The 50 Mbit/s link paces the 6 MiB workload past ~1.2s, so both
+		// kills' reap windows (AppTimeout 300ms) close while workers are
+		// still transferring and the reaps are observable in the report.
+		Link(50, 256, 0, 64).
+		Stream(3, 8, 128<<10).
+		Reconnect().
+		KillApp(200*time.Millisecond, "client0", 0).
+		KillApp(400*time.Millisecond, "client1", 1).
+		AssertIntact().
+		AssertAllComplete().
+		AssertAppsReaped(2).
+		AssertRecovery(30 * time.Second).
+		MustBuild()
+}

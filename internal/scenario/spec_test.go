@@ -1,0 +1,259 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestParseSpecRejections is the table-driven validation gauntlet:
+// malformed JSON, unknown kinds, out-of-range indices, and broken
+// timelines must all come back as the right typed error before
+// anything executes.
+func TestParseSpecRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want error
+	}{
+		{
+			name: "malformed json",
+			json: `{"name": "x", "workload": {`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "unknown top-level field",
+			json: `{"name":"x","workload":{"kind":"rpc"},"frobnicate":1}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "missing name",
+			json: `{"workload":{"kind":"rpc"}}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "unknown workload kind",
+			json: `{"name":"x","workload":{"kind":"multicast"}}`,
+			want: ErrUnknownKind,
+		},
+		{
+			name: "unknown impairment kind",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "impairments":[{"at":"1s","kind":"gravity"}]}`,
+			want: ErrUnknownKind,
+		},
+		{
+			name: "unknown fault kind",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "faults":[{"at":"1s","kind":"cosmic-ray"}]}`,
+			want: ErrUnknownKind,
+		},
+		{
+			name: "unknown drop cause",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "assert":{"drop_causes":{"gremlins":0}}}`,
+			want: ErrUnknownKind,
+		},
+		{
+			name: "core index out of range",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "topology":{"server_cores":2},
+			        "faults":[{"at":"1s","kind":"core-kill","core":5}]}`,
+			want: ErrOutOfRange,
+		},
+		{
+			name: "app index out of range",
+			json: `{"name":"x","workload":{"kind":"rpc","conns":2},
+			        "faults":[{"at":"1s","kind":"app-kill","target":"client0","app":2}]}`,
+			want: ErrOutOfRange,
+		},
+		{
+			name: "unknown fault target",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "faults":[{"at":"1s","kind":"slowpath-kill","target":"client7"}]}`,
+			want: ErrOutOfRange,
+		},
+		{
+			name: "unknown partition host",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "impairments":[{"at":"1s","kind":"partition","a":"server","b":"mars"}]}`,
+			want: ErrOutOfRange,
+		},
+		{
+			name: "impairments out of order",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "impairments":[{"at":"2s","kind":"loss","rate":0.1},
+			                       {"at":"1s","kind":"clear-loss"}]}`,
+			want: ErrTimeline,
+		},
+		{
+			name: "faults out of order",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "faults":[{"at":"2s","kind":"slowpath-kill"},
+			                  {"at":"1s","kind":"slowpath-restart"}]}`,
+			want: ErrTimeline,
+		},
+		{
+			name: "negative offset",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "faults":[{"at":-5,"kind":"slowpath-kill"}]}`,
+			want: ErrTimeline,
+		},
+		{
+			name: "overlapping stalls on one unit",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "faults":[{"at":"1s","kind":"slowpath-stall","for":"500ms"},
+			                  {"at":"1200ms","kind":"slowpath-kill"}]}`,
+			want: ErrTimeline,
+		},
+		{
+			name: "loss probability out of range",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "impairments":[{"at":"1s","kind":"loss","rate":1.5}]}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "stall without duration",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "faults":[{"at":"1s","kind":"core-stall","core":0}]}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "kill with duration",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "faults":[{"at":"1s","kind":"core-kill","core":0,"for":"1s"}]}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "core-revive needs explicit index",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "faults":[{"at":"1s","kind":"core-revive","core":-1}]}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "app fault on server",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "faults":[{"at":"1s","kind":"app-kill","target":"server"}]}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "burst loss without parameters",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "impairments":[{"at":"1s","kind":"burst-loss"}]}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "rate impairment without link model",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "impairments":[{"at":"1s","kind":"rate","rate":50}]}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "link model without rate",
+			json: `{"name":"x","workload":{"kind":"rpc"},"link":{"rate_mbps":0}}`,
+			want: ErrBadSpec,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.json))
+			if err == nil {
+				t.Fatalf("spec accepted, want %v", tc.want)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v (%T), want class %v", err, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseSpecValid: a well-formed spec parses, gets defaults, and
+// round-trips through its own JSON rendering.
+func TestParseSpecValid(t *testing.T) {
+	src := `{
+	  "name": "roundtrip",
+	  "seed": 99,
+	  "duration": "5s",
+	  "topology": {"clients": 2, "server_cores": 4},
+	  "link": {"rate_mbps": 100, "delay": "2ms"},
+	  "impairments": [
+	    {"at": "100ms", "kind": "loss", "rate": 0.05},
+	    {"at": "1s", "kind": "clear-loss"},
+	    {"at": "1s", "kind": "flap", "host": "client1", "count": 2, "down": "50ms", "up": "50ms"}
+	  ],
+	  "faults": [
+	    {"at": "200ms", "kind": "core-kill", "core": -1},
+	    {"at": "800ms", "kind": "slowpath-stall", "for": "300ms"}
+	  ],
+	  "workload": {"kind": "stream", "conns": 3},
+	  "assert": {"intact": true, "all_complete": true, "max_recovery": "10s"}
+	}`
+	s, err := ParseSpec([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workload.TransferBytes != 128<<10 || s.Workload.Transfers != 1 {
+		t.Fatalf("stream defaults not filled: %+v", s.Workload)
+	}
+	if s.Duration.D() != 5*time.Second {
+		t.Fatalf("duration = %v", s.Duration.D())
+	}
+	if got := s.ExpectedOps(); got != 2*3*1 {
+		t.Fatalf("ExpectedOps = %d, want 6", got)
+	}
+	// Round-trip: the canonical rendering must re-parse to an equivalent
+	// spec (Duration marshals as a string).
+	again, err := ParseSpec(s.JSON())
+	if err != nil {
+		t.Fatalf("re-parse of canonical JSON: %v", err)
+	}
+	if again.Assert.MaxRecovery.D() != 10*time.Second || len(again.Impairments) != 3 {
+		t.Fatalf("round-trip lost data: %+v", again)
+	}
+}
+
+// TestDurationForms: both human strings and raw nanoseconds unmarshal.
+func TestDurationForms(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"150ms"`)); err != nil || d.D() != 150*time.Millisecond {
+		t.Fatalf("string form: %v %v", d.D(), nil)
+	}
+	if err := d.UnmarshalJSON([]byte(`1000000`)); err != nil || d.D() != time.Millisecond {
+		t.Fatalf("int form: %v", d.D())
+	}
+	if err := d.UnmarshalJSON([]byte(`"nonsense"`)); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
+
+// TestBuilderMatchesJSON: the builder and the JSON format are two
+// front-ends for the same spec.
+func TestBuilderMatchesJSON(t *testing.T) {
+	built, err := New("b").
+		Seed(3).
+		Duration(2*time.Second).
+		Clients(2).
+		Stream(2, 3, 32<<10).
+		Loss(100*time.Millisecond, 0.1).
+		KillSlowPath(500*time.Millisecond, "server").
+		AssertIntact().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSpec(built.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(parsed.JSON()) != string(built.JSON()) {
+		t.Fatalf("builder spec does not round-trip:\n%s\nvs\n%s", built.JSON(), parsed.JSON())
+	}
+}
+
+// TestBuilderRejects: builder output goes through the same validation.
+func TestBuilderRejects(t *testing.T) {
+	_, err := New("bad").RPC(1, 10, 64, 0).KillCore(0, "server", 9).Build()
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+}

@@ -204,6 +204,51 @@ func (f *Fabric) SetBurstLoss(cfg GEConfig, seed int64) { f.f.SetBurstLoss(cfg, 
 // ClearBurstLoss disables burst loss.
 func (f *Fabric) ClearBurstLoss() { f.f.ClearBurstLoss() }
 
+// Reseed re-seeds the fabric's random source (the uniform-loss process)
+// so a run's loss decisions replay deterministically from a scenario
+// seed instead of the construction-time default.
+func (f *Fabric) Reseed(seed int64) { f.f.Reseed(seed) }
+
+// LinkConfig parameterizes the netem-grade link model: transmission
+// (RateBps), bounded queueing (QueueCap packets, drop-tail, optional
+// ECN CE marking past ECNThreshold), and propagation (PropDelay)
+// modeled separately per destination.
+type LinkConfig = fabric.LinkConfig
+
+// SetLink installs (or reconfigures, mid-run) the link model on every
+// destination. Without it delivery is synchronous apart from
+// SetLatency's flat delay — infinite bandwidth, so bursts arrive as
+// bursts; with it, packets serialize at the configured rate through a
+// bounded queue, giving congestion-limited behavior under load.
+func (f *Fabric) SetLink(cfg LinkConfig) { f.f.SetLink(cfg) }
+
+// ClearLink removes the link model.
+func (f *Fabric) ClearLink() { f.f.ClearLink() }
+
+// FabricStats counts what the fabric did to traffic.
+type FabricStats struct {
+	Delivered      uint64 `json:"delivered"`
+	Dropped        uint64 `json:"dropped"`
+	QueueDrops     uint64 `json:"queue_drops"`
+	CEMarks        uint64 `json:"ce_marks"`
+	DownDrops      uint64 `json:"down_drops"`
+	PartitionDrops uint64 `json:"partition_drops"`
+	BurstDrops     uint64 `json:"burst_drops"`
+}
+
+// Stats snapshots the fabric's delivery and drop counters.
+func (f *Fabric) Stats() FabricStats {
+	return FabricStats{
+		Delivered:      f.f.Delivered.Load(),
+		Dropped:        f.f.Dropped.Load(),
+		QueueDrops:     f.f.QueueDrops.Load(),
+		CEMarks:        f.f.CEMarks.Load(),
+		DownDrops:      f.f.DownDrops.Load(),
+		PartitionDrops: f.f.PartitionDrops.Load(),
+		BurstDrops:     f.f.BurstDrops.Load(),
+	}
+}
+
 // CaptureTo streams a pcap capture of every packet crossing the fabric
 // into w (readable by tcpdump/Wireshark) until stop is called. One
 // capture at a time. stop reports the first write error the capture
@@ -398,6 +443,11 @@ func (s *Service) KillSlowPath() { s.slow.Load().Kill() }
 // a livelocked control plane. Stalls longer than SlowPathTimeout
 // trigger degraded mode until the loop resumes beating.
 func (s *Service) StallSlowPath(d time.Duration) { s.slow.Load().Stall(d) }
+
+// InjectSlowPathPanic makes the slow-path event loop panic at its next
+// iteration. The panic is contained and counted; the loop is dead until
+// Restart, exactly like KillSlowPath but via the panic path.
+func (s *Service) InjectSlowPathPanic() { s.slow.Load().InjectPanic() }
 
 // Degraded reports whether the fast path currently considers the slow
 // path down.
