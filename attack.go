@@ -1,0 +1,77 @@
+package tas
+
+import (
+	"math/rand"
+
+	"repro/internal/fabric"
+	"repro/internal/protocol"
+)
+
+// Attacker is a raw segment source on the fabric for adversarial-traffic
+// testing: it owns no service and no stack, and forges TCP segments with
+// arbitrary (spoofed) source addresses. Replies the victim sends to a
+// spoofed address route nowhere — exactly the view a real blind attacker
+// has — so floods from an Attacker never complete handshakes and never
+// consume attacker-side state.
+type Attacker struct {
+	f   *fabric.Fabric
+	nic *fabric.NIC
+	ip  protocol.IPv4
+}
+
+// NewAttacker attaches a raw packet source at addr. The address only
+// anchors the NIC; every forged segment carries its own spoofed source.
+func (f *Fabric) NewAttacker(addr string) (*Attacker, error) {
+	ip, err := ParseIP(addr)
+	if err != nil {
+		return nil, err
+	}
+	nic := f.f.Attach(ip, func(*protocol.Packet) {})
+	return &Attacker{f: f.f, nic: nic, ip: ip}, nil
+}
+
+// Close detaches the attacker from the fabric.
+func (a *Attacker) Close() { a.f.Detach(a.ip) }
+
+// SendSYN forges one SYN from src:srcPort to dst:dstPort with the given
+// initial sequence number. src need not name an attached host.
+func (a *Attacker) SendSYN(src string, srcPort uint16, dst string, dstPort uint16, seq uint32) error {
+	sip, err := ParseIP(src)
+	if err != nil {
+		return err
+	}
+	dip, err := ParseIP(dst)
+	if err != nil {
+		return err
+	}
+	a.nic.Output(&protocol.Packet{
+		SrcIP: sip, DstIP: dip,
+		SrcPort: srcPort, DstPort: dstPort,
+		Flags: protocol.FlagSYN, Seq: seq,
+		Window: 65535,
+	})
+	return nil
+}
+
+// SynBurst forges n spoofed SYNs at dst:port in one call, drawing source
+// addresses in 10.9.0.0/16, source ports, and sequence numbers from rng
+// so a seeded flood is reproducible. Returns n for convenience.
+func (a *Attacker) SynBurst(dst string, port uint16, n int, rng *rand.Rand) (int, error) {
+	dip, err := ParseIP(dst)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		r := rng.Uint64()
+		a.nic.Output(&protocol.Packet{
+			SrcIP:   protocol.MakeIPv4(10, 9, byte(r>>8), 1+byte(r%250)),
+			DstIP:   dip,
+			SrcPort: 1024 + uint16(r>>16)%60000,
+			DstPort: port,
+			Flags:   protocol.FlagSYN,
+			Seq:     uint32(r >> 32),
+			Window:  65535,
+		})
+	}
+	return n, nil
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	tas "repro"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "handshake",
+		Title: "Concurrent handshake scalability: striped tables, clean and under SYN flood",
+		Run:   runHandshake,
+	})
+}
+
+// runHandshake measures concurrent dial throughput and latency against a
+// live server listening on eight ports, sweeping the handshake-table
+// stripe count, both clean and with a 50K pps spoofed SYN flood pinned
+// to the first port. Striping keeps the flooded port's stripe lock away
+// from the other seven; SYN cookies keep legitimate dials to the flooded
+// port itself completing. The row set is the trajectory recorded in
+// BENCH_handshake.json.
+func runHandshake(cfg RunConfig) *Result {
+	workers, dials := 8, 150
+	if cfg.Quick {
+		workers, dials = 4, 50
+	}
+	r := &Result{
+		ID:     "handshake",
+		Title:  "Concurrent handshakes across 8 ports: throughput and latency vs stripe count",
+		Header: []string{"Stripes", "Flood", "Handshakes/s", "p50(ms)", "p99(ms)", "Failures", "CookiesOK"},
+	}
+	for _, stripes := range []int{1, 16} {
+		for _, flood := range []bool{false, true} {
+			m := handshakeRun(cfg, stripes, flood, workers, dials)
+			floodLbl := "-"
+			if flood {
+				floodLbl = "50Kpps"
+			}
+			r.AddRow(fmt.Sprint(stripes), floodLbl,
+				fmtF(m.rate, 0), fmtF(m.p50, 2), fmtF(m.p99, 2),
+				fmt.Sprint(m.fails), fmt.Sprint(m.cookies))
+		}
+	}
+	r.Note("flood targets port 7100 only; workers dial all 8 ports (7100-7107), so flood rows mix the cookie path (flooded port) with cross-stripe dials")
+	r.Note("with 16 stripes ports 7100-7107 spread across distinct stripes; with 1 stripe every handshake shares one lock")
+	return r
+}
+
+type handshakeMetrics struct {
+	rate    float64 // completed handshakes per second
+	p50     float64 // dial latency ms
+	p99     float64
+	fails   int
+	cookies uint64 // connections reconstructed from SYN cookies
+}
+
+func handshakeRun(cfg RunConfig, stripes int, flood bool, workers, dials int) handshakeMetrics {
+	const basePort = 7100
+	const ports = 8
+	fab := tas.NewFabric()
+	scfg := tas.Config{HandshakeStripes: stripes, ListenBacklog: 64}
+	srv, err := fab.NewService("10.0.0.1", scfg)
+	if err != nil {
+		return handshakeMetrics{}
+	}
+	defer srv.Close()
+	cli, err := fab.NewService("10.0.0.2", tas.Config{HandshakeStripes: stripes})
+	if err != nil {
+		return handshakeMetrics{}
+	}
+	defer cli.Close()
+
+	stop := make(chan struct{})
+	defer close(stop)
+
+	// One accept-and-close loop per port keeps accept queues drained.
+	var acceptWG sync.WaitGroup
+	for p := 0; p < ports; p++ {
+		sctx := srv.NewContext()
+		ln, err := sctx.Listen(uint16(basePort + p))
+		if err != nil {
+			return handshakeMetrics{}
+		}
+		acceptWG.Add(1)
+		go func() {
+			defer acceptWG.Done()
+			defer ln.Close()
+			for {
+				c, err := ln.Accept(100 * time.Millisecond)
+				if err != nil {
+					select {
+					case <-stop:
+						return
+					default:
+						continue
+					}
+				}
+				c.Close()
+			}
+		}()
+	}
+
+	if flood {
+		atk, err := fab.NewAttacker("10.99.0.1")
+		if err == nil {
+			defer atk.Close()
+			go func() {
+				rng := rand.New(rand.NewSource(cfg.Seed + 977))
+				tk := time.NewTicker(2 * time.Millisecond)
+				defer tk.Stop()
+				for {
+					atk.SynBurst("10.0.0.1", basePort, 100, rng) // 50K pps
+					select {
+					case <-stop:
+						return
+					case <-tk.C:
+					}
+				}
+			}()
+		}
+	}
+
+	// Concurrent dialers: each worker owns a context and a port, dialing
+	// and closing in a tight loop.
+	var mu sync.Mutex
+	var lat []time.Duration
+	fails := 0
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := cli.NewContext()
+			port := uint16(basePort + w%ports)
+			for i := 0; i < dials; i++ {
+				t0 := time.Now()
+				c, err := ctx.DialTimeout("10.0.0.1", port, 2*time.Second)
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					fails++
+				} else {
+					lat = append(lat, d)
+				}
+				mu.Unlock()
+				if c != nil {
+					c.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	m := handshakeMetrics{fails: fails, cookies: srv.Stats().SynCookiesValidated}
+	if len(lat) == 0 {
+		return m
+	}
+	m.rate = float64(len(lat)) / elapsed.Seconds()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	pct := func(q float64) time.Duration {
+		i := int(q*float64(len(lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	m.p50, m.p99 = ms(pct(0.50)), ms(pct(0.99))
+	return m
+}

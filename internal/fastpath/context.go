@@ -85,7 +85,7 @@ type Context struct {
 	ID int
 
 	rxq []*shmring.SPSC[Event] // per-core: fast path produces, app consumes
-	txq []*shmring.SPSC[TxCmd] // per-core: app produces, fast path consumes
+	txq []*shmring.MPSC[TxCmd] // per-core: app threads produce (many), fast path consumes
 
 	// Wakeup is a broadcast: Wake closes the current channel (releasing
 	// every blocked waiter) and installs a fresh one. A context may have
@@ -118,7 +118,7 @@ func NewContext(id, cores, qcap int) *Context {
 	c := &Context{ID: id, wake: make(chan struct{})}
 	for i := 0; i < cores; i++ {
 		c.rxq = append(c.rxq, shmring.NewSPSC[Event](qcap))
-		c.txq = append(c.txq, shmring.NewSPSC[TxCmd](qcap))
+		c.txq = append(c.txq, shmring.NewMPSC[TxCmd](qcap))
 	}
 	return c
 }

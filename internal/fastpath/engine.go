@@ -9,6 +9,7 @@ import (
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
 	"repro/internal/shmring"
+	"repro/internal/tcp"
 	"repro/internal/telemetry"
 )
 
@@ -64,6 +65,18 @@ type Config struct {
 	// watchdog (raw-engine tests with no slow path attached).
 	SlowPathTimeout time.Duration
 
+	// ChallengeAckPerSec bounds RFC 5961 challenge-ACK emission across
+	// the whole stack instance (slow path and all fast-path cores
+	// share one limiter), so the blind-attack defense cannot be turned
+	// into an amplification primitive. 0 selects the default of 100;
+	// negative disables challenge ACKs entirely (drops stay silent).
+	ChallengeAckPerSec int
+
+	// CookieRotate is the SYN-cookie key-rotation period (0 selects
+	// tcp.DefaultCookieRotate). The jar lives on the engine — shared
+	// state — so key epochs survive a slow-path warm restart.
+	CookieRotate time.Duration
+
 	// Telemetry, when non-nil, enables per-core cycle accounting (batch
 	// section timing charged to rx/tx modules) on this engine. The flow
 	// flight recorder rides on Flow.Rec and needs no engine state.
@@ -111,12 +124,17 @@ type CoreStats struct {
 	Blocks        atomic.Uint64
 	Panics        atomic.Uint64 // contained panics in the core's run loop
 	Stranded      atomic.Uint64 // packets stuck in a failed core's queues, unrecoverable by drain
+	BlindAckDrops atomic.Uint64 // segments dropped: ACK field fails RFC 5961 validation
 }
 
 type core struct {
-	idx     int
-	rxRing  *shmring.SPSC[*protocol.Packet]
-	kicks   *shmring.SPSC[*flowstate.Flow] // slow-path retransmit/transmit kicks
+	idx int
+	// rxRing and kicks are multi-producer: the fabric delivers Input on
+	// whatever goroutine the sending peer used, and kicks arrive from
+	// the slow path, application threads, and the core-failure drain.
+	// The consuming core stays lock-free.
+	rxRing  *shmring.MPSC[*protocol.Packet]
+	kicks   *shmring.MPSC[*flowstate.Flow] // slow-path retransmit/transmit kicks
 	wake    chan struct{}
 	asleep  atomic.Bool
 	pending []*flowstate.Flow // rate-limited flows awaiting tokens
@@ -154,6 +172,17 @@ type Engine struct {
 	// flow table it is authoritative state the slow path writes through,
 	// so a warm-restarted slow path can reconstruct its listener map.
 	Listeners *flowstate.ListenerTable
+
+	// Cookies signs and validates SYN cookies. Engine-owned (not
+	// slow-path state) so key epochs survive a slow-path warm restart:
+	// a cookie SYN-ACK sent before a crash still validates on the ACK
+	// that completes after recovery.
+	Cookies *tcp.CookieJar
+
+	// Challenge is the stack-global RFC 5961 challenge-ACK rate
+	// limiter, shared by the slow path and every fast-path core. Nil
+	// when challenge ACKs are disabled (ChallengeAckPerSec < 0).
+	Challenge *tcp.AckLimiter
 
 	cores []*core
 
@@ -204,6 +233,10 @@ func NewEngine(nic NIC, cfg Config) *Engine {
 		start:     time.Now(),
 		watchStop: make(chan struct{}),
 	}
+	e.Cookies = tcp.NewCookieJar(time.Now().UnixNano(), cfg.CookieRotate)
+	if cfg.ChallengeAckPerSec >= 0 {
+		e.Challenge = tcp.NewAckLimiter(cfg.ChallengeAckPerSec)
+	}
 	if cfg.Telemetry != nil {
 		e.outageHist = telemetry.NewHistogram(telemetry.DurationBounds())
 	}
@@ -213,8 +246,8 @@ func NewEngine(nic NIC, cfg Config) *Engine {
 	for i := 0; i < cfg.MaxCores; i++ {
 		e.cores = append(e.cores, &core{
 			idx:    i,
-			rxRing: shmring.NewSPSC[*protocol.Packet](cfg.RxRingSize),
-			kicks:  shmring.NewSPSC[*flowstate.Flow](1024),
+			rxRing: shmring.NewMPSC[*protocol.Packet](cfg.RxRingSize),
+			kicks:  shmring.NewMPSC[*flowstate.Flow](1024),
 			wake:   make(chan struct{}, 1),
 			kill:   make(chan struct{}),
 			stallC: make(chan time.Duration, 1),
@@ -231,6 +264,11 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) NowMicros() uint32 { return uint32(time.Since(e.start).Microseconds()) }
 
 func (e *Engine) nowNanos() int64 { return time.Since(e.start).Nanoseconds() }
+
+// NowNanos returns nanoseconds since engine start — the clock the
+// challenge-ACK limiter and cookie-rotation epochs run on, shared by
+// fast- and slow-path callers so their rate windows agree.
+func (e *Engine) NowNanos() int64 { return e.nowNanos() }
 
 // Start launches the fast-path core goroutines and, when a slow-path
 // timeout is configured, the heartbeat watchdog.
@@ -737,6 +775,7 @@ type DropStats struct {
 	EventsLost   uint64 // context event-queue overflow
 	OooDropped   uint64 // out-of-order segments outside the tracked interval
 	CoreStranded uint64 // packets stranded in a failed core's queues (stalled, not drainable)
+	BlindAck     uint64 // segments dropped by RFC 5961 ACK validation (blind injection)
 }
 
 // Drops returns the aggregated drop counters.
@@ -751,6 +790,7 @@ func (e *Engine) Drops() DropStats {
 		d.ExcqFull += c.stats.ExcqDrop.Load()
 		d.OooDropped += c.stats.OooDropped.Load()
 		d.CoreStranded += c.stats.Stranded.Load()
+		d.BlindAck += c.stats.BlindAckDrops.Load()
 	}
 	for _, ctx := range e.Contexts() {
 		if ctx != nil {

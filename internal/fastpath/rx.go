@@ -7,6 +7,13 @@ import (
 	"repro/internal/telemetry"
 )
 
+// blindAckHorizon is how far below the oldest unacknowledged byte an
+// ACK may fall before RFC 5961 validation calls it blind injection
+// rather than a delayed duplicate. 16 MiB dwarfs any real in-flight
+// window here while leaving an attacker only ~0.4% of the sequence
+// space that sails through.
+const blindAckHorizon = 1 << 24
+
 // processRx handles one received packet on core c: the common-case RX
 // path of §3.1. Connection-control packets (SYN/FIN/RST) and packets for
 // unknown flows are exceptions forwarded to the slow path.
@@ -35,6 +42,30 @@ func (e *Engine) processRx(c *core, pkt *protocol.Packet) {
 
 	var ack *protocol.Packet
 	f.Lock()
+	// RFC 5961 §5 ACK validation: a blind attacker who cannot see the
+	// connection's sequence space guesses ACK values; one landing far
+	// below the oldest unacknowledged byte cannot be a delayed ACK from
+	// the live window. Drop the whole segment — including any payload,
+	// which kills blind data injection — and answer with at most a
+	// rate-limited challenge ACK so a legitimate peer that somehow
+	// desynchronized can resync. Acks *above* SND.NXT stay accepted
+	// (clamped in processAck): the slow path's go-back-N rewind makes
+	// them legitimate here.
+	if pkt.Flags.Has(protocol.FlagACK) && tcp.SeqDiff(pkt.Ack, f.SeqNo-f.TxSent) < -blindAckHorizon {
+		c.stats.BlindAckDrops.Add(1)
+		if e.Challenge != nil && e.Challenge.Allow(e.nowNanos()) {
+			ack = e.buildAck(f, pkt)
+			if f.Rec != nil {
+				f.Rec.Record(telemetry.FEChallengeTx, f.SeqNo, f.AckNo, 0, 0)
+			}
+		}
+		f.Unlock()
+		if ack != nil {
+			c.stats.AcksSent.Add(1)
+			e.nic.Output(ack)
+		}
+		return
+	}
 	if f.Rec != nil && pkt.DataLen() > 0 {
 		f.Rec.Record(telemetry.FESegRx, pkt.Seq, pkt.Ack, uint32(pkt.DataLen()), 0)
 		if pkt.ECN == protocol.ECNCE {

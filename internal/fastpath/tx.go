@@ -30,6 +30,9 @@ func (e *Engine) transmit(c *core, f *flowstate.Flow) {
 			return // window-limited; the next ack resumes transmission
 		}
 		n := e.cfg.MSS
+		if f.MSSCap != 0 && int(f.MSSCap) < n {
+			n = int(f.MSSCap)
+		}
 		if n > pending {
 			n = pending
 		}

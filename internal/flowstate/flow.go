@@ -34,6 +34,12 @@ type Flow struct {
 	AckNo  uint32 // ack, 32: peer TCP sequence number (next byte expected)
 	Window uint16 // window, 16: remote TCP receive window
 
+	// MSSCap, when nonzero, bounds this flow's segment size below the
+	// engine-wide MSS. Set on flows reconstructed from a SYN cookie:
+	// the peer's real MSS option is gone by then, so the cookie's
+	// recovered MSS class is the only safe segmentation bound.
+	MSSCap uint16
+
 	DupAcks uint8 // dupack_cnt, 4: duplicate ACK count
 
 	LocalIP   protocol.IPv4

@@ -1,0 +1,183 @@
+package protocol
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// validFrame marshals a correct ACK-with-payload frame the mutators
+// below corrupt one field at a time.
+func validFrame() []byte {
+	return Marshal(&Packet{
+		SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 40000, DstPort: 7000,
+		Seq: 100, Ack: 200, Flags: FlagACK | FlagPSH, Window: 64,
+		HasTS: true, TSVal: 1, TSEcr: 2, Payload: []byte("hello"),
+	})
+}
+
+// refix recomputes both checksums after a header mutation so the test
+// reaches the validation under scrutiny instead of ErrBadChecksum.
+func refix(buf []byte) []byte {
+	fixHeaderChecksums(buf)
+	return buf
+}
+
+// TestParseRejectsMalformed is the table of adversarial frames the
+// parser must reject with the right sentinel — truncations, bad
+// offsets, absurd lengths, fragments — distilled from the FuzzParse
+// corpus.
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() []byte
+		want error
+	}{
+		{"empty", func() []byte { return nil }, ErrTruncated},
+		{"eth header only", func() []byte { return validFrame()[:EthHeaderLen] }, ErrTruncated},
+		{"cut mid tcp header", func() []byte { return validFrame()[:EthHeaderLen+IPv4HeaderLen+10] }, ErrTruncated},
+		{"ip version 6 nibble", func() []byte {
+			b := validFrame()
+			b[EthHeaderLen] = 0x65
+			return refix(b)
+		}, ErrNotIPv4},
+		{"ihl below minimum", func() []byte {
+			b := validFrame()
+			b[EthHeaderLen] = 0x43 // IHL 3 (12 bytes)
+			return refix(b)
+		}, ErrBadHeader},
+		{"ihl beyond frame", func() []byte {
+			// Minimal 54-byte frame: long enough to pass the outer
+			// truncation gate, too short for a 60-byte IP header.
+			b := Marshal(&Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Flags: FlagACK})
+			b[EthHeaderLen] = 0x4f // IHL 15 (60 bytes)
+			return refix(b)
+		}, ErrBadHeader},
+		{"ip total length absurd", func() []byte {
+			b := validFrame()
+			be.PutUint16(b[EthHeaderLen+2:], 0xffff)
+			return refix(b)
+		}, ErrTruncated},
+		{"ip total length below ihl", func() []byte {
+			b := validFrame()
+			be.PutUint16(b[EthHeaderLen+2:], 8)
+			return refix(b)
+		}, ErrTruncated},
+		{"more-fragments bit", func() []byte {
+			b := validFrame()
+			be.PutUint16(b[EthHeaderLen+6:], 0x2000)
+			return refix(b)
+		}, ErrFragment},
+		{"nonzero fragment offset", func() []byte {
+			b := validFrame()
+			be.PutUint16(b[EthHeaderLen+6:], 0x0007)
+			return refix(b)
+		}, ErrFragment},
+		{"tcp offset below minimum", func() []byte {
+			b := validFrame()
+			b[EthHeaderLen+IPv4HeaderLen+12] = 4 << 4 // 16-byte header
+			return refix(b)
+		}, ErrBadHeader},
+		{"tcp offset beyond segment", func() []byte {
+			b := validFrame()
+			b[EthHeaderLen+IPv4HeaderLen+12] = 15 << 4 // 60-byte header, segment is shorter
+			return refix(b)
+		}, ErrBadHeader},
+		{"option length zero", func() []byte {
+			b := validFrame()
+			opt := b[EthHeaderLen+IPv4HeaderLen+TCPHeaderLen:]
+			opt[0], opt[1] = 8, 0 // TS option claiming zero length
+			return refix(b)
+		}, ErrBadHeader},
+		{"option length overruns header", func() []byte {
+			b := validFrame()
+			opt := b[EthHeaderLen+IPv4HeaderLen+TCPHeaderLen:]
+			opt[0], opt[1] = 8, 200
+			return refix(b)
+		}, ErrBadHeader},
+		{"corrupt ip checksum", func() []byte {
+			b := validFrame()
+			b[EthHeaderLen+10] ^= 0xff
+			return b
+		}, ErrBadChecksum},
+		{"corrupt payload byte", func() []byte {
+			b := validFrame()
+			b[len(b)-1] ^= 0xff
+			return b
+		}, ErrBadChecksum},
+		{"wrong ethertype", func() []byte {
+			b := validFrame()
+			be.PutUint16(b[12:], 0x86dd) // IPv6
+			return b
+		}, ErrNotIPv4},
+		{"not tcp", func() []byte {
+			b := validFrame()
+			b[EthHeaderLen+9] = 17 // UDP
+			return refix(b)
+		}, ErrNotTCP},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.make())
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Parse = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFuzzCorpusStaysRejectedOrParsed replays the committed FuzzParse
+// seed corpus through the same properties the fuzzer checks, so the
+// regression inputs are exercised even when CI runs without -fuzz.
+func TestFuzzCorpusStaysRejectedOrParsed(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzParse")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("corpus dir: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("committed fuzz corpus is empty")
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := decodeCorpus(string(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if p, perr := Parse(data); perr == nil {
+			checkReparse(t, p)
+		}
+		buf := append([]byte(nil), data...)
+		fixHeaderChecksums(buf)
+		if p, perr := Parse(buf); perr == nil {
+			checkReparse(t, p)
+		}
+	}
+}
+
+// decodeCorpus parses the "go test fuzz v1" single-[]byte corpus file
+// format.
+func decodeCorpus(s string) ([]byte, error) {
+	lines := strings.SplitN(strings.TrimSpace(s), "\n", 2)
+	if len(lines) != 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return nil, errors.New("not a fuzz v1 corpus file")
+	}
+	body := strings.TrimSpace(lines[1])
+	body = strings.TrimPrefix(body, "[]byte(")
+	body = strings.TrimSuffix(body, ")")
+	return []byte(mustUnquote(body)), nil
+}
+
+func mustUnquote(s string) string {
+	out, err := strconv.Unquote(s)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -116,4 +116,5 @@ var (
 	ErrNotTCP      = errors.New("protocol: not a TCP segment")
 	ErrBadChecksum = errors.New("protocol: bad checksum")
 	ErrBadHeader   = errors.New("protocol: malformed header")
+	ErrFragment    = errors.New("protocol: fragmented packet")
 )

@@ -145,6 +145,13 @@ func Parse(buf []byte) (*Packet, error) {
 	if ip[9] != IPProtoTCP {
 		return nil, ErrNotTCP
 	}
+	// This stack never fragments (Marshal always sets DF); a frame with
+	// MF set or a nonzero fragment offset is either broken middlebox
+	// output or an evasion attempt (TCP header hidden in fragment 2).
+	// Reject rather than misparse.
+	if be.Uint16(ip[6:])&0x3fff != 0 {
+		return nil, ErrFragment
+	}
 	p.ECN = ECN(ip[1] & 0x3)
 	p.SrcIP = IPv4(be.Uint32(ip[12:]))
 	p.DstIP = IPv4(be.Uint32(ip[16:]))

@@ -99,6 +99,19 @@ func (b *Builder) RPC(conns, calls, msgBytes, callsPerConn int) *Builder {
 	return b
 }
 
+// SynCookies sets the server's SYN-cookie mode ("" = auto under
+// pressure, "always", "off").
+func (b *Builder) SynCookies(mode string) *Builder { b.s.Topology.SynCookies = mode; return b }
+
+// HandshakeStripes sets the server's handshake-table stripe count.
+func (b *Builder) HandshakeStripes(n int) *Builder { b.s.Topology.HandshakeStripes = n; return b }
+
+// ChallengeAckPerSec sets the server's RFC 5961 challenge-ACK budget.
+func (b *Builder) ChallengeAckPerSec(n int) *Builder {
+	b.s.Topology.ChallengeAckPerSec = n
+	return b
+}
+
 // --- impairments ------------------------------------------------------
 
 func (b *Builder) imp(at time.Duration, i Impairment) *Builder {
@@ -215,6 +228,17 @@ func (b *Builder) ReviveCore(at time.Duration, target string, core int) *Builder
 	return b.fault(at, FaultEvent{Kind: FaultCoreRevive, Target: target, Core: core})
 }
 
+// --- attacks ----------------------------------------------------------
+
+// SynFlood opens a spoofed-SYN flood window on port from at for dur at
+// rate packets/sec (0 = 50000; port 0 = the workload port).
+func (b *Builder) SynFlood(at, dur time.Duration, rate int, port uint16) *Builder {
+	b.s.Attacks = append(b.s.Attacks, Attack{
+		At: Duration(at), For: Duration(dur), Kind: AttackSynFlood, Rate: rate, Port: port,
+	})
+	return b
+}
+
 // --- assertions -------------------------------------------------------
 
 // AssertIntact requires SHA-256-verified content on every completed op.
@@ -257,6 +281,20 @@ func (b *Builder) AssertDropBound(cause string, max uint64) *Builder {
 		b.s.Assert.DropCauses = map[string]uint64{}
 	}
 	b.s.Assert.DropCauses[cause] = max
+	return b
+}
+
+// AssertCookiesValidated requires at least n connections reconstructed
+// from SYN-cookie ACKs on the server.
+func (b *Builder) AssertCookiesValidated(n int) *Builder {
+	b.s.Assert.MinCookiesValidated = n
+	return b
+}
+
+// AssertProbeP99 enables the cross-stripe dial prober and bounds its p99
+// handshake latency during attack windows.
+func (b *Builder) AssertProbeP99(max time.Duration) *Builder {
+	b.s.Assert.ProbeP99 = Duration(max)
 	return b
 }
 

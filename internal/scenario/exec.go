@@ -28,8 +28,13 @@ type RunOptions struct {
 
 const (
 	serverPort = 7000
-	opTimeout  = 2 * time.Second // bound on any single blocking Read/Write/Dial
-	maxWait    = 30 * time.Second
+	// probePort carries the striping control experiment: with the default
+	// 16 handshake stripes, 7000 hashes to stripe 3 and 7001 to stripe 13,
+	// so flood pressure on the workload port and probe dials never share a
+	// handshake-table lock.
+	probePort = 7001
+	opTimeout = 2 * time.Second // bound on any single blocking Read/Write/Dial
+	maxWait   = 30 * time.Second
 )
 
 // Run validates and executes a scenario against a live fabric, driving
@@ -61,10 +66,11 @@ type run struct {
 	spec *Spec
 	opt  RunOptions
 
-	fab     *tas.Fabric
-	srv     *tas.Service
-	clients []*tas.Service
-	slots   [][]*workerSlot // [client][worker]
+	fab      *tas.Fabric
+	srv      *tas.Service
+	clients  []*tas.Service
+	slots    [][]*workerSlot // [client][worker]
+	attacker *tas.Attacker   // raw spoofed-segment source (attack specs)
 
 	linkMu  sync.Mutex
 	linkCfg *tas.LinkConfig // current link model (nil = flat latency)
@@ -77,6 +83,9 @@ type run struct {
 	appRestarts int
 	bytesMoved  int64
 	timeline    []EventRecord
+	synsSent    int64
+	probeLat    []time.Duration // successful probe dials during attack windows
+	probeFails  int
 
 	start        time.Time
 	lastEventEnd time.Duration // scheduled end (At+For) of the last timeline entry
@@ -126,6 +135,9 @@ func baseConfig(t Topology, cores int, server bool, linkBps float64) tas.Config 
 	}
 	if server {
 		cfg.ListenBacklog = t.ListenBacklog
+		cfg.SynCookies = t.SynCookies
+		cfg.HandshakeStripes = t.HandshakeStripes
+		cfg.ChallengeAckPerSec = t.ChallengeAckPerSec
 		cfg.Telemetry.Enabled = true
 	}
 	return cfg
@@ -183,10 +195,22 @@ func newRun(spec *Spec, opt RunOptions) (*run, error) {
 		}
 		r.slots = append(r.slots, slots)
 	}
+	if len(spec.Attacks) > 0 {
+		atk, err := r.fab.NewAttacker("10.99.0.1")
+		if err != nil {
+			r.teardown()
+			return nil, fmt.Errorf("scenario: attacker: %w", err)
+		}
+		r.attacker = atk
+	}
 	return r, nil
 }
 
 func (r *run) teardown() {
+	if r.attacker != nil {
+		r.attacker.Close()
+		r.attacker = nil
+	}
 	if r.srv != nil {
 		r.srv.Close()
 		r.srv = nil
@@ -247,6 +271,13 @@ func (r *run) execute() *Report {
 
 	acceptDone := r.startServer()
 
+	probeDone := make(chan struct{})
+	if spec.Assert.ProbeP99 > 0 {
+		go func() { defer close(probeDone); r.probeLoop() }()
+	} else {
+		close(probeDone)
+	}
+
 	var wg sync.WaitGroup
 	for k := range r.clients {
 		for j := 0; j < spec.Workload.Conns; j++ {
@@ -273,17 +304,27 @@ func (r *run) execute() *Report {
 	timelineDone := make(chan struct{})
 	go func() { defer close(timelineDone); r.playTimeline(evs) }()
 
+	// Attack windows hold the run open even if the workload finishes
+	// early: the flood and the cross-stripe prober must run their full
+	// course before the stop channel closes.
+	var attackHold <-chan time.Time
+	if len(spec.Attacks) > 0 {
+		attackHold = time.After(time.Until(r.start.Add(r.lastEventEnd)))
+	}
+
 	capped := false
 	deadline := time.After(spec.Duration.D())
 	var doneAt time.Time
 waitLoop:
-	for workDone != nil || timelineDone != nil {
+	for workDone != nil || timelineDone != nil || attackHold != nil {
 		select {
 		case <-workDone:
 			doneAt = time.Now()
 			workDone = nil
 		case <-timelineDone:
 			timelineDone = nil
+		case <-attackHold:
+			attackHold = nil
 		case <-deadline:
 			capped = true
 			r.logf("duration cap %v hit; stopping", spec.Duration.D())
@@ -297,6 +338,7 @@ waitLoop:
 		waitWithTimeout(&wg, maxWait)
 		doneAt = time.Now()
 	}
+	<-probeDone
 	<-acceptDone
 
 	rep.WallMS = float64(time.Since(r.start).Microseconds()) / 1000
@@ -332,6 +374,10 @@ waitLoop:
 		Retries:     r.retries,
 		AppRestarts: r.appRestarts,
 		Ops:         append([]OpRecord(nil), r.ops...),
+	}
+	rep.SynsSent = r.synsSent
+	if r.spec.Assert.ProbeP99 > 0 {
+		rep.Probe = probeSummary(r.probeLat, r.probeFails)
 	}
 	r.mu.Unlock()
 
@@ -386,9 +432,35 @@ func (r *run) startServer() <-chan struct{} {
 		close(done)
 		return done
 	}
+	probeDone := make(chan struct{})
+	if r.spec.Assert.ProbeP99 > 0 {
+		pln, err := sctx.Listen(probePort)
+		if err != nil {
+			r.logf("probe listen: %v", err)
+			close(probeDone)
+		} else {
+			go func() {
+				defer close(probeDone)
+				defer pln.Close()
+				for {
+					c, err := pln.Accept(250 * time.Millisecond)
+					if err != nil {
+						if r.stopped() {
+							return
+						}
+						continue
+					}
+					c.Close() // the probe only measures the handshake
+				}
+			}()
+		}
+	} else {
+		close(probeDone)
+	}
 	go func() {
 		defer close(done)
 		defer ln.Close()
+		defer func() { <-probeDone }()
 		for {
 			c, err := ln.Accept(250 * time.Millisecond)
 			if err != nil {
@@ -732,8 +804,108 @@ func (r *run) normalize() []schedEvent {
 	for _, f := range r.spec.Faults {
 		evs = append(evs, r.faultEvent(f))
 	}
+	for i, a := range r.spec.Attacks {
+		evs = append(evs, r.attackEvent(i, a))
+	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
 	return evs
+}
+
+// attackEvent schedules one adversarial-traffic window. The flood runs
+// on its own goroutine so the timeline player is free to fire later
+// events while the attack is still in progress.
+func (r *run) attackEvent(idx int, a Attack) schedEvent {
+	port := a.Port
+	if port == 0 {
+		port = serverPort
+	}
+	ev := schedEvent{
+		at: a.At.D(), end: a.At.D() + a.For.D(),
+		kind: a.Kind, target: fmt.Sprintf("server:%d", port),
+	}
+	ev.apply = func() string {
+		rng := rand.New(rand.NewSource(r.spec.Seed + int64(idx)*104729 + 13))
+		end := r.start.Add(ev.end)
+		go func() {
+			// Burst every 2ms: at 50K pps that is 100 spoofed SYNs per
+			// tick, comfortably inside one fabric-delivery quantum.
+			const tick = 2 * time.Millisecond
+			per := int(int64(a.Rate) * int64(tick) / int64(time.Second))
+			if per < 1 {
+				per = 1
+			}
+			tk := time.NewTicker(tick)
+			defer tk.Stop()
+			for time.Now().Before(end) && !r.stopped() {
+				n, _ := r.attacker.SynBurst("10.0.0.1", port, per, rng)
+				r.mu.Lock()
+				r.synsSent += int64(n)
+				r.mu.Unlock()
+				select {
+				case <-r.stop:
+					return
+				case <-tk.C:
+				}
+			}
+		}()
+		return fmt.Sprintf("spoofed SYN flood: %d pps on port %d for %v", a.Rate, port, a.For.D())
+	}
+	return ev
+}
+
+// attackWindow reports whether offset el falls inside any attack window,
+// and whether any window is still ahead (so the prober knows when it can
+// retire).
+func (r *run) attackWindow(el time.Duration) (in, ahead bool) {
+	for _, a := range r.spec.Attacks {
+		if el < a.At.D()+a.For.D() {
+			ahead = true
+			if el >= a.At.D() {
+				in = true
+			}
+		}
+	}
+	return in, ahead
+}
+
+// probeLoop dials the probe port — striped away from the workload port —
+// while attack windows are open, recording handshake latency. It is the
+// run's striping control: flood pressure on one stripe must not slow
+// dials that take a different stripe's lock.
+func (r *run) probeLoop() {
+	ctx := r.clients[0].NewContext()
+	for !r.stopped() {
+		in, ahead := r.attackWindow(time.Since(r.start))
+		if !in {
+			if !ahead {
+				return
+			}
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			continue
+		}
+		t0 := time.Now()
+		c, err := ctx.DialTimeout("10.0.0.1", probePort, opTimeout)
+		lat := time.Since(t0)
+		r.mu.Lock()
+		if err != nil {
+			r.probeFails++
+		} else {
+			r.probeLat = append(r.probeLat, lat)
+		}
+		r.mu.Unlock()
+		if c != nil {
+			c.Close()
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
 }
 
 func (r *run) impairmentEvent(idx int, imp Impairment) schedEvent {
@@ -995,6 +1167,24 @@ func (r *run) evaluate(rep *Report, capped bool, recovery time.Duration) []Asser
 		add("server-aborts", rep.Server.Aborts <= uint64(a.MaxServerAborts),
 			"%d server aborts (bound %d)", rep.Server.Aborts, a.MaxServerAborts)
 	}
+	if a.MinCookiesValidated > 0 {
+		got := rep.Server.SynCookiesValidated
+		add("cookies-validated", got >= uint64(a.MinCookiesValidated),
+			"%d connections reconstructed from SYN cookies (want >= %d; %d cookies sent, %d rejected)",
+			got, a.MinCookiesValidated, rep.Server.SynCookiesSent, rep.Server.SynCookiesRejected)
+	}
+	if a.ProbeP99 > 0 {
+		p := rep.Probe
+		if p == nil || p.Dials == 0 {
+			add("probe-p99", false, "prober made no successful dials during attack windows (%d failed)",
+				r.probeFails)
+		} else {
+			bound := float64(a.ProbeP99.D().Microseconds()) / 1000
+			add("probe-p99", p.P99MS <= bound && p.Fails == 0,
+				"cross-stripe dial p99 %.2fms over %d dials, %d failed (bound %.2fms)",
+				p.P99MS, p.Dials, p.Fails, bound)
+		}
+	}
 	if len(a.DropCauses) > 0 {
 		causes := make([]string, 0, len(a.DropCauses))
 		for c := range a.DropCauses {
@@ -1033,6 +1223,33 @@ func dropByCause(s tas.ServiceStats, cause string) uint64 {
 		return s.SynBacklogDrops
 	case "accept_queue":
 		return s.AcceptQueueDrops
+	case "blind_ack":
+		return s.BlindAckDrops
 	}
 	return 0
+}
+
+// probeSummary reduces the prober's latency samples.
+func probeSummary(lat []time.Duration, fails int) *ProbeResult {
+	p := &ProbeResult{Dials: len(lat), Fails: fails}
+	if len(lat) == 0 {
+		return p
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	pct := func(q float64) time.Duration {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	p.P50MS = ms(pct(0.50))
+	p.P99MS = ms(pct(0.99))
+	p.MaxMS = ms(sorted[len(sorted)-1])
+	return p
 }

@@ -51,6 +51,17 @@ type WorkloadResult struct {
 	Ops         []OpRecord `json:"ops,omitempty"`
 }
 
+// ProbeResult summarizes the control-port prober: dial-handshake
+// latency on a port striped away from the attacked one, measured only
+// while attack windows were open.
+type ProbeResult struct {
+	Dials int     `json:"dials"`
+	Fails int     `json:"fails"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
 // AssertionResult is one machine-checked postcondition.
 type AssertionResult struct {
 	Name   string `json:"name"`
@@ -93,6 +104,11 @@ type Report struct {
 	Assertions []AssertionResult `json:"assertions"`
 
 	RecoveryMS float64 `json:"recovery_ms"` // last timeline event end -> workload completion
+
+	// Adversarial-traffic results: spoofed segments injected by attack
+	// windows, and the striping prober's latency summary.
+	SynsSent int64        `json:"syns_sent,omitempty"`
+	Probe    *ProbeResult `json:"probe,omitempty"`
 
 	Server  ServiceSnapshot   `json:"server"`
 	Clients []ServiceSnapshot `json:"clients"`

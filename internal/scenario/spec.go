@@ -71,6 +71,7 @@ type Spec struct {
 	Link        *LinkSpec    `json:"link,omitempty"`
 	Impairments []Impairment `json:"impairments,omitempty"`
 	Faults      []FaultEvent `json:"faults,omitempty"`
+	Attacks     []Attack     `json:"attacks,omitempty"`
 	Workload    Workload     `json:"workload"`
 	Assert      Assertions   `json:"assert"`
 }
@@ -99,6 +100,14 @@ type Topology struct {
 
 	// CongestionControl selects the slow-path policy ("" = dctcp).
 	CongestionControl string `json:"congestion_control,omitempty"`
+
+	// Adversarial-traffic hardening knobs (server side): SYN-cookie
+	// mode ("" = engage automatically under pressure, "always", "off"),
+	// the handshake-table stripe count (0 = default 16), and the
+	// RFC 5961 challenge-ACK budget (0 = default 100/s).
+	SynCookies         string `json:"syn_cookies,omitempty"`
+	HandshakeStripes   int    `json:"handshake_stripes,omitempty"`
+	ChallengeAckPerSec int    `json:"challenge_ack_per_sec,omitempty"`
 }
 
 // LinkSpec installs the fabric's netem-grade link model for the run:
@@ -182,6 +191,25 @@ type FaultEvent struct {
 	For    Duration `json:"for,omitempty"`    // stall duration
 }
 
+// Attack kinds.
+const (
+	AttackSynFlood = "syn-flood" // spoofed SYNs at Rate pps against Port
+)
+
+// Attack is one time-stamped adversarial-traffic window: a raw packet
+// source on the fabric forges segments with spoofed source addresses
+// (replies route nowhere, as for a real blind attacker). Entries must
+// be ordered by At. While any attack window is open, the executor's
+// control-port prober (see Assertions.ProbeP99) measures handshake
+// latency on a port striped away from the attacked one.
+type Attack struct {
+	At   Duration `json:"at"`
+	For  Duration `json:"for"`            // attack window length
+	Kind string   `json:"kind"`           // "syn-flood"
+	Rate int      `json:"rate,omitempty"` // packets/sec (default 50000)
+	Port uint16   `json:"port,omitempty"` // target port (default: the workload port)
+}
+
 // Workload kinds.
 const (
 	WorkStream = "stream" // length-prefixed bulk transfers, SHA-256 verified end to end
@@ -241,6 +269,16 @@ type Assertions struct {
 	// DropCauses bounds server drop counters by cause name (the
 	// tas_drops_total causes, e.g. "bad_desc": 0).
 	DropCauses map[string]uint64 `json:"drop_causes,omitempty"`
+
+	// MinCookiesValidated requires the server to have reconstructed at
+	// least n connections from SYN-cookie ACKs (proof the stateless
+	// path, not the stateful one, carried handshakes during a flood).
+	MinCookiesValidated int `json:"min_cookies_validated,omitempty"`
+
+	// ProbeP99 enables the control-port prober and bounds its p99 dial
+	// latency during attack windows: handshakes on a port striped away
+	// from the attacked one must stay fast while the flood runs.
+	ProbeP99 Duration `json:"probe_p99,omitempty"`
 }
 
 // --- Typed validation errors -----------------------------------------
@@ -312,6 +350,11 @@ func (s *Spec) fill() {
 	if s.Topology.ClientCores <= 0 {
 		s.Topology.ClientCores = 2
 	}
+	for i := range s.Attacks {
+		if s.Attacks[i].Rate == 0 {
+			s.Attacks[i].Rate = 50000
+		}
+	}
 	w := &s.Workload
 	if w.Conns <= 0 {
 		w.Conns = 1
@@ -369,14 +412,49 @@ func (s *Spec) Validate() error {
 		return specErr(ErrBadSpec, "link.rate_mbps", "link model needs a positive rate, got %v", s.Link.RateMbps)
 	}
 
+	switch s.Topology.SynCookies {
+	case "", "always", "off":
+	default:
+		return specErr(ErrUnknownKind, "topology.syn_cookies",
+			"unknown SYN-cookie mode %q (want \"\", \"always\", or \"off\")", s.Topology.SynCookies)
+	}
+
 	if err := s.validateImpairments(); err != nil {
 		return err
 	}
 	if err := s.validateFaults(); err != nil {
 		return err
 	}
+	if err := s.validateAttacks(); err != nil {
+		return err
+	}
 	if err := s.validateAssertions(); err != nil {
 		return err
+	}
+	return nil
+}
+
+func (s *Spec) validateAttacks() error {
+	var last Duration = -1
+	for i, a := range s.Attacks {
+		field := func(sub string) string { return fmt.Sprintf("attacks[%d].%s", i, sub) }
+		if a.Kind != AttackSynFlood {
+			return specErr(ErrUnknownKind, field("kind"), "unknown attack kind %q", a.Kind)
+		}
+		if a.At < 0 {
+			return specErr(ErrTimeline, field("at"), "negative offset %v", a.At.D())
+		}
+		if a.At < last {
+			return specErr(ErrTimeline, field("at"),
+				"out of order: %v after an entry at %v (sort the schedule by at)", a.At.D(), last.D())
+		}
+		last = a.At
+		if a.For <= 0 {
+			return specErr(ErrBadSpec, field("for"), "attack window needs a positive duration")
+		}
+		if a.Rate < 0 {
+			return specErr(ErrBadSpec, field("rate"), "negative rate %d", a.Rate)
+		}
 	}
 	return nil
 }
@@ -531,7 +609,7 @@ var knownDropCauses = map[string]bool{
 	"rx_ring_full": true, "rx_buf_full": true, "bad_desc": true,
 	"syn_shed": true, "syn_shed_down": true, "excq_full": true,
 	"events_lost": true, "ooo_dropped": true, "core_stranded": true,
-	"syn_backlog": true, "accept_queue": true,
+	"syn_backlog": true, "accept_queue": true, "blind_ack": true,
 }
 
 func (s *Spec) validateAssertions() error {

@@ -1,0 +1,63 @@
+package shmring
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMPSCConcurrentProducers drives many producers against one
+// consumer; under -race this is the regression test for the
+// multi-producer contract (the plain SPSC ring corrupts its tail
+// index here).
+func TestMPSCConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 10000
+	q := NewMPSC[int](256)
+
+	var wg sync.WaitGroup
+	sent := make([]int, producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if q.Enqueue(p*perProducer + i) {
+					sent[p]++
+				}
+			}
+		}(p)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	got := 0
+	seen := make(map[int]bool)
+	var buf [64]int
+	for {
+		n := q.DequeueBatch(buf[:])
+		for i := 0; i < n; i++ {
+			if seen[buf[i]] {
+				t.Fatalf("value %d dequeued twice", buf[i])
+			}
+			seen[buf[i]] = true
+			got++
+		}
+		if n == 0 {
+			select {
+			case <-done:
+				if q.Len() == 0 {
+					total := 0
+					for _, s := range sent {
+						total += s
+					}
+					if got != total {
+						t.Fatalf("dequeued %d, producers enqueued %d", got, total)
+					}
+					return
+				}
+			default:
+			}
+		}
+	}
+}

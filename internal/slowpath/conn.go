@@ -8,6 +8,7 @@ import (
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
 	"repro/internal/shmring"
+	"repro/internal/tcp"
 	"repro/internal/telemetry"
 )
 
@@ -24,7 +25,7 @@ func (s *Slowpath) handleException(pkt *protocol.Packet) {
 	case flags.Has(protocol.FlagSYN):
 		s.handleSyn(key, pkt)
 	case flags.Has(protocol.FlagRST):
-		s.handleRst(key)
+		s.handleRst(key, pkt)
 	case flags.Has(protocol.FlagFIN):
 		s.handleFin(key, pkt)
 	default:
@@ -32,41 +33,85 @@ func (s *Slowpath) handleException(pkt *protocol.Packet) {
 	}
 }
 
+// challengeAck answers a suspicious control packet with a bare ACK of
+// the flow's current state (RFC 5961 §3/§4): a legitimate but
+// desynchronized peer learns the exact sequence it must use, while a
+// blind attacker learns nothing. Globally rate-limited so the response
+// itself cannot be turned into a reflection amplifier.
+func (s *Slowpath) challengeAck(f *flowstate.Flow) {
+	if s.eng.Challenge == nil || !s.eng.Challenge.Allow(s.eng.NowNanos()) {
+		return
+	}
+	f.Lock()
+	seq, ack := f.SeqNo, f.AckNo
+	f.Unlock()
+	s.sendCtlFlow(f, protocol.FlagACK, seq, ack)
+	recordFlow(f, telemetry.FEChallengeTx, seq, ack, 0, 0)
+}
+
 // handleSyn: a remote open. If a listener exists, reply SYNACK and
-// remember the half-open connection; otherwise refuse with RST.
+// remember the half-open connection (or, under SYN-flood pressure,
+// answer statelessly with a cookie); otherwise refuse with RST.
 func (s *Slowpath) handleSyn(key protocol.FlowKey, pkt *protocol.Packet) {
-	s.mu.Lock()
-	l := s.listeners[key.LocalPort]
+	// RFC 5961 §4: a SYN matching an established connection must not
+	// disturb it — a blind attacker can land a spoofed SYN anywhere in
+	// the window. Answer with a rate-limited challenge ACK; a genuinely
+	// restarted peer responds with an exact-sequence RST that passes
+	// handleRst's validation.
+	if f := s.eng.Table.Lookup(key); f != nil {
+		s.challengeAck(f)
+		return
+	}
+	st := s.stripeFor(key.LocalPort)
+	st.mu.Lock()
+	if h, dup := st.half[key]; dup {
+		if !h.passive {
+			// The key matches one of our in-flight active opens. Whether
+			// this is a simultaneous open or a spoofed SYN, it must not
+			// perturb the handshake or release the port reservation; the
+			// SYN-ACK retransmission sweep drives it to resolution.
+			st.mu.Unlock()
+			return
+		}
+		// SYN retransmission: re-send our SYNACK.
+		iss, peer := h.iss, h.peerISS
+		st.mu.Unlock()
+		s.sendCtlSynAck(key, iss, peer+1)
+		return
+	}
+	l := st.listeners[key.LocalPort]
 	if l == nil {
-		s.Rejected++
-		s.mu.Unlock()
+		st.mu.Unlock()
+		s.Rejected.Add(1)
 		s.sendCtl(key, protocol.FlagRST|protocol.FlagACK, 0, pkt.Seq+1, false)
 		return
 	}
-	if h, dup := s.half[key]; dup {
-		// SYN retransmission: re-send our SYNACK.
-		iss, peer := h.iss, h.peerISS
-		s.mu.Unlock()
-		s.sendCtlSynAck(key, iss, peer+1)
+	if s.cookiesEngaged(l, time.Now()) {
+		st.mu.Unlock()
+		// Stateless handshake: no half-open entry, no backlog slot — the
+		// completing ACK proves the initiator is reachable and carries
+		// everything needed to reconstruct the connection.
+		s.record(key, telemetry.FESynRx, pkt.Seq, 0, 0)
+		s.sendCookieSynAck(key, pkt)
 		return
 	}
 	if l.halfCount+int(l.pending.Load()) >= l.backlog {
 		// Accept-queue overflow: shed the SYN silently and count it.
 		// No RST — this is overload, not refusal; the peer's handshake
 		// retransmission retries when (if) the backlog drains.
-		s.SynBacklogDrops++
-		s.mu.Unlock()
+		s.SynBacklogDrops.Add(1)
+		st.mu.Unlock()
 		return
 	}
-	iss := s.rng.Uint32()
-	s.half[key] = &halfOpen{
+	iss := st.rng.Uint32()
+	st.half[key] = &halfOpen{
 		key: key, iss: iss, ctxID: l.ctxID, opaque: l.opaque,
 		passive: true, peerISS: pkt.Seq,
 		rto: s.cfg.HandshakeRTO, deadline: time.Now().Add(s.cfg.HandshakeRTO),
 		lst: l,
 	}
 	l.halfCount++
-	s.mu.Unlock()
+	st.mu.Unlock()
 	s.record(key, telemetry.FESynRx, pkt.Seq, 0, 0)
 	s.sendCtlSynAck(key, iss, pkt.Seq+1)
 	s.record(key, telemetry.FESynAckTx, iss, pkt.Seq+1, 0)
@@ -88,10 +133,11 @@ func (s *Slowpath) sendCtlSynAck(key protocol.FlowKey, iss, ack uint32) {
 
 // handleSynAck: completion of our active open.
 func (s *Slowpath) handleSynAck(key protocol.FlowKey, pkt *protocol.Packet) {
-	s.mu.Lock()
-	h := s.half[key]
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	h := st.half[key]
 	if h == nil || h.passive {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		// Our final handshake ACK may have been lost and the peer
 		// retransmitted its SYN-ACK: re-ack from the installed flow so
 		// the passive side can establish.
@@ -104,11 +150,11 @@ func (s *Slowpath) handleSynAck(key protocol.FlowKey, pkt *protocol.Packet) {
 		return // stale
 	}
 	if pkt.Ack != h.iss+1 {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return // not for our SYN
 	}
-	s.dropHalfLocked(key, h)
-	s.mu.Unlock()
+	st.dropHalf(key, h)
+	st.mu.Unlock()
 
 	s.record(key, telemetry.FESynAckRx, pkt.Seq, pkt.Ack, 0)
 	f := s.installFlow(key, h, pkt.Seq, pkt.Window)
@@ -117,51 +163,85 @@ func (s *Slowpath) handleSynAck(key protocol.FlowKey, pkt *protocol.Packet) {
 	if ctx := s.eng.ContextByID(h.ctxID); ctx != nil {
 		ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvConnected, Opaque: h.opaque, Flow: f})
 	}
-	s.mu.Lock()
-	s.Established++
-	s.mu.Unlock()
+	s.Established.Add(1)
 }
 
-// handlePlain: a data/ack packet the fast path didn't know. Two cases:
-// the ACK completing a passive handshake, or a packet that raced flow
+// handlePlain: a data/ack packet the fast path didn't know. Three cases:
+// the ACK completing a stateful passive handshake, the ACK completing a
+// stateless (SYN-cookie) handshake, or a packet that raced flow
 // installation (re-inject it).
 func (s *Slowpath) handlePlain(key protocol.FlowKey, pkt *protocol.Packet) {
-	s.mu.Lock()
-	if h := s.half[key]; h != nil && h.passive && pkt.Flags.Has(protocol.FlagACK) && pkt.Ack == h.iss+1 {
-		s.dropHalfLocked(key, h)
-		s.Established++
-		s.Accepted++
-		s.mu.Unlock()
-		f := s.installFlow(key, h, h.peerISS, pkt.Window)
-		ctx := s.eng.ContextByID(h.ctxID)
-		if ctx == nil || !ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAccepted, Opaque: h.opaque, Flow: f}) {
-			// The accept event cannot be delivered (context gone, dead,
-			// or its event queue is full): tear the nascent connection
-			// down instead of orphaning installed flow state the
-			// application will never learn about.
-			s.teardownUndeliverable(f)
-			return
-		}
-		if h.lst != nil {
-			h.lst.pending.Add(1)
-		}
-		// The completing ACK may carry data (or more may have raced):
-		// re-inject so the fast path processes it against the new flow.
-		if pkt.DataLen() > 0 {
-			s.eng.Input(pkt)
-		}
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	if h := st.half[key]; h != nil && h.passive && pkt.Flags.Has(protocol.FlagACK) && pkt.Ack == h.iss+1 {
+		st.dropHalf(key, h)
+		st.mu.Unlock()
+		s.completePassive(h, pkt)
 		return
 	}
-	s.mu.Unlock()
+	// No half-open entry. If the port is listening with cookies engaged
+	// and the flow is not already installed, this may be the ACK of a
+	// stateless handshake: validate the cookie carried in the ack
+	// number and reconstruct the connection the slow path never stored.
+	if l := st.listeners[key.LocalPort]; l != nil &&
+		pkt.Flags.Has(protocol.FlagACK) && s.cookiesActive(l, time.Now()) &&
+		s.eng.Table.Lookup(key) == nil {
+		h, ok := s.cookieHalf(key, pkt, l)
+		if !ok {
+			s.SynCookiesRejected.Add(1)
+			st.mu.Unlock()
+			s.record(key, telemetry.FESynCookieBad, pkt.Seq, pkt.Ack, 0)
+			return
+		}
+		if int(l.pending.Load()) >= l.backlog {
+			// The cookie is genuine but the accept queue is full. The
+			// stateless handshake already told the peer "established", so
+			// shedding must fail closed: RST, not a silent wedge.
+			s.AcceptQueueDrops.Add(1)
+			st.mu.Unlock()
+			s.sendCtl(key, protocol.FlagRST|protocol.FlagACK, pkt.Ack, pkt.Seq, false)
+			return
+		}
+		st.mu.Unlock()
+		s.SynCookiesValidated.Add(1)
+		s.record(key, telemetry.FESynCookieOK, pkt.Seq, pkt.Ack, 0)
+		s.completePassive(h, pkt)
+		return
+	}
+	st.mu.Unlock()
 
 	if s.eng.Table.Lookup(key) != nil {
 		// Raced installation: back to the fast path.
-		s.mu.Lock()
-		s.Reinjected++
-		s.mu.Unlock()
+		s.Reinjected.Add(1)
 		s.eng.Input(pkt)
 	}
 	// Otherwise: unknown flow, drop (a full stack would RST).
+}
+
+// completePassive finishes a passive handshake whose completing ACK
+// just arrived (stateful or cookie-reconstructed): install the flow,
+// deliver EvAccepted, and re-inject any data the ACK carried.
+func (s *Slowpath) completePassive(h *halfOpen, pkt *protocol.Packet) {
+	s.Established.Add(1)
+	s.Accepted.Add(1)
+	f := s.installFlow(h.key, h, h.peerISS, pkt.Window)
+	ctx := s.eng.ContextByID(h.ctxID)
+	if ctx == nil || !ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAccepted, Opaque: h.opaque, Flow: f}) {
+		// The accept event cannot be delivered (context gone, dead,
+		// or its event queue is full): tear the nascent connection
+		// down instead of orphaning installed flow state the
+		// application will never learn about.
+		s.teardownUndeliverable(f)
+		return
+	}
+	if h.lst != nil {
+		h.lst.pending.Add(1)
+	}
+	// The completing ACK may carry data (or more may have raced):
+	// re-inject so the fast path processes it against the new flow.
+	if pkt.DataLen() > 0 {
+		s.eng.Input(pkt)
+	}
 }
 
 // teardownUndeliverable aborts a just-installed flow whose accept event
@@ -181,8 +261,8 @@ func (s *Slowpath) teardownUndeliverable(f *flowstate.Flow) {
 	f.TxBuf.Reclaim()
 	s.mu.Lock()
 	delete(s.cc, f)
-	s.AcceptQueueDrops++
 	s.mu.Unlock()
+	s.AcceptQueueDrops.Add(1)
 	s.retireRec(f)
 }
 
@@ -200,6 +280,7 @@ func (s *Slowpath) installFlow(key protocol.FlowKey, h *halfOpen, peerISS uint32
 		SeqNo:     h.iss + 1,
 		AckNo:     peerISS + 1,
 		Window:    peerWindow,
+		MSSCap:    h.mss, // nonzero only on cookie reconstructions
 		RxBuf:     shmring.NewPayloadBuffer(s.cfg.RxBufSize),
 		TxBuf:     shmring.NewPayloadBuffer(s.cfg.TxBufSize),
 	}
@@ -255,17 +336,37 @@ func (s *Slowpath) handleFin(key protocol.FlowKey, pkt *protocol.Packet) {
 	}
 }
 
-// handleRst tears the flow down immediately. A RST against a half-open
-// active connect is a refusal: the application learns via EvConnected
-// with a non-zero error code. A RST against a passive half-open entry
-// (the peer gave up mid-handshake) just reaps the entry. A RST against
-// an established flow aborts it: EvAborted, state removed.
-func (s *Slowpath) handleRst(key protocol.FlowKey) {
-	s.mu.Lock()
-	if h := s.half[key]; h != nil {
-		s.dropHalfLocked(key, h)
-		s.Rejected++
-		s.mu.Unlock()
+// handleRst tears the flow down — but only after RFC 5961 sequence
+// validation, because a RST is the cheapest blind attack there is: one
+// spoofed packet that lands kills a connection.
+//
+// Against half-open state, only the RST a legitimate peer could send is
+// honored: for a passive half-open, the peer's sequence must be exactly
+// the one our SYN-ACK acknowledged; for an active open, the RST must
+// carry an ACK of exactly our ISS+1 (RFC 793's refusal form). Against
+// an established flow, only an RST at exactly the next expected
+// sequence (RCV.NXT) tears down; one merely inside the receive window
+// draws a rate-limited challenge ACK (a true peer reset answers that
+// with an exact-sequence RST), and anything else is dropped. All
+// rejected RSTs count in BlindRstDrops.
+func (s *Slowpath) handleRst(key protocol.FlowKey, pkt *protocol.Packet) {
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	if h := st.half[key]; h != nil {
+		valid := false
+		if h.passive {
+			valid = pkt.Seq == h.peerISS+1
+		} else {
+			valid = pkt.Flags.Has(protocol.FlagACK) && pkt.Ack == h.iss+1
+		}
+		if !valid {
+			s.BlindRstDrops.Add(1)
+			st.mu.Unlock()
+			return
+		}
+		st.dropHalf(key, h)
+		st.mu.Unlock()
+		s.Rejected.Add(1)
 		if !h.passive {
 			if ctx := s.eng.ContextByID(h.ctxID); ctx != nil {
 				ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvConnected, Opaque: h.opaque, Bytes: fastpath.ConnRefused})
@@ -273,9 +374,23 @@ func (s *Slowpath) handleRst(key protocol.FlowKey) {
 		}
 		return
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 	f := s.eng.Table.Lookup(key)
 	if f == nil {
+		return
+	}
+	f.Lock()
+	expect := f.AckNo
+	wnd := uint32(f.RxBuf.Free())
+	f.Unlock()
+	if pkt.Seq != expect {
+		s.BlindRstDrops.Add(1)
+		if wnd == 0 {
+			wnd = 1
+		}
+		if tcp.SeqInWindow(pkt.Seq, expect, wnd) {
+			s.challengeAck(f)
+		}
 		return
 	}
 	f.Lock()
@@ -284,8 +399,8 @@ func (s *Slowpath) handleRst(key protocol.FlowKey) {
 	f.Aborted = true
 	f.Unlock()
 	if first {
-		recordFlow(f, telemetry.FERstRx, 0, 0, 0, 0)
-		recordFlow(f, telemetry.FEAborted, 0, 0, 0, 0)
+		recordFlow(f, telemetry.FERstRx, pkt.Seq, 0, 0, 0)
+		recordFlow(f, telemetry.FEAborted, pkt.Seq, 0, 0, 0)
 		if ctx := s.eng.ContextByID(ctxID); ctx != nil {
 			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAborted, Opaque: opaque})
 		}
@@ -309,9 +424,7 @@ func (s *Slowpath) abortFlow(f *flowstate.Flow) {
 	s.sendCtlFlow(f, protocol.FlagRST|protocol.FlagACK, seq, ack)
 	recordFlow(f, telemetry.FERstTx, seq, ack, 0, 0)
 	recordFlow(f, telemetry.FEAborted, seq, ack, 0, 0)
-	s.mu.Lock()
-	s.Aborts++
-	s.mu.Unlock()
+	s.Aborts.Add(1)
 	s.removeFlow(f)
 	if ctx := s.eng.ContextByID(ctxID); ctx != nil {
 		ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAborted, Opaque: opaque})
@@ -332,26 +445,28 @@ func (s *Slowpath) handshakeSweep() {
 	}
 	var resend []rexmit
 	var failed []*halfOpen
-	s.mu.Lock()
-	for key, h := range s.half {
-		if now.Before(h.deadline) {
-			continue
-		}
-		if h.attempts >= s.cfg.HandshakeRetries {
-			s.dropHalfLocked(key, h)
-			s.HandshakeTimeouts++
-			if !h.passive {
-				failed = append(failed, h)
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		for key, h := range st.half {
+			if now.Before(h.deadline) {
+				continue
 			}
-			continue
+			if h.attempts >= s.cfg.HandshakeRetries {
+				st.dropHalf(key, h)
+				s.HandshakeTimeouts.Add(1)
+				if !h.passive {
+					failed = append(failed, h)
+				}
+				continue
+			}
+			h.attempts++
+			h.rto *= 2
+			h.deadline = now.Add(h.rto)
+			s.HandshakeRexmits.Add(1)
+			resend = append(resend, rexmit{key: key, iss: h.iss, peer: h.peerISS, passive: h.passive})
 		}
-		h.attempts++
-		h.rto *= 2
-		h.deadline = now.Add(h.rto)
-		s.HandshakeRexmits++
-		resend = append(resend, rexmit{key: key, iss: h.iss, peer: h.peerISS, passive: h.passive})
+		st.mu.Unlock()
 	}
-	s.mu.Unlock()
 	for _, r := range resend {
 		if r.passive {
 			s.sendCtlSynAck(r.key, r.iss, r.peer+1)
@@ -400,7 +515,7 @@ func (s *Slowpath) closeSweep() {
 		e.attempts++
 		e.rto *= 2
 		e.deadline = now.Add(e.rto)
-		s.FinRexmits++
+		s.FinRexmits.Add(1)
 		resend = append(resend, rexmit{f: f, seq: e.finSeq, ack: ack})
 	}
 	s.mu.Unlock()
@@ -490,9 +605,7 @@ func (s *Slowpath) controlLoop() {
 					continue
 				}
 				timeouts = 1
-				s.mu.Lock()
-				s.Timeouts++
-				s.mu.Unlock()
+				s.Timeouts.Add(1)
 				recordFlow(f, telemetry.FERTOBackoff, una, 0, 0, uint64(needWait))
 				f.Lock()
 				f.SeqNo -= f.TxSent // reset as if unsent

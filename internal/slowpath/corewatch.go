@@ -111,9 +111,7 @@ func (s *Slowpath) coreSweep(now time.Time) {
 				w.failed = false
 				w.cleanBeats = 0
 				s.eng.ClearCoreFailed(i)
-				s.mu.Lock()
-				s.CoreReadmits++
-				s.mu.Unlock()
+				s.CoreReadmits.Add(1)
 			}
 		}
 	}
@@ -149,11 +147,9 @@ func (s *Slowpath) failCore(i int) {
 		}
 	}
 
-	s.mu.Lock()
-	s.CoreFailures++
-	s.FlowsMigrated += uint64(migrated)
-	s.CoreDrainRequeued += uint64(requeued)
-	s.mu.Unlock()
+	s.CoreFailures.Add(1)
+	s.FlowsMigrated.Add(uint64(migrated))
+	s.CoreDrainRequeued.Add(uint64(requeued))
 
 	if telem != nil {
 		telem.Cycles.AddSlow(telemetry.ModMigrate, telem.RefreshNow()-t0, uint64(migrated))

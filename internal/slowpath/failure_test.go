@@ -63,9 +63,7 @@ func TestConnectTimesOutAcrossPartition(t *testing.T) {
 	if el := time.Since(start); el > 1500*time.Millisecond {
 		t.Fatalf("timed out after %v, want bounded", el)
 	}
-	a.sp.mu.Lock()
-	nHalf, nTO := len(a.sp.half), a.sp.HandshakeTimeouts
-	a.sp.mu.Unlock()
+	nHalf, nTO := a.sp.halfLen(), a.sp.HandshakeTimeouts.Load()
 	if nHalf != 0 {
 		t.Fatalf("half-open entries leaked: %d", nHalf)
 	}
@@ -97,9 +95,7 @@ func TestHandshakeSurvivesTransientPartition(t *testing.T) {
 	if ev.Kind != fastpath.EvConnected || ev.Bytes != 0 || ev.Flow == nil {
 		t.Fatalf("event = %+v, want established", ev)
 	}
-	a.sp.mu.Lock()
-	rexmits := a.sp.HandshakeRexmits
-	a.sp.mu.Unlock()
+	rexmits := a.sp.HandshakeRexmits.Load()
 	if rexmits == 0 {
 		t.Fatal("expected SYN retransmissions")
 	}
@@ -122,9 +118,7 @@ func TestRstReapsPassiveHalfOpen(t *testing.T) {
 	})
 	deadline := time.Now().Add(time.Second)
 	for {
-		b.sp.mu.Lock()
-		n := len(b.sp.half)
-		b.sp.mu.Unlock()
+		n := b.sp.halfLen()
 		if n == 1 {
 			break
 		}
@@ -138,9 +132,7 @@ func TestRstReapsPassiveHalfOpen(t *testing.T) {
 		Flags: protocol.FlagRST, Seq: 101,
 	})
 	for {
-		b.sp.mu.Lock()
-		n := len(b.sp.half)
-		b.sp.mu.Unlock()
+		n := b.sp.halfLen()
 		if n == 0 {
 			return
 		}
@@ -167,9 +159,7 @@ func TestPassiveHalfOpenReapedWithoutFinalAck(t *testing.T) {
 	})
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		b.sp.mu.Lock()
-		n, reaped := len(b.sp.half), b.sp.HandshakeTimeouts
-		b.sp.mu.Unlock()
+		n, reaped := b.sp.halfLen(), b.sp.HandshakeTimeouts.Load()
 		if n == 0 && reaped > 0 {
 			return
 		}
@@ -225,9 +215,7 @@ func TestEstablishedFlowAbortsAfterRetryBudget(t *testing.T) {
 	if a.eng.Table.Len() != 0 {
 		t.Fatal("aborted flow still in table")
 	}
-	a.sp.mu.Lock()
-	aborts := a.sp.Aborts
-	a.sp.mu.Unlock()
+	aborts := a.sp.Aborts.Load()
 	if aborts == 0 {
 		t.Fatal("Aborts not counted")
 	}
@@ -369,9 +357,7 @@ func TestFinRetransmittedUntilAcked(t *testing.T) {
 		f.Lock()
 		acked := f.FinAcked
 		f.Unlock()
-		a.sp.mu.Lock()
-		rexmits := a.sp.FinRexmits
-		a.sp.mu.Unlock()
+		rexmits := a.sp.FinRexmits.Load()
 		if acked {
 			if rexmits == 0 {
 				t.Fatal("FIN acked without any retransmission despite partition")

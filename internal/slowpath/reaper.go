@@ -111,21 +111,23 @@ func (s *Slowpath) ReapContext(ctx *fastpath.Context) {
 
 	// Listen ports and half-open handshakes go first so no new flows
 	// are installed for the dead app while we sweep the table.
-	s.mu.Lock()
-	for port, l := range s.listeners {
-		if l.ctxID == id {
-			delete(s.listeners, port)
-			s.eng.Listeners.Remove(port)
-			s.ListenersReaped++
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		for port, l := range st.listeners {
+			if l.ctxID == id {
+				delete(st.listeners, port)
+				s.eng.Listeners.Remove(port)
+				s.ListenersReaped.Add(1)
+			}
 		}
-	}
-	for key, h := range s.half {
-		if h.ctxID == id {
-			s.dropHalfLocked(key, h)
-			s.HalfOpenReaped++
+		for key, h := range st.half {
+			if h.ctxID == id {
+				st.dropHalf(key, h)
+				s.HalfOpenReaped.Add(1)
+			}
 		}
+		st.mu.Unlock()
 	}
-	s.mu.Unlock()
 
 	// Established flows: abort toward the peer and free everything.
 	var flows []*flowstate.Flow
@@ -152,14 +154,12 @@ func (s *Slowpath) ReapContext(ctx *fastpath.Context) {
 		s.mu.Lock()
 		delete(s.cc, f)
 		delete(s.closing, f)
-		s.FlowsReaped++
 		s.mu.Unlock()
+		s.FlowsReaped.Add(1)
 		s.retireRec(f)
 	}
 
-	s.mu.Lock()
-	s.AppsReaped++
-	s.mu.Unlock()
+	s.AppsReaped.Add(1)
 
 	// Release the context slot only after no live flow references the
 	// id, so a reused slot cannot receive a dead flow's events.
@@ -169,21 +169,14 @@ func (s *Slowpath) ReapContext(ctx *fastpath.Context) {
 	ctx.Wake()
 }
 
-// dropHalfLocked removes a half-open entry and releases its listener
-// backlog slot. Caller holds s.mu.
-func (s *Slowpath) dropHalfLocked(key protocol.FlowKey, h *halfOpen) {
-	delete(s.half, key)
-	if h.lst != nil && h.lst.halfCount > 0 {
-		h.lst.halfCount--
-	}
-}
-
 // Counters is a consistent snapshot of the slow path's event counters.
 type Counters struct {
 	Established, Accepted, Rejected, Timeouts, Reinjected   uint64
 	HandshakeRexmits, HandshakeTimeouts, FinRexmits, Aborts uint64
 	AppsReaped, FlowsReaped, ListenersReaped                uint64
 	HalfOpenReaped, SynBacklogDrops, AcceptQueueDrops       uint64
+	SynCookiesSent, SynCookiesValidated                     uint64
+	SynCookiesRejected, BlindRstDrops                       uint64
 	FlowsReconstructed, RecoveryAborts, Panics              uint64
 	CoreFailures, FlowsMigrated, CoreReadmits               uint64
 	CoreDrainRequeued                                       uint64
@@ -191,20 +184,20 @@ type Counters struct {
 
 // Counters returns a snapshot of the slow path's counters.
 func (s *Slowpath) Counters() Counters {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return Counters{
-		Established: s.Established, Accepted: s.Accepted, Rejected: s.Rejected,
-		Timeouts: s.Timeouts, Reinjected: s.Reinjected,
-		HandshakeRexmits: s.HandshakeRexmits, HandshakeTimeouts: s.HandshakeTimeouts,
-		FinRexmits: s.FinRexmits, Aborts: s.Aborts,
-		AppsReaped: s.AppsReaped, FlowsReaped: s.FlowsReaped,
-		ListenersReaped: s.ListenersReaped, HalfOpenReaped: s.HalfOpenReaped,
-		SynBacklogDrops: s.SynBacklogDrops, AcceptQueueDrops: s.AcceptQueueDrops,
-		FlowsReconstructed: s.FlowsReconstructed, RecoveryAborts: s.RecoveryAborts,
-		Panics:       s.Panics,
-		CoreFailures: s.CoreFailures, FlowsMigrated: s.FlowsMigrated,
-		CoreReadmits: s.CoreReadmits, CoreDrainRequeued: s.CoreDrainRequeued,
+		Established: s.Established.Load(), Accepted: s.Accepted.Load(), Rejected: s.Rejected.Load(),
+		Timeouts: s.Timeouts.Load(), Reinjected: s.Reinjected.Load(),
+		HandshakeRexmits: s.HandshakeRexmits.Load(), HandshakeTimeouts: s.HandshakeTimeouts.Load(),
+		FinRexmits: s.FinRexmits.Load(), Aborts: s.Aborts.Load(),
+		AppsReaped: s.AppsReaped.Load(), FlowsReaped: s.FlowsReaped.Load(),
+		ListenersReaped: s.ListenersReaped.Load(), HalfOpenReaped: s.HalfOpenReaped.Load(),
+		SynBacklogDrops: s.SynBacklogDrops.Load(), AcceptQueueDrops: s.AcceptQueueDrops.Load(),
+		SynCookiesSent: s.SynCookiesSent.Load(), SynCookiesValidated: s.SynCookiesValidated.Load(),
+		SynCookiesRejected: s.SynCookiesRejected.Load(), BlindRstDrops: s.BlindRstDrops.Load(),
+		FlowsReconstructed: s.FlowsReconstructed.Load(), RecoveryAborts: s.RecoveryAborts.Load(),
+		Panics:       s.Panics.Load(),
+		CoreFailures: s.CoreFailures.Load(), FlowsMigrated: s.FlowsMigrated.Load(),
+		CoreReadmits: s.CoreReadmits.Load(), CoreDrainRequeued: s.CoreDrainRequeued.Load(),
 	}
 }
 
@@ -214,17 +207,30 @@ func (s *Slowpath) Counters() Counters {
 // path carries them over explicitly so exported metrics stay monotonic
 // across warm restarts.
 func (s *Slowpath) AdoptCounters(c Counters) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.Established, s.Accepted, s.Rejected = c.Established, c.Accepted, c.Rejected
-	s.Timeouts, s.Reinjected = c.Timeouts, c.Reinjected
-	s.HandshakeRexmits, s.HandshakeTimeouts = c.HandshakeRexmits, c.HandshakeTimeouts
-	s.FinRexmits, s.Aborts = c.FinRexmits, c.Aborts
-	s.AppsReaped, s.FlowsReaped = c.AppsReaped, c.FlowsReaped
-	s.ListenersReaped, s.HalfOpenReaped = c.ListenersReaped, c.HalfOpenReaped
-	s.SynBacklogDrops, s.AcceptQueueDrops = c.SynBacklogDrops, c.AcceptQueueDrops
-	s.FlowsReconstructed, s.RecoveryAborts = c.FlowsReconstructed, c.RecoveryAborts
-	s.Panics = c.Panics
-	s.CoreFailures, s.FlowsMigrated = c.CoreFailures, c.FlowsMigrated
-	s.CoreReadmits, s.CoreDrainRequeued = c.CoreReadmits, c.CoreDrainRequeued
+	s.Established.Store(c.Established)
+	s.Accepted.Store(c.Accepted)
+	s.Rejected.Store(c.Rejected)
+	s.Timeouts.Store(c.Timeouts)
+	s.Reinjected.Store(c.Reinjected)
+	s.HandshakeRexmits.Store(c.HandshakeRexmits)
+	s.HandshakeTimeouts.Store(c.HandshakeTimeouts)
+	s.FinRexmits.Store(c.FinRexmits)
+	s.Aborts.Store(c.Aborts)
+	s.AppsReaped.Store(c.AppsReaped)
+	s.FlowsReaped.Store(c.FlowsReaped)
+	s.ListenersReaped.Store(c.ListenersReaped)
+	s.HalfOpenReaped.Store(c.HalfOpenReaped)
+	s.SynBacklogDrops.Store(c.SynBacklogDrops)
+	s.AcceptQueueDrops.Store(c.AcceptQueueDrops)
+	s.SynCookiesSent.Store(c.SynCookiesSent)
+	s.SynCookiesValidated.Store(c.SynCookiesValidated)
+	s.SynCookiesRejected.Store(c.SynCookiesRejected)
+	s.BlindRstDrops.Store(c.BlindRstDrops)
+	s.FlowsReconstructed.Store(c.FlowsReconstructed)
+	s.RecoveryAborts.Store(c.RecoveryAborts)
+	s.Panics.Store(c.Panics)
+	s.CoreFailures.Store(c.CoreFailures)
+	s.FlowsMigrated.Store(c.FlowsMigrated)
+	s.CoreReadmits.Store(c.CoreReadmits)
+	s.CoreDrainRequeued.Store(c.CoreDrainRequeued)
 }

@@ -61,16 +61,20 @@ func (s *Slowpath) Recover() RecoveryStats {
 	var rep RecoveryStats
 	now := time.Now()
 
-	// Listening ports from the shared registry.
-	s.mu.Lock()
+	// Listening ports from the shared registry, re-striped by port.
+	// SYN-cookie pressure windows restart cold, but the cookie jar
+	// itself lives in the engine: cookies the crashed instance issued
+	// still validate here, under the same key epochs.
 	s.eng.Listeners.ForEach(func(e *flowstate.ListenerEntry) {
-		s.listeners[e.Port] = &listener{
+		st := s.stripeFor(e.Port)
+		st.mu.Lock()
+		st.listeners[e.Port] = &listener{
 			port: e.Port, ctxID: e.CtxID, opaque: e.Opaque,
 			backlog: e.Backlog, pending: e.Pending,
 		}
+		st.mu.Unlock()
 		rep.ListenersRebuilt++
 	})
-	s.mu.Unlock()
 
 	// Established flows from the flow table.
 	var doomed []*flowstate.Flow
@@ -107,8 +111,8 @@ func (s *Slowpath) Recover() RecoveryStats {
 			s.closing[f] = &closeEntry{finSeq: seq, rto: rto, deadline: now.Add(rto)}
 			rep.ClosingResumed++
 		}
-		s.FlowsReconstructed++
 		s.mu.Unlock()
+		s.FlowsReconstructed.Add(1)
 		recordFlow(f, telemetry.FEReconstructed, seq, ack, 0, uint64(txSent))
 		rep.FlowsReconstructed++
 	})
@@ -165,8 +169,8 @@ func (s *Slowpath) recoveryAbort(f *flowstate.Flow) {
 	s.mu.Lock()
 	delete(s.cc, f)
 	delete(s.closing, f)
-	s.RecoveryAborts++
 	s.mu.Unlock()
+	s.RecoveryAborts.Add(1)
 	s.retireRec(f)
 	if ctx := s.eng.ContextByID(ctxID); ctx != nil && !ctx.Dead() {
 		ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAborted, Opaque: opaque})

@@ -14,7 +14,6 @@ package slowpath
 
 import (
 	"errors"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +37,18 @@ var (
 	// keep flowing on the fast path; Connect/Listen fail fast until a
 	// warm restart (Recover) brings a fresh instance up.
 	ErrDown = errors.New("slowpath: control plane down")
+)
+
+// SYN-cookie modes (Config.SynCookies).
+const (
+	// SynCookiesAuto engages cookies per listener while it is under
+	// pressure: half-open occupancy at half the backlog, or SYN arrival
+	// rate above SynRateThreshold. The empty string means auto.
+	SynCookiesAuto = ""
+	// SynCookiesAlways answers every SYN statelessly.
+	SynCookiesAlways = "always"
+	// SynCookiesOff disables cookies; overload falls back to shedding.
+	SynCookiesOff = "off"
 )
 
 // Config parameterizes the slow path.
@@ -91,6 +102,21 @@ type Config struct {
 	// bound: the peer's handshake retransmission retries later
 	// (default 128).
 	ListenBacklog int
+
+	// Stripes is the number of lock stripes sharding the listener and
+	// half-open tables (default 16, rounded up to a power of two). A
+	// SYN flood on one port contends only with connection setup that
+	// hashes to the same stripe, not the whole control plane.
+	Stripes int
+
+	// SynCookies selects the SYN-cookie mode: SynCookiesAuto (engage
+	// per listener under pressure), SynCookiesAlways, or SynCookiesOff.
+	SynCookies string
+
+	// SynRateThreshold is the per-listener SYN arrival rate (SYNs per
+	// second) beyond which auto mode engages cookies for about a
+	// second (default 512; ≤0 keeps only the occupancy trigger).
+	SynRateThreshold int
 
 	// NewController builds the per-flow congestion controller (nil =
 	// rate-based DCTCP at 40G defaults).
@@ -156,12 +182,20 @@ func (c *Config) fill() {
 	if c.CoreTimeout > 0 && c.CoreTimeout < 250*time.Millisecond {
 		c.CoreTimeout = 250 * time.Millisecond
 	}
+	if c.Stripes <= 0 {
+		c.Stripes = 16
+	}
+	c.Stripes = ceilPow2(c.Stripes)
+	if c.SynRateThreshold == 0 {
+		c.SynRateThreshold = 512
+	}
 }
 
 // listener is a registered listening port. backlog bounds halfCount
-// (in-flight handshakes, guarded by s.mu) plus pending (established
-// connections the application has not yet accepted; shared with the
-// libtas listener, which decrements it on Accept).
+// (in-flight handshakes) plus pending (established connections the
+// application has not yet accepted; shared with the libtas listener,
+// which decrements it on Accept). All fields besides pending are
+// guarded by the owning stripe's lock.
 type listener struct {
 	port      uint16
 	ctxID     uint16
@@ -169,6 +203,14 @@ type listener struct {
 	backlog   int
 	halfCount int
 	pending   *atomic.Int32
+
+	// SYN-cookie pressure tracking (stripe-locked): synWinStart/synInWin
+	// is a one-second SYN arrival window; cookieUntil keeps cookie mode
+	// sticky briefly after the trigger so a sawtoothing flood doesn't
+	// flap between stateful and stateless handshakes.
+	synWinStart time.Time
+	synInWin    int
+	cookieUntil time.Time
 }
 
 // halfOpen is an in-progress handshake. deadline is the next
@@ -185,6 +227,7 @@ type halfOpen struct {
 	rto      time.Duration
 	attempts int
 	lst      *listener // passive only: for backlog accounting
+	mss      uint16    // cookie completions only: recovered MSS class
 }
 
 // ccEntry is the slow path's per-flow congestion/timeout state.
@@ -218,13 +261,22 @@ type Slowpath struct {
 	eng *fastpath.Engine
 	cfg Config
 
-	mu        sync.Mutex
-	listeners map[uint16]*listener
-	half      map[protocol.FlowKey]*halfOpen
-	cc        map[*flowstate.Flow]*ccEntry
-	closing   map[*flowstate.Flow]*closeEntry
-	nextPort  uint16
-	rng       *rand.Rand
+	// stripes shard the listener and half-open tables by local port
+	// (see stripes.go); stripeSh maps a port hash onto a stripe index.
+	stripes  []*stripe
+	stripeSh uint
+
+	// mu guards the remaining central state: the congestion map, the
+	// FIN-retransmission map, and the reaper's clocks. These are
+	// touched by the single event-loop goroutine plus occasional API
+	// calls — they were never the SYN-flood bottleneck.
+	mu      sync.Mutex
+	cc      map[*flowstate.Flow]*ccEntry
+	closing map[*flowstate.Flow]*closeEntry
+
+	// portCtr drives ephemeral port allocation (32768 + ctr%32768);
+	// atomic so concurrent Dials don't need any shared lock.
+	portCtr atomic.Uint32
 
 	excq    *shmring.SPSC[*protocol.Packet]
 	excWake <-chan struct{}
@@ -250,37 +302,45 @@ type Slowpath struct {
 	// are unsafe until apps have had a chance to beat again.
 	lastTick time.Time
 
-	// Stats.
-	Established uint64
-	Accepted    uint64
-	Rejected    uint64
-	Timeouts    uint64
-	Reinjected  uint64
+	// Stats. Atomic: exception handling on different stripes updates
+	// them concurrently, and readers (metrics, tests) must not need the
+	// event loop's cooperation.
+	Established atomic.Uint64
+	Accepted    atomic.Uint64
+	Rejected    atomic.Uint64
+	Timeouts    atomic.Uint64
+	Reinjected  atomic.Uint64
 
 	// Failure-handling stats.
-	HandshakeRexmits  uint64 // SYN/SYN-ACK retransmissions
-	HandshakeTimeouts uint64 // half-open entries reaped after retry cap
-	FinRexmits        uint64 // FIN retransmissions
-	Aborts            uint64 // flows aborted (RST sent) after retry cap
+	HandshakeRexmits  atomic.Uint64 // SYN/SYN-ACK retransmissions
+	HandshakeTimeouts atomic.Uint64 // half-open entries reaped after retry cap
+	FinRexmits        atomic.Uint64 // FIN retransmissions
+	Aborts            atomic.Uint64 // flows aborted (RST sent) after retry cap
 
 	// Application-failure and overload stats.
-	AppsReaped       uint64 // contexts reaped after missed heartbeats
-	FlowsReaped      uint64 // established flows reclaimed by the reaper
-	ListenersReaped  uint64 // listen ports reclaimed by the reaper
-	HalfOpenReaped   uint64 // half-open handshakes reclaimed by the reaper
-	SynBacklogDrops  uint64 // SYNs shed: listener backlog full
-	AcceptQueueDrops uint64 // established-but-undeliverable accepts torn down
+	AppsReaped       atomic.Uint64 // contexts reaped after missed heartbeats
+	FlowsReaped      atomic.Uint64 // established flows reclaimed by the reaper
+	ListenersReaped  atomic.Uint64 // listen ports reclaimed by the reaper
+	HalfOpenReaped   atomic.Uint64 // half-open handshakes reclaimed by the reaper
+	SynBacklogDrops  atomic.Uint64 // SYNs shed: listener backlog full
+	AcceptQueueDrops atomic.Uint64 // established-but-undeliverable accepts torn down
+
+	// Adversarial-traffic stats.
+	SynCookiesSent      atomic.Uint64 // stateless cookie SYN-ACKs issued
+	SynCookiesValidated atomic.Uint64 // completing ACKs whose cookie checked out
+	SynCookiesRejected  atomic.Uint64 // cookie candidates that failed the MAC
+	BlindRstDrops       atomic.Uint64 // RSTs dropped by RFC 5961 sequence validation
 
 	// Control-plane failure-domain stats.
-	FlowsReconstructed uint64 // flows rebuilt from shared state by warm restart
-	RecoveryAborts     uint64 // flows aborted during recovery (unprovable state)
-	Panics             uint64 // event-loop panics survived as crashes
+	FlowsReconstructed atomic.Uint64 // flows rebuilt from shared state by warm restart
+	RecoveryAborts     atomic.Uint64 // flows aborted during recovery (unprovable state)
+	Panics             atomic.Uint64 // event-loop panics survived as crashes
 
 	// Data-plane failure-domain stats (see corewatch.go).
-	CoreFailures      uint64 // cores declared failed by the watchdog
-	FlowsMigrated     uint64 // flows re-adopted onto surviving cores
-	CoreReadmits      uint64 // failed cores folded back into steering
-	CoreDrainRequeued uint64 // packets/kicks requeued from dead cores' rings
+	CoreFailures      atomic.Uint64 // cores declared failed by the watchdog
+	FlowsMigrated     atomic.Uint64 // flows re-adopted onto surviving cores
+	CoreReadmits      atomic.Uint64 // failed cores folded back into steering
+	CoreDrainRequeued atomic.Uint64 // packets/kicks requeued from dead cores' rings
 
 	// coresW is the core watchdog's per-core state; owned by the event
 	// loop (coreSweep), so it needs no lock.
@@ -296,17 +356,15 @@ func New(eng *fastpath.Engine, cfg Config) *Slowpath {
 	excq, wake := eng.Exceptions()
 	s := &Slowpath{
 		eng: eng, cfg: cfg,
-		listeners: make(map[uint16]*listener),
-		half:      make(map[protocol.FlowKey]*halfOpen),
-		cc:        make(map[*flowstate.Flow]*ccEntry),
-		closing:   make(map[*flowstate.Flow]*closeEntry),
-		nextPort:  32768,
-		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
-		excq:      excq,
-		excWake:   wake,
-		stop:      make(chan struct{}),
-		kill:      make(chan struct{}),
-		stallC:    make(chan time.Duration, 1),
+		stripes:  newStripes(cfg.Stripes),
+		stripeSh: stripeShift(cfg.Stripes),
+		cc:       make(map[*flowstate.Flow]*ccEntry),
+		closing:  make(map[*flowstate.Flow]*closeEntry),
+		excq:     excq,
+		excWake:  wake,
+		stop:     make(chan struct{}),
+		kill:     make(chan struct{}),
+		stallC:   make(chan time.Duration, 1),
 	}
 	s.initCoreWatch()
 	return s
@@ -368,9 +426,7 @@ func (s *Slowpath) run() {
 			// crash: contain it, mark the instance dead, and leave the
 			// fast path serving established flows until a warm restart.
 			s.dead.Store(true)
-			s.mu.Lock()
-			s.Panics++
-			s.mu.Unlock()
+			s.Panics.Add(1)
 		}
 	}()
 	ctrl := time.NewTicker(s.cfg.ControlInterval)
@@ -403,6 +459,9 @@ func (s *Slowpath) run() {
 				s.noteResume(now)
 			}
 			s.lastTick = now
+			// SYN-cookie key epochs advance on the engine-side jar so
+			// they survive this instance's crash/restart.
+			s.eng.Cookies.MaybeRotate(s.eng.NowNanos())
 			s.drainExceptions()
 			if telem := s.cfg.Telemetry; telem != nil {
 				// Charge each control-plane module's share of the tick to
@@ -492,9 +551,10 @@ func (s *Slowpath) ListenBacklog(port uint16, ctxID uint16, opaque uint64, backl
 	if backlog <= 0 {
 		backlog = s.cfg.ListenBacklog
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.listeners[port]; dup {
+	st := s.stripeFor(port)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.listeners[port]; dup {
 		return nil, ErrPortInUse
 	}
 	l := &listener{port: port, ctxID: ctxID, opaque: opaque, backlog: backlog, pending: new(atomic.Int32)}
@@ -507,15 +567,16 @@ func (s *Slowpath) ListenBacklog(port uint16, ctxID uint16, opaque uint64, backl
 	}) {
 		return nil, ErrPortInUse
 	}
-	s.listeners[port] = l
+	st.listeners[port] = l
 	return l.pending, nil
 }
 
 // Unlisten removes a listener.
 func (s *Slowpath) Unlisten(port uint16) {
-	s.mu.Lock()
-	delete(s.listeners, port)
-	s.mu.Unlock()
+	st := s.stripeFor(port)
+	st.mu.Lock()
+	delete(st.listeners, port)
+	st.mu.Unlock()
 	s.eng.Listeners.Remove(port)
 }
 
@@ -526,35 +587,34 @@ func (s *Slowpath) Connect(peerIP protocol.IPv4, peerPort uint16, ctxID uint16, 
 	if s.dead.Load() {
 		return 0, ErrDown
 	}
-	s.mu.Lock()
-	var lport uint16
+	localIP := s.eng.Config().LocalIP
 	for i := 0; i < 65536; i++ {
-		cand := s.nextPort
-		s.nextPort++
-		if s.nextPort == 0 {
-			s.nextPort = 32768
+		cand := uint16(32768 + s.portCtr.Add(1)%32768)
+		key := protocol.FlowKey{LocalIP: localIP, LocalPort: cand, RemoteIP: peerIP, RemotePort: peerPort}
+		st := s.stripeFor(cand)
+		st.mu.Lock()
+		if st.listeners[cand] != nil {
+			st.mu.Unlock()
+			continue
 		}
-		key := protocol.FlowKey{LocalIP: s.eng.Config().LocalIP, LocalPort: cand, RemoteIP: peerIP, RemotePort: peerPort}
-		if _, busy := s.half[key]; !busy && s.eng.Table.Lookup(key) == nil && s.listeners[cand] == nil {
-			lport = cand
-			break
+		if _, busy := st.half[key]; busy || s.eng.Table.Lookup(key) != nil {
+			st.mu.Unlock()
+			continue
 		}
-	}
-	if lport == 0 {
-		s.mu.Unlock()
-		return 0, ErrNoPorts
-	}
-	key := protocol.FlowKey{LocalIP: s.eng.Config().LocalIP, LocalPort: lport, RemoteIP: peerIP, RemotePort: peerPort}
-	iss := s.rng.Uint32()
-	s.half[key] = &halfOpen{
-		key: key, iss: iss, ctxID: ctxID, opaque: opaque,
-		rto: s.cfg.HandshakeRTO, deadline: time.Now().Add(s.cfg.HandshakeRTO),
-	}
-	s.mu.Unlock()
+		// Reserve the port under the stripe lock — no check-then-insert
+		// window for a concurrent Dial to race into.
+		iss := st.rng.Uint32()
+		st.half[key] = &halfOpen{
+			key: key, iss: iss, ctxID: ctxID, opaque: opaque,
+			rto: s.cfg.HandshakeRTO, deadline: time.Now().Add(s.cfg.HandshakeRTO),
+		}
+		st.mu.Unlock()
 
-	s.sendCtl(key, protocol.FlagSYN, iss, 0, true)
-	s.record(key, telemetry.FESynTx, iss, 0, 0)
-	return lport, nil
+		s.sendCtl(key, protocol.FlagSYN, iss, 0, true)
+		s.record(key, telemetry.FESynTx, iss, 0, 0)
+		return cand, nil
+	}
+	return 0, ErrNoPorts
 }
 
 // Close initiates connection teardown: once the transmit buffer drains,

@@ -182,7 +182,7 @@ func TestStallTriggersRetransmission(t *testing.T) {
 		done := f.TxBuf.Used() == 0 && f.TxSent == 0
 		f.Unlock()
 		if done {
-			if s := a.sp; s.Timeouts == 0 {
+			if s := a.sp; s.Timeouts.Load() == 0 {
 				t.Fatal("expected a slow-path timeout event")
 			}
 			return
@@ -201,13 +201,30 @@ func TestFlowRemovalOnRst(t *testing.T) {
 	ev := waitEvent(t, a.ctx, 2*time.Second)
 	f := ev.Flow
 
-	// Forge a RST from the peer.
-	rst := &protocol.Packet{
+	// A forged RST with a wrong (zero) sequence is blind injection:
+	// RFC 5961 validation must drop it without touching the flow.
+	a.eng.Input(&protocol.Packet{
 		SrcIP: f.PeerIP, DstIP: f.LocalIP,
 		SrcPort: f.PeerPort, DstPort: f.LocalPort,
 		Flags: protocol.FlagRST,
+	})
+	time.Sleep(20 * time.Millisecond)
+	if a.eng.Table.Len() != 1 {
+		t.Fatal("blind RST (seq 0) tore the flow down")
 	}
-	a.eng.Input(rst)
+	if a.sp.BlindRstDrops.Load() == 0 {
+		t.Fatal("blind RST not counted")
+	}
+
+	// The peer's real RST carries the exact next expected sequence.
+	f.Lock()
+	exact := f.AckNo
+	f.Unlock()
+	a.eng.Input(&protocol.Packet{
+		SrcIP: f.PeerIP, DstIP: f.LocalIP,
+		SrcPort: f.PeerPort, DstPort: f.LocalPort,
+		Flags: protocol.FlagRST, Seq: exact,
+	})
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
 		if a.eng.Table.Len() == 0 {

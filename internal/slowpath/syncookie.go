@@ -1,0 +1,101 @@
+package slowpath
+
+import (
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+)
+
+// SYN-cookie wiring. The cookie jar itself (keyed MAC, epoch rotation,
+// MSS-class encoding) lives in internal/tcp and is owned by the engine,
+// so its key schedule survives a slow-path crash and warm restart: a
+// handshake that straddles the restart still validates. This file is
+// the policy layer — when a listener switches to stateless handshakes,
+// and how a completing ACK is turned back into connection state.
+
+// cookiesEngaged decides, for one inbound SYN, whether the listener
+// answers statelessly. It also advances the listener's SYN-rate window,
+// so it must be called exactly once per SYN, under the stripe lock.
+//
+// Auto mode engages on either pressure signal: half-open occupancy at
+// half the backlog (the flood is winning the table) or SYN arrival rate
+// above SynRateThreshold (the flood is coming, regardless of how fast
+// entries are reaped). The verdict is sticky for a second so a
+// sawtoothing attack doesn't flap the listener between modes.
+func (s *Slowpath) cookiesEngaged(l *listener, now time.Time) bool {
+	switch s.cfg.SynCookies {
+	case SynCookiesAlways:
+		return true
+	case SynCookiesOff:
+		return false
+	}
+	if l.synWinStart.IsZero() || now.Sub(l.synWinStart) >= time.Second {
+		l.synWinStart = now
+		l.synInWin = 0
+	}
+	l.synInWin++
+	if l.halfCount >= (l.backlog+1)/2 ||
+		(s.cfg.SynRateThreshold > 0 && l.synInWin > s.cfg.SynRateThreshold) {
+		l.cookieUntil = now.Add(time.Second)
+	}
+	return now.Before(l.cookieUntil)
+}
+
+// cookiesActive reports whether a completing ACK on this listener
+// should be tried against the cookie jar. Unlike cookiesEngaged it does
+// not advance the rate window — ACKs are not SYNs — but it must accept
+// for the whole sticky window plus the handshake's own round trip, so
+// the tail of ACKs from cookies issued just before pressure subsided
+// still validates. Caller holds the stripe lock.
+func (s *Slowpath) cookiesActive(l *listener, now time.Time) bool {
+	switch s.cfg.SynCookies {
+	case SynCookiesAlways:
+		return true
+	case SynCookiesOff:
+		return false
+	}
+	return !l.cookieUntil.IsZero() && now.Before(l.cookieUntil.Add(2*time.Second))
+}
+
+// sendCookieSynAck answers a SYN statelessly: the ISN is a keyed MAC
+// over the 4-tuple and the peer's ISS, with the peer's MSS class folded
+// into the low bits, so the completing ACK alone reconstructs the
+// connection.
+func (s *Slowpath) sendCookieSynAck(key protocol.FlowKey, pkt *protocol.Packet) {
+	mss := pkt.MSSOpt
+	if mss == 0 {
+		mss = uint16(s.eng.Config().MSS)
+	}
+	cookie := s.eng.Cookies.Issue(
+		uint32(key.LocalIP), key.LocalPort,
+		uint32(key.RemoteIP), key.RemotePort,
+		pkt.Seq, mss,
+	)
+	s.SynCookiesSent.Add(1)
+	s.sendCtlSynAck(key, cookie, pkt.Seq+1)
+	s.record(key, telemetry.FESynCookieTx, cookie, pkt.Seq+1, 0)
+}
+
+// cookieHalf validates a candidate cookie ACK and, on success, returns
+// a synthesized half-open entry equivalent to the one a stateful
+// handshake would have stored: iss is the cookie itself, peerISS is
+// recovered from the ACK's sequence, and mss is the class the cookie
+// encoded (capping segmentation on the installed flow). Caller holds
+// the stripe lock.
+func (s *Slowpath) cookieHalf(key protocol.FlowKey, pkt *protocol.Packet, l *listener) (*halfOpen, bool) {
+	peerISS := pkt.Seq - 1
+	cookie := pkt.Ack - 1
+	mss, ok := s.eng.Cookies.Validate(
+		uint32(key.LocalIP), key.LocalPort,
+		uint32(key.RemoteIP), key.RemotePort,
+		peerISS, cookie,
+	)
+	if !ok {
+		return nil, false
+	}
+	return &halfOpen{
+		key: key, iss: cookie, ctxID: l.ctxID, opaque: l.opaque,
+		passive: true, peerISS: peerISS, lst: l, mss: mss,
+	}, true
+}

@@ -1,0 +1,180 @@
+package tcp
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"time"
+)
+
+// SYN cookies (RFC 4987 style, adapted to this stack's 32-bit ISN):
+// when a listener is under SYN pressure the slow path answers SYNs
+// statelessly, encoding everything it needs to reconstruct the
+// connection into the ISN it advertises. The completing ACK proves the
+// peer saw the SYN-ACK (so the source address is real) and the cookie
+// is re-derived and checked before any state is allocated.
+//
+// ISN layout (most significant bit first):
+//
+//	bits 31..8  24-bit truncated keyed MAC over the 4-tuple, the
+//	            peer's ISS, the key epoch, and the MSS class
+//	bits  7..6  key epoch (mod 4), so validation knows which key
+//	            generation signed the cookie across rotations
+//	bits  5..3  MSS class index (see CookieMSSClasses)
+//	bits  2..0  reserved, zero
+//
+// A 24-bit MAC means a blind attacker completing the handshake without
+// seeing the SYN-ACK must guess among 2^24 values per (tuple, epoch) —
+// the same budget classical SYN cookies accept.
+
+// CookieMSSClasses are the MSS values a cookie can round down to. The
+// completing ACK recovers the class and it caps the reconstructed
+// flow's segmentation, since the peer's actual SYN option is long gone.
+var CookieMSSClasses = [...]uint16{536, 1024, 1448, 8960}
+
+const (
+	cookieMACShift   = 8
+	cookieEpochShift = 6
+	cookieEpochMask  = 0x3
+	cookieMSSShift   = 3
+	cookieMSSMask    = 0x7
+)
+
+// DefaultCookieRotate is the key-rotation period. Cookies from the
+// previous epoch stay valid, so a peer has at least one full period to
+// complete its handshake.
+const DefaultCookieRotate = 4 * time.Second
+
+// CookieJar issues and validates SYN cookies under rotating keys. It is
+// owned by the fast-path engine (shared state) so key epochs survive a
+// slow-path warm restart: a cookie issued before the crash still
+// validates on the ACK that completes after recovery.
+type CookieJar struct {
+	mu      sync.Mutex
+	keys    [2][32]byte // [0] current epoch's key, [1] previous
+	epoch   uint32
+	rotated int64 // nanos of the last rotation
+	period  int64 // rotation period, nanos
+
+	issued    uint64 // diagnostic: cookies signed by this jar
+	rotations uint64
+}
+
+// NewCookieJar creates a jar whose key stream is derived from seed by
+// hash chaining. A deterministic seed keeps simulation runs
+// reproducible; a production deployment would draw keys from
+// crypto/rand instead.
+func NewCookieJar(seed int64, rotate time.Duration) *CookieJar {
+	if rotate <= 0 {
+		rotate = DefaultCookieRotate
+	}
+	j := &CookieJar{period: int64(rotate)}
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], uint64(seed))
+	j.keys[1] = sha256.Sum256(s[:])
+	j.keys[0] = sha256.Sum256(j.keys[1][:])
+	return j
+}
+
+// MaybeRotate advances the key epoch if the rotation period has
+// elapsed since the last rotation. now is a monotonic-ish nanosecond
+// clock. Returns true when a rotation happened.
+func (j *CookieJar) MaybeRotate(now int64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rotated == 0 {
+		j.rotated = now
+		return false
+	}
+	if now-j.rotated < j.period {
+		return false
+	}
+	j.keys[1] = j.keys[0]
+	j.keys[0] = sha256.Sum256(j.keys[0][:])
+	j.epoch++
+	j.rotated = now
+	j.rotations++
+	return true
+}
+
+// Epoch returns the current key epoch (diagnostic, tests).
+func (j *CookieJar) Epoch() uint32 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// Rotations returns how many key rotations have happened.
+func (j *CookieJar) Rotations() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rotations
+}
+
+// MSSClassIndex rounds mss down to the nearest cookie class and
+// returns its index. SYNs without an MSS option land in class 0.
+func MSSClassIndex(mss uint16) int {
+	idx := 0
+	for i, c := range CookieMSSClasses {
+		if mss >= c {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// Issue signs a cookie ISN for the given connection attempt.
+func (j *CookieJar) Issue(localIP uint32, localPort uint16, remoteIP uint32, remotePort uint16, peerISS uint32, mss uint16) uint32 {
+	mssIdx := MSSClassIndex(mss)
+	j.mu.Lock()
+	key, epoch := j.keys[0], j.epoch
+	j.issued++
+	j.mu.Unlock()
+	mac := cookieMAC(key, localIP, localPort, remoteIP, remotePort, peerISS, epoch, uint8(mssIdx))
+	return mac<<cookieMACShift |
+		(epoch&cookieEpochMask)<<cookieEpochShift |
+		uint32(mssIdx)<<cookieMSSShift
+}
+
+// Validate checks a cookie echoed back on a completing ACK against the
+// current and previous key epochs. On success it returns the MSS the
+// cookie encodes.
+func (j *CookieJar) Validate(localIP uint32, localPort uint16, remoteIP uint32, remotePort uint16, peerISS uint32, cookie uint32) (mss uint16, ok bool) {
+	if cookie&(1<<cookieMSSShift-1) != 0 {
+		return 0, false // reserved bits must be zero
+	}
+	mssIdx := uint8(cookie >> cookieMSSShift & cookieMSSMask)
+	if int(mssIdx) >= len(CookieMSSClasses) {
+		return 0, false
+	}
+	epochBits := cookie >> cookieEpochShift & cookieEpochMask
+	j.mu.Lock()
+	keys, epoch := j.keys, j.epoch
+	j.mu.Unlock()
+	for gen := uint32(0); gen < 2; gen++ {
+		e := epoch - gen
+		if e&cookieEpochMask != epochBits {
+			continue
+		}
+		mac := cookieMAC(keys[gen], localIP, localPort, remoteIP, remotePort, peerISS, e, mssIdx)
+		if mac == cookie>>cookieMACShift {
+			return CookieMSSClasses[mssIdx], true
+		}
+	}
+	return 0, false
+}
+
+// cookieMAC computes the truncated 24-bit keyed MAC.
+func cookieMAC(key [32]byte, localIP uint32, localPort uint16, remoteIP uint32, remotePort uint16, peerISS, epoch uint32, mssIdx uint8) uint32 {
+	var msg [32 + 4 + 2 + 4 + 2 + 4 + 4 + 1]byte
+	copy(msg[:32], key[:])
+	binary.BigEndian.PutUint32(msg[32:36], localIP)
+	binary.BigEndian.PutUint16(msg[36:38], localPort)
+	binary.BigEndian.PutUint32(msg[38:42], remoteIP)
+	binary.BigEndian.PutUint16(msg[42:44], remotePort)
+	binary.BigEndian.PutUint32(msg[44:48], peerISS)
+	binary.BigEndian.PutUint32(msg[48:52], epoch)
+	msg[52] = mssIdx
+	sum := sha256.Sum256(msg[:])
+	return binary.BigEndian.Uint32(sum[:4]) >> 8 // top 24 bits
+}

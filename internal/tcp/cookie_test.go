@@ -1,0 +1,100 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+const (
+	cLocal  = uint32(0x0a000001) // 10.0.0.1
+	cRemote = uint32(0x0a000101) // 10.0.1.1
+)
+
+func TestCookieRoundTrip(t *testing.T) {
+	j := NewCookieJar(1, time.Second)
+	for _, mss := range []uint16{0, 400, 536, 1000, 1448, 1460, 8960, 65535} {
+		iss := uint32(0xdeadbeef)
+		c := j.Issue(cLocal, 7000, cRemote, 40000, iss, mss)
+		got, ok := j.Validate(cLocal, 7000, cRemote, 40000, iss, c)
+		if !ok {
+			t.Fatalf("mss %d: cookie did not validate", mss)
+		}
+		want := CookieMSSClasses[MSSClassIndex(mss)]
+		if got != want {
+			t.Fatalf("mss %d: recovered %d, want class %d", mss, got, want)
+		}
+	}
+}
+
+func TestCookieRejectsTamper(t *testing.T) {
+	j := NewCookieJar(1, time.Second)
+	c := j.Issue(cLocal, 7000, cRemote, 40000, 99, 1448)
+	cases := map[string]func() (mss uint16, ok bool){
+		"wrong tuple port": func() (uint16, bool) { return j.Validate(cLocal, 7001, cRemote, 40000, 99, c) },
+		"wrong remote":     func() (uint16, bool) { return j.Validate(cLocal, 7000, 0x0a090909, 40000, 99, c) },
+		"wrong iss":        func() (uint16, bool) { return j.Validate(cLocal, 7000, cRemote, 40000, 100, c) },
+		"flipped mac bit":  func() (uint16, bool) { return j.Validate(cLocal, 7000, cRemote, 40000, 99, c^(1<<20)) },
+		"flipped mss bits": func() (uint16, bool) { return j.Validate(cLocal, 7000, cRemote, 40000, 99, c^(1<<3)) },
+		"reserved bit set": func() (uint16, bool) { return j.Validate(cLocal, 7000, cRemote, 40000, 99, c|1) },
+	}
+	for name, fn := range cases {
+		if _, ok := fn(); ok {
+			t.Errorf("%s: tampered cookie validated", name)
+		}
+	}
+}
+
+func TestCookieSurvivesOneRotation(t *testing.T) {
+	j := NewCookieJar(1, time.Second)
+	now := int64(1e9)
+	j.MaybeRotate(now) // arms the clock
+	c := j.Issue(cLocal, 7000, cRemote, 40000, 5, 1448)
+
+	if rot := j.MaybeRotate(now + int64(500*time.Millisecond)); rot {
+		t.Fatal("rotated before the period elapsed")
+	}
+	if rot := j.MaybeRotate(now + int64(time.Second)); !rot {
+		t.Fatal("did not rotate after the period")
+	}
+	if _, ok := j.Validate(cLocal, 7000, cRemote, 40000, 5, c); !ok {
+		t.Fatal("cookie from the previous epoch must still validate")
+	}
+	if rot := j.MaybeRotate(now + int64(2*time.Second)); !rot {
+		t.Fatal("second rotation missing")
+	}
+	if _, ok := j.Validate(cLocal, 7000, cRemote, 40000, 5, c); ok {
+		t.Fatal("cookie two epochs old must be rejected")
+	}
+	if j.Epoch() != 2 || j.Rotations() != 2 {
+		t.Fatalf("epoch/rotations = %d/%d, want 2/2", j.Epoch(), j.Rotations())
+	}
+}
+
+func TestCookieDistinctJarsDisagree(t *testing.T) {
+	a, b := NewCookieJar(1, time.Second), NewCookieJar(2, time.Second)
+	c := a.Issue(cLocal, 7000, cRemote, 40000, 7, 1448)
+	if _, ok := b.Validate(cLocal, 7000, cRemote, 40000, 7, c); ok {
+		t.Fatal("jar with a different seed validated a foreign cookie")
+	}
+}
+
+func TestAckLimiter(t *testing.T) {
+	l := NewAckLimiter(3)
+	now := int64(5e9)
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if l.Allow(now) {
+			allowed++
+		}
+	}
+	if allowed != 3 {
+		t.Fatalf("allowed %d in one window, want 3", allowed)
+	}
+	if l.Suppressed.Load() != 7 {
+		t.Fatalf("suppressed = %d, want 7", l.Suppressed.Load())
+	}
+	// Next window refreshes the allowance.
+	if !l.Allow(now + int64(time.Second)) {
+		t.Fatal("new window did not refresh the allowance")
+	}
+}

@@ -1,0 +1,52 @@
+package tcp
+
+import "sync/atomic"
+
+// AckLimiter is the global challenge-ACK rate limit from RFC 5961 §10:
+// challenge ACKs defend against blind RST/SYN/data injection, but an
+// unmetered responder would let an attacker turn the defense into an
+// amplification primitive. The limiter is a fixed one-second window
+// with an allowance; it is shared by the slow path (RST/SYN
+// challenges) and the fast path (blind-ACK challenges) so the bound is
+// truly global per stack instance.
+//
+// The window roll uses a CAS so concurrent fast-path cores agree on
+// window boundaries without a lock; the count is a plain atomic add,
+// so the bound is approximate by at most the number of racing cores —
+// fine for a DoS valve.
+type AckLimiter struct {
+	perSec   int64
+	winStart atomic.Int64 // nanos at which the current window opened
+	count    atomic.Int64
+
+	SentCount  atomic.Uint64 // challenge ACKs allowed
+	Suppressed atomic.Uint64 // challenge ACKs suppressed by the limit
+}
+
+// NewAckLimiter allows perSec challenge ACKs per second. perSec <= 0
+// selects the default of 100 (Linux's historical net.ipv4.tcp_challenge_ack_limit
+// order of magnitude).
+func NewAckLimiter(perSec int) *AckLimiter {
+	if perSec <= 0 {
+		perSec = 100
+	}
+	return &AckLimiter{perSec: int64(perSec)}
+}
+
+// Allow reports whether a challenge ACK may be sent now (nanos), and
+// accounts for it either way.
+func (l *AckLimiter) Allow(now int64) bool {
+	const window = int64(1e9)
+	start := l.winStart.Load()
+	if now-start >= window {
+		if l.winStart.CompareAndSwap(start, now) {
+			l.count.Store(0)
+		}
+	}
+	if l.count.Add(1) > l.perSec {
+		l.Suppressed.Add(1)
+		return false
+	}
+	l.SentCount.Add(1)
+	return true
+}

@@ -55,6 +55,17 @@ const (
 	FECoreFailed
 	FECoreRevived
 	FEMigrated
+	// Adversarial-traffic events: FESynCookieTx marks a stateless
+	// cookie SYN-ACK (recorded on the listener's synthetic ring);
+	// FESynCookieOK a completing ACK whose cookie validated into a
+	// reconstructed flow; FESynCookieBad a cookie that failed the MAC
+	// check; FEChallengeTx a rate-limited RFC 5961 challenge ACK sent
+	// in response to an in-window-but-inexact RST, a SYN on an
+	// established flow, or a blind ACK.
+	FESynCookieTx
+	FESynCookieOK
+	FESynCookieBad
+	FEChallengeTx
 )
 
 var feNames = map[FlowEventKind]string{
@@ -84,6 +95,10 @@ var feNames = map[FlowEventKind]string{
 	FECoreFailed:    "core-failed",
 	FECoreRevived:   "core-revived",
 	FEMigrated:      "migrated",
+	FESynCookieTx:   "syncookie-tx",
+	FESynCookieOK:   "syncookie-ok",
+	FESynCookieBad:  "syncookie-bad",
+	FEChallengeTx:   "challenge-tx",
 }
 
 func (k FlowEventKind) String() string {

@@ -104,6 +104,26 @@ type Config struct {
 	// (dropped silently, so well-behaved peers retry). Default 128.
 	ListenBacklog int
 
+	// SynCookies selects the SYN-cookie mode: "" (auto — engage per
+	// listener while half-open occupancy or SYN arrival rate indicates
+	// a flood), "always" (every handshake stateless), or "off". Under
+	// cookies the SYN-ACK's initial sequence number is a keyed MAC over
+	// the 4-tuple, so a flood costs the slow path no memory and the
+	// completing ACK alone reconstructs the connection.
+	SynCookies string
+
+	// ChallengeAckPerSec bounds RFC 5961 challenge ACKs per second
+	// across the whole service (0 = default 100; negative disables
+	// challenge ACKs entirely). Challenge ACKs answer in-window-but-
+	// inexact RSTs and SYNs on established connections.
+	ChallengeAckPerSec int
+
+	// HandshakeStripes is the number of lock stripes sharding the
+	// slow path's listener and half-open tables (default 16, rounded up
+	// to a power of two). More stripes mean a SYN flood on one port
+	// contends with less unrelated connection setup.
+	HandshakeStripes int
+
 	// SlowPathTimeout is how long the slow-path heartbeat may go stale
 	// before the fast path enters degraded mode: established flows keep
 	// transferring, but new SYNs are shed and Dial/Listen fail fast
@@ -324,12 +344,13 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 		coreTimeout = 0 // core watchdog disabled
 	}
 	ecfg := fastpath.Config{
-		LocalIP:         ip,
-		LocalMAC:        protocol.MACForIPv4(ip),
-		MaxCores:        cfg.FastPathCores,
-		DisableOoo:      cfg.DisableOoo,
-		SlowPathTimeout: spTimeout,
-		Telemetry:       telem,
+		LocalIP:            ip,
+		LocalMAC:           protocol.MACForIPv4(ip),
+		MaxCores:           cfg.FastPathCores,
+		DisableOoo:         cfg.DisableOoo,
+		SlowPathTimeout:    spTimeout,
+		ChallengeAckPerSec: cfg.ChallengeAckPerSec,
+		Telemetry:          telem,
 	}
 	// The fabric handler closes over the engine variable, which is
 	// assigned immediately after attaching; no packets flow until a
@@ -352,6 +373,8 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 		MaxRetransmits:   cfg.MaxRetransmits,
 		AppTimeout:       cfg.AppTimeout,
 		ListenBacklog:    cfg.ListenBacklog,
+		SynCookies:       cfg.SynCookies,
+		Stripes:          cfg.HandshakeStripes,
 		CoreTimeout:      coreTimeout,
 		Telemetry:        telem,
 	}
@@ -547,6 +570,7 @@ func (s *Service) registerMetrics() {
 		{"events_lost", "Context event-queue overflow.", func(d fastpath.DropStats) uint64 { return d.EventsLost }},
 		{"ooo_dropped", "Out-of-order segments outside the tracked interval.", func(d fastpath.DropStats) uint64 { return d.OooDropped }},
 		{"core_stranded", "Packets stranded in a failed core's queues (stalled core, not drainable).", func(d fastpath.DropStats) uint64 { return d.CoreStranded }},
+		{"blind_ack", "Blind-injection ACKs rejected by RFC 5961 validation.", func(d fastpath.DropStats) uint64 { return d.BlindAck }},
 	} {
 		read := m.read
 		r.CounterFunc("tas_drops_total", "Work refused by cause: "+m.help,
@@ -572,6 +596,10 @@ func (s *Service) registerMetrics() {
 		{"tas_slowpath_flows_reconstructed_total", "Flows whose control state was rebuilt by a warm restart.", func(c slowpath.Counters) uint64 { return c.FlowsReconstructed }},
 		{"tas_slowpath_recovery_aborts_total", "Flows aborted during warm restart (state not provably consistent).", func(c slowpath.Counters) uint64 { return c.RecoveryAborts }},
 		{"tas_slowpath_panics_total", "Slow-path event-loop panics caught (loop dead until restart).", func(c slowpath.Counters) uint64 { return c.Panics }},
+		{"tas_syn_cookies_sent_total", "Stateless SYN-ACKs issued under SYN-cookie mode.", func(c slowpath.Counters) uint64 { return c.SynCookiesSent }},
+		{"tas_syn_cookies_validated_total", "Connections reconstructed from a valid cookie ACK.", func(c slowpath.Counters) uint64 { return c.SynCookiesValidated }},
+		{"tas_syn_cookies_rejected_total", "Cookie ACKs that failed MAC validation.", func(c slowpath.Counters) uint64 { return c.SynCookiesRejected }},
+		{"tas_slowpath_blind_rst_drops_total", "RSTs rejected by RFC 5961 sequence validation.", func(c slowpath.Counters) uint64 { return c.BlindRstDrops }},
 	} {
 		read := m.read
 		r.CounterFunc(m.name, m.help, func() float64 { return float64(read(slowCounters())) })
@@ -617,6 +645,12 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(slowCounters().CoreDrainRequeued) })
 	r.CounterFunc("tas_core_panics_total", "Fast-path run-loop panics contained by the per-core harness.",
 		func() float64 { return float64(eng.CoreFaults().Panics) })
+
+	// RFC 5961 challenge-ACK valve (global, shared fast/slow path).
+	r.CounterFunc("tas_challenge_acks_total", "RFC 5961 challenge ACKs transmitted.",
+		func() float64 { return float64(challengeSent(eng)) })
+	r.CounterFunc("tas_challenge_acks_limited_total", "Challenge ACKs suppressed by the global rate limit.",
+		func() float64 { return float64(challengeSuppressed(eng)) })
 
 	// Live gauges.
 	r.GaugeFunc("tas_flows_live", "Flows currently installed in the flow table.",
@@ -676,6 +710,15 @@ type ServiceStats struct {
 	EventsLost       uint64 // app event-queue overflows
 	OooDropped       uint64 // out-of-order segments dropped
 
+	// Adversarial-traffic counters (SYN cookies, RFC 5961).
+	SynCookiesSent       uint64 // stateless SYN-ACKs issued under cookies
+	SynCookiesValidated  uint64 // connections reconstructed from a valid cookie ACK
+	SynCookiesRejected   uint64 // cookie ACKs failing MAC validation
+	BlindRstDrops        uint64 // RSTs rejected by RFC 5961 sequence validation
+	BlindAckDrops        uint64 // blind-injection ACKs rejected on the fast path
+	ChallengeAcksSent    uint64 // RFC 5961 challenge ACKs transmitted
+	ChallengeAcksLimited uint64 // challenge ACKs suppressed by the global rate limit
+
 	// Control-plane failure-domain counters.
 	FlowsReconstructed uint64 // flows rebuilt by warm restarts
 	RecoveryAborts     uint64 // flows aborted during warm restarts
@@ -715,6 +758,14 @@ func (s *Service) Stats() ServiceStats {
 		EventsLost:       d.EventsLost,
 		OooDropped:       d.OooDropped,
 
+		SynCookiesSent:       sc.SynCookiesSent,
+		SynCookiesValidated:  sc.SynCookiesValidated,
+		SynCookiesRejected:   sc.SynCookiesRejected,
+		BlindRstDrops:        sc.BlindRstDrops,
+		BlindAckDrops:        d.BlindAck,
+		ChallengeAcksSent:    challengeSent(s.eng),
+		ChallengeAcksLimited: challengeSuppressed(s.eng),
+
 		FlowsReconstructed: sc.FlowsReconstructed,
 		RecoveryAborts:     sc.RecoveryAborts,
 		SlowPathOutages:    s.eng.Outages().Outages,
@@ -730,6 +781,22 @@ func (s *Service) Stats() ServiceStats {
 		FlowsLive:        s.eng.Table.Len(),
 		LivePayloadBytes: shmring.LivePayloadBytes(),
 	}
+}
+
+// challengeSent / challengeSuppressed read the engine's global RFC 5961
+// challenge-ACK limiter, which is nil when ChallengeAckPerSec < 0.
+func challengeSent(e *fastpath.Engine) uint64 {
+	if e.Challenge == nil {
+		return 0
+	}
+	return e.Challenge.SentCount.Load()
+}
+
+func challengeSuppressed(e *fastpath.Engine) uint64 {
+	if e.Challenge == nil {
+		return 0
+	}
+	return e.Challenge.Suppressed.Load()
 }
 
 // ActiveCores returns the number of fast-path cores currently steered
