@@ -62,7 +62,7 @@ func main() {
 		msgSize  = flag.Int("msg", 64, "RPC message size (bytes)")
 		cores    = flag.Int("cores", 2, "max fast-path cores per service")
 		loss     = flag.Float64("loss", 0, "injected packet loss rate")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/flows on this addr (e.g. :9090); enables telemetry")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/flows, /debug/timeseries on this addr (e.g. :9090); enables telemetry (tastop points here)")
 		scen     = flag.String("scenario", "", "run a chaos scenario (library name or JSON spec file) instead of the echo demo")
 		scenAPI  = flag.String("scenario-api", "", "serve the scenario HTTP API (/scenarios, /runs, /runs/<id>) on this addr and block")
 	)
@@ -101,7 +101,7 @@ func main() {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
-		fmt.Printf("telemetry: http://%s/metrics (also /metrics.json, /debug/flows)\n", *metrics)
+		fmt.Printf("telemetry: http://%s/metrics (also /metrics.json, /debug/flows, /debug/timeseries; try tastop -addr %s)\n", *metrics, *metrics)
 	}
 
 	sctx := srv.NewContext()

@@ -35,6 +35,9 @@ func benchProcessRx(b *testing.B, telem *telemetry.Telemetry) {
 			RemoteIP: f.PeerIP, RemotePort: f.PeerPort,
 		}
 		f.Rec = telem.Recorder.Ring(key.String())
+		// Attach the telemetry handle to the engine too, so the RTT
+		// sampler in processAck runs on this side of the comparison.
+		e.cfg.Telemetry = telem
 	}
 	ctx := NewContext(0, 2, 1<<16)
 	e.RegisterContext(ctx)
@@ -45,11 +48,16 @@ func benchProcessRx(b *testing.B, telem *telemetry.Telemetry) {
 	b.SetBytes(64)
 	var t0 int64
 	for i := 0; i < b.N; i++ {
+		// Timestamps on both sides: the RTT estimator (and, telemetry-on,
+		// its 1-in-rttSampleEvery histogram observation) is part of the
+		// common-case receive being measured.
+		now := e.NowMicros()
 		pkt := &protocol.Packet{
 			SrcIP: f.PeerIP, DstIP: f.LocalIP,
 			SrcPort: f.PeerPort, DstPort: f.LocalPort,
 			Flags: protocol.FlagACK, Seq: f.AckNo, Ack: f.SeqNo,
 			Window: 64, Payload: payload, ECN: protocol.ECNECT0,
+			HasTS: true, TSVal: now, TSEcr: now,
 		}
 		timed := telem != nil && i&(cycleSampleEvery-1) == 0
 		if timed {

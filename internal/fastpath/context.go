@@ -126,6 +126,14 @@ func NewContext(id, cores, qcap int) *Context {
 // Cores returns the number of per-core queue pairs.
 func (c *Context) Cores() int { return len(c.rxq) }
 
+// EventQueueLen returns the occupancy of the context's per-core event
+// (RX) queue toward the application (scrape-time gauge reads).
+func (c *Context) EventQueueLen(core int) int { return c.rxq[core].Len() }
+
+// TxQueueLen returns the occupancy of the context's per-core TX command
+// queue toward the fast path.
+func (c *Context) TxQueueLen(core int) int { return c.txq[core].Len() }
+
 // PostEvent enqueues an event from core onto the context's RX queue and
 // wakes the application if it is blocked. It reports false if the queue
 // is full (the fast path informs the stack on a later packet, §3.1).

@@ -42,6 +42,12 @@ const stopTimeout = 2 * time.Second
 // per-batch path. Item counts are exact; only the nanos are estimated.
 const cycleSampleEvery = 64
 
+// rttSampleEvery is the RTT-histogram sampling period: processAck
+// observes the flow's smoothed RTT/RTTVAR into the telemetry LogHists
+// on one in this many timestamped ACKs (power of two). The unsampled
+// cost is a per-core non-atomic increment.
+const rttSampleEvery = 64
+
 // Config parameterizes the fast-path engine.
 type Config struct {
 	LocalIP  protocol.IPv4
@@ -139,6 +145,10 @@ type core struct {
 	asleep  atomic.Bool
 	pending []*flowstate.Flow // rate-limited flows awaiting tokens
 	stats   CoreStats
+
+	// rttTicks drives the 1-in-rttSampleEvery RTT histogram sampling.
+	// Only this core's run goroutine touches it, so it needs no atomics.
+	rttTicks uint64
 
 	// Data-plane failure domain (see corefault.go). beat is an
 	// iteration counter, not a timestamp: stamping wall-clock time every
@@ -338,6 +348,28 @@ func (e *Engine) SetActiveCores(n int) {
 
 // Stats returns the per-core statistics.
 func (e *Engine) Stats(core int) *CoreStats { return &e.cores[core].stats }
+
+// Ring-depth accessors for the latency observatory's tas_ring_depth
+// gauges. All reads are the rings' approximate lock-free Len/Cap —
+// scrape-time only, never on the packet path.
+
+// RxRingDepth returns core i's NIC receive ring occupancy and capacity.
+func (e *Engine) RxRingDepth(i int) (depth, capacity int) {
+	c := e.cores[i]
+	return c.rxRing.Len(), c.rxRing.Cap()
+}
+
+// KickRingDepth returns core i's slow-path kick ring occupancy and
+// capacity.
+func (e *Engine) KickRingDepth(i int) (depth, capacity int) {
+	c := e.cores[i]
+	return c.kicks.Len(), c.kicks.Cap()
+}
+
+// ExcqDepth returns the exception-queue occupancy and capacity.
+func (e *Engine) ExcqDepth() (depth, capacity int) {
+	return e.excq.Len(), e.excq.Cap()
+}
 
 // RegisterContext adds an application context and returns its id,
 // reusing a slot freed by a previous UnregisterContext if one exists.

@@ -119,8 +119,26 @@ func (e *Engine) processAck(c *core, f *flowstate.Flow, pkt *protocol.Packet) {
 			if int32(rtt) >= 0 {
 				if f.RTTEst == 0 {
 					f.RTTEst = rtt
+					f.RTTVarEst = rtt / 2
 				} else {
+					// RFC 6298 smoothing: srtt 7/8 old, rttvar 3/4 old
+					// plus 1/4 of the new deviation.
+					dev := int32(f.RTTEst) - int32(rtt)
+					if dev < 0 {
+						dev = -dev
+					}
+					f.RTTVarEst = (3*f.RTTVarEst + uint32(dev)) / 4
 					f.RTTEst = (7*f.RTTEst + rtt) / 8
+				}
+				// Sampled histogram observation (1-in-rttSampleEvery ACKs,
+				// like the cycle sampling): two striped atomic adds per
+				// sample keeps the observatory under the overhead gate.
+				if telem := e.cfg.Telemetry; telem != nil {
+					c.rttTicks++
+					if c.rttTicks&(rttSampleEvery-1) == 0 {
+						telem.RTT.Observe(uint64(f.RTTEst), c.idx)
+						telem.RTTVar.Observe(uint64(f.RTTVarEst), c.idx)
+					}
 				}
 			}
 		}

@@ -56,6 +56,12 @@ type Flow struct {
 	CntFrexmits uint8  // cnt_frexmits, 8: fast retransmits triggered
 	RTTEst      uint32 // rtt_est, 32: RTT estimate in microseconds
 
+	// RTTVarEst is the smoothed RTT variance (RFC 6298 rttvar, µs),
+	// maintained alongside RTTEst on ACK processing. Like Rec, it is
+	// observability state outside the paper's Table 3 footprint — the
+	// latency observatory's histograms sample it per flow.
+	RTTVarEst uint32
+
 	// FinSent/FinReceived track teardown progress; connection control is
 	// a slow-path concern but the fast path must not treat a FIN'd
 	// stream as common-case data. FinAcked is set by the fast path when

@@ -99,7 +99,17 @@ type Context struct {
 	hbStop   chan struct{}
 	hbStall  atomic.Int64 // unix nanos until which beats are suppressed
 	killOnce sync.Once
+
+	// wakeTicks drives the sampled wakeup-to-ready latency observation
+	// in wait (1-in-wakeSampleEvery wakeups). Atomic: a context's wait
+	// can be entered from more than one goroutine over its lifetime.
+	wakeTicks atomic.Uint64
 }
+
+// wakeSampleEvery is the wakeup-latency sampling period (power of two):
+// wait times one in this many wakeup→condition cycles, mirroring the
+// app-copy cycle sampling in conn.go.
+const wakeSampleEvery = 32
 
 // NewContext allocates and registers a context, and starts its
 // application heartbeat.
@@ -261,14 +271,21 @@ func (c *Context) wait(cond func() bool, timeout time.Duration) error {
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
+	// wokeAt is non-zero when the preceding wakeup was sampled for the
+	// wakeup-to-ready latency histogram: the span from the fast path
+	// firing the wake channel to the condition (data/event visible to
+	// the app) holding.
+	var wokeAt time.Time
 	for {
 		if c.fp.Dead() {
 			return ErrAppDead
 		}
 		c.dispatch()
 		if cond() {
+			c.observeWake(wokeAt)
 			return nil
 		}
+		wokeAt = time.Time{}
 		ch := c.fp.Sleep()
 		// Re-poll after publishing the sleep flag (lost-wakeup guard).
 		c.dispatch()
@@ -291,7 +308,34 @@ func (c *Context) wait(cond func() bool, timeout time.Duration) error {
 				return ErrTimeout
 			}
 		}
+		wokeAt = c.sampleWake()
 		c.fp.Awake()
+	}
+}
+
+// sampleWake stamps 1-in-wakeSampleEvery wakeups (zero otherwise); the
+// unsampled cost is one atomic increment.
+func (c *Context) sampleWake() time.Time {
+	if c.stack.Telem == nil {
+		return time.Time{}
+	}
+	if c.wakeTicks.Add(1)&(wakeSampleEvery-1) != 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeWake records a sampled wakeup-to-ready latency (µs).
+func (c *Context) observeWake(wokeAt time.Time) {
+	if wokeAt.IsZero() {
+		return
+	}
+	if t := c.stack.Telem; t != nil {
+		us := time.Since(wokeAt).Microseconds()
+		if us < 0 {
+			us = 0
+		}
+		t.Wakeup.Observe(uint64(us), c.fp.ID)
 	}
 }
 

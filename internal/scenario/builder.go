@@ -298,6 +298,13 @@ func (b *Builder) AssertProbeP99(max time.Duration) *Builder {
 	return b
 }
 
+// AssertRttP99Under bounds the server's p99 smoothed RTT across the
+// whole run, read from the report's embedded telemetry time series.
+func (b *Builder) AssertRttP99Under(max time.Duration) *Builder {
+	b.s.Assert.RttP99Under = Duration(max)
+	return b
+}
+
 // Build validates and returns the spec.
 func (b *Builder) Build() (*Spec, error) {
 	s := b.s // copy; the builder stays reusable

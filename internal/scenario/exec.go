@@ -394,6 +394,12 @@ waitLoop:
 		if r.opt.Metrics {
 			rep.Metrics = t.Registry.Samples()
 		}
+		if t.Series != nil {
+			// A final forced snapshot guarantees at least one point even
+			// for runs shorter than the recorder interval.
+			t.Series.Snap()
+			rep.TimeSeries = t.Series.Dump()
+		}
 	}
 
 	rep.Assertions = r.evaluate(rep, capped, recovery)
@@ -1183,6 +1189,23 @@ func (r *run) evaluate(rep *Report, capped bool, recovery time.Duration) []Asser
 			add("probe-p99", p.P99MS <= bound && p.Fails == 0,
 				"cross-stripe dial p99 %.2fms over %d dials, %d failed (bound %.2fms)",
 				p.P99MS, p.Dials, p.Fails, bound)
+		}
+	}
+	if a.RttP99Under > 0 {
+		boundUS := float64(a.RttP99Under.D().Microseconds())
+		if rep.TimeSeries == nil {
+			add("rtt-p99", false, "no embedded time series (telemetry recorder disabled)")
+		} else if n, ok := rep.TimeSeries.Max("tas_rtt_us_count", nil); !ok || n == 0 {
+			// An empty histogram would satisfy any bound vacuously; a
+			// scenario asserting on RTT must actually generate server-side
+			// ACK traffic (the server has to transmit data).
+			add("rtt-p99", false, "RTT histogram saw no samples (server transmitted too little data)")
+		} else if maxUS, ok := rep.TimeSeries.Max("tas_rtt_us", map[string]string{"quantile": "0.99"}); !ok {
+			add("rtt-p99", false, "time series has no tas_rtt_us{quantile=\"0.99\"} points")
+		} else {
+			add("rtt-p99", maxUS <= boundUS,
+				"worst sampled p99 RTT %.0fµs over %d snapshots, %.0f RTT samples (bound %.0fµs)",
+				maxUS, len(rep.TimeSeries.AtMS), n, boundUS)
 		}
 	}
 	if len(a.DropCauses) > 0 {

@@ -196,7 +196,13 @@ func slowpathOutageChurn() *Spec {
 		AssertIntact().
 		AssertAllComplete().
 		AssertDegraded().
-		AssertRecovery(30 * time.Second).
+		AssertRecovery(30*time.Second).
+		// The RPC servers transmit responses, so the server-side RTT
+		// estimator accumulates sampled observations; the bound is far
+		// above the µs-scale fabric RTT because CI executes this
+		// scenario race-enabled (~10-20x slowdown) and the outage
+		// windows delay ACK processing.
+		AssertRttP99Under(2*time.Second).
 		MustBuild()
 }
 

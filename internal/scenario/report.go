@@ -119,6 +119,12 @@ type Report struct {
 	// retired or still tracks.
 	Metrics     []telemetry.Sample `json:"metrics,omitempty"`
 	FlightFlows int                `json:"flight_flows,omitempty"`
+
+	// TimeSeries is the server's recorded registry trajectory — latency
+	// quantiles, ring depths, and counters sampled every 100ms across
+	// the fault timeline. Measured, so excluded from the deterministic
+	// projection by construction.
+	TimeSeries *telemetry.SeriesDump `json:"time_series,omitempty"`
 }
 
 // WriteJSON writes the full report.

@@ -279,6 +279,12 @@ type Assertions struct {
 	// latency during attack windows: handshakes on a port striped away
 	// from the attacked one must stay fast while the flood runs.
 	ProbeP99 Duration `json:"probe_p99,omitempty"`
+
+	// RttP99Under bounds the server's p99 smoothed RTT over the whole
+	// run, evaluated against the report's embedded telemetry time
+	// series (the max of the tas_rtt_us{quantile="0.99"} trajectory) —
+	// latency over time across the fault timeline, not just end state.
+	RttP99Under Duration `json:"rtt_p99_under,omitempty"`
 }
 
 // --- Typed validation errors -----------------------------------------
@@ -626,6 +632,9 @@ func (s *Spec) validateAssertions() error {
 	}
 	if a.MaxRecovery < 0 {
 		return specErr(ErrBadSpec, "assert.max_recovery", "negative bound %v", a.MaxRecovery.D())
+	}
+	if a.RttP99Under < 0 {
+		return specErr(ErrBadSpec, "assert.rtt_p99_under", "negative bound %v", a.RttP99Under.D())
 	}
 	return nil
 }

@@ -104,11 +104,12 @@ func (s *Slowpath) handleSyn(key protocol.FlowKey, pkt *protocol.Packet) {
 		return
 	}
 	iss := st.rng.Uint32()
+	now := time.Now()
 	st.half[key] = &halfOpen{
 		key: key, iss: iss, ctxID: l.ctxID, opaque: l.opaque,
 		passive: true, peerISS: pkt.Seq,
-		rto: s.cfg.HandshakeRTO, deadline: time.Now().Add(s.cfg.HandshakeRTO),
-		lst: l,
+		rto: s.cfg.HandshakeRTO, deadline: now.Add(s.cfg.HandshakeRTO),
+		lst: l, born: now,
 	}
 	l.halfCount++
 	st.mu.Unlock()
@@ -157,6 +158,7 @@ func (s *Slowpath) handleSynAck(key protocol.FlowKey, pkt *protocol.Packet) {
 	st.mu.Unlock()
 
 	s.record(key, telemetry.FESynAckRx, pkt.Seq, pkt.Ack, 0)
+	s.observeHandshake(h)
 	f := s.installFlow(key, h, pkt.Seq, pkt.Window)
 	// Final handshake ACK.
 	s.sendCtlFlow(f, protocol.FlagACK, h.iss+1, pkt.Seq+1)
@@ -224,6 +226,7 @@ func (s *Slowpath) handlePlain(key protocol.FlowKey, pkt *protocol.Packet) {
 func (s *Slowpath) completePassive(h *halfOpen, pkt *protocol.Packet) {
 	s.Established.Add(1)
 	s.Accepted.Add(1)
+	s.observeHandshake(h)
 	f := s.installFlow(h.key, h, h.peerISS, pkt.Window)
 	ctx := s.eng.ContextByID(h.ctxID)
 	if ctx == nil || !ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAccepted, Opaque: h.opaque, Flow: f}) {
@@ -242,6 +245,21 @@ func (s *Slowpath) completePassive(h *halfOpen, pkt *protocol.Packet) {
 	if pkt.DataLen() > 0 {
 		s.eng.Input(pkt)
 	}
+}
+
+// observeHandshake records a completed handshake's SYN-to-established
+// latency (µs). Cookie-reconstructed half-opens carry no start time
+// (born is zero) — the stateless path deliberately keeps no state to
+// timestamp — and are skipped.
+func (s *Slowpath) observeHandshake(h *halfOpen) {
+	if s.cfg.Telemetry == nil || h.born.IsZero() {
+		return
+	}
+	us := time.Since(h.born).Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	s.cfg.Telemetry.Handshake.Observe(uint64(us), int(h.key.LocalPort))
 }
 
 // teardownUndeliverable aborts a just-installed flow whose accept event

@@ -228,6 +228,8 @@ type halfOpen struct {
 	attempts int
 	lst      *listener // passive only: for backlog accounting
 	mss      uint16    // cookie completions only: recovered MSS class
+	born     time.Time // handshake start, for the completion-latency histogram;
+	// zero on cookie reconstructions (the stateless path kept no start time).
 }
 
 // ccEntry is the slow path's per-flow congestion/timeout state.
@@ -604,9 +606,11 @@ func (s *Slowpath) Connect(peerIP protocol.IPv4, peerPort uint16, ctxID uint16, 
 		// Reserve the port under the stripe lock — no check-then-insert
 		// window for a concurrent Dial to race into.
 		iss := st.rng.Uint32()
+		now := time.Now()
 		st.half[key] = &halfOpen{
 			key: key, iss: iss, ctxID: ctxID, opaque: opaque,
-			rto: s.cfg.HandshakeRTO, deadline: time.Now().Add(s.cfg.HandshakeRTO),
+			rto: s.cfg.HandshakeRTO, deadline: now.Add(s.cfg.HandshakeRTO),
+			born: now,
 		}
 		st.mu.Unlock()
 

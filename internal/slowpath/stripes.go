@@ -104,6 +104,24 @@ func (s *Slowpath) listenerCount() int {
 	return n
 }
 
+// HalfOpenCount reports the current half-open handshake occupancy
+// across all stripes (the tas_half_open gauge).
+func (s *Slowpath) HalfOpenCount() int { return s.halfLen() }
+
+// AcceptBacklog sums established-but-unaccepted connections across
+// every listener (the tas_accept_backlog gauge).
+func (s *Slowpath) AcceptBacklog() int {
+	n := 0
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		for _, l := range st.listeners {
+			n += int(l.pending.Load())
+		}
+		st.mu.Unlock()
+	}
+	return n
+}
+
 // lookupHalf fetches a half-open entry (tests only; the handlers work
 // under the stripe lock directly).
 func (s *Slowpath) lookupHalf(key protocol.FlowKey) *halfOpen {

@@ -144,10 +144,23 @@ func (h *Histogram) bucketUpper(b int) float64 {
 	return h.min * math.Pow(h.growth, float64(b))
 }
 
-// Quantile returns an estimate of the q-quantile (0 <= q <= 1). The
-// estimate is the upper edge of the bucket containing the quantile,
-// clamped to the observed min/max so tails are never exaggerated beyond
-// actually-seen values.
+// bucketLower returns the lower edge of bucket b. The underflow bucket
+// spans [0, min): everything below min lands there, so its lower edge
+// is 0, not min.
+func (h *Histogram) bucketLower(b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return h.min * math.Pow(h.growth, float64(b-1))
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) by
+// linear interpolation within the bucket containing the target rank.
+// The underflow bucket interpolates from 0 — not from the histogram's
+// configured min — so distributions concentrated below min are not all
+// reported as min; the overflow bucket uses the observed max as its
+// upper edge. The result is clamped to the observed min/max so tails
+// are never exaggerated beyond actually-seen values.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
@@ -164,9 +177,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	var cum uint64
 	for b, c := range h.buckets {
-		cum += c
-		if cum >= rank {
-			v := h.bucketUpper(b)
+		if cum+c >= rank && c > 0 {
+			lo, hi := h.bucketLower(b), h.bucketUpper(b)
+			if hi > h.maxSeen {
+				hi = h.maxSeen
+			}
+			frac := float64(rank-cum) / float64(c)
+			v := lo + (hi-lo)*frac
 			if v > h.maxSeen {
 				v = h.maxSeen
 			}
@@ -175,6 +192,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 			}
 			return v
 		}
+		cum += c
 	}
 	return h.maxSeen
 }

@@ -354,3 +354,43 @@ func TestHistogramExtremeQuantilesExact(t *testing.T) {
 		t.Fatal("p100/p0 must equal Max()/Min()")
 	}
 }
+
+func TestHistogramUnderflowInterpolatesFromZero(t *testing.T) {
+	// Values below min all land in the underflow bucket [0, min). The
+	// quantile must interpolate from 0 across that bucket instead of
+	// reporting everything at the bucket's upper edge, so a distribution
+	// concentrated below min still has a spread of quantiles.
+	h := NewHistogram(1000, 2, 8)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100)) // all << min
+	}
+	p25, p50, p75 := h.Quantile(0.25), h.Quantile(0.5), h.Quantile(0.75)
+	if !(p25 < p50 && p50 < p75) {
+		t.Fatalf("underflow quantiles not spread: p25=%v p50=%v p75=%v", p25, p50, p75)
+	}
+	// Interpolating [0, 1000) linearly: p50 lands mid-bucket, nowhere
+	// near the old answer of min=1000 (clamped to maxSeen=99).
+	if p50 >= 99 {
+		t.Fatalf("p50 = %v, want < maxSeen 99 (old edge-reporting behavior)", p50)
+	}
+	if p25 < 0 {
+		t.Fatalf("p25 = %v, want >= 0", p25)
+	}
+}
+
+func TestHistogramQuantileInterpolatesWithinBucket(t *testing.T) {
+	// 100 observations spread across one wide bucket [64, 128): the
+	// interpolated quantiles must fall strictly inside the bucket and
+	// increase with q instead of all reporting the upper edge.
+	h := NewHistogram(1, 2, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(64 + float64(i)*0.64) // all in [64, 128)
+	}
+	p10, p90 := h.Quantile(0.1), h.Quantile(0.9)
+	if !(p10 < p90) {
+		t.Fatalf("within-bucket quantiles not spread: p10=%v p90=%v", p10, p90)
+	}
+	if p10 < 64 || p90 > 128 {
+		t.Fatalf("quantiles escaped bucket: p10=%v p90=%v", p10, p90)
+	}
+}

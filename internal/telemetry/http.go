@@ -4,14 +4,23 @@ import "net/http"
 
 // Handler returns the telemetry HTTP surface:
 //
-//	/metrics       Prometheus text exposition of the registry
-//	/metrics.json  the same registry as a JSON array
-//	/debug/flows   all flight-recorder rings as JSON; ?flow=KEY
-//	               renders one flow's ring as a text timeline
+//	/metrics          Prometheus text exposition of the registry
+//	/metrics.json     the same registry as a JSON array
+//	/debug/flows      all flight-recorder rings as JSON; ?flow=KEY
+//	                  renders one flow's ring as a text timeline
+//	/debug/timeseries the recorded registry time series as JSON
 //
 // Mount it wherever convenient (tasd exposes it behind -metrics-addr).
 func (t *Telemetry) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+		if t.Series == nil {
+			http.Error(w, "time-series recording disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.Series.WriteJSON(w)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = t.Registry.WriteText(w)

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestLogHistBucketMappingRoundTrip(t *testing.T) {
+	// Every bucket's inclusive low and high integer edges must map back
+	// to that bucket. Edges are sums of two powers of two, so the
+	// float64 bounds convert to uint64 exactly.
+	for b := 0; b < lhBuckets-1; b++ {
+		lo := uint64(lhBucketLow(b))
+		hi := uint64(lhBucketLow(b+1)) - 1
+		if got := lhBucketOf(lo); got != b {
+			t.Fatalf("bucket %d: low %d maps to bucket %d", b, lo, got)
+		}
+		if got := lhBucketOf(hi); got != b {
+			t.Fatalf("bucket %d: high %d maps to bucket %d", b, hi, got)
+		}
+	}
+	if lhBucketOf(math.MaxUint64) != lhBuckets-1 {
+		t.Fatal("MaxUint64 must land in the top bucket")
+	}
+}
+
+func TestLogHistQuantileTable(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []uint64
+		qs   map[float64]uint64 // q -> expected value
+		// tolFrac is the allowed relative error (log-linear buckets are
+		// ~12.5% wide above the exact range; exact below 8).
+		tolFrac float64
+	}{
+		{
+			name:    "empty",
+			obs:     nil,
+			qs:      map[float64]uint64{0: 0, 0.5: 0, 1: 0},
+			tolFrac: 0,
+		},
+		{
+			// A single observation interpolates to its bucket's upper
+			// edge (frac = 1/1); unlike stats.Histogram there is no
+			// exact min/max to clamp to, so 0 reports as 1 — one unit
+			// bucket of quantization error.
+			name:    "single-zero",
+			obs:     []uint64{0},
+			qs:      map[float64]uint64{0: 1, 0.5: 1, 0.99: 1, 1: 1},
+			tolFrac: 0,
+		},
+		{
+			// Values < 8 live in exact unit buckets [v, v+1): the last
+			// rank in a bucket interpolates to the upper edge v+1.
+			name: "small-exact",
+			obs:  []uint64{1, 2, 3, 4, 5, 6, 7},
+			qs: map[float64]uint64{
+				0.142857: 2, // rank 1 -> bucket [1,2)
+				0.5:      5, // rank 4 -> bucket [4,5)
+				1:        8, // rank 7 -> bucket [7,8)
+			},
+			tolFrac: 0,
+		},
+		{
+			name: "uniform-1k",
+			obs:  seq(1, 1000),
+			qs: map[float64]uint64{
+				0.5:   500,
+				0.9:   900,
+				0.99:  990,
+				0.999: 999,
+			},
+			tolFrac: 0.14,
+		},
+		{
+			name: "bimodal",
+			obs:  append(repeat(10, 900), repeat(100000, 100)...),
+			qs: map[float64]uint64{
+				0.5:  10,
+				0.95: 100000,
+			},
+			tolFrac: 0.14,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := &LogHist{}
+			for i, v := range tc.obs {
+				h.Observe(v, i) // spread across stripes
+			}
+			if h.Count() != uint64(len(tc.obs)) {
+				t.Fatalf("Count = %d, want %d", h.Count(), len(tc.obs))
+			}
+			var sum uint64
+			for _, v := range tc.obs {
+				sum += v
+			}
+			if h.Sum() != sum {
+				t.Fatalf("Sum = %d, want %d", h.Sum(), sum)
+			}
+			for q, want := range tc.qs {
+				got := h.Quantile(q)
+				if want == 0 {
+					if got != 0 {
+						t.Errorf("Quantile(%v) = %v, want 0", q, got)
+					}
+					continue
+				}
+				if err := math.Abs(got-float64(want)) / float64(want); err > tc.tolFrac {
+					t.Errorf("Quantile(%v) = %v, want %d ±%.0f%%", q, got, want, tc.tolFrac*100)
+				}
+			}
+		})
+	}
+}
+
+func TestLogHistQuantileMonotoneAndBounded(t *testing.T) {
+	h := &LogHist{}
+	vals := []uint64{3, 17, 17, 17, 250, 4096, 4097, 1 << 20, 1<<40 + 12345}
+	for i, v := range vals {
+		h.Observe(v, i)
+	}
+	sorted := append([]uint64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v (not monotone)", q, v, prev)
+		}
+		prev = v
+	}
+	// p100 must not exceed the containing bucket of the true max by more
+	// than the bucket width (~12.5%).
+	if maxQ := h.Quantile(1); maxQ > float64(sorted[len(sorted)-1])*1.125+1 {
+		t.Fatalf("p100 = %v exaggerates max %d", maxQ, sorted[len(sorted)-1])
+	}
+}
+
+func TestLogHistFirstBucketInterpolatesFromZero(t *testing.T) {
+	// 100 zeros: every quantile stays inside [0, 1) — the first bucket
+	// interpolates from 0, it does not report its upper edge.
+	h := &LogHist{}
+	for i := 0; i < 100; i++ {
+		h.Observe(0, i)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if v := h.Quantile(q); v < 0 || v >= 1 {
+			t.Fatalf("all-zero Quantile(%v) = %v, want within [0, 1)", q, v)
+		}
+	}
+}
+
+func TestLogHistStripesMergeOnRead(t *testing.T) {
+	h := &LogHist{}
+	// Same value through every stripe hint: the scrape-side merge must
+	// see all of them.
+	for i := 0; i < 4*lhStripes; i++ {
+		h.Observe(1000, i)
+	}
+	if h.Count() != 4*lhStripes {
+		t.Fatalf("Count = %d, want %d", h.Count(), 4*lhStripes)
+	}
+	if h.Mean() < 900 || h.Mean() > 1100 {
+		t.Fatalf("Mean = %v, want ~1000", h.Mean())
+	}
+}
+
+func TestLogHistQuantilesBatch(t *testing.T) {
+	h := &LogHist{}
+	for _, v := range seq(1, 100) {
+		h.Observe(v, 0)
+	}
+	qs := h.Quantiles(0.5, 0.99)
+	if len(qs) != 2 {
+		t.Fatalf("Quantiles returned %d values", len(qs))
+	}
+	if qs[0] != h.Quantile(0.5) || qs[1] != h.Quantile(0.99) {
+		t.Fatal("Quantiles batch disagrees with single-q calls")
+	}
+}
+
+func TestRegisterLogHist(t *testing.T) {
+	r := NewRegistry()
+	h := &LogHist{}
+	for _, v := range seq(1, 1000) {
+		h.Observe(v, 0)
+	}
+	r.RegisterLogHist("tas_x_us", "Test latency.", h, L("src", "test"))
+	var got []Sample
+	for _, s := range r.Samples() {
+		if s.Name == "tas_x_us" || s.Name == "tas_x_us_count" || s.Name == "tas_x_us_sum" {
+			got = append(got, s)
+		}
+	}
+	// 4 quantile gauges + count + sum.
+	if len(got) != 6 {
+		t.Fatalf("registered %d series, want 6: %+v", len(got), got)
+	}
+	for _, s := range got {
+		if s.Labels["src"] != "test" {
+			t.Fatalf("series %s lost the src label: %v", s.Name, s.Labels)
+		}
+		switch s.Name {
+		case "tas_x_us_count":
+			if s.Value != 1000 {
+				t.Fatalf("count = %v", s.Value)
+			}
+		case "tas_x_us_sum":
+			if s.Value != 500500 {
+				t.Fatalf("sum = %v", s.Value)
+			}
+		default:
+			if s.Labels["quantile"] == "" {
+				t.Fatalf("quantile gauge missing quantile label: %+v", s)
+			}
+		}
+	}
+}
+
+func seq(lo, hi uint64) []uint64 {
+	out := make([]uint64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+func repeat(v uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -31,6 +31,14 @@ type Config struct {
 	// RetiredRings is how many closed/aborted flows' rings are kept for
 	// post-mortem inspection (default 32).
 	RetiredRings int
+
+	// TimeSeriesInterval is the period of the registry time-series
+	// recorder (default 100ms; < 0 disables recording entirely).
+	TimeSeriesInterval time.Duration
+
+	// TimeSeriesPoints bounds the time-series ring (default 600 points
+	// — one minute at the default interval; older points are evicted).
+	TimeSeriesPoints int
 }
 
 func (c *Config) fill() {
@@ -40,6 +48,12 @@ func (c *Config) fill() {
 	if c.RetiredRings <= 0 {
 		c.RetiredRings = 32
 	}
+	if c.TimeSeriesInterval == 0 {
+		c.TimeSeriesInterval = 100 * time.Millisecond
+	}
+	if c.TimeSeriesPoints <= 0 {
+		c.TimeSeriesPoints = 600
+	}
 }
 
 // Telemetry bundles one service's observability state: the metrics
@@ -48,6 +62,20 @@ type Telemetry struct {
 	Registry *Registry
 	Recorder *Recorder
 	Cycles   *CycleStats
+
+	// Latency histograms (µs), observed from the hot paths under
+	// sampling: smoothed RTT and RTT variance on ACK processing (fast
+	// path), handshake completion in the slow path, and app
+	// wakeup-to-ready latency in libtas. All are striped LogHists so
+	// concurrent cores never contend on a shared cache line.
+	RTT       *LogHist
+	RTTVar    *LogHist
+	Handshake *LogHist
+	Wakeup    *LogHist
+
+	// Series records periodic registry snapshots (nil when disabled).
+	// The owning service starts and stops it with its own lifecycle.
+	Series *TimeSeries
 
 	epoch  time.Time
 	cached atomic.Int64 // coarse clock: last published Now(), see CachedNow
@@ -61,6 +89,13 @@ func New(cfg Config, fastCores int) *Telemetry {
 	t.Registry = NewRegistry()
 	t.Recorder = NewRecorder(cfg.FlightRingSize, cfg.RetiredRings, t.CachedNow)
 	t.Cycles = NewCycleStats(fastCores)
+	t.RTT = &LogHist{}
+	t.RTTVar = &LogHist{}
+	t.Handshake = &LogHist{}
+	t.Wakeup = &LogHist{}
+	if cfg.TimeSeriesInterval > 0 {
+		t.Series = NewTimeSeries(t.Registry, cfg.TimeSeriesInterval, cfg.TimeSeriesPoints)
+	}
 	return t
 }
 

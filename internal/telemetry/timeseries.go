@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TimeSeries records periodic snapshots of a Registry into a bounded
+// ring, turning the point-in-time scrape surface into a short history:
+// "what did p99 RTT and the rx-ring depth do across the fault window"
+// instead of only end-state counters. Storage is columnar — the series
+// identity list is captured once, each tick appends one float per
+// series — so a few minutes of 100ms snapshots stays small enough to
+// embed in scenario run reports.
+type TimeSeries struct {
+	reg      *Registry
+	interval time.Duration
+	capacity int
+
+	mu      sync.Mutex
+	start   time.Time
+	keys    []string  // canonical name+labels per column
+	samples []Sample  // column identities (Value unused)
+	atMS    []float64 // ring of snapshot offsets
+	rows    [][]float64
+	dropped int // snapshots evicted by the ring bound
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewTimeSeries builds a recorder over reg. interval <= 0 defaults to
+// 100ms; capacity <= 0 defaults to 600 points (one minute at the
+// default interval). The recorder is inert until Start.
+func NewTimeSeries(reg *Registry, interval time.Duration, capacity int) *TimeSeries {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	if capacity <= 0 {
+		capacity = 600
+	}
+	return &TimeSeries{
+		reg:      reg,
+		interval: interval,
+		capacity: capacity,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Start launches the snapshot ticker. Idempotent via Stop: a stopped
+// recorder stays stopped.
+func (ts *TimeSeries) Start() {
+	ts.mu.Lock()
+	ts.start = time.Now()
+	ts.mu.Unlock()
+	ts.wg.Add(1)
+	go func() {
+		defer ts.wg.Done()
+		tk := time.NewTicker(ts.interval)
+		defer tk.Stop()
+		for {
+			select {
+			case <-ts.stop:
+				return
+			case <-tk.C:
+				ts.Snap()
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker; recorded points remain readable.
+func (ts *TimeSeries) Stop() {
+	ts.stopOnce.Do(func() { close(ts.stop) })
+	ts.wg.Wait()
+}
+
+// sampleKey canonicalizes a sample's identity (labels sorted).
+func sampleKey(s Sample) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Snap takes one snapshot now (the ticker calls this; tests and report
+// finalization may force a final point).
+func (ts *TimeSeries) Snap() {
+	samples := ts.reg.Samples()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+
+	// The column set is fixed at the first snapshot. Metric registration
+	// happens during service construction, before the recorder starts,
+	// so a changed set means a structurally new registry: restart the
+	// ring rather than mis-align columns.
+	match := len(samples) == len(ts.keys)
+	if match {
+		for i := range samples {
+			if sampleKey(samples[i]) != ts.keys[i] {
+				match = false
+				break
+			}
+		}
+	}
+	if !match {
+		ts.keys = make([]string, len(samples))
+		ts.samples = make([]Sample, len(samples))
+		for i := range samples {
+			ts.keys[i] = sampleKey(samples[i])
+			ts.samples[i] = samples[i]
+		}
+		ts.atMS = ts.atMS[:0]
+		ts.rows = ts.rows[:0]
+	}
+
+	row := make([]float64, len(samples))
+	for i := range samples {
+		row[i] = samples[i].Value
+	}
+	ts.atMS = append(ts.atMS, float64(time.Since(ts.start).Microseconds())/1000)
+	ts.rows = append(ts.rows, row)
+	if len(ts.rows) > ts.capacity {
+		n := len(ts.rows) - ts.capacity
+		ts.atMS = append(ts.atMS[:0], ts.atMS[n:]...)
+		ts.rows = append(ts.rows[:0], ts.rows[n:]...)
+		ts.dropped += n
+	}
+}
+
+// SeriesData is one metric's trajectory in a dump.
+type SeriesData struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Values []float64         `json:"values"`
+}
+
+// SeriesDump is the exported (JSON) shape of a TimeSeries: a shared
+// time axis plus one value vector per registered series.
+type SeriesDump struct {
+	StartedAt  time.Time    `json:"started_at"`
+	IntervalMS float64      `json:"interval_ms"`
+	Dropped    int          `json:"dropped_points,omitempty"`
+	AtMS       []float64    `json:"at_ms"`
+	Series     []SeriesData `json:"series"`
+}
+
+// Dump exports the recorded window.
+func (ts *TimeSeries) Dump() *SeriesDump {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	d := &SeriesDump{
+		StartedAt:  ts.start,
+		IntervalMS: float64(ts.interval.Microseconds()) / 1000,
+		Dropped:    ts.dropped,
+		AtMS:       append([]float64(nil), ts.atMS...),
+	}
+	for col, s := range ts.samples {
+		vals := make([]float64, len(ts.rows))
+		for i, row := range ts.rows {
+			vals[i] = row[col]
+		}
+		d.Series = append(d.Series, SeriesData{
+			Name: s.Name, Kind: s.Kind, Labels: s.Labels, Values: vals,
+		})
+	}
+	return d
+}
+
+// WriteJSON writes the dump.
+func (ts *TimeSeries) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ts.Dump())
+}
+
+// Points returns how many snapshots the ring currently holds.
+func (ts *TimeSeries) Points() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.rows)
+}
+
+// Values returns the trajectory of the series matching name and every
+// given label (nil labels matches the unlabeled series with that name),
+// or nil if no such series was recorded.
+func (d *SeriesDump) Values(name string, labels map[string]string) []float64 {
+	for _, s := range d.Series {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Values
+		}
+	}
+	return nil
+}
+
+// Max returns the maximum recorded value of the matching series; ok is
+// false when the series is absent or empty.
+func (d *SeriesDump) Max(name string, labels map[string]string) (float64, bool) {
+	vals := d.Values(name, labels)
+	if len(vals) == 0 {
+		return 0, false
+	}
+	max := vals[0]
+	for _, v := range vals[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max, true
+}

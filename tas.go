@@ -660,8 +660,70 @@ func (s *Service) registerMetrics() {
 	r.GaugeFunc("tas_live_payload_bytes", "Payload-buffer bytes allocated and not reclaimed.",
 		func() float64 { return float64(shmring.LivePayloadBytes()) })
 
+	// Latency observatory: sampled hot-path distributions exposed as
+	// summary quantiles (µs).
+	r.RegisterLogHist("tas_rtt_us",
+		"Smoothed per-flow RTT sampled on ACK processing (microseconds).", s.telem.RTT)
+	r.RegisterLogHist("tas_rttvar_us",
+		"Smoothed per-flow RTT variance sampled on ACK processing (microseconds).", s.telem.RTTVar)
+	r.RegisterLogHist("tas_handshake_us",
+		"Handshake completion latency, SYN to established (microseconds).", s.telem.Handshake)
+	r.RegisterLogHist("tas_wakeup_us",
+		"App wakeup-to-ready latency: fast-path wake to data visible in libtas (microseconds).",
+		s.telem.Wakeup)
+
+	// Queue occupancy: every shmring plus accept/half-open backlogs,
+	// read at scrape time from the rings' approximate Len (no hot-path
+	// cost). One metric name, ring/core labels.
+	depth := func(ring string, read func() float64, labels ...telemetry.Label) {
+		lbls := append([]telemetry.Label{telemetry.L("ring", ring)}, labels...)
+		r.GaugeFunc("tas_ring_depth", "Queue occupancy by ring and core.", read, lbls...)
+	}
+	for i := 0; i < eng.MaxCores(); i++ {
+		i := i
+		lbl := telemetry.L("core", fmt.Sprintf("%d", i))
+		depth("rx", func() float64 { d, _ := eng.RxRingDepth(i); return float64(d) }, lbl)
+		depth("kick", func() float64 { d, _ := eng.KickRingDepth(i); return float64(d) }, lbl)
+		// Context queues are aggregated across live app contexts per
+		// core: contexts come and go with applications, so per-context
+		// series would churn the registry.
+		depth("ctx_ev", func() float64 {
+			var n int
+			for _, ctx := range eng.Contexts() {
+				if ctx != nil && i < ctx.Cores() {
+					n += ctx.EventQueueLen(i)
+				}
+			}
+			return float64(n)
+		}, lbl)
+		depth("ctx_tx", func() float64 {
+			var n int
+			for _, ctx := range eng.Contexts() {
+				if ctx != nil && i < ctx.Cores() {
+					n += ctx.TxQueueLen(i)
+				}
+			}
+			return float64(n)
+		}, lbl)
+	}
+	depth("excq", func() float64 { d, _ := eng.ExcqDepth(); return float64(d) })
+	r.GaugeFunc("tas_ring_capacity", "Ring capacity by ring (per core).",
+		func() float64 { _, c := eng.RxRingDepth(0); return float64(c) }, telemetry.L("ring", "rx"))
+	r.GaugeFunc("tas_ring_capacity", "Ring capacity by ring (per core).",
+		func() float64 { _, c := eng.ExcqDepth(); return float64(c) }, telemetry.L("ring", "excq"))
+	r.GaugeFunc("tas_accept_backlog", "Established connections waiting in accept queues.",
+		func() float64 { return float64(s.Slow().AcceptBacklog()) })
+	r.GaugeFunc("tas_half_open", "Half-open handshakes held by the slow path.",
+		func() float64 { return float64(s.Slow().HalfOpenCount()) })
+
 	// Per-core per-module cycle accounts.
 	s.telem.Cycles.Register(r)
+
+	// Start the registry time-series recorder after every series above
+	// is registered, so the column set is stable from the first point.
+	if s.telem.Series != nil {
+		s.telem.Series.Start()
+	}
 }
 
 // unlimited is the "none" congestion controller: no rate enforcement.
@@ -673,6 +735,9 @@ func (unlimited) Rate() float64                      { return 0 }
 
 // Close stops the service and detaches it from the fabric.
 func (s *Service) Close() {
+	if s.telem != nil && s.telem.Series != nil {
+		s.telem.Series.Stop()
+	}
 	s.fab.f.Detach(s.IP)
 	s.slow.Load().Stop()
 	s.eng.Stop()
