@@ -1,0 +1,317 @@
+package tas
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuotaConfigValidation rejects inconsistent governor settings at
+// NewService time: a per-app quota above its global pool, inverted or
+// out-of-range hysteresis watermarks, negative capacities. Valid
+// combinations construct.
+func TestQuotaConfigValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring; "" = must succeed
+	}{
+		{"zero-config", Config{}, ""},
+		{"capped-pools", Config{MaxPayloadBytes: 1 << 20, MaxFlows: 100, MaxHalfOpen: 50}, ""},
+		{"quotas-within-pools", Config{MaxFlows: 100, AppMaxFlows: 10,
+			MaxPayloadBytes: 1 << 20, AppMaxPayloadBytes: 1 << 18}, ""},
+		{"quota-without-global", Config{AppMaxFlows: 10, AppMaxPayloadBytes: 1 << 18}, ""},
+		{"custom-watermarks", Config{PressureEngagePct: 80, PressureReleasePct: 60}, ""},
+		{"app-flows-over-pool", Config{MaxFlows: 10, AppMaxFlows: 11},
+			"per-app flows quota 11 exceeds global pool 10"},
+		{"app-payload-over-pool", Config{MaxPayloadBytes: 1 << 10, AppMaxPayloadBytes: 1 << 11},
+			"per-app payload bytes quota"},
+		{"inverted-hysteresis", Config{PressureEngagePct: 60, PressureReleasePct: 70},
+			"inverted hysteresis"},
+		{"equal-watermarks", Config{PressureEngagePct: 60, PressureReleasePct: 60},
+			"inverted hysteresis"},
+		{"engage-over-100", Config{PressureEngagePct: 140, PressureReleasePct: 55},
+			"outside (0,100]"},
+		{"release-negative", Config{PressureEngagePct: 70, PressureReleasePct: -5},
+			"outside (0,100]"},
+		{"negative-pool", Config{MaxFlows: -4}, "negative"},
+		{"negative-payload", Config{MaxPayloadBytes: -1}, "negative"},
+	}
+	for i, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fab := NewFabric()
+			srv, err := fab.NewService(fmt.Sprintf("10.3.0.%d", i+1), tc.cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				srv.Close()
+				return
+			}
+			if err == nil {
+				srv.Close()
+				t.Fatalf("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDialBackpressureTyped exercises the active-side admission path:
+// when the dialing service's own flow pool is exhausted, Dial fails
+// fast with the typed backpressure error (retryable overload, not a
+// fault), and succeeds again once a flow closes and drains.
+func TestDialBackpressureTyped(t *testing.T) {
+	fab := NewFabric()
+	srv, err := fab.NewService("10.0.0.1", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := fab.NewService("10.0.0.2", Config{MaxFlows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); cli.Close() })
+
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			c, err := ln.Accept(100 * time.Millisecond)
+			if err != nil {
+				select {
+				case <-stop:
+					return
+				default:
+					continue
+				}
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	cctx := cli.NewContext()
+	c1, err := cctx.Dial("10.0.0.1", 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cctx.Dial("10.0.0.1", 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cctx.DialTimeout("10.0.0.1", 8080, 2*time.Second)
+	if err == nil {
+		t.Fatal("third dial should exceed the 2-flow budget")
+	}
+	if !ErrBackpressure(err) {
+		t.Fatalf("want typed backpressure, got %v", err)
+	}
+	if rej := cli.Stats().PoolRejects["flows"]; rej == 0 {
+		t.Fatal("flow-pool rejection not counted")
+	}
+
+	// Release one slot; the flow-table entry drains after the close
+	// handshake, so retry until admission succeeds.
+	c1.Close()
+	var c3 *Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c3, err = cctx.DialTimeout("10.0.0.1", 8080, time.Second)
+		if err == nil {
+			break
+		}
+		if !ErrBackpressure(err) {
+			t.Fatalf("retry dial failed with non-backpressure error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flow slot never drained after close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c3.Close()
+	c2.Close()
+}
+
+// TestAppQuotaBackpressure exercises the per-app quota: one context
+// capped at a single flow gets a typed backpressure denial on its
+// second concurrent dial, while a sibling context on the same service
+// is unaffected.
+func TestAppQuotaBackpressure(t *testing.T) {
+	fab := NewFabric()
+	srv, err := fab.NewService("10.0.0.1", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := fab.NewService("10.0.0.2", Config{AppMaxFlows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); cli.Close() })
+
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			c, err := ln.Accept(100 * time.Millisecond)
+			if err != nil {
+				select {
+				case <-stop:
+					return
+				default:
+					continue
+				}
+			}
+			defer c.Close()
+		}
+	}()
+
+	cctx := cli.NewContext()
+	c1, err := cctx.Dial("10.0.0.1", 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := cctx.DialTimeout("10.0.0.1", 8080, 2*time.Second); !ErrBackpressure(err) {
+		t.Fatalf("second dial on quota-capped context: want backpressure, got %v", err)
+	}
+	if q := cli.Stats().QuotaRejects; q == 0 {
+		t.Fatal("quota rejection not counted")
+	}
+
+	// A different context has its own quota.
+	other := cli.NewContext()
+	c2, err := other.Dial("10.0.0.1", 8080)
+	if err != nil {
+		t.Fatalf("sibling context blocked by another app's quota: %v", err)
+	}
+	c2.Close()
+}
+
+// TestSendBackpressureWhenClamped drives the ladder to the TX-clamp
+// rung with a nearly-full payload budget and verifies a bounded write
+// against a non-reading peer surfaces backpressure (the clamp binding),
+// not a generic timeout.
+func TestSendBackpressureWhenClamped(t *testing.T) {
+	fab := NewFabric()
+	srv, err := fab.NewService("10.0.0.1", Config{RxBufSize: 32 << 10, TxBufSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 flows x 64 KiB of buffers = 128 KiB against a 144 KiB budget:
+	// 88.9% occupancy sits in the clamp-tx band (>=85%) but under
+	// reclaim's 92.5%.
+	cli, err := fab.NewService("10.0.0.2", Config{
+		RxBufSize: 32 << 10, TxBufSize: 32 << 10,
+		MaxPayloadBytes: 144 << 10,
+		// Flows stay deliberately idle while the ladder climbs; a long
+		// reclaim age keeps rung 4 from ever seeing them as victims
+		// even if occupancy were to brush its band.
+		IdleReclaimAge: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); cli.Close() })
+
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	var accepted []*Conn
+	var amu sync.Mutex
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := ln.Accept(5 * time.Second)
+			if err != nil {
+				return
+			}
+			amu.Lock()
+			accepted = append(accepted, c)
+			amu.Unlock()
+		}
+		<-release
+		// Drain everything so the writer can finish.
+		amu.Lock()
+		conns := append([]*Conn(nil), accepted...)
+		amu.Unlock()
+		for _, c := range conns {
+			go func(c *Conn) {
+				buf := make([]byte, 16<<10)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	cctx := cli.NewContext()
+	c1, err := cctx.Dial("10.0.0.1", 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := cctx.Dial("10.0.0.1", 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// Let the ladder climb one rung per control tick to clamp-tx.
+	deadline := time.Now().Add(3 * time.Second)
+	for cli.Stats().PressureLevel < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ladder never reached clamp-tx: level %d, pressure %.2f",
+				cli.Stats().PressureLevel, cli.Stats().Pressure)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The server is not reading, so its 32 KiB receive buffer absorbs
+	// the head of the write; after that the clamped grant (a quarter
+	// buffer = 8 KiB) caps TX occupancy at 40 KiB total in flight. A
+	// 56 KiB write — which the unclamped 32 KiB TX buffer would have
+	// absorbed whole — must stall on the grant and report backpressure,
+	// not a generic timeout.
+	n, err := c1.WriteTimeout(make([]byte, 56<<10), 300*time.Millisecond)
+	if err == nil {
+		t.Fatalf("write of 56 KiB against an 8 KiB grant completed (%d bytes)", n)
+	}
+	if !ErrBackpressure(err) {
+		t.Fatalf("want typed backpressure from the clamp, got %v", err)
+	}
+	if n == 0 {
+		t.Fatal("clamped write should still have moved the granted bytes")
+	}
+	if sheds := cli.Stats().PressureSheds["clamp_tx"]; sheds == 0 {
+		t.Fatal("clamp-tx shed not counted")
+	}
+
+	close(release)
+}

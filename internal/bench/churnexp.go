@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	tas "repro"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "churn",
+		Title: "Connection churn under resource governance: throughput, backpressure, leak audit",
+		Run:   runChurn,
+	})
+}
+
+// runChurn drives full connect-transfer-close cycles through the live
+// stack while sweeping the governor's flow budget from uncapped down to
+// well below the offered concurrency. The capped rows show graceful
+// degradation — denied dials surface as retryable backpressure and the
+// ladder sheds load instead of the stack failing ad hoc — and every row
+// ends with a pool leak audit: all governed pools must drain back to
+// zero once the churn stops. The row set is the trajectory recorded in
+// BENCH_scale.json.
+func runChurn(cfg RunConfig) *Result {
+	workers, cycles := 16, 120
+	if cfg.Quick {
+		workers, cycles = 8, 40
+	}
+	r := &Result{
+		ID:     "churn",
+		Title:  "Connect-transfer-close churn vs governor flow budget",
+		Header: []string{"FlowBudget", "Churn/s", "p50(ms)", "p99(ms)", "Denied", "PeakRung", "LeakFree"},
+	}
+	for _, budget := range []int{0, 48, 24} {
+		m := churnRun(cfg, budget, workers, cycles)
+		lbl := "uncapped"
+		if budget > 0 {
+			lbl = fmt.Sprint(budget)
+		}
+		leak := "yes"
+		if !m.leakFree {
+			leak = "NO"
+		}
+		r.AddRow(lbl, fmtF(m.rate, 0), fmtF(m.p50, 2), fmtF(m.p99, 2),
+			fmt.Sprint(m.denied), fmt.Sprint(m.peakRung), leak)
+	}
+	r.Note("%d workers x %d cycles each; every cycle dials, streams 8 KiB (SHA-256 verified), and closes", workers, cycles)
+	r.Note("Denied counts governor flow-admission denials (surfaced to dialers as retryable backpressure)")
+	r.Note("PeakRung is the degradation ladder's high-water mark: 1 cookies, 2 shed-syn, 3 clamp-tx, 4 reclaim")
+	r.Note("LeakFree audits the governed pools after the churn: flows, payload, half-open, timers, accept all back to zero")
+	return r
+}
+
+type churnMetrics struct {
+	rate     float64 // completed cycles per second
+	p50, p99 float64 // cycle latency ms (dial through close, incl. retries)
+	denied   uint64  // governor flow-admission denials
+	peakRung int
+	leakFree bool
+}
+
+const churnPayload = 8 << 10
+
+func churnRun(cfg RunConfig, flowBudget, workers, cycles int) churnMetrics {
+	const port = 7200
+	fab := tas.NewFabric()
+	srv, err := fab.NewService("10.0.0.1", tas.Config{
+		MaxFlows:      flowBudget,
+		ListenBacklog: 256,
+		// Small buffers keep the uncapped row's payload accounting modest
+		// and make the capped rows about the flow budget, not memory.
+		RxBufSize: 32 << 10, TxBufSize: 32 << 10,
+		ControlInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return churnMetrics{}
+	}
+	defer srv.Close()
+	cli, err := fab.NewService("10.0.0.2", tas.Config{
+		RxBufSize: 32 << 10, TxBufSize: 32 << 10,
+	})
+	if err != nil {
+		return churnMetrics{}
+	}
+	defer cli.Close()
+
+	stop := make(chan struct{})
+	sctx := srv.NewContext()
+	ln, err := sctx.Listen(port)
+	if err != nil {
+		return churnMetrics{}
+	}
+	var acceptWG sync.WaitGroup
+	acceptWG.Add(1)
+	go func() {
+		defer acceptWG.Done()
+		defer ln.Close()
+		for {
+			c, err := ln.Accept(100 * time.Millisecond)
+			if err != nil {
+				select {
+				case <-stop:
+					return
+				default:
+					continue
+				}
+			}
+			acceptWG.Add(1)
+			go func() {
+				defer acceptWG.Done()
+				defer c.Close()
+				buf := make([]byte, churnPayload)
+				for off := 0; off < len(buf); {
+					n, err := c.ReadTimeout(buf[off:], 2*time.Second)
+					if err != nil {
+						return
+					}
+					off += n
+				}
+				sum := sha256.Sum256(buf)
+				c.WriteTimeout(sum[:], 2*time.Second)
+			}()
+		}
+	}()
+
+	var mu sync.Mutex
+	var lat []float64
+	completed := 0
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			payload := make([]byte, churnPayload)
+			rng.Read(payload)
+			want := sha256.Sum256(payload)
+			ctx := cli.NewContext()
+			for i := 0; i < cycles; i++ {
+				t0 := time.Now()
+				if !churnCycle(ctx, payload, want) {
+					continue
+				}
+				mu.Lock()
+				lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+				completed++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	acceptWG.Wait()
+
+	st := srv.Stats()
+	m := churnMetrics{
+		denied:   st.GovFlowDenied,
+		peakRung: st.PeakPressureLevel,
+	}
+	if completed > 0 {
+		m.rate = float64(completed) / elapsed.Seconds()
+		sort.Float64s(lat)
+		m.p50 = lat[len(lat)/2]
+		m.p99 = lat[len(lat)*99/100]
+	}
+	m.leakFree = poolsDrained(srv, 5*time.Second)
+	return m
+}
+
+// churnCycle runs one dial-stream-verify-close cycle, retrying
+// backpressured dials until one succeeds.
+func churnCycle(ctx *tas.Context, payload []byte, want [32]byte) bool {
+	var c *tas.Conn
+	for {
+		var err error
+		c, err = ctx.DialTimeout("10.0.0.1", 7200, 2*time.Second)
+		if err == nil {
+			break
+		}
+		if !tas.ErrBackpressure(err) && !tas.ErrTimeout(err) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	defer c.Close()
+	for off := 0; off < len(payload); {
+		n, err := c.WriteTimeout(payload[off:], 2*time.Second)
+		if err != nil {
+			return false
+		}
+		off += n
+	}
+	var got [32]byte
+	for off := 0; off < len(got); {
+		n, err := c.ReadTimeout(got[off:], 2*time.Second)
+		if err != nil {
+			return false
+		}
+		off += n
+	}
+	return got == want
+}
+
+// poolsDrained polls the server's governed pools until flows, payload,
+// half-open, timers, and accept all read zero (or the deadline passes):
+// the leak audit every churn row must pass.
+func poolsDrained(srv *tas.Service, wait time.Duration) bool {
+	deadline := time.Now().Add(wait)
+	for {
+		used := srv.Stats().PoolUsed
+		if used["flows"] == 0 && used["payload_bytes"] == 0 &&
+			used["half_open"] == 0 && used["timers"] == 0 && used["accept"] == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

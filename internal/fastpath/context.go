@@ -49,6 +49,9 @@ const (
 	// ConnTimedOut: the handshake retry budget was exhausted without an
 	// answer (lost SYNs, partitioned link, dead peer).
 	ConnTimedOut uint32 = 2
+	// ConnBackpressure: local resource pools or the app's quota were
+	// exhausted at establishment; the slow path refused the connection.
+	ConnBackpressure uint32 = 3
 )
 
 // Event is one context-queue entry (fast path -> application).

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
+	"repro/internal/resource"
 	"repro/internal/shmring"
 	"repro/internal/tcp"
 	"repro/internal/telemetry"
@@ -119,6 +120,7 @@ type CoreStats struct {
 	BadDescDrop   atomic.Uint64 // malformed app→TAS queue descriptors dropped
 	SynShed       atomic.Uint64 // SYNs shed: slow-path exception queue saturated
 	SynShedDown   atomic.Uint64 // SYNs shed: slow path down (degraded mode)
+	SynShedPress  atomic.Uint64 // SYNs shed: resource governor's shed-syn rung engaged
 	ExcqDrop      atomic.Uint64 // exceptions dropped: exception queue full
 	InactiveDrain atomic.Uint64 // packets drained on a deactivated core (lazy drain)
 	OooAccepted   atomic.Uint64
@@ -211,6 +213,20 @@ type Engine struct {
 	excq     *shmring.SPSC[*protocol.Packet]
 	slowWake chan struct{}
 
+	// coarseClock caches nowNanos for per-packet last-activity stamps:
+	// refreshed wherever the run loop already reads the wall clock (the
+	// busy-loop idleSince reset) and by the slow path's heartbeat, so
+	// stamping a flow costs one atomic load + store, never a clock read.
+	// Staleness is bounded by the slow path's control interval.
+	coarseClock atomic.Int64
+
+	// gov is the unified resource governor (nil when ungoverned). The
+	// facade installs it before Start; the fast path consults it only on
+	// the exception path (SYN shedding under the shed-syn rung) and the
+	// context registry charges slot occupancy to it — never per data
+	// packet.
+	gov atomic.Pointer[resource.Governor]
+
 	start   time.Time
 	stopped atomic.Bool
 	wg      sync.WaitGroup
@@ -274,6 +290,19 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) NowMicros() uint32 { return uint32(time.Since(e.start).Microseconds()) }
 
 func (e *Engine) nowNanos() int64 { return time.Since(e.start).Nanoseconds() }
+
+// CoarseNanos returns the cached engine clock (nanos since start),
+// refreshed by busy run-loop iterations and slow-path heartbeats.
+// Cheap enough for per-packet stamps; staleness is bounded by the
+// control interval.
+func (e *Engine) CoarseNanos() int64 { return e.coarseClock.Load() }
+
+// refreshCoarse updates the cached engine clock and returns it.
+func (e *Engine) refreshCoarse() int64 {
+	n := e.nowNanos()
+	e.coarseClock.Store(n)
+	return n
+}
 
 // NowNanos returns nanoseconds since engine start — the clock the
 // challenge-ACK limiter and cookie-rotation epochs run on, shared by
@@ -371,9 +400,19 @@ func (e *Engine) ExcqDepth() (depth, capacity int) {
 	return e.excq.Len(), e.excq.Cap()
 }
 
+// SetGovernor installs the resource governor. Call before Start; the
+// slow path and libtas read it through Governor().
+func (e *Engine) SetGovernor(g *resource.Governor) { e.gov.Store(g) }
+
+// Governor returns the installed resource governor (nil = ungoverned).
+func (e *Engine) Governor() *resource.Governor { return e.gov.Load() }
+
 // RegisterContext adds an application context and returns its id,
 // reusing a slot freed by a previous UnregisterContext if one exists.
 func (e *Engine) RegisterContext(ctx *Context) uint16 {
+	if g := e.gov.Load(); g != nil {
+		g.Charge(resource.PoolContexts, 1)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	old := e.contextsV.Load().([]*Context)
@@ -405,6 +444,10 @@ func (e *Engine) UnregisterContext(ctx *Context) {
 	ns[ctx.ID] = nil
 	e.contextsV.Store(ns)
 	e.freeCtxIDs = append(e.freeCtxIDs, ctx.ID)
+	if g := e.gov.Load(); g != nil {
+		g.Charge(resource.PoolContexts, -1)
+		g.DropApp(uint32(ctx.ID))
+	}
 }
 
 // ContextByID returns a registered context (nil if out of range or the
@@ -562,6 +605,15 @@ func (e *Engine) toSlowPath(c *core, pkt *protocol.Packet) {
 			c.stats.SynShed.Add(1)
 			return
 		}
+		// Shed-syn rung: the resource governor has climbed past forcing
+		// cookies — pools are still filling, so new connections are
+		// refused at the earliest, cheapest point. Established flows'
+		// exceptions pass untouched.
+		if g := e.gov.Load(); g != nil && g.Level() >= resource.LevelShedSyn {
+			c.stats.SynShedPress.Add(1)
+			g.NoteShed(resource.LevelShedSyn)
+			return
+		}
 	}
 	c.stats.Exceptions.Add(1)
 	if e.excq.Enqueue(pkt) {
@@ -696,6 +748,7 @@ func (e *Engine) run(c *core) {
 		if did > 0 {
 			c.stats.BusyLoops.Add(1)
 			idleSince = time.Now()
+			e.coarseClock.Store(idleSince.Sub(e.start).Nanoseconds())
 			continue
 		}
 		c.stats.IdleLoops.Add(1)
@@ -803,6 +856,7 @@ type DropStats struct {
 	BadDesc      uint64 // malformed app→TAS queue descriptors
 	SynShed      uint64 // SYNs shed by slow-path admission control
 	SynShedDown  uint64 // SYNs shed while the slow path was down (degraded)
+	SynShedPress uint64 // SYNs shed by the resource governor's shed-syn rung
 	ExcqFull     uint64 // exception queue overflow (non-SYN exceptions)
 	EventsLost   uint64 // context event-queue overflow
 	OooDropped   uint64 // out-of-order segments outside the tracked interval
@@ -819,6 +873,7 @@ func (e *Engine) Drops() DropStats {
 		d.BadDesc += c.stats.BadDescDrop.Load()
 		d.SynShed += c.stats.SynShed.Load()
 		d.SynShedDown += c.stats.SynShedDown.Load()
+		d.SynShedPress += c.stats.SynShedPress.Load()
 		d.ExcqFull += c.stats.ExcqDrop.Load()
 		d.OooDropped += c.stats.OooDropped.Load()
 		d.CoreStranded += c.stats.Stranded.Load()

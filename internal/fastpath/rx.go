@@ -30,6 +30,10 @@ func (e *Engine) processRx(c *core, pkt *protocol.Packet) {
 		e.toSlowPath(c, pkt)
 		return
 	}
+	// Last-activity stamp for the governor's LRU idle-reclaim rung: one
+	// atomic load of the cached coarse clock plus one store — no clock
+	// read on the per-packet path.
+	f.Touch(e.CoarseNanos())
 	if e.RSS.CoreForPacket(pkt) != c.idx {
 		c.stats.WrongCore.Add(1) // arrived during a steering transition
 		if c.idx >= e.RSS.Cores() {

@@ -32,7 +32,10 @@ const slowpathRingKey = "slowpath"
 
 // SlowpathBeat stamps the slow-path heartbeat; the slow path calls it
 // once per event-loop iteration.
-func (e *Engine) SlowpathBeat() { e.slowBeat.Store(time.Now().UnixNano()) }
+func (e *Engine) SlowpathBeat() {
+	e.slowBeat.Store(time.Now().UnixNano())
+	e.refreshCoarse()
+}
 
 // SlowpathLastBeat returns the unix-nano timestamp of the most recent
 // slow-path heartbeat (0 if no watchdog is configured and the slow path

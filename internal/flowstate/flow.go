@@ -86,7 +86,35 @@ type Flow struct {
 	// fast-path core handles a packet for this flow, so that packets
 	// arriving on the wrong core during scale up/down remain safe.
 	lock SpinLock
+
+	// touched is the flow's last-activity stamp (engine-clock nanos):
+	// written by the fast path per processed packet and by libtas per
+	// Send, read by the resource governor's LRU idle-reclaim rung to
+	// pick victims oldest-first. A plain atomic store off the flow lock
+	// — the reclaim sweep tolerates approximate ordering.
+	touched atomic.Int64
+
+	// retired latches exactly-once resource reclamation: every teardown
+	// path (FIN, RST, abort, reaper, recovery, undeliverable accept)
+	// funnels through the slow path's reclaim helper, and only the caller
+	// that wins this CAS returns the flow's buffers, bucket slot, and
+	// governor charges — double teardown must never double-release.
+	retired atomic.Bool
 }
+
+// Retire claims the flow's one-shot reclamation token. The first caller
+// gets true and must release the flow's resources; later callers get
+// false and must not.
+func (f *Flow) Retire() bool { return f.retired.CompareAndSwap(false, true) }
+
+// Retired reports whether the flow's resources have been reclaimed.
+func (f *Flow) Retired() bool { return f.retired.Load() }
+
+// Touch stamps the flow's last-activity clock.
+func (f *Flow) Touch(nanos int64) { f.touched.Store(nanos) }
+
+// LastTouched returns the last-activity stamp (engine-clock nanos).
+func (f *Flow) LastTouched() int64 { return f.touched.Load() }
 
 // Lock acquires the flow's spinlock.
 func (f *Flow) Lock() { f.lock.Lock() }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fastpath"
 	"repro/internal/flowstate"
+	"repro/internal/resource"
 	"repro/internal/telemetry"
 )
 
@@ -23,11 +24,12 @@ type Conn struct {
 	// whichever goroutine happens to run dispatch and read by the
 	// connection's owner, which may be a different goroutine when several
 	// connections share a context — hence atomics.
-	established atomic.Bool
-	refused     atomic.Bool
-	timedOut    atomic.Bool
-	peerClosed  atomic.Bool
-	aborted     atomic.Bool // RST received or retransmission budget exhausted
+	established   atomic.Bool
+	refused       atomic.Bool
+	timedOut      atomic.Bool
+	peerClosed    atomic.Bool
+	aborted       atomic.Bool // RST received or retransmission budget exhausted
+	backpressured atomic.Bool // flow installation refused: pools/quota exhausted
 
 	closed bool // owner-goroutine only
 
@@ -75,6 +77,54 @@ func chargeCopy(tm *telemetry.Telemetry, t0 int64, timed bool) {
 // Flow exposes the underlying per-flow state (low-level API users).
 func (cn *Conn) Flow() *flowstate.Flow { return cn.flow }
 
+// txHeadroom returns how many bytes a send may append to the transmit
+// buffer right now: the free space, further bounded by the governor's
+// per-flow grant while the degradation ladder's TX clamp (rung 3) is
+// engaged. The second result reports whether the clamp — not buffer
+// fullness — is what bound the answer. Caller holds the flow lock.
+func (cn *Conn) txHeadroom(f *flowstate.Flow) (int, bool) {
+	free := f.TxBuf.Free()
+	g := cn.ctx.stack.Eng.Governor()
+	if g == nil {
+		return free, false
+	}
+	grant := g.TxGrant()
+	if grant <= 0 {
+		return free, false
+	}
+	room := int(grant) - f.TxBuf.Used()
+	if room < 0 {
+		room = 0
+	}
+	if room < free {
+		return room, true
+	}
+	return free, false
+}
+
+// txReady is the lock-free wait condition for blocked senders: space in
+// the transmit buffer that the governor's grant (when clamping) still
+// permits using.
+func (cn *Conn) txReady() bool {
+	f := cn.flow
+	if f.TxBuf.Free() <= 0 {
+		return false
+	}
+	if g := cn.ctx.stack.Eng.Governor(); g != nil {
+		if grant := g.TxGrant(); grant > 0 && int64(f.TxBuf.Used()) >= grant {
+			return false
+		}
+	}
+	return true
+}
+
+// noteClamp counts one send bound by the rung-3 TX clamp.
+func (cn *Conn) noteClamp() {
+	if g := cn.ctx.stack.Eng.Governor(); g != nil {
+		g.NoteShed(resource.LevelClampTx)
+	}
+}
+
 // Send writes all of p to the connection, blocking while the transmit
 // buffer is full. A zero timeout waits forever.
 func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
@@ -93,7 +143,7 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 		f := cn.flow
 		t0, timed := cn.copyTimer(tm)
 		f.Lock()
-		free := f.TxBuf.Free()
+		free, clamped := cn.txHeadroom(f)
 		n := len(p) - sent
 		if n > free {
 			n = free
@@ -105,6 +155,7 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 		if n > 0 {
 			sent += n
 			chargeCopy(tm, t0, timed)
+			f.Touch(cn.ctx.stack.Eng.CoarseNanos())
 			if f.Rec != nil {
 				f.Rec.Record(telemetry.FEAppSend, 0, 0, uint32(n), 0)
 			}
@@ -116,11 +167,19 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 			}
 			continue
 		}
-		// Buffer full: wait for acknowledgements to free space.
+		if clamped {
+			cn.noteClamp()
+		}
+		// Buffer (or, under pressure, the governor's grant) exhausted:
+		// wait for acknowledgements to free space — deadline-bounded
+		// blocking on a buffer grant when the clamp is what binds.
 		err := cn.ctx.wait(func() bool {
-			return cn.aborted.Load() || cn.peerClosed.Load() || cn.flow.TxBuf.Free() > 0
+			return cn.aborted.Load() || cn.peerClosed.Load() || cn.txReady()
 		}, timeout)
 		if err != nil {
+			if err == ErrTimeout && clamped {
+				return sent, ErrBackpressure
+			}
 			return sent, err
 		}
 	}
@@ -167,8 +226,9 @@ func (cn *Conn) SendNoWait(p []byte) (int, error) {
 	}
 	f := cn.flow
 	f.Lock()
+	free, clamped := cn.txHeadroom(f)
 	n := len(p)
-	if free := f.TxBuf.Free(); n > free {
+	if n > free {
 		n = free
 	}
 	if n > 0 {
@@ -176,8 +236,15 @@ func (cn *Conn) SendNoWait(p []byte) (int, error) {
 	}
 	f.Unlock()
 	if n == 0 {
+		if clamped {
+			// The governor's grant, not buffer fullness, refused the
+			// send: surface typed backpressure so the caller sheds load.
+			cn.noteClamp()
+			return 0, ErrBackpressure
+		}
 		return 0, ErrWouldBlock
 	}
+	f.Touch(cn.ctx.stack.Eng.CoarseNanos())
 	if !cn.ctx.stack.Eng.PushTxCmd(cn.ctx.fp, fastpath.TxCmd{Op: fastpath.OpTx, Flow: f, Bytes: uint32(n)}) {
 		cn.ctx.stack.Eng.KickFlow(f)
 	}
@@ -200,6 +267,9 @@ func (cn *Conn) recvNoWait(p []byte) int {
 	f.Unlock()
 	if n > 0 {
 		chargeCopy(tm, t0, timed)
+		// An app draining buffered data is active even if no new packets
+		// arrive; keep it off the idle-reclaim rung's victim list.
+		f.Touch(cn.ctx.stack.Eng.CoarseNanos())
 		if f.Rec != nil {
 			f.Rec.Record(telemetry.FEAppRecv, 0, 0, uint32(n), 0)
 		}
@@ -258,6 +328,9 @@ func (cn *Conn) SendZeroCopy(max int, fill func(first, second []byte) int) (int,
 	}
 	f := cn.flow
 	f.Lock()
+	if room, clamped := cn.txHeadroom(f); clamped && max > room {
+		max = room // rung-3 clamp bounds the reservation
+	}
 	a, b := f.TxBuf.ReserveHead(max)
 	n := 0
 	if len(a)+len(b) > 0 {
@@ -270,6 +343,7 @@ func (cn *Conn) SendZeroCopy(max int, fill func(first, second []byte) int) (int,
 	}
 	f.Unlock()
 	if n > 0 {
+		f.Touch(cn.ctx.stack.Eng.CoarseNanos())
 		if !cn.ctx.stack.Eng.PushTxCmd(cn.ctx.fp, fastpath.TxCmd{Op: fastpath.OpTx, Flow: f, Bytes: uint32(n)}) {
 			cn.ctx.stack.Eng.KickFlow(f)
 		}

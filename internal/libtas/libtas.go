@@ -21,6 +21,7 @@ import (
 	"repro/internal/fastpath"
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
+	"repro/internal/resource"
 	"repro/internal/shmring"
 	"repro/internal/slowpath"
 	"repro/internal/telemetry"
@@ -45,6 +46,12 @@ var (
 	// that need the slow path — Dial, Listen — fail fast until a warm
 	// restart recovers it.
 	ErrSlowPathDown = errors.New("libtas: slow path down")
+	// ErrBackpressure: a finite resource pool or this application's
+	// quota is exhausted (or the degradation ladder's TX clamp bound a
+	// non-blocking send). The operation was refused deliberately so the
+	// caller can shed or defer load; retrying after pressure subsides is
+	// expected to succeed.
+	ErrBackpressure = errors.New("libtas: backpressure: resources exhausted")
 )
 
 // Stack binds a fast-path engine and slow path into an application-
@@ -232,6 +239,8 @@ func (c *Context) dispatch() int {
 						conn.established.Store(true)
 					case fastpath.ConnTimedOut:
 						conn.timedOut.Store(true)
+					case fastpath.ConnBackpressure:
+						conn.backpressured.Store(true)
 					default: // fastpath.ConnRefused
 						conn.refused.Store(true)
 					}
@@ -365,11 +374,24 @@ func (c *Context) Dial(ip protocol.IPv4, port uint16, timeout time.Duration) (*C
 		if errors.Is(err, slowpath.ErrDown) {
 			return nil, ErrSlowPathDown
 		}
+		if errors.Is(err, resource.ErrExhausted) {
+			// The governor refused admission (quota or half-open pool):
+			// explicit backpressure before any handshake traffic.
+			return nil, ErrBackpressure
+		}
 		return nil, err
 	}
-	err := c.wait(func() bool { return conn.established.Load() || conn.refused.Load() || conn.timedOut.Load() }, timeout)
+	err := c.wait(func() bool {
+		return conn.established.Load() || conn.refused.Load() ||
+			conn.timedOut.Load() || conn.backpressured.Load()
+	}, timeout)
 	if err != nil {
 		return nil, err
+	}
+	if conn.backpressured.Load() {
+		// The handshake completed but flow installation was refused:
+		// pools were exhausted at the moment of establishment.
+		return nil, ErrBackpressure
 	}
 	if conn.refused.Load() {
 		return nil, slowpath.ErrNoListener
@@ -447,6 +469,11 @@ func (l *Listener) Accept(timeout time.Duration) (*Conn, error) {
 			l.backlog = l.backlog[1:]
 			if l.pending != nil {
 				l.pending.Add(-1)
+				// Mirror the accept-backlog drain into the governor
+				// (charged by the slow path per delivered accept).
+				if g := c.stack.Eng.Governor(); g != nil {
+					g.Charge(resource.PoolAccept, -1)
+				}
 			}
 			return true
 		}

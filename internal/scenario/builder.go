@@ -112,6 +112,48 @@ func (b *Builder) ChallengeAckPerSec(n int) *Builder {
 	return b
 }
 
+// Buffers sets the server's per-connection payload buffer sizes
+// (0 keeps the 256 KiB service default).
+func (b *Builder) Buffers(rx, tx int) *Builder {
+	b.s.Topology.RxBufBytes = rx
+	b.s.Topology.TxBufBytes = tx
+	return b
+}
+
+// Quotas sets the server's resource-governor capacities, per-app
+// quotas, and pressure watermarks (zero fields keep defaults:
+// uncapped pools, 70/55 watermarks).
+func (b *Builder) Quotas(t Topology) *Builder {
+	if t.MaxPayloadBytes != 0 {
+		b.s.Topology.MaxPayloadBytes = t.MaxPayloadBytes
+	}
+	if t.MaxFlows != 0 {
+		b.s.Topology.MaxFlows = t.MaxFlows
+	}
+	if t.MaxHalfOpen != 0 {
+		b.s.Topology.MaxHalfOpen = t.MaxHalfOpen
+	}
+	if t.AppMaxFlows != 0 {
+		b.s.Topology.AppMaxFlows = t.AppMaxFlows
+	}
+	if t.AppMaxPayloadBytes != 0 {
+		b.s.Topology.AppMaxPayloadBytes = t.AppMaxPayloadBytes
+	}
+	if t.PressureEngagePct != 0 {
+		b.s.Topology.PressureEngagePct = t.PressureEngagePct
+	}
+	if t.PressureReleasePct != 0 {
+		b.s.Topology.PressureReleasePct = t.PressureReleasePct
+	}
+	if t.IdleReclaimAge != 0 {
+		b.s.Topology.IdleReclaimAge = t.IdleReclaimAge
+	}
+	if t.ReclaimBatch != 0 {
+		b.s.Topology.ReclaimBatch = t.ReclaimBatch
+	}
+	return b
+}
+
 // --- impairments ------------------------------------------------------
 
 func (b *Builder) imp(at time.Duration, i Impairment) *Builder {
@@ -302,6 +344,24 @@ func (b *Builder) AssertProbeP99(max time.Duration) *Builder {
 // whole run, read from the report's embedded telemetry time series.
 func (b *Builder) AssertRttP99Under(max time.Duration) *Builder {
 	b.s.Assert.RttP99Under = Duration(max)
+	return b
+}
+
+// AssertPressureLevel requires the server's degradation ladder to have
+// reached at least rung n during the run.
+func (b *Builder) AssertPressureLevel(n int) *Builder {
+	b.s.Assert.MinPressureLevel = n
+	return b
+}
+
+// AssertPoolDrained bounds a governed pool's occupancy at the end of
+// the run (after a settle window); 0 asserts it returns exactly to
+// empty.
+func (b *Builder) AssertPoolDrained(pool string, max int64) *Builder {
+	if b.s.Assert.MaxPoolUsed == nil {
+		b.s.Assert.MaxPoolUsed = map[string]int64{}
+	}
+	b.s.Assert.MaxPoolUsed[pool] = max
 	return b
 }
 

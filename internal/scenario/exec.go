@@ -138,6 +138,17 @@ func baseConfig(t Topology, cores int, server bool, linkBps float64) tas.Config 
 		cfg.SynCookies = t.SynCookies
 		cfg.HandshakeStripes = t.HandshakeStripes
 		cfg.ChallengeAckPerSec = t.ChallengeAckPerSec
+		cfg.RxBufSize = t.RxBufBytes
+		cfg.TxBufSize = t.TxBufBytes
+		cfg.MaxPayloadBytes = t.MaxPayloadBytes
+		cfg.MaxFlows = t.MaxFlows
+		cfg.MaxHalfOpen = t.MaxHalfOpen
+		cfg.AppMaxFlows = t.AppMaxFlows
+		cfg.AppMaxPayloadBytes = t.AppMaxPayloadBytes
+		cfg.PressureEngagePct = t.PressureEngagePct
+		cfg.PressureReleasePct = t.PressureReleasePct
+		cfg.IdleReclaimAge = t.IdleReclaimAge.D()
+		cfg.ReclaimBatch = t.ReclaimBatch
 		cfg.Telemetry.Enabled = true
 	}
 	return cfg
@@ -1219,8 +1230,49 @@ func (r *run) evaluate(rep *Report, capped bool, recovery time.Duration) []Asser
 			add("drops:"+c, got <= a.DropCauses[c], "%d drops (bound %d)", got, a.DropCauses[c])
 		}
 	}
+	if a.MinPressureLevel > 0 {
+		got := rep.Server.PeakPressureLevel
+		add("pressure-level", got >= a.MinPressureLevel,
+			"degradation ladder peaked at rung %d (want >= %d; %d flow denials, %d idle reclaimed)",
+			got, a.MinPressureLevel, rep.Server.GovFlowDenied, rep.Server.GovIdleReclaimed)
+	}
+	if len(a.MaxPoolUsed) > 0 {
+		// Pool drains are asynchronous — FIN sweeps, reaper passes, and
+		// governor releases all run on control ticks — so give the stack
+		// a settle window before calling an occupancy a leak. The
+		// services are still live here (teardown happens after
+		// evaluation), so polling observes the drain.
+		pools := make([]string, 0, len(a.MaxPoolUsed))
+		for p := range a.MaxPoolUsed {
+			pools = append(pools, p)
+		}
+		sort.Strings(pools)
+		used := rep.Server.PoolUsed
+		deadline := time.Now().Add(poolSettleWait)
+		for {
+			ok := true
+			for _, p := range pools {
+				if used[p] > a.MaxPoolUsed[p] {
+					ok = false
+				}
+			}
+			if ok || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+			used = r.srv.Stats().PoolUsed
+		}
+		for _, p := range pools {
+			add("pool:"+p, used[p] <= a.MaxPoolUsed[p],
+				"%d in use after settle (bound %d)", used[p], a.MaxPoolUsed[p])
+		}
+	}
 	return out
 }
+
+// poolSettleWait bounds how long evaluate waits for governed pools to
+// drain back under their asserted bounds after the workload completes.
+const poolSettleWait = 5 * time.Second
 
 func dropByCause(s tas.ServiceStats, cause string) uint64 {
 	switch cause {
@@ -1248,6 +1300,8 @@ func dropByCause(s tas.ServiceStats, cause string) uint64 {
 		return s.AcceptQueueDrops
 	case "blind_ack":
 		return s.BlindAckDrops
+	case "syn_shed_pressure":
+		return s.SynShedPressure
 	}
 	return 0
 }

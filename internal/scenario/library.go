@@ -56,6 +56,77 @@ func init() {
 	Register("slowpath-outage-churn", slowpathOutageChurn)
 	Register("app-crash-churn", appCrashChurn)
 	Register("syn-flood", synFlood)
+	Register("churn-storm", churnStorm)
+	Register("memory-squeeze", memorySqueeze)
+}
+
+// churnStorm: sustained connection churn against a flow-table budget
+// sized below the offered load. The governor's degradation ladder
+// engages (cookies, then SYN shedding while the table is saturated) and
+// releases as transfers complete; denied dials surface as retryable
+// backpressure, not failures. The run proves graceful degradation: every
+// transfer eventually completes SHA-256-intact, nothing deadlocks, and
+// every governed pool returns exactly to empty afterwards.
+func churnStorm() *Spec {
+	return New("churn-storm").
+		Describe("32 workers churn reconnect-per-transfer streams through a 40-entry "+
+			"flow budget: the pressure ladder oscillates between engaging (SYNs shed, "+
+			"dials denied with backpressure) and releasing as flows close. All transfers "+
+			"complete intact and every governed pool drains back to zero.").
+		Seed(83).
+		Duration(120*time.Second).
+		Clients(4).
+		// 32 concurrent workers against 40 flow slots: steady-state
+		// occupancy (live + closing entries) sits around 80% of the
+		// budget, inside the ladder's engage band, so pressure is
+		// guaranteed without being a hard wall.
+		Quotas(Topology{MaxFlows: 40, MaxHalfOpen: 64}).
+		Stream(8, 40, 16<<10).
+		Reconnect().
+		AssertIntact().
+		AssertAllComplete().
+		AssertPressureLevel(1).
+		AssertPoolDrained("flows", 0).
+		AssertPoolDrained("payload_bytes", 0).
+		AssertPoolDrained("half_open", 0).
+		AssertPoolDrained("timers", 0).
+		AssertPoolDrained("accept", 0).
+		AssertDropBound("bad_desc", 0).
+		MustBuild()
+}
+
+// memorySqueeze: a payload-byte budget that eight persistent bulk
+// streams nearly fill (~89% occupancy), holding the ladder at the
+// TX-clamp rung for the whole transfer phase: per-flow grants shrink to
+// a quarter buffer so all flows keep moving instead of a few hogging
+// the pool. Occupancy stays below the reclaim rung, so no established
+// flow is ever aborted; transfers finish intact and the payload pool
+// drains to zero when the flows close.
+func memorySqueeze() *Spec {
+	return New("memory-squeeze").
+		Describe("Eight persistent streams with 64 KiB buffers fill ~89% of a 1.125 MiB "+
+			"payload budget: the ladder climbs to the TX-clamp rung and stays there, "+
+			"grants shrink, every transfer still completes intact, and the payload pool "+
+			"returns to zero after the flows close.").
+		Seed(89).
+		Duration(120*time.Second).
+		Clients(2).
+		Buffers(64<<10, 64<<10).
+		// 8 flows x 128 KiB of buffers = 1 MiB against a 1.125 MiB cap:
+		// 88.9% occupancy lands in the clamp-tx band (>=85% with the
+		// default 70/55 watermarks) but under reclaim's 92.5%.
+		Quotas(Topology{MaxPayloadBytes: 1152 << 10}).
+		Stream(4, 24, 192<<10).
+		AssertIntact().
+		AssertAllComplete().
+		AssertPressureLevel(3).
+		AssertPoolDrained("payload_bytes", 0).
+		AssertPoolDrained("flows", 0).
+		AssertPoolDrained("half_open", 0).
+		AssertPoolDrained("timers", 0).
+		AssertPoolDrained("accept", 0).
+		AssertDropBound("bad_desc", 0).
+		MustBuild()
 }
 
 // synFlood: a sustained spoofed-SYN flood against the workload port

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/resource"
 )
 
 // Duration is a time.Duration that marshals as a Go duration string
@@ -108,6 +110,26 @@ type Topology struct {
 	SynCookies         string `json:"syn_cookies,omitempty"`
 	HandshakeStripes   int    `json:"handshake_stripes,omitempty"`
 	ChallengeAckPerSec int    `json:"challenge_ack_per_sec,omitempty"`
+
+	// Server per-connection payload buffer sizes (0 = the 256 KiB
+	// service default). Memory-squeeze scenarios shrink these so a
+	// small MaxPayloadBytes budget covers a meaningful flow count.
+	RxBufBytes int `json:"rx_buf_bytes,omitempty"`
+	TxBufBytes int `json:"tx_buf_bytes,omitempty"`
+
+	// Resource-governor capacities and quotas (server side; 0 =
+	// uncapped / none). Validation rejects inconsistent combinations —
+	// a per-app quota above the global pool, inverted watermarks — the
+	// same way the service itself would.
+	MaxPayloadBytes    int64    `json:"max_payload_bytes,omitempty"`
+	MaxFlows           int      `json:"max_flows,omitempty"`
+	MaxHalfOpen        int      `json:"max_half_open,omitempty"`
+	AppMaxFlows        int      `json:"app_max_flows,omitempty"`
+	AppMaxPayloadBytes int64    `json:"app_max_payload_bytes,omitempty"`
+	PressureEngagePct  int      `json:"pressure_engage_pct,omitempty"`
+	PressureReleasePct int      `json:"pressure_release_pct,omitempty"`
+	IdleReclaimAge     Duration `json:"idle_reclaim_age,omitempty"`
+	ReclaimBatch       int      `json:"reclaim_batch,omitempty"`
 }
 
 // LinkSpec installs the fabric's netem-grade link model for the run:
@@ -285,6 +307,20 @@ type Assertions struct {
 	// series (the max of the tas_rtt_us{quantile="0.99"} trajectory) —
 	// latency over time across the fault timeline, not just end state.
 	RttP99Under Duration `json:"rtt_p99_under,omitempty"`
+
+	// MinPressureLevel requires the server's resource-governor
+	// degradation ladder to have reached at least this rung during the
+	// run (1 cookies, 2 shed-syn, 3 clamp-tx, 4 reclaim) — proof the
+	// pressure machinery actually engaged.
+	MinPressureLevel int `json:"min_pressure_level,omitempty"`
+
+	// MaxPoolUsed bounds the server's governed-pool occupancy at the
+	// end of the run, by pool name (payload_bytes, flows, half_open,
+	// contexts, timers, accept). The executor gives teardown effects a
+	// settle window (FIN sweeps, idle reclamation run on control ticks)
+	// before declaring a pool leaked; a bound of 0 asserts the pool
+	// returns exactly to empty.
+	MaxPoolUsed map[string]int64 `json:"max_pool_used,omitempty"`
 }
 
 // --- Typed validation errors -----------------------------------------
@@ -423,6 +459,9 @@ func (s *Spec) Validate() error {
 	default:
 		return specErr(ErrUnknownKind, "topology.syn_cookies",
 			"unknown SYN-cookie mode %q (want \"\", \"always\", or \"off\")", s.Topology.SynCookies)
+	}
+	if err := s.validateQuotas(); err != nil {
+		return err
 	}
 
 	if err := s.validateImpairments(); err != nil {
@@ -610,12 +649,48 @@ func (s *Spec) validateFaults() error {
 	return nil
 }
 
+// validateQuotas rejects inconsistent resource-governor settings the
+// same way the service constructor would, so a bad spec fails at parse
+// time instead of mid-run.
+func (s *Spec) validateQuotas() error {
+	t := s.Topology
+	lim := resource.Limits{
+		PayloadBytes:    t.MaxPayloadBytes,
+		Flows:           int64(t.MaxFlows),
+		HalfOpen:        int64(t.MaxHalfOpen),
+		AppFlows:        int64(t.AppMaxFlows),
+		AppPayloadBytes: t.AppMaxPayloadBytes,
+		EngagePct:       t.PressureEngagePct,
+		ReleasePct:      t.PressureReleasePct,
+	}
+	if err := lim.Validate(); err != nil {
+		return specErr(ErrBadSpec, "topology", "%v", err)
+	}
+	if t.RxBufBytes < 0 || t.TxBufBytes < 0 {
+		return specErr(ErrBadSpec, "topology.rx_buf_bytes", "negative buffer size")
+	}
+	if t.IdleReclaimAge < 0 {
+		return specErr(ErrBadSpec, "topology.idle_reclaim_age", "negative reclaim age %v", t.IdleReclaimAge.D())
+	}
+	if t.ReclaimBatch < 0 {
+		return specErr(ErrBadSpec, "topology.reclaim_batch", "negative reclaim batch %d", t.ReclaimBatch)
+	}
+	return nil
+}
+
 // knownDropCauses mirrors the tas_drops_total causes the report exposes.
 var knownDropCauses = map[string]bool{
 	"rx_ring_full": true, "rx_buf_full": true, "bad_desc": true,
 	"syn_shed": true, "syn_shed_down": true, "excq_full": true,
 	"events_lost": true, "ooo_dropped": true, "core_stranded": true,
 	"syn_backlog": true, "accept_queue": true, "blind_ack": true,
+	"syn_shed_pressure": true,
+}
+
+// knownPools mirrors the governed pool names ServiceStats exposes.
+var knownPools = map[string]bool{
+	"payload_bytes": true, "flows": true, "half_open": true,
+	"contexts": true, "timers": true, "accept": true,
 }
 
 func (s *Spec) validateAssertions() error {
@@ -629,6 +704,23 @@ func (s *Spec) validateAssertions() error {
 		if !knownDropCauses[c] {
 			return specErr(ErrUnknownKind, "assert.drop_causes", "unknown drop cause %q", c)
 		}
+	}
+	pools := make([]string, 0, len(a.MaxPoolUsed))
+	for p := range a.MaxPoolUsed {
+		pools = append(pools, p)
+	}
+	sort.Strings(pools)
+	for _, p := range pools {
+		if !knownPools[p] {
+			return specErr(ErrUnknownKind, "assert.max_pool_used", "unknown pool %q", p)
+		}
+		if a.MaxPoolUsed[p] < 0 {
+			return specErr(ErrBadSpec, "assert.max_pool_used", "negative bound for pool %q", p)
+		}
+	}
+	if a.MinPressureLevel < 0 || a.MinPressureLevel >= resource.NumLevels {
+		return specErr(ErrOutOfRange, "assert.min_pressure_level",
+			"pressure level %d outside [0,%d]", a.MinPressureLevel, resource.NumLevels-1)
 	}
 	if a.MaxRecovery < 0 {
 		return specErr(ErrBadSpec, "assert.max_recovery", "negative bound %v", a.MaxRecovery.D())

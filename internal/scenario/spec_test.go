@@ -55,6 +55,48 @@ func TestParseSpecRejections(t *testing.T) {
 			want: ErrUnknownKind,
 		},
 		{
+			name: "per-app quota over global pool",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "topology":{"max_flows":10,"app_max_flows":11}}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "inverted pressure watermarks",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "topology":{"pressure_engage_pct":60,"pressure_release_pct":70}}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "watermark over 100",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "topology":{"pressure_engage_pct":140,"pressure_release_pct":55}}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "negative pool cap",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "topology":{"max_payload_bytes":-1}}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "unknown governed pool",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "assert":{"max_pool_used":{"gremlins":0}}}`,
+			want: ErrUnknownKind,
+		},
+		{
+			name: "negative pool bound",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "assert":{"max_pool_used":{"flows":-1}}}`,
+			want: ErrBadSpec,
+		},
+		{
+			name: "pressure level out of range",
+			json: `{"name":"x","workload":{"kind":"rpc"},
+			        "assert":{"min_pressure_level":9}}`,
+			want: ErrOutOfRange,
+		},
+		{
 			name: "core index out of range",
 			json: `{"name":"x","workload":{"kind":"rpc"},
 			        "topology":{"server_cores":2},

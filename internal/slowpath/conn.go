@@ -7,6 +7,7 @@ import (
 	"repro/internal/fastpath"
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
+	"repro/internal/resource"
 	"repro/internal/shmring"
 	"repro/internal/tcp"
 	"repro/internal/telemetry"
@@ -103,6 +104,17 @@ func (s *Slowpath) handleSyn(key protocol.FlowKey, pkt *protocol.Packet) {
 		st.mu.Unlock()
 		return
 	}
+	// Global half-open pool admission (the per-listener backlog bound
+	// above is local; this one is shared across every port). Exhaustion
+	// sheds silently, exactly like backlog overflow: overload, not
+	// refusal. Acquire charges the slot; dropHalf releases it.
+	if st.gov != nil {
+		if err := st.gov.Acquire(resource.PoolHalfOpen, 1); err != nil {
+			s.SynBacklogDrops.Add(1)
+			st.mu.Unlock()
+			return
+		}
+	}
 	iss := st.rng.Uint32()
 	now := time.Now()
 	st.half[key] = &halfOpen{
@@ -158,6 +170,16 @@ func (s *Slowpath) handleSynAck(key protocol.FlowKey, pkt *protocol.Packet) {
 	st.mu.Unlock()
 
 	s.record(key, telemetry.FESynAckRx, pkt.Seq, pkt.Ack, 0)
+	if err := s.admitFlow(h.ctxID); err != nil {
+		// Flow/payload pools (or the app's quota) are exhausted at the
+		// moment of establishment: refuse with RST and deliver explicit
+		// backpressure to the dialer instead of a silent hang.
+		s.sendCtl(key, protocol.FlagRST|protocol.FlagACK, h.iss+1, pkt.Seq+1, false)
+		if ctx := s.eng.ContextByID(h.ctxID); ctx != nil {
+			ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvConnected, Opaque: h.opaque, Bytes: fastpath.ConnBackpressure})
+		}
+		return
+	}
 	s.observeHandshake(h)
 	f := s.installFlow(key, h, pkt.Seq, pkt.Window)
 	// Final handshake ACK.
@@ -224,6 +246,13 @@ func (s *Slowpath) handlePlain(key protocol.FlowKey, pkt *protocol.Packet) {
 // just arrived (stateful or cookie-reconstructed): install the flow,
 // deliver EvAccepted, and re-inject any data the ACK carried.
 func (s *Slowpath) completePassive(h *halfOpen, pkt *protocol.Packet) {
+	if err := s.admitFlow(h.ctxID); err != nil {
+		// Fail closed: the completing ACK means the peer already
+		// believes the connection is established, so a silent shed would
+		// wedge it mid-handshake — answer with RST instead.
+		s.sendCtl(h.key, protocol.FlagRST|protocol.FlagACK, h.iss+1, h.peerISS+1, false)
+		return
+	}
 	s.Established.Add(1)
 	s.Accepted.Add(1)
 	s.observeHandshake(h)
@@ -239,6 +268,12 @@ func (s *Slowpath) completePassive(h *halfOpen, pkt *protocol.Packet) {
 	}
 	if h.lst != nil {
 		h.lst.pending.Add(1)
+		// Mirror the accept-backlog occupancy into the governor; the
+		// matching release happens where pending drains — libtas Accept,
+		// or the reaper tearing a listener down.
+		if g := s.cfg.Gov; g != nil {
+			g.Charge(resource.PoolAccept, 1)
+		}
 	}
 	// The completing ACK may carry data (or more may have raced):
 	// re-inject so the fast path processes it against the new flow.
@@ -274,14 +309,63 @@ func (s *Slowpath) teardownUndeliverable(f *flowstate.Flow) {
 	recordFlow(f, telemetry.FERstTx, seq, ack, 0, 0)
 	recordFlow(f, telemetry.FEAborted, seq, ack, 0, 0)
 	s.eng.Table.Remove(f.Key())
-	s.eng.FreeBucket(f.Bucket)
-	f.RxBuf.Reclaim()
-	f.TxBuf.Reclaim()
+	s.reclaimFlowResources(f)
 	s.mu.Lock()
 	delete(s.cc, f)
 	s.mu.Unlock()
 	s.AcceptQueueDrops.Add(1)
 	s.retireRec(f)
+}
+
+// admitFlow is the authoritative admission check for establishing a
+// connection: one flow slot plus both payload buffers, charged against
+// the app's quota and the global pools together. The charge point is
+// flow installation — not Connect — so charges stay 1:1 with entries in
+// the shared flow table, which is exactly the state that survives a
+// slow-path crash and warm restart.
+func (s *Slowpath) admitFlow(ctxID uint16) error {
+	g := s.cfg.Gov
+	if g == nil {
+		return nil
+	}
+	if err := g.AcquireFlow(uint32(ctxID), int64(s.cfg.RxBufSize+s.cfg.TxBufSize)); err != nil {
+		s.GovFlowDenied.Add(1)
+		return err
+	}
+	return nil
+}
+
+// reclaimFlowResources returns a torn-down flow's finite resources —
+// payload buffers, rate-bucket slot, and governor charges — exactly
+// once, no matter how many teardown paths (FIN, RST, abort, reaper,
+// recovery, undeliverable accept) race to it. Reclaim only fences
+// producer writes; the application side may still drain already
+// received bytes.
+func (s *Slowpath) reclaimFlowResources(f *flowstate.Flow) {
+	if !f.Retire() {
+		return
+	}
+	var payload int64
+	if f.RxBuf != nil {
+		payload += int64(f.RxBuf.Size())
+		f.RxBuf.Reclaim()
+	}
+	if f.TxBuf != nil {
+		payload += int64(f.TxBuf.Size())
+		f.TxBuf.Reclaim()
+	}
+	s.eng.FreeBucket(f.Bucket)
+	if g := s.cfg.Gov; g != nil {
+		g.ReleaseFlow(uint32(f.Context), payload)
+	}
+}
+
+// chargeTimers adjusts the governor's FIN-retransmission timer pool
+// (pressure accounting only; the pool is never admission-checked).
+func (s *Slowpath) chargeTimers(n int64) {
+	if g := s.cfg.Gov; g != nil {
+		g.Charge(resource.PoolTimers, n)
+	}
 }
 
 // installFlow creates fast-path state for an established connection:
@@ -311,6 +395,9 @@ func (s *Slowpath) installFlow(key protocol.FlowKey, h *halfOpen, peerISS uint32
 		f.Rec = s.cfg.Telemetry.Recorder.Ring(key.String())
 		f.Rec.Record(telemetry.FEEstablished, f.SeqNo, f.AckNo, 0, 0)
 	}
+	// Stamp activity at birth so the idle-reclaim rung never sees a
+	// fresh flow with a zero clock and takes it as ancient.
+	f.Touch(s.eng.NowNanos())
 	s.eng.Table.Insert(f)
 	s.mu.Lock()
 	s.cc[f] = &ccEntry{ctrl: ctrl, lastUna: f.SeqNo, lastRate: ctrl.Rate()}
@@ -520,6 +607,7 @@ func (s *Slowpath) closeSweep() {
 		f.Unlock()
 		if acked || aborted {
 			delete(s.closing, f)
+			s.chargeTimers(-1)
 			continue
 		}
 		if now.Before(e.deadline) {
@@ -527,6 +615,7 @@ func (s *Slowpath) closeSweep() {
 		}
 		if e.attempts >= s.cfg.MaxRetransmits {
 			delete(s.closing, f)
+			s.chargeTimers(-1)
 			aborts = append(aborts, f)
 			continue
 		}
@@ -553,8 +642,13 @@ func (s *Slowpath) removeFlowSoon(f *flowstate.Flow) {
 
 func (s *Slowpath) removeFlow(f *flowstate.Flow) {
 	s.eng.Table.Remove(f.Key())
+	s.reclaimFlowResources(f)
 	s.mu.Lock()
 	delete(s.cc, f)
+	if _, ok := s.closing[f]; ok {
+		delete(s.closing, f)
+		s.chargeTimers(-1)
+	}
 	s.mu.Unlock()
 	s.retireRec(f)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fastpath"
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
+	"repro/internal/resource"
 	"repro/internal/telemetry"
 )
 
@@ -118,6 +119,11 @@ func (s *Slowpath) ReapContext(ctx *fastpath.Context) {
 				delete(st.listeners, port)
 				s.eng.Listeners.Remove(port)
 				s.ListenersReaped.Add(1)
+				// Nobody will ever Accept the queued connections of a dead
+				// app's listener; return their accept-backlog charges now.
+				if p := l.pending.Load(); p > 0 && st.gov != nil {
+					st.gov.Charge(resource.PoolAccept, -int64(p))
+				}
 			}
 		}
 		for key, h := range st.half {
@@ -148,12 +154,13 @@ func (s *Slowpath) ReapContext(ctx *fastpath.Context) {
 		}
 		recordFlow(f, telemetry.FEReaped, seq, ack, 0, uint64(id))
 		s.eng.Table.Remove(f.Key())
-		s.eng.FreeBucket(f.Bucket)
-		f.RxBuf.Reclaim()
-		f.TxBuf.Reclaim()
+		s.reclaimFlowResources(f)
 		s.mu.Lock()
 		delete(s.cc, f)
-		delete(s.closing, f)
+		if _, ok := s.closing[f]; ok {
+			delete(s.closing, f)
+			s.chargeTimers(-1)
+		}
 		s.mu.Unlock()
 		s.FlowsReaped.Add(1)
 		s.retireRec(f)
@@ -180,6 +187,7 @@ type Counters struct {
 	FlowsReconstructed, RecoveryAborts, Panics              uint64
 	CoreFailures, FlowsMigrated, CoreReadmits               uint64
 	CoreDrainRequeued                                       uint64
+	GovFlowDenied, GovIdleReclaimed                         uint64
 }
 
 // Counters returns a snapshot of the slow path's counters.
@@ -198,6 +206,7 @@ func (s *Slowpath) Counters() Counters {
 		Panics:       s.Panics.Load(),
 		CoreFailures: s.CoreFailures.Load(), FlowsMigrated: s.FlowsMigrated.Load(),
 		CoreReadmits: s.CoreReadmits.Load(), CoreDrainRequeued: s.CoreDrainRequeued.Load(),
+		GovFlowDenied: s.GovFlowDenied.Load(), GovIdleReclaimed: s.GovIdleReclaimed.Load(),
 	}
 }
 
@@ -233,4 +242,6 @@ func (s *Slowpath) AdoptCounters(c Counters) {
 	s.FlowsMigrated.Store(c.FlowsMigrated)
 	s.CoreReadmits.Store(c.CoreReadmits)
 	s.CoreDrainRequeued.Store(c.CoreDrainRequeued)
+	s.GovFlowDenied.Store(c.GovFlowDenied)
+	s.GovIdleReclaimed.Store(c.GovIdleReclaimed)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fastpath"
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
+	"repro/internal/resource"
 	"repro/internal/telemetry"
 )
 
@@ -61,6 +62,22 @@ func (s *Slowpath) Recover() RecoveryStats {
 	var rep RecoveryStats
 	now := time.Now()
 
+	// Reconcile the governor pools whose entries died with the crashed
+	// instance: half-open handshakes are simply gone (peers re-drive
+	// them), FIN timers are re-armed below as flows are readopted, and
+	// the accept backlog is recomputed from the surviving listener
+	// gauges. Flow, payload, and context charges track engine-side state
+	// that outlived the crash, so they carry over untouched.
+	if g := s.cfg.Gov; g != nil {
+		g.Reset(resource.PoolHalfOpen, 0)
+		g.Reset(resource.PoolTimers, 0)
+		var accept int64
+		s.eng.Listeners.ForEach(func(e *flowstate.ListenerEntry) {
+			accept += int64(e.Pending.Load())
+		})
+		g.Reset(resource.PoolAccept, accept)
+	}
+
 	// Listening ports from the shared registry, re-striped by port.
 	// SYN-cookie pressure windows restart cold, but the cookie jar
 	// itself lives in the engine: cookies the crashed instance issued
@@ -112,6 +129,9 @@ func (s *Slowpath) Recover() RecoveryStats {
 			rep.ClosingResumed++
 		}
 		s.mu.Unlock()
+		if finPending {
+			s.chargeTimers(1)
+		}
 		s.FlowsReconstructed.Add(1)
 		recordFlow(f, telemetry.FEReconstructed, seq, ack, 0, uint64(txSent))
 		rep.FlowsReconstructed++
@@ -159,13 +179,7 @@ func (s *Slowpath) recoveryAbort(f *flowstate.Flow) {
 	}
 	recordFlow(f, telemetry.FEAborted, seq, ack, 0, 0)
 	s.eng.Table.Remove(f.Key())
-	s.eng.FreeBucket(f.Bucket)
-	if f.RxBuf != nil {
-		f.RxBuf.Reclaim()
-	}
-	if f.TxBuf != nil {
-		f.TxBuf.Reclaim()
-	}
+	s.reclaimFlowResources(f)
 	s.mu.Lock()
 	delete(s.cc, f)
 	delete(s.closing, f)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fastpath"
 	"repro/internal/flowstate"
 	"repro/internal/protocol"
+	"repro/internal/resource"
 	"repro/internal/shmring"
 	"repro/internal/telemetry"
 )
@@ -133,6 +134,25 @@ type Config struct {
 	// (handshake/teardown/cc events) and slow-path cycle accounting
 	// (cc, timer, reaper modules).
 	Telemetry *telemetry.Telemetry
+
+	// Gov is the unified resource governor (nil = ungoverned). The slow
+	// path charges every pool it owns to it (flows, payload bytes,
+	// half-open slots, FIN timers, accept backlog), refuses admission
+	// when a pool or per-app quota is exhausted, and drives the
+	// degradation ladder from its control tick. The governor outlives
+	// this instance: a warm-restarted slow path reconciles the pools
+	// whose entries died with its predecessor (Recover).
+	Gov *resource.Governor
+
+	// IdleReclaimAge is how long a flow must have gone without packet or
+	// send activity before the governor's reclaim rung may take it
+	// (default 1s). Active transfers are never reclaimed.
+	IdleReclaimAge time.Duration
+
+	// ReclaimBatch bounds flows reclaimed per control tick while the
+	// reclaim rung is engaged (default 32): pressure relief is
+	// incremental, not a mass RST storm.
+	ReclaimBatch int
 }
 
 func (c *Config) fill() {
@@ -188,6 +208,12 @@ func (c *Config) fill() {
 	c.Stripes = ceilPow2(c.Stripes)
 	if c.SynRateThreshold == 0 {
 		c.SynRateThreshold = 512
+	}
+	if c.IdleReclaimAge <= 0 {
+		c.IdleReclaimAge = time.Second
+	}
+	if c.ReclaimBatch <= 0 {
+		c.ReclaimBatch = 32
 	}
 }
 
@@ -327,6 +353,11 @@ type Slowpath struct {
 	SynBacklogDrops  atomic.Uint64 // SYNs shed: listener backlog full
 	AcceptQueueDrops atomic.Uint64 // established-but-undeliverable accepts torn down
 
+	// Resource-governor stats (the governor's own Snapshot carries the
+	// per-rung/per-pool detail; these two are the slow path's share).
+	GovFlowDenied    atomic.Uint64 // flow installs refused: pool or quota exhausted
+	GovIdleReclaimed atomic.Uint64 // idle flows reclaimed (RST) by the reclaim rung
+
 	// Adversarial-traffic stats.
 	SynCookiesSent      atomic.Uint64 // stateless cookie SYN-ACKs issued
 	SynCookiesValidated atomic.Uint64 // completing ACKs whose cookie checked out
@@ -358,7 +389,7 @@ func New(eng *fastpath.Engine, cfg Config) *Slowpath {
 	excq, wake := eng.Exceptions()
 	s := &Slowpath{
 		eng: eng, cfg: cfg,
-		stripes:  newStripes(cfg.Stripes),
+		stripes:  newStripes(cfg.Stripes, cfg.Gov),
 		stripeSh: stripeShift(cfg.Stripes),
 		cc:       make(map[*flowstate.Flow]*ccEntry),
 		closing:  make(map[*flowstate.Flow]*closeEntry),
@@ -480,12 +511,14 @@ func (s *Slowpath) run() {
 				telem.Cycles.AddSlow(telemetry.ModTimer, t2-t1, 1)
 				s.reapSweep()
 				telem.Cycles.AddSlow(telemetry.ModReaper, telem.RefreshNow()-t2, 1)
+				s.governorTick()
 				s.coreSweep(now)
 			} else {
 				s.controlLoop()
 				s.handshakeSweep()
 				s.closeSweep()
 				s.reapSweep()
+				s.governorTick()
 				s.coreSweep(now)
 			}
 		case <-scale.C:
@@ -589,6 +622,14 @@ func (s *Slowpath) Connect(peerIP protocol.IPv4, peerPort uint16, ctxID uint16, 
 	if s.dead.Load() {
 		return 0, ErrDown
 	}
+	if g := s.cfg.Gov; g != nil {
+		// Fast-fail admission: an app already at its flow quota gets
+		// backpressure here, before any handshake traffic; the
+		// authoritative charge still happens at flow installation.
+		if err := g.CheckApp(uint32(ctxID)); err != nil {
+			return 0, err
+		}
+	}
 	localIP := s.eng.Config().LocalIP
 	for i := 0; i < 65536; i++ {
 		cand := uint16(32768 + s.portCtr.Add(1)%32768)
@@ -602,6 +643,16 @@ func (s *Slowpath) Connect(peerIP protocol.IPv4, peerPort uint16, ctxID uint16, 
 		if _, busy := st.half[key]; busy || s.eng.Table.Lookup(key) != nil {
 			st.mu.Unlock()
 			continue
+		}
+		// Half-open pool admission: a capped pool refuses the dial with
+		// backpressure instead of letting a connect storm fill memory.
+		// Acquire both checks the cap and charges the slot; dropHalf is
+		// the matching release.
+		if g := s.cfg.Gov; g != nil {
+			if err := g.Acquire(resource.PoolHalfOpen, 1); err != nil {
+				st.mu.Unlock()
+				return 0, err
+			}
 		}
 		// Reserve the port under the stripe lock — no check-then-insert
 		// window for a concurrent Dial to race into.
@@ -658,6 +709,7 @@ func (s *Slowpath) Close(f *flowstate.Flow) {
 			s.mu.Lock()
 			s.closing[f] = &closeEntry{finSeq: seq, rto: rto, deadline: time.Now().Add(rto)}
 			s.mu.Unlock()
+			s.chargeTimers(1)
 		}
 		if peerDone {
 			s.removeFlowSoon(f)
@@ -717,15 +769,33 @@ func (s *Slowpath) output(pkt *protocol.Packet) {
 func (s *Slowpath) ResizeBuffers(f *flowstate.Flow, rxSize, txSize int) {
 	f.Lock()
 	if rxSize > f.RxBuf.Size() {
-		f.RxBuf.Grow(ceilPow2(rxSize))
+		rxSize = ceilPow2(rxSize)
+		if s.growPayload(f, int64(rxSize-f.RxBuf.Size())) {
+			f.RxBuf.Grow(rxSize)
+		}
 	}
 	if txSize > f.TxBuf.Size() {
-		f.TxBuf.Grow(ceilPow2(txSize))
+		txSize = ceilPow2(txSize)
+		if s.growPayload(f, int64(txSize-f.TxBuf.Size())) {
+			f.TxBuf.Grow(txSize)
+		}
 	}
 	f.Unlock()
 	// Tell the peer about the larger receive window promptly.
 	s.eng.SendWindowUpdate(f)
 	s.eng.KickFlow(f)
+}
+
+// growPayload asks the governor for extra payload-pool bytes before a
+// buffer grows; a denied grow is skipped (the flow keeps its current
+// buffer) rather than blowing past the pool cap. Reports whether the
+// grow may proceed.
+func (s *Slowpath) growPayload(f *flowstate.Flow, delta int64) bool {
+	g := s.cfg.Gov
+	if g == nil {
+		return true
+	}
+	return g.GrowPayload(uint32(f.Context), delta) == nil
 }
 
 func ceilPow2(v int) int {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/resource"
 )
 
 // Lock-striped listener/half-open tables. Before this existed, one
@@ -28,19 +29,21 @@ type stripe struct {
 	mu        sync.Mutex
 	listeners map[uint16]*listener
 	half      map[protocol.FlowKey]*halfOpen
-	rng       *rand.Rand // ISS generation; guarded by mu
+	rng       *rand.Rand          // ISS generation; guarded by mu
+	gov       *resource.Governor  // half-open slot accounting (nil = ungoverned)
 	_         [64]byte
 }
 
 // newStripes builds n stripes (n must be a power of two; fill()
 // guarantees it) with independently seeded ISS generators.
-func newStripes(n int) []*stripe {
+func newStripes(n int, gov *resource.Governor) []*stripe {
 	ss := make([]*stripe, n)
 	for i := range ss {
 		ss[i] = &stripe{
 			listeners: make(map[uint16]*listener),
 			half:      make(map[protocol.FlowKey]*halfOpen),
 			rng:       rand.New(rand.NewSource(time.Now().UnixNano() + int64(i)<<32)),
+			gov:       gov,
 		}
 	}
 	return ss
@@ -78,6 +81,9 @@ func (st *stripe) dropHalf(key protocol.FlowKey, h *halfOpen) {
 	delete(st.half, key)
 	if h.passive && h.lst != nil && h.lst.halfCount > 0 {
 		h.lst.halfCount--
+	}
+	if st.gov != nil {
+		st.gov.Charge(resource.PoolHalfOpen, -1)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/resource"
 	"repro/internal/telemetry"
 )
 
@@ -35,6 +36,15 @@ func (s *Slowpath) cookiesEngaged(l *listener, now time.Time) bool {
 		l.synInWin = 0
 	}
 	l.synInWin++
+	// Rung 1 of the degradation ladder: global resource pressure forces
+	// every listener stateless regardless of its local signals — a
+	// cookie handshake costs no half-open slot. Setting cookieUntil also
+	// keeps cookiesActive accepting the completing ACKs.
+	if g := s.cfg.Gov; g != nil && g.Level() >= resource.LevelCookies {
+		g.NoteShed(resource.LevelCookies)
+		l.cookieUntil = now.Add(time.Second)
+		return true
+	}
 	if l.halfCount >= (l.backlog+1)/2 ||
 		(s.cfg.SynRateThreshold > 0 && l.synInWin > s.cfg.SynRateThreshold) {
 		l.cookieUntil = now.Add(time.Second)

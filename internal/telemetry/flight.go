@@ -66,6 +66,12 @@ const (
 	FESynCookieOK
 	FESynCookieBad
 	FEChallengeTx
+	// Resource-pressure events (recorded on the synthetic "pressure"
+	// ring): FEPressureUp marks the degradation ladder engaging a higher
+	// rung, FEPressureDown a release back down. Bytes carries the old
+	// rung, Aux the new one.
+	FEPressureUp
+	FEPressureDown
 )
 
 var feNames = map[FlowEventKind]string{
@@ -99,6 +105,8 @@ var feNames = map[FlowEventKind]string{
 	FESynCookieOK:   "syncookie-ok",
 	FESynCookieBad:  "syncookie-bad",
 	FEChallengeTx:   "challenge-tx",
+	FEPressureUp:    "pressure-up",
+	FEPressureDown:  "pressure-down",
 }
 
 func (k FlowEventKind) String() string {

@@ -110,3 +110,71 @@ func TestMetricNamingConventions(t *testing.T) {
 		}
 	}
 }
+
+// TestGovernorMetricPresence pins the resource-governor series the
+// dashboards and scenario assertions depend on: the pressure-ladder
+// gauges, a full per-pool gauge/counter family for every governed pool,
+// per-rung engagement and shed counters, the quota-denial counter, and
+// the ladder's SYN-shed drop cause. Renaming or dropping any of these
+// breaks consumers silently, so their presence is asserted by exact
+// series identity — and TestMetricNamingConventions above lints the
+// same series for convention violations automatically.
+func TestGovernorMetricPresence(t *testing.T) {
+	fab := tas.NewFabric()
+	srv, err := fab.NewService("10.0.0.1", tas.Config{
+		Telemetry: tas.TelemetryConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	type series struct {
+		name       string
+		labelKey   string
+		labelValue string
+	}
+	want := []series{
+		{"tas_pressure_level", "", ""},
+		{"tas_pressure_peak_level", "", ""},
+		{"tas_pressure_ratio", "", ""},
+		{"tas_pressure_quota_rejects_total", "", ""},
+		{"tas_pressure_flow_denials_total", "", ""},
+		{"tas_pressure_idle_reclaimed_total", "", ""},
+		{"tas_drops_total", "cause", "syn_shed_pressure"},
+	}
+	for _, pool := range []string{"payload_bytes", "flows", "half_open", "contexts", "timers", "accept"} {
+		want = append(want,
+			series{"tas_pool_used", "pool", pool},
+			series{"tas_pool_cap", "pool", pool},
+			series{"tas_pool_peak", "pool", pool},
+			series{"tas_pool_rejects_total", "pool", pool},
+		)
+	}
+	for _, rung := range []string{"cookies", "shed_syn", "clamp_tx", "reclaim"} {
+		want = append(want,
+			series{"tas_pressure_engaged_total", "rung", rung},
+			series{"tas_pressure_sheds_total", "rung", rung},
+		)
+	}
+
+	have := map[series]bool{}
+	for _, s := range srv.Metrics().Samples() {
+		if len(s.Labels) == 0 {
+			have[series{s.Name, "", ""}] = true
+			continue
+		}
+		for k, v := range s.Labels {
+			have[series{s.Name, k, v}] = true
+		}
+	}
+	for _, w := range want {
+		if !have[w] {
+			if w.labelKey == "" {
+				t.Errorf("missing series %s", w.name)
+			} else {
+				t.Errorf("missing series %s{%s=%q}", w.name, w.labelKey, w.labelValue)
+			}
+		}
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/fastpath"
 	"repro/internal/libtas"
 	"repro/internal/protocol"
+	"repro/internal/resource"
 	"repro/internal/shmring"
 	"repro/internal/slowpath"
 	"repro/internal/stats"
@@ -148,6 +149,41 @@ type Config struct {
 	// per-core cycle accounting. Zero value = off, leaving only
 	// nil-pointer checks on the hot paths.
 	Telemetry TelemetryConfig
+
+	// Resource-governor capacities. Every finite pool is accounted by
+	// the unified governor regardless; a zero capacity leaves that pool
+	// uncapped (accounted but never denied, contributing no pressure).
+	// When capped, admission beyond the capacity fails with
+	// backpressure (see ErrBackpressure) and occupancy drives the
+	// degradation ladder: SYN cookies engage at PressureEngagePct of
+	// the hottest pool, then SYN shedding, TX-grant clamping, and
+	// LRU idle-flow reclamation as pressure keeps rising.
+	MaxPayloadBytes  int64 // total payload-buffer bytes across all flows
+	MaxFlows         int   // established flow-table entries
+	MaxHalfOpen      int   // half-open handshake slots
+	MaxContexts      int   // registered application contexts
+	MaxTimers        int   // pending timer entries (FIN/closing sweeps)
+	MaxAcceptBacklog int   // not-yet-accepted connections across listeners
+
+	// Per-app quotas (0 = none). A quota must not exceed the matching
+	// global capacity when both are set; NewService rejects such
+	// configs.
+	AppMaxFlows        int
+	AppMaxPayloadBytes int64
+
+	// PressureEngagePct / PressureReleasePct are the degradation
+	// ladder's hysteresis watermarks in percent of the hottest capped
+	// pool (defaults 70/55). Release must be strictly below engage;
+	// NewService rejects inverted or out-of-range pairs.
+	PressureEngagePct  int
+	PressureReleasePct int
+
+	// IdleReclaimAge is how long a flow must sit with no packet or
+	// application activity before the ladder's last rung may reclaim it
+	// (default 1s). ReclaimBatch bounds reclaims per control tick
+	// (default 32).
+	IdleReclaimAge time.Duration
+	ReclaimBatch   int
 }
 
 // TelemetryConfig configures the observability subsystem (see
@@ -307,6 +343,7 @@ type Service struct {
 	stack *libtas.Stack
 	fab   *Fabric
 	telem *telemetry.Telemetry // nil when telemetry is off
+	gov   *resource.Governor
 
 	// slow is atomic because Restart swaps in a fresh instance while
 	// application goroutines and metric scrapes are running.
@@ -363,6 +400,38 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 	})
 	eng = fastpath.NewEngine(nic, ecfg)
 
+	// The governor always runs — accounting is how leaks are caught —
+	// but only capped pools can deny admission or raise pressure.
+	lim := resource.Limits{
+		PayloadBytes:    cfg.MaxPayloadBytes,
+		Flows:           int64(cfg.MaxFlows),
+		HalfOpen:        int64(cfg.MaxHalfOpen),
+		Contexts:        int64(cfg.MaxContexts),
+		Timers:          int64(cfg.MaxTimers),
+		Accept:          int64(cfg.MaxAcceptBacklog),
+		AppFlows:        int64(cfg.AppMaxFlows),
+		AppPayloadBytes: cfg.AppMaxPayloadBytes,
+		EngagePct:       cfg.PressureEngagePct,
+		ReleasePct:      cfg.PressureReleasePct,
+	}
+	if err := lim.Validate(); err != nil {
+		return nil, fmt.Errorf("tas: invalid resource limits: %w", err)
+	}
+	gov := resource.New(lim)
+	eng.SetGovernor(gov)
+	if telem != nil {
+		// The "pressure" ring is materialized on the first transition,
+		// not eagerly: an unpressured run leaves no synthetic flow in
+		// the recorder.
+		gov.OnTransition(func(from, to int) {
+			kind := telemetry.FEPressureUp
+			if to < from {
+				kind = telemetry.FEPressureDown
+			}
+			telem.Recorder.Ring("pressure").Record(kind, 0, 0, uint32(from), uint64(to))
+		})
+	}
+
 	scfg := slowpath.Config{
 		RxBufSize:        cfg.RxBufSize,
 		TxBufSize:        cfg.TxBufSize,
@@ -377,6 +446,9 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 		Stripes:          cfg.HandshakeStripes,
 		CoreTimeout:      coreTimeout,
 		Telemetry:        telem,
+		Gov:              gov,
+		IdleReclaimAge:   cfg.IdleReclaimAge,
+		ReclaimBatch:     cfg.ReclaimBatch,
 	}
 	link := cfg.LinkRateBps
 	if link <= 0 {
@@ -419,7 +491,7 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 		eng.SetActiveCores(cfg.FastPathCores)
 	}
 	slow.Start()
-	s := &Service{IP: ip, eng: eng, fab: f, telem: telem, scfg: scfg}
+	s := &Service{IP: ip, eng: eng, fab: f, telem: telem, gov: gov, scfg: scfg}
 	s.slow.Store(slow)
 	s.stack = libtas.NewStack(eng, slow)
 	s.stack.Telem = telem
@@ -571,6 +643,7 @@ func (s *Service) registerMetrics() {
 		{"ooo_dropped", "Out-of-order segments outside the tracked interval.", func(d fastpath.DropStats) uint64 { return d.OooDropped }},
 		{"core_stranded", "Packets stranded in a failed core's queues (stalled core, not drainable).", func(d fastpath.DropStats) uint64 { return d.CoreStranded }},
 		{"blind_ack", "Blind-injection ACKs rejected by RFC 5961 validation.", func(d fastpath.DropStats) uint64 { return d.BlindAck }},
+		{"syn_shed_pressure", "SYNs shed by the resource-pressure ladder (rung 2).", func(d fastpath.DropStats) uint64 { return d.SynShedPress }},
 	} {
 		read := m.read
 		r.CounterFunc("tas_drops_total", "Work refused by cause: "+m.help,
@@ -600,6 +673,8 @@ func (s *Service) registerMetrics() {
 		{"tas_syn_cookies_validated_total", "Connections reconstructed from a valid cookie ACK.", func(c slowpath.Counters) uint64 { return c.SynCookiesValidated }},
 		{"tas_syn_cookies_rejected_total", "Cookie ACKs that failed MAC validation.", func(c slowpath.Counters) uint64 { return c.SynCookiesRejected }},
 		{"tas_slowpath_blind_rst_drops_total", "RSTs rejected by RFC 5961 sequence validation.", func(c slowpath.Counters) uint64 { return c.BlindRstDrops }},
+		{"tas_pressure_flow_denials_total", "Flow establishments denied by governor admission (pool or quota exhausted).", func(c slowpath.Counters) uint64 { return c.GovFlowDenied }},
+		{"tas_pressure_idle_reclaimed_total", "Idle flows reclaimed LRU-first by the ladder's last rung.", func(c slowpath.Counters) uint64 { return c.GovIdleReclaimed }},
 	} {
 		read := m.read
 		r.CounterFunc(m.name, m.help, func() float64 { return float64(read(slowCounters())) })
@@ -651,6 +726,39 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(challengeSent(eng)) })
 	r.CounterFunc("tas_challenge_acks_limited_total", "Challenge ACKs suppressed by the global rate limit.",
 		func() float64 { return float64(challengeSuppressed(eng)) })
+
+	// Resource governor: degradation-ladder level, per-pool occupancy
+	// against capacity, and per-rung engagement/shed accounting. All
+	// atomic loads at scrape time.
+	gov := s.gov
+	r.GaugeFunc("tas_pressure_level", "Current degradation-ladder rung (0 normal, 1 cookies, 2 shed-syn, 3 clamp-tx, 4 reclaim).",
+		func() float64 { return float64(gov.Level()) })
+	r.GaugeFunc("tas_pressure_peak_level", "Highest degradation-ladder rung reached since start.",
+		func() float64 { return float64(gov.PeakLevel()) })
+	r.GaugeFunc("tas_pressure_ratio", "Occupancy fraction of the hottest capped pool (0-1).",
+		gov.Pressure)
+	for p := resource.Pool(0); p < resource.NumPools; p++ {
+		p := p
+		lbl := telemetry.L("pool", p.String())
+		r.GaugeFunc("tas_pool_used", "Governed pool occupancy (bytes for payload_bytes, slots otherwise).",
+			func() float64 { return float64(gov.Used(p)) }, lbl)
+		r.GaugeFunc("tas_pool_cap", "Governed pool capacity (0 = uncapped).",
+			func() float64 { return float64(gov.Cap(p)) }, lbl)
+		r.GaugeFunc("tas_pool_peak", "Governed pool high-water mark.",
+			func() float64 { return float64(gov.Peak(p)) }, lbl)
+		r.CounterFunc("tas_pool_rejects_total", "Admissions denied because the global pool was exhausted.",
+			func() float64 { return float64(gov.Snapshot().Rejects[p]) }, lbl)
+	}
+	for k := 1; k < resource.NumLevels; k++ {
+		k := k
+		lbl := telemetry.L("rung", resource.LevelName(k))
+		r.CounterFunc("tas_pressure_engaged_total", "Times the ladder engaged a rung.",
+			func() float64 { return float64(gov.Snapshot().Engaged[k]) }, lbl)
+		r.CounterFunc("tas_pressure_sheds_total", "Shed/degradation actions taken while a rung was engaged.",
+			func() float64 { return float64(gov.Snapshot().Shed[k]) }, lbl)
+	}
+	r.CounterFunc("tas_pressure_quota_rejects_total", "Admissions denied by a per-app quota.",
+		func() float64 { return float64(gov.Snapshot().QuotaRejects) })
 
 	// Live gauges.
 	r.GaugeFunc("tas_flows_live", "Flows currently installed in the flow table.",
@@ -801,12 +909,41 @@ type ServiceStats struct {
 	// Live resource gauges.
 	FlowsLive        int   // flows currently installed in the flow table
 	LivePayloadBytes int64 // payload-buffer bytes allocated and not reclaimed
+
+	// Resource-governor state: the degradation ladder and unified pool
+	// accounting. Maps are keyed by pool name (payload_bytes, flows,
+	// half_open, contexts, timers, accept) and rung name (cookies,
+	// shed_syn, clamp_tx, reclaim).
+	PressureLevel     int               // current degradation-ladder rung (0 = normal)
+	PeakPressureLevel int               // highest rung reached since start
+	Pressure          float64           // hottest capped pool occupancy fraction (0-1)
+	PoolUsed          map[string]int64  // current occupancy per pool
+	PoolCap           map[string]int64  // configured capacity per pool (0 = uncapped)
+	PoolRejects       map[string]uint64 // global-pool admission denials per pool
+	PressureSheds     map[string]uint64 // shed actions per engaged rung
+	QuotaRejects      uint64            // per-app quota denials
+	GovFlowDenied     uint64            // flow establishments denied by the governor
+	GovIdleReclaimed  uint64            // idle flows reclaimed by the last rung
+	SynShedPressure   uint64            // SYNs shed by the ladder's rung 2
 }
 
 // Stats snapshots the service's robustness counters and gauges.
 func (s *Service) Stats() ServiceStats {
 	sc := s.slow.Load().Counters()
 	d := s.eng.Drops()
+	gs := s.gov.Snapshot()
+	poolUsed := make(map[string]int64, resource.NumPools)
+	poolCap := make(map[string]int64, resource.NumPools)
+	poolRejects := make(map[string]uint64, resource.NumPools)
+	for p := resource.Pool(0); p < resource.NumPools; p++ {
+		poolUsed[p.String()] = gs.Used[p]
+		poolCap[p.String()] = gs.Cap[p]
+		poolRejects[p.String()] = gs.Rejects[p]
+	}
+	sheds := make(map[string]uint64, resource.NumLevels-1)
+	for k := 1; k < resource.NumLevels; k++ {
+		sheds[resource.LevelName(k)] = gs.Shed[k]
+	}
 	return ServiceStats{
 		Established: sc.Established, Accepted: sc.Accepted, Rejected: sc.Rejected,
 		Aborts:     sc.Aborts,
@@ -845,8 +982,24 @@ func (s *Service) Stats() ServiceStats {
 
 		FlowsLive:        s.eng.Table.Len(),
 		LivePayloadBytes: shmring.LivePayloadBytes(),
+
+		PressureLevel:     gs.Level,
+		PeakPressureLevel: gs.PeakLevel,
+		Pressure:          gs.Pressure,
+		PoolUsed:          poolUsed,
+		PoolCap:           poolCap,
+		PoolRejects:       poolRejects,
+		PressureSheds:     sheds,
+		QuotaRejects:      gs.QuotaRejects,
+		GovFlowDenied:     sc.GovFlowDenied,
+		GovIdleReclaimed:  sc.GovIdleReclaimed,
+		SynShedPressure:   d.SynShedPress,
 	}
 }
+
+// Governor exposes the service's unified resource governor (pool
+// accounting and the degradation ladder) for tools and tests.
+func (s *Service) Governor() *resource.Governor { return s.gov }
 
 // challengeSent / challengeSuppressed read the engine's global RFC 5961
 // challenge-ACK limiter, which is nil when ChallengeAckPerSec < 0.
@@ -1023,6 +1176,13 @@ func ErrReset(err error) bool { return errors.Is(err, libtas.ErrReset) }
 // reaped (crash detected via missed heartbeats); all further operations
 // on the context fail fast with this error.
 func ErrAppDead(err error) bool { return errors.Is(err, libtas.ErrAppDead) }
+
+// ErrBackpressure reports whether err is a resource-governor denial:
+// a global pool capacity or the application's quota was exhausted
+// (Dial refused, TX grant clamped past the deadline, or a non-blocking
+// send bound by the clamp). Unlike faults, backpressure is retryable —
+// pressure falls as flows close, acks drain, or the ladder reclaims.
+func ErrBackpressure(err error) bool { return errors.Is(err, libtas.ErrBackpressure) }
 
 // ErrSlowPathDown reports whether err means the control plane is down:
 // Dial and Listen fail fast with it while the fast path is degraded,
