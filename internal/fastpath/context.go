@@ -42,6 +42,16 @@ const (
 	EvAborted
 )
 
+// Abort cause codes carried in EvAborted.Bytes (0 = generic: RST or
+// retransmission-budget exhaustion).
+const (
+	// AbortPeerDead: the slow path's liveness probes — zero-window
+	// persist probes or keepalives — exhausted their budget without any
+	// response; the peer is presumed silently dead. libtas surfaces
+	// this as ErrPeerDead rather than the generic reset error.
+	AbortPeerDead uint32 = 1
+)
+
 // Connect error codes carried in EvConnected.Bytes.
 const (
 	// ConnRefused: the peer answered our SYN with RST (no listener).

@@ -185,6 +185,16 @@ type Engine struct {
 	// so a warm-restarted slow path can reconstruct its listener map.
 	Listeners *flowstate.ListenerTable
 
+	// TimeWait is the 2MSL quarantine of recently-closed tuples. It
+	// lives engine-side for the same reason Listeners does: flows in
+	// TIME_WAIT have already had their buffers reclaimed, so the
+	// quarantine (not the flow table) is the only record a warm-
+	// restarted slow path has that a tuple's previous incarnation just
+	// died. Quarantined tuples never appear in Table, so their segments
+	// take the unknown-flow exception path to the slow path — TIME_WAIT
+	// traffic is rare by construction and costs the fast path nothing.
+	TimeWait *flowstate.TimeWaitTable
+
 	// Cookies signs and validates SYN cookies. Engine-owned (not
 	// slow-path state) so key epochs survive a slow-path warm restart:
 	// a cookie SYN-ACK sent before a crash still validates on the ACK
@@ -254,6 +264,7 @@ func NewEngine(nic NIC, cfg Config) *Engine {
 		Table:     flowstate.NewTable(),
 		RSS:       flowstate.NewRSS(),
 		Listeners: flowstate.NewListenerTable(),
+		TimeWait:  flowstate.NewTimeWaitTable(),
 		excq:      shmring.NewSPSC[*protocol.Packet](4096),
 		slowWake:  make(chan struct{}, 1),
 		start:     time.Now(),

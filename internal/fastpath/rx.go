@@ -150,12 +150,25 @@ func (e *Engine) processAck(c *core, f *flowstate.Flow, pkt *protocol.Packet) {
 		if ctx := e.ContextByID(f.Context); ctx != nil {
 			ctx.PostEvent(c.idx, Event{Kind: EvTxAcked, Opaque: f.Opaque, Bytes: uint32(diff)})
 		}
-	case diff == 0 && f.TxSent > 0 && pkt.DataLen() == 0:
+	case diff == 0 && pkt.DataLen() == 0:
 		if pkt.Window != f.Window {
 			// Same ack number but a new window: a window update (the
 			// peer's application freed receive-buffer space), not a
-			// duplicate.
+			// duplicate. This must apply even with nothing outstanding
+			// (TxSent == 0): during a persist stall everything sent has
+			// been acked, and the probe ACK reopening the window is the
+			// only TX-restart signal — processRx's transmit call right
+			// after this is the kick.
 			f.Window = pkt.Window
+			return
+		}
+		if f.TxSent == 0 {
+			return
+		}
+		if pkt.Window == 0 {
+			// Zero-window re-ack: the peer dropped a persist probe
+			// because its buffer is still full. Flow control, not loss —
+			// it must not feed the duplicate-ACK fast-recovery counter.
 			return
 		}
 		// Duplicate ACK: count and trigger fast recovery on the third

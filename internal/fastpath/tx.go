@@ -19,15 +19,15 @@ func (e *Engine) transmit(c *core, f *flowstate.Flow) {
 		if pending <= 0 {
 			return
 		}
-		// Peer receive window (KiB units; fall back to one unit before
-		// the first ack arrives so the connection can start).
-		wnd := int(f.Window) * WindowUnit
-		if wnd == 0 {
-			wnd = WindowUnit
-		}
-		avail := wnd - int(f.TxSent)
+		// Peer receive window (KiB units). A genuine zero window stalls
+		// transmission: the slow path's persist timer owns the stall
+		// (1-byte probes with backoff), and the probe ACK carrying the
+		// reopened window restarts TX. Every flow is installed with the
+		// window from the handshake segment, so zero here always means
+		// the peer said zero — not "unknown".
+		avail := int(f.Window)*WindowUnit - int(f.TxSent)
 		if avail <= 0 {
-			return // window-limited; the next ack resumes transmission
+			return // window-limited; the next window update resumes transmission
 		}
 		n := e.cfg.MSS
 		if f.MSSCap != 0 && int(f.MSSCap) < n {

@@ -30,9 +30,17 @@ type Flow struct {
 
 	TxSent uint32 // tx_sent, 32: bytes sent but unacknowledged from TxBuf tail
 
-	SeqNo  uint32 // seq, 32: local TCP sequence number (next byte to send)
-	AckNo  uint32 // ack, 32: peer TCP sequence number (next byte expected)
-	Window uint16 // window, 16: remote TCP receive window
+	SeqNo uint32 // seq, 32: local TCP sequence number (next byte to send)
+	AckNo uint32 // ack, 32: peer TCP sequence number (next byte expected)
+
+	// Window is the remote TCP receive window (window, 16). Happens-
+	// before contract: every writer — installFlow before the flow is
+	// published, the fast path's ACK processing, and the slow path's
+	// handshake completion — holds the flow spinlock, and the slow
+	// path's persist-timer sweep reads it under the same lock, so no
+	// atomic is needed; the spinlock's CAS/store pair orders the
+	// cross-core accesses.
+	Window uint16
 
 	// MSSCap, when nonzero, bounds this flow's segment size below the
 	// engine-wide MSS. Set on flows reconstructed from a SYN cookie:
@@ -71,10 +79,25 @@ type Flow struct {
 	FinReceived bool
 	FinAcked    bool
 
+	// PeerClosedFirst records which side initiated the close: set when
+	// the peer's FIN arrives before we have sent ours. The passive
+	// closer (LAST_ACK) goes straight to CLOSED when its FIN is acked;
+	// only the active closer enters the TIME_WAIT quarantine. Outside
+	// the paper's Table 3 footprint (close-lifecycle bookkeeping, not
+	// common-case state); guarded by the flow spinlock.
+	PeerClosedFirst bool
+
 	// Aborted marks a flow torn down by failure (retransmission budget
 	// exhausted or peer RST): the fast path must stop transmitting and
 	// the stack returns reset errors instead of blocking.
 	Aborted bool
+
+	// PeerDead refines Aborted: the slow path's probe machinery
+	// (zero-window persist probes or keepalives) exhausted its budget
+	// without a response, so the peer is presumed gone. libtas maps it
+	// to ErrPeerDead instead of the generic reset error. Outside Table 3
+	// (failure-cause bookkeeping); guarded by the flow spinlock.
+	PeerDead bool
 
 	// Rec is the flow's flight-recorder ring, nil when telemetry is off.
 	// It is outside the paper's Table 3 footprint (observability state,
@@ -139,6 +162,61 @@ func (f *Flow) TakeCounters() (ackB, ecnB uint32, frexmits uint8) {
 	ackB, ecnB, frexmits = f.CntAckB, f.CntEcnB, f.CntFrexmits
 	f.CntAckB, f.CntEcnB, f.CntFrexmits = 0, 0, 0
 	return
+}
+
+// CloseState is the close-side lifecycle refinement derived from the
+// Fin*/PeerClosedFirst booleans: the classic TCP state names for the
+// teardown half of the state machine. TIME_WAIT itself is not a
+// CloseState — a flow in TIME_WAIT has left the flow table entirely
+// and lives as a compact quarantine entry (see TimeWaitTable).
+type CloseState uint8
+
+// Close-side lifecycle states.
+const (
+	CloseNone CloseState = iota // established, no FIN either way
+	CloseWait                   // peer FIN'd, we have not (CLOSE_WAIT)
+	FinWait1                    // our FIN sent, not yet acked
+	Closing                     // both FINs out, ours unacked (simultaneous close)
+	FinWait2                    // our FIN acked, waiting for the peer's
+	LastAck                     // peer closed first, our FIN unacked
+)
+
+// String names the close state.
+func (c CloseState) String() string {
+	switch c {
+	case CloseNone:
+		return "established"
+	case CloseWait:
+		return "close-wait"
+	case FinWait1:
+		return "fin-wait-1"
+	case Closing:
+		return "closing"
+	case FinWait2:
+		return "fin-wait-2"
+	case LastAck:
+		return "last-ack"
+	}
+	return "unknown"
+}
+
+// CloseState derives the flow's close-side lifecycle state. Callers
+// hold the flow spinlock.
+func (f *Flow) CloseState() CloseState {
+	switch {
+	case !f.FinSent && !f.FinReceived:
+		return CloseNone
+	case !f.FinSent:
+		return CloseWait
+	case f.FinAcked:
+		return FinWait2 // peer FIN pending; with it, the flow leaves the table
+	case f.PeerClosedFirst:
+		return LastAck
+	case f.FinReceived:
+		return Closing
+	default:
+		return FinWait1
+	}
 }
 
 // PackedSize is the paper's logical per-flow state footprint in bytes

@@ -29,6 +29,7 @@ type Conn struct {
 	timedOut      atomic.Bool
 	peerClosed    atomic.Bool
 	aborted       atomic.Bool // RST received or retransmission budget exhausted
+	peerDead      atomic.Bool // refines aborted: liveness probes went unanswered
 	backpressured atomic.Bool // flow installation refused: pools/quota exhausted
 
 	closed bool // owner-goroutine only
@@ -76,6 +77,16 @@ func chargeCopy(tm *telemetry.Telemetry, t0 int64, timed bool) {
 
 // Flow exposes the underlying per-flow state (low-level API users).
 func (cn *Conn) Flow() *flowstate.Flow { return cn.flow }
+
+// resetErr maps an aborted connection to its error: ErrPeerDead (which
+// wraps ErrReset) when the slow path's liveness probes declared the
+// peer silently dead, plain ErrReset otherwise.
+func (cn *Conn) resetErr() error {
+	if cn.peerDead.Load() {
+		return ErrPeerDead
+	}
+	return ErrReset
+}
 
 // txHeadroom returns how many bytes a send may append to the transmit
 // buffer right now: the free space, further bounded by the governor's
@@ -135,7 +146,7 @@ func (cn *Conn) Send(p []byte, timeout time.Duration) (int, error) {
 	tm := cn.ctx.stack.Telem
 	for sent < len(p) {
 		if cn.aborted.Load() {
-			return sent, ErrReset
+			return sent, cn.resetErr()
 		}
 		if cn.peerClosed.Load() {
 			return sent, ErrClosed
@@ -200,7 +211,7 @@ func (cn *Conn) Recv(p []byte, timeout time.Duration) (int, error) {
 		if cn.aborted.Load() {
 			// Already-buffered data was delivered above; past that, the
 			// stream is broken.
-			return 0, ErrReset
+			return 0, cn.resetErr()
 		}
 		if cn.peerClosed.Load() {
 			return 0, io.EOF
@@ -219,7 +230,7 @@ func (cn *Conn) Recv(p []byte, timeout time.Duration) (int, error) {
 // (pair with Poller.MarkWriteInterest to learn when space frees).
 func (cn *Conn) SendNoWait(p []byte) (int, error) {
 	if cn.aborted.Load() {
-		return 0, ErrReset
+		return 0, cn.resetErr()
 	}
 	if cn.closed || cn.peerClosed.Load() {
 		return 0, ErrClosed
@@ -318,7 +329,7 @@ func (cn *Conn) Aborted() bool {
 // the poller's write interest).
 func (cn *Conn) SendZeroCopy(max int, fill func(first, second []byte) int) (int, error) {
 	if cn.aborted.Load() {
-		return 0, ErrReset
+		return 0, cn.resetErr()
 	}
 	if cn.closed {
 		return 0, ErrClosed
@@ -456,11 +467,14 @@ func (cn *Conn) Close() error {
 		// consult the authoritative per-flow state.
 		cn.flow.Lock()
 		cn.aborted.Store(cn.flow.Aborted)
+		if cn.flow.PeerDead {
+			cn.peerDead.Store(true)
+		}
 		cn.flow.Unlock()
 	}
 	if cn.aborted.Load() {
 		cn.closed = true
-		return ErrReset
+		return cn.resetErr()
 	}
 	if cn.closed {
 		return nil

@@ -13,6 +13,7 @@ package libtas
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,11 @@ var (
 	// slow path exhausted its retransmission budget (dead peer,
 	// partition). In-flight data may have been lost.
 	ErrReset = errors.New("libtas: connection reset")
+	// ErrPeerDead: the slow path's liveness probes — zero-window persist
+	// probes or keepalives — went unanswered past their budget; the peer
+	// is presumed silently dead (crashed without RST, or blackholed).
+	// Wraps ErrReset so errors.Is(err, ErrReset) checks keep matching.
+	ErrPeerDead = fmt.Errorf("libtas: peer dead (liveness probes unanswered): %w", ErrReset)
 	// ErrAppDead: the slow path declared this application context
 	// crashed (missed heartbeats) and reaped its resources; the context
 	// and everything bound to it are unusable.
@@ -259,6 +265,9 @@ func (c *Context) dispatch() int {
 			c.mu.Lock()
 			if int(ev.Opaque) < len(c.conns) {
 				if conn := c.conns[ev.Opaque]; conn != nil {
+					if ev.Bytes == fastpath.AbortPeerDead {
+						conn.peerDead.Store(true)
+					}
 					conn.aborted.Store(true)
 				}
 			}

@@ -39,11 +39,13 @@ const (
 	PoolContexts             // registered app context slots
 	PoolTimers               // pending timer entries (closing/retransmit sweeps)
 	PoolAccept               // accept-backlog occupancy across listeners
+	PoolTimeWait             // TIME_WAIT 2MSL quarantine entries
 	NumPools
 )
 
 var poolNames = [NumPools]string{
 	"payload_bytes", "flows", "half_open", "contexts", "timers", "accept",
+	"time_wait",
 }
 
 // String returns the pool's metric-label name.
@@ -56,11 +58,11 @@ func (p Pool) String() string {
 
 // Degradation-ladder levels (rungs). LevelNormal is no degradation.
 const (
-	LevelNormal   = 0
-	LevelCookies  = 1 // force SYN cookies
-	LevelShedSyn  = 2 // shed new SYNs
-	LevelClampTx  = 3 // shrink per-flow TX grants
-	LevelReclaim  = 4 // reclaim idle flows LRU-first
+	LevelNormal  = 0
+	LevelCookies = 1 // force SYN cookies
+	LevelShedSyn = 2 // shed new SYNs
+	LevelClampTx = 3 // shrink per-flow TX grants
+	LevelReclaim = 4 // reclaim idle flows LRU-first
 	NumLevels    = 5
 	maxLevel     = LevelReclaim
 )
@@ -107,6 +109,7 @@ type Limits struct {
 	Contexts     int64
 	Timers       int64
 	Accept       int64
+	TimeWait     int64
 
 	// Per-app quotas (0 = none). A quota must not exceed the
 	// corresponding global capacity when both are set.
@@ -180,6 +183,7 @@ func (l Limits) caps() [NumPools]int64 {
 		PoolContexts: l.Contexts,
 		PoolTimers:   l.Timers,
 		PoolAccept:   l.Accept,
+		PoolTimeWait: l.TimeWait,
 	}
 }
 

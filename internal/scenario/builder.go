@@ -67,6 +67,32 @@ func (b *Builder) Timers(t Topology) *Builder {
 	return b
 }
 
+// Persist tunes the persist timer: the base probe interval and the
+// unanswered-probe budget for zero-window stalls (0 keeps defaults).
+func (b *Builder) Persist(rto time.Duration, probes int) *Builder {
+	b.s.Topology.PersistRTO = Duration(rto)
+	b.s.Topology.MaxPersistProbes = probes
+	return b
+}
+
+// Keepalive arms TCP keepalives on every service: probe after idle of
+// idle, re-probe every interval, declare the peer dead after probes
+// unanswered probes.
+func (b *Builder) Keepalive(idle, interval time.Duration, probes int) *Builder {
+	b.s.Topology.KeepaliveTime = Duration(idle)
+	b.s.Topology.KeepaliveInterval = Duration(interval)
+	b.s.Topology.KeepaliveProbes = probes
+	return b
+}
+
+// CloseLifecycle overrides the close-side timers: the FIN_WAIT_2 bound
+// and the TIME_WAIT quarantine length (0 keeps defaults).
+func (b *Builder) CloseLifecycle(finWait2, timeWait time.Duration) *Builder {
+	b.s.Topology.FinWait2Timeout = Duration(finWait2)
+	b.s.Topology.TimeWait = Duration(timeWait)
+	return b
+}
+
 // Link installs the netem-grade link model: rate, bounded queue,
 // propagation delay, and an optional ECN CE-mark threshold.
 func (b *Builder) Link(rateMbps float64, queuePkts int, delay time.Duration, ecnPkts int) *Builder {
@@ -87,6 +113,16 @@ func (b *Builder) Stream(conns, transfers, size int) *Builder {
 // Reconnect makes stream workers open a fresh connection per transfer
 // (connection churn).
 func (b *Builder) Reconnect() *Builder { b.s.Workload.Reconnect = true; return b }
+
+// ServerStall wedges the stream server: it stops reading for d after
+// consuming a connection's first length header, forcing the sender
+// against a zero window. firstConnOnly restricts the wedge to the
+// first accepted connection (retries land on a healthy handler).
+func (b *Builder) ServerStall(d time.Duration, firstConnOnly bool) *Builder {
+	b.s.Workload.ServerStall = Duration(d)
+	b.s.Workload.StallFirstConnOnly = firstConnOnly
+	return b
+}
 
 // RPC configures an echo-RPC workload: conns workers per client, each
 // making calls calls of msgBytes, reconnecting every callsPerConn
@@ -351,6 +387,36 @@ func (b *Builder) AssertRttP99Under(max time.Duration) *Builder {
 // reached at least rung n during the run.
 func (b *Builder) AssertPressureLevel(n int) *Builder {
 	b.s.Assert.MinPressureLevel = n
+	return b
+}
+
+// AssertPersistProbes requires at least n zero-window probes sent
+// across all services.
+func (b *Builder) AssertPersistProbes(n int) *Builder {
+	b.s.Assert.MinPersistProbes = n
+	return b
+}
+
+// AssertPeerDead requires at least n peer-dead verdicts (persist or
+// keepalive budget exhaustion) across all services.
+func (b *Builder) AssertPeerDead(n int) *Builder {
+	b.s.Assert.MinPeerDead = n
+	return b
+}
+
+// AssertNoPeerDead forbids peer-dead verdicts anywhere: stalls that
+// resolve must never be misclassified as dead peers.
+func (b *Builder) AssertNoPeerDead() *Builder {
+	b.s.Assert.MaxPeerDead = 0
+	b.s.Assert.BoundPeerDead = true
+	return b
+}
+
+// AssertNoReaper requires dead-peer detection to have come from the
+// liveness machinery alone: no app contexts reaped, no flows LRU
+// idle-reclaimed, on any service.
+func (b *Builder) AssertNoReaper() *Builder {
+	b.s.Assert.NoReaperFired = true
 	return b
 }
 

@@ -86,6 +86,7 @@ type run struct {
 	synsSent    int64
 	probeLat    []time.Duration // successful probe dials during attack windows
 	probeFails  int
+	stallUsed   bool // the one StallFirstConnOnly slot has been claimed
 
 	start        time.Time
 	lastEventEnd time.Duration // scheduled end (At+For) of the last timeline entry
@@ -132,6 +133,29 @@ func baseConfig(t Topology, cores int, server bool, linkBps float64) tas.Config 
 	}
 	if t.CoreTimeout > 0 {
 		cfg.CoreTimeout = t.CoreTimeout.D()
+	}
+	// Peer-liveness timers apply to every service: both ends of a
+	// blackholed link must be able to give the silent peer up.
+	if t.PersistRTO > 0 {
+		cfg.PersistRTO = t.PersistRTO.D()
+	}
+	if t.MaxPersistProbes > 0 {
+		cfg.MaxPersistProbes = t.MaxPersistProbes
+	}
+	if t.KeepaliveTime > 0 {
+		cfg.KeepaliveTime = t.KeepaliveTime.D()
+	}
+	if t.KeepaliveInterval > 0 {
+		cfg.KeepaliveInterval = t.KeepaliveInterval.D()
+	}
+	if t.KeepaliveProbes > 0 {
+		cfg.KeepaliveProbes = t.KeepaliveProbes
+	}
+	if t.FinWait2Timeout > 0 {
+		cfg.FinWait2Timeout = t.FinWait2Timeout.D()
+	}
+	if t.TimeWait > 0 {
+		cfg.TimeWaitDuration = t.TimeWait.D()
 	}
 	if server {
 		cfg.ListenBacklog = t.ListenBacklog
@@ -501,9 +525,36 @@ func (r *run) startServer() <-chan struct{} {
 	return done
 }
 
+// takeStallSlot claims the single stall slot when the workload
+// restricts the server-side stall to the first accepted connection.
+func (r *run) takeStallSlot() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stallUsed {
+		return false
+	}
+	r.stallUsed = true
+	return true
+}
+
+// sleepStall sleeps d, waking early when the run stops.
+func (r *run) sleepStall(d time.Duration) {
+	select {
+	case <-r.stop:
+	case <-time.After(d):
+	}
+}
+
 // serveStream answers length-prefixed transfers with their SHA-256.
+// With Workload.ServerStall set, it wedges — stops reading — for that
+// long right after consuming the connection's first length header, so
+// the sender piles the body up against a zero window.
 func (r *run) serveStream(c *tas.Conn) {
 	defer c.Close()
+	stall := r.spec.Workload.ServerStall.D()
+	if stall > 0 && r.spec.Workload.StallFirstConnOnly && !r.takeStallSlot() {
+		stall = 0
+	}
 	hdr := make([]byte, 8)
 	buf := make([]byte, 32<<10)
 	for {
@@ -513,6 +564,10 @@ func (r *run) serveStream(c *tas.Conn) {
 		n := binary.BigEndian.Uint64(hdr)
 		if n == 0 || n > 1<<30 {
 			return
+		}
+		if stall > 0 {
+			r.sleepStall(stall)
+			stall = 0 // only the first transfer wedges
 		}
 		h := sha256.New()
 		left := int(n)
@@ -1183,6 +1238,44 @@ func (r *run) evaluate(rep *Report, capped bool, recovery time.Duration) []Asser
 	if a.BoundServerAborts {
 		add("server-aborts", rep.Server.Aborts <= uint64(a.MaxServerAborts),
 			"%d server aborts (bound %d)", rep.Server.Aborts, a.MaxServerAborts)
+	}
+	sumPeerDead := func() (zw, ka uint64) {
+		zw, ka = rep.Server.PeerDeadZeroWindow, rep.Server.PeerDeadKeepalive
+		for _, c := range rep.Clients {
+			zw += c.PeerDeadZeroWindow
+			ka += c.PeerDeadKeepalive
+		}
+		return
+	}
+	if a.MinPersistProbes > 0 {
+		got := rep.Server.PersistProbes
+		for _, c := range rep.Clients {
+			got += c.PersistProbes
+		}
+		add("persist-probes", got >= uint64(a.MinPersistProbes),
+			"%d zero-window probes sent across services (want >= %d)", got, a.MinPersistProbes)
+	}
+	if a.MinPeerDead > 0 {
+		zw, ka := sumPeerDead()
+		add("peer-dead", zw+ka >= uint64(a.MinPeerDead),
+			"%d peer-dead verdicts (%d zero-window, %d keepalive; want >= %d)",
+			zw+ka, zw, ka, a.MinPeerDead)
+	}
+	if a.BoundPeerDead {
+		zw, ka := sumPeerDead()
+		add("peer-dead-bound", zw+ka <= uint64(a.MaxPeerDead),
+			"%d peer-dead verdicts (%d zero-window, %d keepalive; bound %d)",
+			zw+ka, zw, ka, a.MaxPeerDead)
+	}
+	if a.NoReaperFired {
+		reaped, idle := rep.Server.AppsReaped, rep.Server.GovIdleReclaimed
+		for _, c := range rep.Clients {
+			reaped += c.AppsReaped
+			idle += c.GovIdleReclaimed
+		}
+		add("liveness-not-reaper", reaped == 0 && idle == 0,
+			"%d app contexts reaped, %d flows idle-reclaimed (dead peers must fall to liveness probes alone)",
+			reaped, idle)
 	}
 	if a.MinCookiesValidated > 0 {
 		got := rep.Server.SynCookiesValidated

@@ -58,6 +58,87 @@ func init() {
 	Register("syn-flood", synFlood)
 	Register("churn-storm", churnStorm)
 	Register("memory-squeeze", memorySqueeze)
+	Register("zero-window-stall", zeroWindowStall)
+	Register("silent-peer", silentPeer)
+}
+
+// zeroWindowStall: the stream server wedges — stops reading — for a
+// second after consuming each connection's first length header, so
+// every sender fills the 16 KiB receive buffer and hits a zero window
+// with most of its transfer still queued. The senders must ride the
+// persist timer (probes at PersistRTO backoff, not retransmit-budget
+// burn) until the server resumes and the window reopens; everything
+// then completes SHA-256-intact with no flow aborted and no peer
+// misclassified as dead.
+func zeroWindowStall() *Spec {
+	return New("zero-window-stall").
+		Describe("The stream server stops reading for 1s after each connection's first "+
+			"length header: 16 KiB receive buffers fill, senders wedge against a zero "+
+			"window and probe on the persist timer until the window reopens. Every "+
+			"transfer completes intact, nothing aborts, no peer-dead verdicts.").
+		Seed(97).
+		Duration(60*time.Second).
+		Clients(2).
+		Buffers(16<<10, 0).
+		// Ten probes at 100ms-base exponential backoff give the stall
+		// minutes of headroom over the 1s wedge: the scenario proves
+		// patience, the never-reopen variant proves the budget.
+		Persist(100*time.Millisecond, 10).
+		Stream(2, 2, 256<<10).
+		ServerStall(time.Second, false).
+		AssertIntact().
+		AssertAllComplete().
+		AssertPersistProbes(1).
+		AssertNoPeerDead().
+		AssertServerAborts(0).
+		AssertDropBound("bad_desc", 0).
+		AssertPoolDrained("flows", 0).
+		AssertPoolDrained("payload_bytes", 0).
+		AssertPoolDrained("half_open", 0).
+		AssertPoolDrained("timers", 0).
+		AssertPoolDrained("accept", 0).
+		AssertPoolDrained("time_wait", 0).
+		MustBuild()
+}
+
+// silentPeer: the only client's link goes silently dark for two
+// seconds mid-stream — no FIN, no RST, frames just stop. The server's
+// established flows have nothing outstanding to retransmit (the
+// receiver side of a bulk stream), so only keepalives can notice: idle
+// flows are probed, the probes go unanswered, and the flows are
+// aborted with a peer-dead verdict and fully reclaimed — without the
+// app-liveness reaper or the governor's LRU idle-reclaim firing. When
+// the link returns, the workers redial and finish every transfer
+// intact.
+func silentPeer() *Spec {
+	return New("silent-peer").
+		Describe("The client host is blackholed for 2s mid-stream: server-side flows go "+
+			"idle with nothing to retransmit, keepalives probe and give the peer up "+
+			"(peer-dead aborts, full reclamation, reaper and idle-reclaim silent), and "+
+			"after the link heals the workers redial and complete everything intact.").
+		Seed(103).
+		Duration(60*time.Second).
+		Clients(1).
+		// 20 Mbit/s paces the 8 MiB workload across ~3.4s of wire time, so
+		// the 2s blackhole point lands mid-transfer even when startup and
+		// the handshakes are slowed several-fold by a loaded CI machine.
+		Link(20, 256, 0, 0).
+		Keepalive(300*time.Millisecond, 100*time.Millisecond, 3).
+		Stream(2, 2, 2<<20).
+		LinkDown(2000*time.Millisecond, "client0").
+		LinkUp(4000*time.Millisecond, "client0").
+		AssertIntact().
+		AssertAllComplete().
+		AssertPeerDead(1).
+		AssertNoReaper().
+		AssertDropBound("bad_desc", 0).
+		AssertPoolDrained("flows", 0).
+		AssertPoolDrained("payload_bytes", 0).
+		AssertPoolDrained("half_open", 0).
+		AssertPoolDrained("timers", 0).
+		AssertPoolDrained("accept", 0).
+		AssertPoolDrained("time_wait", 0).
+		MustBuild()
 }
 
 // churnStorm: sustained connection churn against a flow-table budget
@@ -267,13 +348,13 @@ func slowpathOutageChurn() *Spec {
 		AssertIntact().
 		AssertAllComplete().
 		AssertDegraded().
-		AssertRecovery(30*time.Second).
+		AssertRecovery(30 * time.Second).
 		// The RPC servers transmit responses, so the server-side RTT
 		// estimator accumulates sampled observations; the bound is far
 		// above the µs-scale fabric RTT because CI executes this
 		// scenario race-enabled (~10-20x slowdown) and the outage
 		// windows delay ACK processing.
-		AssertRttP99Under(2*time.Second).
+		AssertRttP99Under(2 * time.Second).
 		MustBuild()
 }
 

@@ -11,6 +11,7 @@ func TestLibraryRegistry(t *testing.T) {
 	want := []string{
 		"app-crash-churn", "flaky-rack", "incast-storm",
 		"rolling-core-failure", "slowpath-outage-churn", "wan",
+		"zero-window-stall", "silent-peer",
 	}
 	names := Names()
 	if len(names) < 5 {

@@ -100,6 +100,19 @@ type Topology struct {
 	CoreTimeout     Duration `json:"core_timeout,omitempty"`
 	ListenBacklog   int      `json:"listen_backlog,omitempty"`
 
+	// Peer-liveness and close-lifecycle timers (0 = service defaults),
+	// applied to the server and every client: the persist timer's probe
+	// cadence and budget for zero-window stalls, TCP keepalives for
+	// idle established flows, the FIN_WAIT_2 bound, and the TIME_WAIT
+	// quarantine length.
+	PersistRTO        Duration `json:"persist_rto,omitempty"`
+	MaxPersistProbes  int      `json:"max_persist_probes,omitempty"`
+	KeepaliveTime     Duration `json:"keepalive_time,omitempty"`
+	KeepaliveInterval Duration `json:"keepalive_interval,omitempty"`
+	KeepaliveProbes   int      `json:"keepalive_probes,omitempty"`
+	FinWait2Timeout   Duration `json:"fin_wait2_timeout,omitempty"`
+	TimeWait          Duration `json:"time_wait,omitempty"`
+
 	// CongestionControl selects the slow-path policy ("" = dctcp).
 	CongestionControl string `json:"congestion_control,omitempty"`
 
@@ -254,6 +267,16 @@ type Workload struct {
 	MsgBytes     int `json:"msg_bytes,omitempty"`      // request/response size (default 128)
 	Calls        int `json:"calls,omitempty"`          // total calls per worker (default 100)
 	CallsPerConn int `json:"calls_per_conn,omitempty"` // reconnect after this many (default Calls: no churn)
+
+	// Stream server misbehavior (zero-window scenarios): ServerStall
+	// makes the stream server stop reading for this long after it has
+	// consumed a connection's first length header, so the sender fills
+	// the receive buffer and wedges against a zero window.
+	// StallFirstConnOnly restricts the stall to the first connection
+	// the server accepts, so a sender that gives the wedged peer up
+	// lands its retry on a healthy handler.
+	ServerStall        Duration `json:"server_stall,omitempty"`
+	StallFirstConnOnly bool     `json:"stall_first_conn_only,omitempty"`
 }
 
 // Assertions are the machine-checkable postconditions of a run. Zero
@@ -314,9 +337,31 @@ type Assertions struct {
 	// pressure machinery actually engaged.
 	MinPressureLevel int `json:"min_pressure_level,omitempty"`
 
+	// MinPersistProbes requires at least n zero-window (persist timer)
+	// probes transmitted across all services — proof senders rode the
+	// persist timer through receiver-limited stalls instead of burning
+	// their retransmission budgets.
+	MinPersistProbes int `json:"min_persist_probes,omitempty"`
+
+	// MinPeerDead requires at least n flows across all services to have
+	// been aborted with a peer-dead verdict (persist-probe or keepalive
+	// budget exhaustion).
+	MinPeerDead int `json:"min_peer_dead,omitempty"`
+
+	// MaxPeerDead bounds peer-dead verdicts across all services (0 means
+	// "none allowed" only when BoundPeerDead is set): a scenario where
+	// every stall resolves must never misclassify a slow peer as dead.
+	MaxPeerDead   int  `json:"max_peer_dead,omitempty"`
+	BoundPeerDead bool `json:"bound_peer_dead,omitempty"`
+
+	// NoReaperFired asserts silent peers were detected by the liveness
+	// machinery itself: no app context reaped and no flow LRU
+	// idle-reclaimed on any service during the run.
+	NoReaperFired bool `json:"no_reaper_fired,omitempty"`
+
 	// MaxPoolUsed bounds the server's governed-pool occupancy at the
 	// end of the run, by pool name (payload_bytes, flows, half_open,
-	// contexts, timers, accept). The executor gives teardown effects a
+	// contexts, timers, accept, time_wait). The executor gives teardown effects a
 	// settle window (FIN sweeps, idle reclamation run on control ticks)
 	// before declaring a pool leaked; a bound of 0 asserts the pool
 	// returns exactly to empty.
@@ -461,6 +506,9 @@ func (s *Spec) Validate() error {
 			"unknown SYN-cookie mode %q (want \"\", \"always\", or \"off\")", s.Topology.SynCookies)
 	}
 	if err := s.validateQuotas(); err != nil {
+		return err
+	}
+	if err := s.validateLiveness(); err != nil {
 		return err
 	}
 
@@ -678,6 +726,40 @@ func (s *Spec) validateQuotas() error {
 	return nil
 }
 
+// validateLiveness rejects nonsensical peer-liveness settings and
+// misapplied stream-server stalls.
+func (s *Spec) validateLiveness() error {
+	t := s.Topology
+	for _, f := range []struct {
+		name string
+		d    Duration
+	}{
+		{"persist_rto", t.PersistRTO},
+		{"keepalive_time", t.KeepaliveTime},
+		{"keepalive_interval", t.KeepaliveInterval},
+		{"fin_wait2_timeout", t.FinWait2Timeout},
+		{"time_wait", t.TimeWait},
+	} {
+		if f.d < 0 {
+			return specErr(ErrBadSpec, "topology."+f.name, "negative duration %v", f.d.D())
+		}
+	}
+	if t.MaxPersistProbes < 0 || t.KeepaliveProbes < 0 {
+		return specErr(ErrBadSpec, "topology.max_persist_probes", "negative probe budget")
+	}
+	w := s.Workload
+	if w.ServerStall < 0 {
+		return specErr(ErrBadSpec, "workload.server_stall", "negative stall %v", w.ServerStall.D())
+	}
+	if w.ServerStall > 0 && w.Kind != WorkStream {
+		return specErr(ErrBadSpec, "workload.server_stall", "server stalls apply to stream workloads only")
+	}
+	if w.StallFirstConnOnly && w.ServerStall == 0 {
+		return specErr(ErrBadSpec, "workload.stall_first_conn_only", "needs a positive server_stall")
+	}
+	return nil
+}
+
 // knownDropCauses mirrors the tas_drops_total causes the report exposes.
 var knownDropCauses = map[string]bool{
 	"rx_ring_full": true, "rx_buf_full": true, "bad_desc": true,
@@ -690,7 +772,7 @@ var knownDropCauses = map[string]bool{
 // knownPools mirrors the governed pool names ServiceStats exposes.
 var knownPools = map[string]bool{
 	"payload_bytes": true, "flows": true, "half_open": true,
-	"contexts": true, "timers": true, "accept": true,
+	"contexts": true, "timers": true, "accept": true, "time_wait": true,
 }
 
 func (s *Spec) validateAssertions() error {
@@ -724,6 +806,9 @@ func (s *Spec) validateAssertions() error {
 	}
 	if a.MaxRecovery < 0 {
 		return specErr(ErrBadSpec, "assert.max_recovery", "negative bound %v", a.MaxRecovery.D())
+	}
+	if a.MinPersistProbes < 0 || a.MinPeerDead < 0 || a.MaxPeerDead < 0 {
+		return specErr(ErrBadSpec, "assert.min_persist_probes", "negative peer-liveness bound")
 	}
 	if a.RttP99Under < 0 {
 		return specErr(ErrBadSpec, "assert.rtt_p99_under", "negative bound %v", a.RttP99Under.D())

@@ -63,6 +63,27 @@ func (s *Slowpath) handleSyn(key protocol.FlowKey, pkt *protocol.Packet) {
 		s.challengeAck(f)
 		return
 	}
+	if tw := s.eng.TimeWait.Lookup(key); tw != nil {
+		if tcp.SeqGT(pkt.Seq, tw.FinalAck) {
+			// RFC 6191 / RFC 1122 §4.2.2.13: a SYN whose ISN is above the
+			// quarantined incarnation's final receive state cannot be an
+			// old duplicate — recycle the quarantine early and open the
+			// new incarnation.
+			if s.eng.TimeWait.Remove(key) {
+				if g := s.cfg.Gov; g != nil {
+					g.Release(resource.PoolTimeWait, 1)
+				}
+			}
+			s.TimeWaitReused.Add(1)
+			// Fall through to normal SYN handling.
+		} else {
+			// Old duplicate SYN against TIME_WAIT: re-announce the final
+			// state (RFC 793); a confused legitimate peer RSTs, a stale
+			// duplicate is ignored.
+			s.sendCtl(key, protocol.FlagACK, tw.FinalSeq, tw.FinalAck, false)
+			return
+		}
+	}
 	st := s.stripeFor(key.LocalPort)
 	st.mu.Lock()
 	if h, dup := st.half[key]; dup {
@@ -238,8 +259,37 @@ func (s *Slowpath) handlePlain(key protocol.FlowKey, pkt *protocol.Packet) {
 		// Raced installation: back to the fast path.
 		s.Reinjected.Add(1)
 		s.eng.Input(pkt)
+		return
 	}
-	// Otherwise: unknown flow, drop (a full stack would RST).
+	if tw := s.eng.TimeWait.Lookup(key); tw != nil {
+		// A stray segment for a quarantined tuple — an old duplicate or
+		// a retransmission that raced our final ACK: re-announce the
+		// connection's final state (RFC 793 TIME-WAIT processing).
+		s.sendCtl(key, protocol.FlagACK, tw.FinalSeq, tw.FinalAck, false)
+		return
+	}
+	// Otherwise the segment matches no connection state at all. A peer
+	// can legitimately still hold state for this tuple — we may have
+	// declared it dead during a partition and reclaimed everything — and
+	// if we stay silent it will retransmit into the void until its own
+	// retry budget runs dry. Answer with a reset (RFC 793 reset
+	// generation for a CLOSED tuple) so it tears down immediately. The
+	// send shares the challenge-ACK budget: stray segments are
+	// attacker-writable, so unmetered replies would be a reflection
+	// amplifier. Peers in TIME_WAIT are safe from these resets —
+	// handleRst never consults the TIME_WAIT table (RFC 1337).
+	if s.eng.Challenge == nil || !s.eng.Challenge.Allow(s.eng.NowNanos()) {
+		return
+	}
+	s.StrayRsts.Add(1)
+	if pkt.Flags.Has(protocol.FlagACK) {
+		// The peer told us what it expects next; a RST at exactly that
+		// sequence number is acceptable everywhere in its window.
+		s.sendCtl(key, protocol.FlagRST, pkt.Ack, 0, false)
+	} else {
+		s.sendCtl(key, protocol.FlagRST|protocol.FlagACK, 0, pkt.Seq+uint32(pkt.DataLen()), false)
+	}
+	s.record(key, telemetry.FERstTx, pkt.Seq, pkt.Ack, 0)
 }
 
 // completePassive finishes a passive handshake whose completing ACK
@@ -406,10 +456,19 @@ func (s *Slowpath) installFlow(key protocol.FlowKey, h *halfOpen, peerISS uint32
 }
 
 // handleFin: remote teardown. Acknowledge the FIN, notify the
-// application, and remove the flow once both sides are done.
+// application, and drive the close-side state machine: a peer FIN
+// before ours marks us the passive closer (straight to CLOSED after
+// our own FIN completes); a peer FIN after our acknowledged FIN ends
+// FIN_WAIT_2 and enters the TIME_WAIT quarantine.
 func (s *Slowpath) handleFin(key protocol.FlowKey, pkt *protocol.Packet) {
 	f := s.eng.Table.Lookup(key)
 	if f == nil {
+		if tw := s.eng.TimeWait.Lookup(key); tw != nil {
+			// Retransmitted peer FIN against TIME_WAIT: our final ACK was
+			// lost. Re-ack and restart the 2MSL clock (RFC 793).
+			s.sendCtl(key, protocol.FlagACK, tw.FinalSeq, tw.FinalAck, false)
+			s.eng.TimeWait.Extend(key, s.eng.NowNanos()+s.cfg.TimeWait.Nanoseconds())
+		}
 		return
 	}
 	f.Lock()
@@ -423,9 +482,21 @@ func (s *Slowpath) handleFin(key protocol.FlowKey, pkt *protocol.Packet) {
 	}
 	first := !f.FinReceived
 	f.FinReceived = true
+	if first && !f.FinSent {
+		// The peer closed first: we are the passive closer, and after
+		// our own FIN is acknowledged the flow goes straight to CLOSED —
+		// TIME_WAIT is the active closer's burden (RFC 793).
+		f.PeerClosedFirst = true
+	}
+	if f.FinSent && pkt.Flags.Has(protocol.FlagACK) && pkt.Ack == f.SeqNo+1 {
+		// The FIN segment itself acknowledges our FIN (it bypassed the
+		// fast path, so ack processing happens here): simultaneous-close
+		// and FIN_WAIT_2 exits must not wait for a later pure ACK.
+		f.FinAcked = true
+	}
 	f.AckNo++ // FIN consumes one sequence number
 	seq, ack := f.SeqNo, f.AckNo
-	done := f.FinSent
+	done := f.FinSent && f.FinAcked && !f.PeerClosedFirst
 	ctxID, opaque := f.Context, f.Opaque
 	f.Unlock()
 
@@ -437,7 +508,11 @@ func (s *Slowpath) handleFin(key protocol.FlowKey, pkt *protocol.Packet) {
 		}
 	}
 	if done {
-		s.removeFlowSoon(f)
+		// Both directions are closed and we closed first (FIN_WAIT_2 →
+		// TIME_WAIT, or the tail of a simultaneous close): quarantine the
+		// tuple and reclaim the flow now. The passive-close and
+		// not-yet-acked cases stay with closeSweep.
+		s.enterTimeWait(f)
 	}
 }
 
@@ -482,6 +557,9 @@ func (s *Slowpath) handleRst(key protocol.FlowKey, pkt *protocol.Packet) {
 	st.mu.Unlock()
 	f := s.eng.Table.Lookup(key)
 	if f == nil {
+		// Deliberately no TIME_WAIT lookup here: an RST must not cut a
+		// quarantine short (RFC 1337, TIME-WAIT assassination) — the
+		// entry ages out on its own clock.
 		return
 	}
 	f.Lock()
@@ -517,9 +595,19 @@ func (s *Slowpath) handleRst(key protocol.FlowKey, pkt *protocol.Packet) {
 // exhausted (dead peer, persistent partition): best-effort RST to the
 // peer, fast-path flow state removed, EvAborted to the application.
 func (s *Slowpath) abortFlow(f *flowstate.Flow) {
+	s.abortFlowCause(f, 0)
+}
+
+// abortFlowCause is abortFlow with an explicit cause code carried in
+// the EvAborted event (fastpath.AbortPeerDead when liveness probing —
+// persist or keepalive — declared the peer silently dead).
+func (s *Slowpath) abortFlowCause(f *flowstate.Flow, cause uint32) {
 	f.Lock()
 	already := f.Aborted
 	f.Aborted = true
+	if cause == fastpath.AbortPeerDead {
+		f.PeerDead = true
+	}
 	seq, ack := f.SeqNo, f.AckNo
 	ctxID, opaque := f.Context, f.Opaque
 	f.Unlock()
@@ -528,11 +616,14 @@ func (s *Slowpath) abortFlow(f *flowstate.Flow) {
 	}
 	s.sendCtlFlow(f, protocol.FlagRST|protocol.FlagACK, seq, ack)
 	recordFlow(f, telemetry.FERstTx, seq, ack, 0, 0)
-	recordFlow(f, telemetry.FEAborted, seq, ack, 0, 0)
+	recordFlow(f, telemetry.FEAborted, seq, ack, 0, uint64(cause))
+	if cause == fastpath.AbortPeerDead {
+		recordFlow(f, telemetry.FEPeerDead, seq, ack, 0, 0)
+	}
 	s.Aborts.Add(1)
 	s.removeFlow(f)
 	if ctx := s.eng.ContextByID(ctxID); ctx != nil {
-		ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAborted, Opaque: opaque})
+		ctx.PostEvent(0, fastpath.Event{Kind: fastpath.EvAborted, Opaque: opaque, Bytes: cause})
 	}
 }
 
@@ -588,10 +679,16 @@ func (s *Slowpath) handshakeSweep() {
 	}
 }
 
-// closeSweep retransmits unacknowledged FINs with exponential backoff.
-// Entries clear when the fast path observes the peer's ack of the FIN
-// (Flow.FinAcked); a teardown that exhausts the budget aborts the flow
-// so neither side hangs half-closed forever.
+// closeSweep drives locally initiated teardowns from the control tick:
+// it retransmits unacknowledged FINs with exponential backoff (budget
+// exhaustion aborts so neither side hangs half-closed forever), and
+// once the FIN is acknowledged it finishes the close — straight
+// removal for a passive closer, TIME_WAIT quarantine when both sides
+// are done and we closed first, or a FinWait2Timeout-bounded wait when
+// the peer has not closed its direction. This replaces the old
+// fire-and-forget removal timer: every step runs on the event loop,
+// charged to the timer pool, and survives a warm restart (Recover
+// re-arms the entries from shared flow state).
 func (s *Slowpath) closeSweep() {
 	now := time.Now()
 	type rexmit struct {
@@ -599,15 +696,52 @@ func (s *Slowpath) closeSweep() {
 		seq, ack uint32
 	}
 	var resend []rexmit
-	var aborts []*flowstate.Flow
+	var aborts, removals, timeWaits, fw2Expired []*flowstate.Flow
 	s.mu.Lock()
 	for f, e := range s.closing {
 		f.Lock()
 		acked, aborted, ack := f.FinAcked, f.Aborted, f.AckNo
+		finRecv, peerFirst := f.FinReceived, f.PeerClosedFirst
 		f.Unlock()
-		if acked || aborted {
+		if aborted {
 			delete(s.closing, f)
 			s.chargeTimers(-1)
+			if e.fw2 {
+				s.fw2Count.Add(-1)
+			}
+			continue
+		}
+		if acked {
+			if finRecv {
+				// Both directions closed. The active closer pays the
+				// TIME_WAIT quarantine; the passive closer (LAST_ACK →
+				// CLOSED) is done outright.
+				delete(s.closing, f)
+				s.chargeTimers(-1)
+				if e.fw2 {
+					s.fw2Count.Add(-1)
+				}
+				if peerFirst {
+					removals = append(removals, f)
+				} else {
+					timeWaits = append(timeWaits, f)
+				}
+				continue
+			}
+			if !e.fw2 {
+				// FIN acknowledged, peer still open: FIN_WAIT_2, bounded.
+				e.fw2 = true
+				e.deadline = now.Add(s.cfg.FinWait2Timeout)
+				s.fw2Count.Add(1)
+				continue
+			}
+			if now.After(e.deadline) {
+				delete(s.closing, f)
+				s.chargeTimers(-1)
+				s.fw2Count.Add(-1)
+				s.FinWait2Timeouts.Add(1)
+				fw2Expired = append(fw2Expired, f)
+			}
 			continue
 		}
 		if now.Before(e.deadline) {
@@ -630,14 +764,27 @@ func (s *Slowpath) closeSweep() {
 		s.sendCtlFlow(r.f, protocol.FlagFIN|protocol.FlagACK, r.seq, r.ack)
 		recordFlow(r.f, telemetry.FERexmit, r.seq, r.ack, 0, 0)
 	}
+	for _, f := range removals {
+		s.removeFlow(f)
+	}
+	for _, f := range timeWaits {
+		s.enterTimeWait(f)
+	}
+	for _, f := range fw2Expired {
+		// The peer never closed its side within the bound: quiet local
+		// teardown (no RST — the peer may legitimately still be alive,
+		// just uninterested in closing; its next segment for the gone
+		// flow draws nothing).
+		f.Lock()
+		f.Aborted = true
+		seq, ack := f.SeqNo, f.AckNo
+		f.Unlock()
+		recordFlow(f, telemetry.FEAborted, seq, ack, 0, 0)
+		s.removeFlow(f)
+	}
 	for _, f := range aborts {
 		s.abortFlow(f)
 	}
-}
-
-// removeFlowSoon lingers briefly (retransmitted FINs/ACKs) then removes.
-func (s *Slowpath) removeFlowSoon(f *flowstate.Flow) {
-	time.AfterFunc(50*time.Millisecond, func() { s.removeFlow(f) })
 }
 
 func (s *Slowpath) removeFlow(f *flowstate.Flow) {
@@ -645,9 +792,12 @@ func (s *Slowpath) removeFlow(f *flowstate.Flow) {
 	s.reclaimFlowResources(f)
 	s.mu.Lock()
 	delete(s.cc, f)
-	if _, ok := s.closing[f]; ok {
+	if e, ok := s.closing[f]; ok {
 		delete(s.closing, f)
 		s.chargeTimers(-1)
+		if e.fw2 {
+			s.fw2Count.Add(-1)
+		}
 	}
 	s.mu.Unlock()
 	s.retireRec(f)
@@ -667,6 +817,7 @@ func (s *Slowpath) controlLoop() {
 	s.mu.Unlock()
 
 	ivSec := s.cfg.ControlInterval.Seconds()
+	nowN := s.eng.NowNanos()
 	for i, f := range flows {
 		e := entries[i]
 		f.Lock()
@@ -675,7 +826,34 @@ func (s *Slowpath) controlLoop() {
 		una := f.SeqNo - f.TxSent
 		outstanding := f.TxSent
 		pending := f.TxPending()
+		window := f.Window
+		finSent, aborted := f.FinSent, f.Aborted
 		f.Unlock()
+
+		// Zero-window stall: the peer's receiver is full, not the
+		// network — this is flow control, so the persist timer replaces
+		// the retransmission timer (retransmitting into a closed window
+		// would only burn the abort budget). Probes are 1 byte with
+		// exponential backoff; an unanswered budget declares the peer
+		// dead.
+		if window == 0 && !finSent && !aborted && (pending > 0 || outstanding > 0) {
+			e.stallTicks = 0
+			e.consecTimeouts = 0
+			e.lastUna = una
+			if !s.persistTick(f, e) {
+				continue // probe budget exhausted; flow aborted
+			}
+			continue // stalled by flow control: no CC feedback to process
+		}
+		e.persistDeadline = time.Time{}
+		e.persistProbes = 0
+
+		// Keepalive: an established flow with nothing in flight and
+		// nothing pending that has heard nothing from the peer for
+		// KeepaliveTime gets liveness probes (opt-in; see Config).
+		if !s.keepaliveTick(f, e, nowN, finSent, aborted, outstanding, pending) {
+			continue // keepalive budget exhausted; flow aborted
+		}
 
 		// Retransmission timeout: unacknowledged data with no progress
 		// for StallIntervals control intervals. The wait must also cover

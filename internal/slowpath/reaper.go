@@ -188,6 +188,10 @@ type Counters struct {
 	CoreFailures, FlowsMigrated, CoreReadmits               uint64
 	CoreDrainRequeued                                       uint64
 	GovFlowDenied, GovIdleReclaimed                         uint64
+	PersistProbes, KeepaliveProbesSent                      uint64
+	PeerDeadZeroWindow, PeerDeadKeepalive                   uint64
+	FinWait2Timeouts, TimeWaitReused                        uint64
+	StrayRsts                                               uint64
 }
 
 // Counters returns a snapshot of the slow path's counters.
@@ -207,6 +211,10 @@ func (s *Slowpath) Counters() Counters {
 		CoreFailures: s.CoreFailures.Load(), FlowsMigrated: s.FlowsMigrated.Load(),
 		CoreReadmits: s.CoreReadmits.Load(), CoreDrainRequeued: s.CoreDrainRequeued.Load(),
 		GovFlowDenied: s.GovFlowDenied.Load(), GovIdleReclaimed: s.GovIdleReclaimed.Load(),
+		PersistProbes: s.PersistProbes.Load(), KeepaliveProbesSent: s.KeepaliveProbesSent.Load(),
+		PeerDeadZeroWindow: s.PeerDeadZeroWindow.Load(), PeerDeadKeepalive: s.PeerDeadKeepalive.Load(),
+		FinWait2Timeouts: s.FinWait2Timeouts.Load(), TimeWaitReused: s.TimeWaitReused.Load(),
+		StrayRsts: s.StrayRsts.Load(),
 	}
 }
 
@@ -244,4 +252,11 @@ func (s *Slowpath) AdoptCounters(c Counters) {
 	s.CoreDrainRequeued.Store(c.CoreDrainRequeued)
 	s.GovFlowDenied.Store(c.GovFlowDenied)
 	s.GovIdleReclaimed.Store(c.GovIdleReclaimed)
+	s.PersistProbes.Store(c.PersistProbes)
+	s.KeepaliveProbesSent.Store(c.KeepaliveProbesSent)
+	s.PeerDeadZeroWindow.Store(c.PeerDeadZeroWindow)
+	s.PeerDeadKeepalive.Store(c.PeerDeadKeepalive)
+	s.FinWait2Timeouts.Store(c.FinWait2Timeouts)
+	s.TimeWaitReused.Store(c.TimeWaitReused)
+	s.StrayRsts.Store(c.StrayRsts)
 }

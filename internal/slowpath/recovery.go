@@ -76,6 +76,9 @@ func (s *Slowpath) Recover() RecoveryStats {
 			accept += int64(e.Pending.Load())
 		})
 		g.Reset(resource.PoolAccept, accept)
+		// The TIME_WAIT quarantine lives on the engine side and survived
+		// the crash intact; recompute its charge from the table itself.
+		g.Reset(resource.PoolTimeWait, int64(s.eng.TimeWait.Len()))
 	}
 
 	// Listening ports from the shared registry, re-striped by port.
@@ -94,7 +97,7 @@ func (s *Slowpath) Recover() RecoveryStats {
 	})
 
 	// Established flows from the flow table.
-	var doomed []*flowstate.Flow
+	var doomed, finished []*flowstate.Flow
 	s.eng.Table.ForEach(func(f *flowstate.Flow) {
 		f.Lock()
 		aborted := f.Aborted
@@ -104,11 +107,21 @@ func (s *Slowpath) Recover() RecoveryStats {
 		seq, txSent := f.SeqNo, f.TxSent
 		ack := f.AckNo
 		finPending := f.FinSent && !f.FinAcked
+		finWait2 := f.FinSent && f.FinAcked && !f.FinReceived
+		finDone := f.FinSent && f.FinAcked && f.FinReceived
 		f.Unlock()
 
 		ctx := s.eng.ContextByID(ctxID)
 		if aborted || buffersGone || ctx == nil || ctx.Dead() {
 			doomed = append(doomed, f)
+			return
+		}
+		if finDone {
+			// The crash fell between the last FIN exchange and the old
+			// instance's removal step: finish the close below (TIME_WAIT
+			// or straight removal) instead of reconstructing cc state for
+			// a connection that is over.
+			finished = append(finished, f)
 			return
 		}
 
@@ -128,8 +141,16 @@ func (s *Slowpath) Recover() RecoveryStats {
 			s.closing[f] = &closeEntry{finSeq: seq, rto: rto, deadline: now.Add(rto)}
 			rep.ClosingResumed++
 		}
+		if finWait2 {
+			// Mid-FIN_WAIT_2 at the crash: re-arm a fresh full timeout —
+			// the old deadline died with the old instance, and a fresh
+			// bound errs toward the peer finishing its close.
+			s.closing[f] = &closeEntry{finSeq: seq, fw2: true, deadline: now.Add(s.cfg.FinWait2Timeout)}
+			s.fw2Count.Add(1)
+			rep.ClosingResumed++
+		}
 		s.mu.Unlock()
-		if finPending {
+		if finPending || finWait2 {
 			s.chargeTimers(1)
 		}
 		s.FlowsReconstructed.Add(1)
@@ -142,6 +163,17 @@ func (s *Slowpath) Recover() RecoveryStats {
 	for _, f := range doomed {
 		s.recoveryAbort(f)
 		rep.FlowsAborted++
+	}
+	// Closes the crash interrupted between FIN completion and removal.
+	for _, f := range finished {
+		f.Lock()
+		peerFirst := f.PeerClosedFirst
+		f.Unlock()
+		if peerFirst {
+			s.removeFlow(f)
+		} else {
+			s.enterTimeWait(f)
+		}
 	}
 
 	// Core-failure verdicts survive in the engine (failed flags + RSS

@@ -80,6 +80,46 @@ type Config struct {
 	// EvAborted event to the application.
 	MaxRetransmits int
 
+	// PersistRTO is the initial zero-window persist timeout: when the
+	// peer advertises a zero receive window while we hold pending or
+	// unacknowledged data, the slow path probes with one byte at this
+	// interval, doubling per unanswered probe (capped at 32×), instead
+	// of retransmitting blindly (default 200ms).
+	PersistRTO time.Duration
+
+	// MaxPersistProbes caps unanswered zero-window probes before the
+	// peer is presumed silently dead and the flow is aborted with
+	// AbortPeerDead (default 8).
+	MaxPersistProbes int
+
+	// KeepaliveTime is how long an established flow may sit idle (no
+	// segments either way) before keepalive probing starts. Zero
+	// disables keepalives entirely — like SO_KEEPALIVE, liveness
+	// probing of quiet peers is opt-in.
+	KeepaliveTime time.Duration
+
+	// KeepaliveInterval is the gap between successive keepalive probes
+	// once probing has started (default KeepaliveTime/4, floored at
+	// 10ms).
+	KeepaliveInterval time.Duration
+
+	// KeepaliveProbes is how many unanswered keepalive probes declare
+	// the peer dead: the flow is aborted with AbortPeerDead and every
+	// resource reclaimed (default 3).
+	KeepaliveProbes int
+
+	// FinWait2Timeout bounds FIN_WAIT_2: after our FIN is acknowledged,
+	// a peer that never sends its own FIN holds our flow state for at
+	// most this long before a quiet local teardown (default 5s).
+	FinWait2Timeout time.Duration
+
+	// TimeWait is the 2MSL quarantine an actively closed tuple spends
+	// in the engine-side TIME_WAIT table before the 4-tuple may be
+	// reused (default 1s — a reproduction-scale stand-in for 2×MSL). A
+	// new SYN with a sequence above the quarantined incarnation's final
+	// ack may reuse the tuple early, per RFC 6191.
+	TimeWait time.Duration
+
 	// AppTimeout is how long an application context may miss heartbeats
 	// before the slow path declares the app crashed and reaps its
 	// resources — flows (best-effort RST to peers), listen ports,
@@ -177,6 +217,28 @@ func (c *Config) fill() {
 	if c.MaxRetransmits <= 0 {
 		c.MaxRetransmits = 6
 	}
+	if c.PersistRTO <= 0 {
+		c.PersistRTO = 200 * time.Millisecond
+	}
+	if c.MaxPersistProbes <= 0 {
+		c.MaxPersistProbes = 8
+	}
+	// KeepaliveTime stays zero unless set: keepalives are opt-in.
+	if c.KeepaliveTime > 0 && c.KeepaliveInterval <= 0 {
+		c.KeepaliveInterval = c.KeepaliveTime / 4
+		if c.KeepaliveInterval < 10*time.Millisecond {
+			c.KeepaliveInterval = 10 * time.Millisecond
+		}
+	}
+	if c.KeepaliveProbes <= 0 {
+		c.KeepaliveProbes = 3
+	}
+	if c.FinWait2Timeout <= 0 {
+		c.FinWait2Timeout = 5 * time.Second
+	}
+	if c.TimeWait <= 0 {
+		c.TimeWait = time.Second
+	}
 	if c.NewController == nil {
 		c.NewController = func() congestion.RateController {
 			cfg := congestion.DefaultConfig(40e9)
@@ -272,6 +334,21 @@ type ccEntry struct {
 	// the flight recorder only logs rate-change events on actual change
 	// (the controller returns a rate every interval).
 	lastRate float64
+
+	// Zero-window persist state: while the peer advertises window 0 and
+	// we hold data, the persist timer replaces the retransmission timer
+	// (the stall is flow control, not loss). persistDeadline zero means
+	// disarmed; persistRTO doubles per probe.
+	persistDeadline time.Time
+	persistRTO      time.Duration
+	persistProbes   int
+
+	// Keepalive state: kaNext is the engine-clock nanosecond of the
+	// next probe (0 = not probing); kaProbes counts unanswered probes
+	// since the flow last went idle. Any received segment Touches the
+	// flow, which resets both.
+	kaNext   int64
+	kaProbes int
 }
 
 // closeEntry tracks a locally initiated teardown awaiting the peer's
@@ -282,6 +359,12 @@ type closeEntry struct {
 	deadline time.Time
 	rto      time.Duration
 	attempts int
+
+	// fw2 marks the entry as FIN_WAIT_2: our FIN is acknowledged but
+	// the peer has not closed its direction. deadline is then the
+	// FinWait2Timeout expiry instead of a retransmission deadline. The
+	// entry keeps its single timer-pool charge across the transition.
+	fw2 bool
 }
 
 // Slowpath drives one TAS instance's control plane.
@@ -344,6 +427,19 @@ type Slowpath struct {
 	HandshakeTimeouts atomic.Uint64 // half-open entries reaped after retry cap
 	FinRexmits        atomic.Uint64 // FIN retransmissions
 	Aborts            atomic.Uint64 // flows aborted (RST sent) after retry cap
+
+	// Peer-liveness stats (persist timer, keepalives, close lifecycle).
+	PersistProbes       atomic.Uint64 // zero-window probes sent
+	KeepaliveProbesSent atomic.Uint64 // keepalive probes sent
+	PeerDeadZeroWindow  atomic.Uint64 // flows aborted: persist probe budget exhausted
+	PeerDeadKeepalive   atomic.Uint64 // flows aborted: keepalive budget exhausted
+	FinWait2Timeouts    atomic.Uint64 // FIN_WAIT_2 flows torn down at the bound
+	TimeWaitReused      atomic.Uint64 // TIME_WAIT tuples recycled early by a higher-ISN SYN
+	StrayRsts           atomic.Uint64 // RSTs sent for segments that match no connection state
+
+	// fw2Count gauges flows currently in FIN_WAIT_2 (closing entries in
+	// the fw2 phase); the TIME_WAIT gauge is eng.TimeWait.Len().
+	fw2Count atomic.Int64
 
 	// Application-failure and overload stats.
 	AppsReaped       atomic.Uint64 // contexts reaped after missed heartbeats
@@ -507,6 +603,7 @@ func (s *Slowpath) run() {
 				telem.Cycles.AddSlow(telemetry.ModCC, t1-t0, 1)
 				s.handshakeSweep()
 				s.closeSweep()
+				s.timeWaitSweep()
 				t2 := telem.RefreshNow()
 				telem.Cycles.AddSlow(telemetry.ModTimer, t2-t1, 1)
 				s.reapSweep()
@@ -517,6 +614,7 @@ func (s *Slowpath) run() {
 				s.controlLoop()
 				s.handshakeSweep()
 				s.closeSweep()
+				s.timeWaitSweep()
 				s.reapSweep()
 				s.governorTick()
 				s.coreSweep(now)
@@ -640,7 +738,11 @@ func (s *Slowpath) Connect(peerIP protocol.IPv4, peerPort uint16, ctxID uint16, 
 			st.mu.Unlock()
 			continue
 		}
-		if _, busy := st.half[key]; busy || s.eng.Table.Lookup(key) != nil {
+		if _, busy := st.half[key]; busy || s.eng.Table.Lookup(key) != nil ||
+			s.eng.TimeWait.Lookup(key) != nil {
+			// A TIME_WAIT tuple is still quarantined: picking it would
+			// let old duplicates of the previous incarnation land in the
+			// new connection's window. Take the next ephemeral port.
 			st.mu.Unlock()
 			continue
 		}
@@ -700,7 +802,6 @@ func (s *Slowpath) Close(f *flowstate.Flow) {
 		}
 		seq := f.SeqNo
 		ack := f.AckNo
-		peerDone := f.FinReceived
 		f.Unlock()
 		if !alreadyClosed {
 			s.sendCtlFlow(f, protocol.FlagFIN|protocol.FlagACK, seq, ack)
@@ -711,9 +812,11 @@ func (s *Slowpath) Close(f *flowstate.Flow) {
 			s.mu.Unlock()
 			s.chargeTimers(1)
 		}
-		if peerDone {
-			s.removeFlowSoon(f)
-		}
+		// From here the closing entry owns the lifecycle: closeSweep
+		// retransmits the FIN until acknowledged, then finishes the
+		// close — straight removal for a passive closer (the peer's FIN
+		// came first), TIME_WAIT quarantine for an active one, or a
+		// bounded FIN_WAIT_2 wait if the peer never closes its side.
 	}()
 }
 

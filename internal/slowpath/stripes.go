@@ -29,8 +29,8 @@ type stripe struct {
 	mu        sync.Mutex
 	listeners map[uint16]*listener
 	half      map[protocol.FlowKey]*halfOpen
-	rng       *rand.Rand          // ISS generation; guarded by mu
-	gov       *resource.Governor  // half-open slot accounting (nil = ungoverned)
+	rng       *rand.Rand         // ISS generation; guarded by mu
+	gov       *resource.Governor // half-open slot accounting (nil = ungoverned)
 	_         [64]byte
 }
 

@@ -72,41 +72,54 @@ const (
 	// rung, Aux the new one.
 	FEPressureUp
 	FEPressureDown
+	// Peer-liveness events: FEPersistProbe marks a zero-window persist
+	// probe, FEKeepaliveProbe a keepalive probe, FETimeWait the flow
+	// entering the 2MSL quarantine after an active close, and
+	// FEPeerDead a liveness verdict — the probe budget ran out with no
+	// answer and the flow was aborted.
+	FEPersistProbe
+	FEKeepaliveProbe
+	FETimeWait
+	FEPeerDead
 )
 
 var feNames = map[FlowEventKind]string{
-	FESynTx:         "syn-tx",
-	FESynRx:         "syn-rx",
-	FESynAckTx:      "synack-tx",
-	FESynAckRx:      "synack-rx",
-	FEEstablished:   "established",
-	FESegTx:         "seg-tx",
-	FESegRx:         "seg-rx",
-	FEFastRexmit:    "fast-rexmit",
-	FERexmit:        "rexmit",
-	FERTOBackoff:    "rto-backoff",
-	FEEcnMark:       "ecn-mark",
-	FERateChange:    "rate-change",
-	FEFinTx:         "fin-tx",
-	FEFinRx:         "fin-rx",
-	FERstTx:         "rst-tx",
-	FERstRx:         "rst-rx",
-	FEAborted:       "aborted",
-	FEReaped:        "reaped",
-	FEAppSend:       "app-send",
-	FEAppRecv:       "app-recv",
-	FEDegraded:      "degraded",
-	FERecovered:     "recovered",
-	FEReconstructed: "reconstructed",
-	FECoreFailed:    "core-failed",
-	FECoreRevived:   "core-revived",
-	FEMigrated:      "migrated",
-	FESynCookieTx:   "syncookie-tx",
-	FESynCookieOK:   "syncookie-ok",
-	FESynCookieBad:  "syncookie-bad",
-	FEChallengeTx:   "challenge-tx",
-	FEPressureUp:    "pressure-up",
-	FEPressureDown:  "pressure-down",
+	FESynTx:          "syn-tx",
+	FESynRx:          "syn-rx",
+	FESynAckTx:       "synack-tx",
+	FESynAckRx:       "synack-rx",
+	FEEstablished:    "established",
+	FESegTx:          "seg-tx",
+	FESegRx:          "seg-rx",
+	FEFastRexmit:     "fast-rexmit",
+	FERexmit:         "rexmit",
+	FERTOBackoff:     "rto-backoff",
+	FEEcnMark:        "ecn-mark",
+	FERateChange:     "rate-change",
+	FEFinTx:          "fin-tx",
+	FEFinRx:          "fin-rx",
+	FERstTx:          "rst-tx",
+	FERstRx:          "rst-rx",
+	FEAborted:        "aborted",
+	FEReaped:         "reaped",
+	FEAppSend:        "app-send",
+	FEAppRecv:        "app-recv",
+	FEDegraded:       "degraded",
+	FERecovered:      "recovered",
+	FEReconstructed:  "reconstructed",
+	FECoreFailed:     "core-failed",
+	FECoreRevived:    "core-revived",
+	FEMigrated:       "migrated",
+	FESynCookieTx:    "syncookie-tx",
+	FESynCookieOK:    "syncookie-ok",
+	FESynCookieBad:   "syncookie-bad",
+	FEChallengeTx:    "challenge-tx",
+	FEPressureUp:     "pressure-up",
+	FEPressureDown:   "pressure-down",
+	FEPersistProbe:   "persist-probe",
+	FEKeepaliveProbe: "keepalive-probe",
+	FETimeWait:       "time-wait",
+	FEPeerDead:       "peer-dead",
 }
 
 func (k FlowEventKind) String() string {

@@ -25,6 +25,13 @@ func TestGovernorLeakAuditSoak(t *testing.T) {
 		RxBufSize: 16 << 10, TxBufSize: 16 << 10,
 		ControlInterval: 2 * time.Millisecond,
 		AppTimeout:      250 * time.Millisecond,
+		// Peer-liveness knobs for the wedge and blackhole phases. Short
+		// enough to converge in test time, long enough that the healthy
+		// phases (where every probe is answered) never abort anything.
+		PersistRTO: 25 * time.Millisecond, MaxPersistProbes: 4,
+		KeepaliveTime:     500 * time.Millisecond,
+		KeepaliveInterval: 100 * time.Millisecond,
+		KeepaliveProbes:   3,
 	}
 	srv, err := fab.NewService("10.0.0.1", cfg)
 	if err != nil {
@@ -38,6 +45,13 @@ func TestGovernorLeakAuditSoak(t *testing.T) {
 
 	sctx := srv.NewContext()
 	ln, err := sctx.Listen(8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Port 8081 backs the zero-window phase: its connections are
+	// accepted but never read. Created before the baseline snapshot so
+	// the listener's own footprint is part of the baseline.
+	wedgeLn, err := sctx.Listen(8081)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,6 +221,79 @@ func TestGovernorLeakAuditSoak(t *testing.T) {
 		}
 		c.Close()
 	}
+
+	// Phase 4: zero-window wedge — the server accepts on the wedge port
+	// but never reads, so the sender's window closes for good. The
+	// persist budget (4 probes at 25ms base) must run dry into a
+	// peer-dead verdict, and both sides must return every charge.
+	zwBefore := cli.Stats().PeerDeadZeroWindow
+	wc, err := wctx[1].DialTimeout("10.0.0.1", 8081, 2*time.Second)
+	if err != nil {
+		t.Fatalf("wedge-phase dial: %v", err)
+	}
+	sc, err := wedgeLn.Accept(2 * time.Second)
+	if err != nil {
+		t.Fatalf("wedge-phase accept: %v", err)
+	}
+	junk := bytes.Repeat([]byte{0x5A}, 4<<10)
+	wedgeDeadline := time.Now().Add(10 * time.Second)
+	for {
+		_, werr := wc.WriteTimeout(junk, 100*time.Millisecond)
+		if werr == nil || ErrTimeout(werr) {
+			if time.Now().After(wedgeDeadline) {
+				t.Fatal("wedge-phase: persist budget never exhausted")
+			}
+			continue
+		}
+		if !ErrPeerDead(werr) {
+			t.Fatalf("wedged write failed with %v, want peer-dead", werr)
+		}
+		break
+	}
+	st := cli.Stats()
+	if st.PeerDeadZeroWindow != zwBefore+1 {
+		t.Fatalf("PeerDeadZeroWindow = %d, want %d", st.PeerDeadZeroWindow, zwBefore+1)
+	}
+	if st.PersistProbes == 0 {
+		t.Fatal("wedge-phase: no persist probes were sent before the verdict")
+	}
+	sc.Close()
+	wc.Close()
+
+	// Phase 5: silent peer — partition the hosts mid-conversation with
+	// an idle established flow on each side. No FIN, no RST, no
+	// heartbeat loss (app liveness is host-local): only keepalives can
+	// notice, and the reaper and the governor's idle-reclaim rung must
+	// stay silent while they do.
+	kaBefore := srv.Stats().PeerDeadKeepalive + cli.Stats().PeerDeadKeepalive
+	reapedBase := srv.Stats().AppsReaped + cli.Stats().AppsReaped
+	idleBase := srv.Stats().GovIdleReclaimed + cli.Stats().GovIdleReclaimed
+	qc, err := wctx[2].DialTimeout("10.0.0.1", 8080, 2*time.Second)
+	if err != nil {
+		t.Fatalf("blackhole-phase dial: %v", err)
+	}
+	if err := transfer(qc, payload, want); err != nil {
+		t.Fatalf("blackhole-phase pre-transfer: %v", err)
+	}
+	if err := fab.Partition("10.0.0.1", "10.0.0.2"); err != nil {
+		t.Fatal(err)
+	}
+	kaDeadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().PeerDeadKeepalive+cli.Stats().PeerDeadKeepalive < kaBefore+2 {
+		if time.Now().After(kaDeadline) {
+			t.Fatalf("keepalives never declared the partitioned peers dead (verdicts %d, want %d)",
+				srv.Stats().PeerDeadKeepalive+cli.Stats().PeerDeadKeepalive, kaBefore+2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fab.HealAll()
+	if got := srv.Stats().AppsReaped + cli.Stats().AppsReaped; got != reapedBase {
+		t.Fatalf("app reaper fired during the blackhole: reaped %d, want %d", got, reapedBase)
+	}
+	if got := srv.Stats().GovIdleReclaimed + cli.Stats().GovIdleReclaimed; got != idleBase {
+		t.Fatalf("idle-reclaim fired during the blackhole: %d, want %d", got, idleBase)
+	}
+	qc.Close()
 
 	// The audit: poll until both services' pools read exactly their
 	// baseline again. Timers and closing-state flow entries drain on

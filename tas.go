@@ -94,6 +94,47 @@ type Config struct {
 	// peer and ErrReset to the application (default 6).
 	MaxRetransmits int
 
+	// PersistRTO is the initial persist-timer interval: when the peer
+	// advertises a zero receive window while data is pending, the slow
+	// path probes with 1-byte window probes starting at this interval and
+	// backing off exponentially (default 200ms).
+	PersistRTO time.Duration
+
+	// MaxPersistProbes caps consecutive unanswered zero-window probes
+	// before the flow is declared dead and aborted with a peer-dead error
+	// (default 8). A probe is "answered" whenever the peer reopens its
+	// window; mere duplicate zero-window ACKs keep the count rising.
+	MaxPersistProbes int
+
+	// KeepaliveTime enables TCP keepalives: an established flow idle in
+	// both directions for this long gets liveness probes. Zero disables
+	// keepalives (the default — idle connections are legitimate).
+	KeepaliveTime time.Duration
+
+	// KeepaliveInterval is the spacing between successive keepalive
+	// probes once the idle threshold has passed (default KeepaliveTime/4,
+	// floored at 10ms).
+	KeepaliveInterval time.Duration
+
+	// KeepaliveProbes is how many unanswered keepalive probes declare the
+	// peer dead: the flow is aborted (RST best-effort) and every resource
+	// it held is reclaimed (default 3).
+	KeepaliveProbes int
+
+	// FinWait2Timeout bounds FIN_WAIT_2: after our FIN is acknowledged,
+	// the peer has this long to send its own FIN before the flow is
+	// quietly reclaimed (default 5s). A crashed peer that acked the FIN
+	// but never closes would otherwise pin the flow forever.
+	FinWait2Timeout time.Duration
+
+	// TimeWaitDuration is the 2MSL quarantine on the active closer's
+	// 4-tuple (default 1s here — scaled for an in-process fabric). While
+	// quarantined, old duplicate segments get the RFC 793 re-ACK and the
+	// tuple is not picked for new outbound connections; a new SYN with a
+	// sequence number above the quarantined flow's final sequence may
+	// reuse the tuple early (RFC 6191).
+	TimeWaitDuration time.Duration
+
 	// AppTimeout is how long an application context may go without a
 	// heartbeat before the slow path declares the app dead and reclaims
 	// everything it held: flows (RST to peers), listen ports, context
@@ -164,6 +205,7 @@ type Config struct {
 	MaxContexts      int   // registered application contexts
 	MaxTimers        int   // pending timer entries (FIN/closing sweeps)
 	MaxAcceptBacklog int   // not-yet-accepted connections across listeners
+	MaxTimeWait      int   // TIME_WAIT quarantine entries (oldest evicted past cap)
 
 	// Per-app quotas (0 = none). A quota must not exceed the matching
 	// global capacity when both are set; NewService rejects such
@@ -409,6 +451,7 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 		Contexts:        int64(cfg.MaxContexts),
 		Timers:          int64(cfg.MaxTimers),
 		Accept:          int64(cfg.MaxAcceptBacklog),
+		TimeWait:        int64(cfg.MaxTimeWait),
 		AppFlows:        int64(cfg.AppMaxFlows),
 		AppPayloadBytes: cfg.AppMaxPayloadBytes,
 		EngagePct:       cfg.PressureEngagePct,
@@ -433,22 +476,29 @@ func (f *Fabric) NewService(addr string, cfg Config) (*Service, error) {
 	}
 
 	scfg := slowpath.Config{
-		RxBufSize:        cfg.RxBufSize,
-		TxBufSize:        cfg.TxBufSize,
-		ControlInterval:  cfg.ControlInterval,
-		DisableScaling:   cfg.DisableCoreScaling,
-		HandshakeRTO:     cfg.HandshakeRTO,
-		HandshakeRetries: cfg.HandshakeRetries,
-		MaxRetransmits:   cfg.MaxRetransmits,
-		AppTimeout:       cfg.AppTimeout,
-		ListenBacklog:    cfg.ListenBacklog,
-		SynCookies:       cfg.SynCookies,
-		Stripes:          cfg.HandshakeStripes,
-		CoreTimeout:      coreTimeout,
-		Telemetry:        telem,
-		Gov:              gov,
-		IdleReclaimAge:   cfg.IdleReclaimAge,
-		ReclaimBatch:     cfg.ReclaimBatch,
+		RxBufSize:         cfg.RxBufSize,
+		TxBufSize:         cfg.TxBufSize,
+		ControlInterval:   cfg.ControlInterval,
+		DisableScaling:    cfg.DisableCoreScaling,
+		HandshakeRTO:      cfg.HandshakeRTO,
+		HandshakeRetries:  cfg.HandshakeRetries,
+		MaxRetransmits:    cfg.MaxRetransmits,
+		PersistRTO:        cfg.PersistRTO,
+		MaxPersistProbes:  cfg.MaxPersistProbes,
+		KeepaliveTime:     cfg.KeepaliveTime,
+		KeepaliveInterval: cfg.KeepaliveInterval,
+		KeepaliveProbes:   cfg.KeepaliveProbes,
+		FinWait2Timeout:   cfg.FinWait2Timeout,
+		TimeWait:          cfg.TimeWaitDuration,
+		AppTimeout:        cfg.AppTimeout,
+		ListenBacklog:     cfg.ListenBacklog,
+		SynCookies:        cfg.SynCookies,
+		Stripes:           cfg.HandshakeStripes,
+		CoreTimeout:       coreTimeout,
+		Telemetry:         telem,
+		Gov:               gov,
+		IdleReclaimAge:    cfg.IdleReclaimAge,
+		ReclaimBatch:      cfg.ReclaimBatch,
 	}
 	link := cfg.LinkRateBps
 	if link <= 0 {
@@ -675,10 +725,27 @@ func (s *Service) registerMetrics() {
 		{"tas_slowpath_blind_rst_drops_total", "RSTs rejected by RFC 5961 sequence validation.", func(c slowpath.Counters) uint64 { return c.BlindRstDrops }},
 		{"tas_pressure_flow_denials_total", "Flow establishments denied by governor admission (pool or quota exhausted).", func(c slowpath.Counters) uint64 { return c.GovFlowDenied }},
 		{"tas_pressure_idle_reclaimed_total", "Idle flows reclaimed LRU-first by the ladder's last rung.", func(c slowpath.Counters) uint64 { return c.GovIdleReclaimed }},
+		{"tas_persist_probes_total", "Zero-window (persist-timer) probes transmitted.", func(c slowpath.Counters) uint64 { return c.PersistProbes }},
+		{"tas_keepalive_probes_total", "TCP keepalive probes transmitted.", func(c slowpath.Counters) uint64 { return c.KeepaliveProbesSent }},
+		{"tas_fin_wait2_timeouts_total", "Flows reclaimed after the peer never sent its FIN.", func(c slowpath.Counters) uint64 { return c.FinWait2Timeouts }},
+		{"tas_time_wait_reused_total", "TIME_WAIT tuples reused early by a fresh SYN (RFC 6191).", func(c slowpath.Counters) uint64 { return c.TimeWaitReused }},
 	} {
 		read := m.read
 		r.CounterFunc(m.name, m.help, func() float64 { return float64(read(slowCounters())) })
 	}
+
+	// Peer-liveness failure domain: dead peers by detection cause, plus
+	// the close-lifecycle gauges.
+	r.CounterFunc("tas_peer_dead_total", "Flows aborted because persist probes went unanswered.",
+		func() float64 { return float64(slowCounters().PeerDeadZeroWindow) },
+		telemetry.L("cause", "zero_window"))
+	r.CounterFunc("tas_peer_dead_total", "Flows aborted because keepalive probes went unanswered.",
+		func() float64 { return float64(slowCounters().PeerDeadKeepalive) },
+		telemetry.L("cause", "keepalive"))
+	r.GaugeFunc("tas_flows_time_wait", "TIME_WAIT quarantine entries currently held.",
+		func() float64 { return float64(s.Slow().TimeWaitCount()) })
+	r.GaugeFunc("tas_flows_fin_wait2", "Flows currently in FIN_WAIT_2 (our FIN acked, peer's FIN pending).",
+		func() float64 { return float64(s.Slow().FinWait2Count()) })
 
 	// Control-plane failure domain: degraded-mode gauge, outage counts,
 	// and the outage-duration histogram (observed at recovery).
@@ -892,6 +959,16 @@ type ServiceStats struct {
 	ChallengeAcksSent    uint64 // RFC 5961 challenge ACKs transmitted
 	ChallengeAcksLimited uint64 // challenge ACKs suppressed by the global rate limit
 
+	// Peer-liveness counters (persist timer, keepalives, close lifecycle).
+	PersistProbes      uint64 // zero-window probes transmitted
+	KeepaliveProbes    uint64 // keepalive probes transmitted
+	PeerDeadZeroWindow uint64 // flows aborted: persist-probe budget exhausted
+	PeerDeadKeepalive  uint64 // flows aborted: keepalive budget exhausted
+	FinWait2Timeouts   uint64 // flows reclaimed: peer never sent its FIN
+	TimeWaitReused     uint64 // quarantined tuples reused early by a fresh SYN (RFC 6191)
+	FlowsTimeWait      int    // TIME_WAIT quarantine entries held (gauge)
+	FlowsFinWait2      int    // flows currently in FIN_WAIT_2 (gauge)
+
 	// Control-plane failure-domain counters.
 	FlowsReconstructed uint64 // flows rebuilt by warm restarts
 	RecoveryAborts     uint64 // flows aborted during warm restarts
@@ -967,6 +1044,15 @@ func (s *Service) Stats() ServiceStats {
 		BlindAckDrops:        d.BlindAck,
 		ChallengeAcksSent:    challengeSent(s.eng),
 		ChallengeAcksLimited: challengeSuppressed(s.eng),
+
+		PersistProbes:      sc.PersistProbes,
+		KeepaliveProbes:    sc.KeepaliveProbesSent,
+		PeerDeadZeroWindow: sc.PeerDeadZeroWindow,
+		PeerDeadKeepalive:  sc.PeerDeadKeepalive,
+		FinWait2Timeouts:   sc.FinWait2Timeouts,
+		TimeWaitReused:     sc.TimeWaitReused,
+		FlowsTimeWait:      s.slow.Load().TimeWaitCount(),
+		FlowsFinWait2:      int(s.slow.Load().FinWait2Count()),
 
 		FlowsReconstructed: sc.FlowsReconstructed,
 		RecoveryAborts:     sc.RecoveryAborts,
@@ -1171,6 +1257,13 @@ func ErrTimeout(err error) bool { return errors.Is(err, libtas.ErrTimeout) }
 // the connection, or the retransmission budget was exhausted against a
 // dead or unreachable peer.
 func ErrReset(err error) bool { return errors.Is(err, libtas.ErrReset) }
+
+// ErrPeerDead reports whether err is specifically a liveness-probe
+// verdict: the peer stopped responding to zero-window persist probes or
+// TCP keepalives and the flow was aborted. ErrPeerDead errors also
+// satisfy ErrReset, so existing reset handling keeps working; this
+// helper distinguishes "peer silently died" from "peer sent RST".
+func ErrPeerDead(err error) bool { return errors.Is(err, libtas.ErrPeerDead) }
 
 // ErrAppDead reports whether err means the application context was
 // reaped (crash detected via missed heartbeats); all further operations

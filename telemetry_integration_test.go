@@ -366,10 +366,13 @@ func TestFlightRecorderAbortDump(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The abort retires the flow's ring; wait for it.
+	// The abort retires the flow's ring; wait for it. The wait must
+	// cover the whole doubling retransmit-backoff series, whose base
+	// includes an 8×RTT term — under a loaded test machine the inflated
+	// RTT estimate stretches the series well past its idle ~1.3s.
 	rec := cli.Telemetry().Recorder
 	var keys []string
-	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+	for deadline := time.Now().Add(20 * time.Second); time.Now().Before(deadline); {
 		if keys = rec.RetiredKeys(); len(keys) > 0 {
 			break
 		}
